@@ -1,0 +1,81 @@
+// Figure 5: scatter of default-configuration estimated cost vs runtime over
+// one day of Workload A — including the top-left corner of low-cost /
+// high-runtime jobs whose cost-model assumptions were wrong (the §6.1
+// selection heuristic).
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "core/pipeline.h"
+
+using namespace qsteer;
+using namespace qsteer::bench;
+
+int main() {
+  Header("Figure 5: estimated cost vs runtime, default configuration (Workload A)",
+         "costs broadly track runtimes, but a visible low-cost/high-runtime corner "
+         "exists where cost-model assumptions failed");
+
+  Workload workload(BenchSpec('A'));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  SteeringPipeline pipeline(&optimizer, &simulator, {});
+
+  std::vector<double> costs, runtimes;
+  for (const Job& job : workload.JobsForDay(3)) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+    if (!plan.ok()) continue;
+    costs.push_back(plan.value().est_cost);
+    runtimes.push_back(simulator.Execute(job, plan.value().root).runtime);
+  }
+
+  // Rank correlation (Spearman-ish via Pearson of log values).
+  double n = static_cast<double>(costs.size());
+  double mx = 0, my = 0;
+  std::vector<double> lx(costs.size()), ly(costs.size());
+  for (size_t i = 0; i < costs.size(); ++i) {
+    lx[i] = std::log(std::max(costs[i], 1e-3));
+    ly[i] = std::log(std::max(runtimes[i], 1e-3));
+    mx += lx[i];
+    my += ly[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+    syy += (ly[i] - my) * (ly[i] - my);
+  }
+  double corr = sxy / std::sqrt(std::max(sxx * syy, 1e-12));
+
+  std::printf("jobs: %zu   log-log correlation(cost, runtime) = %.2f\n\n", costs.size(),
+              corr);
+
+  // 2D occupancy grid (cost deciles x runtime deciles).
+  auto decile = [](const std::vector<double>& values, double v) {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    int d = 0;
+    while (d < 9 && v > sorted[static_cast<size_t>((d + 1) * sorted.size() / 10)]) ++d;
+    return d;
+  };
+  int grid[10][10] = {};
+  for (size_t i = 0; i < costs.size(); ++i) {
+    grid[decile(runtimes, runtimes[i])][decile(costs, costs[i])]++;
+  }
+  std::printf("occupancy (rows: runtime decile, high at top; cols: cost decile):\n");
+  for (int r = 9; r >= 0; --r) {
+    std::printf("  rt-d%d |", r);
+    for (int c = 0; c < 10; ++c) std::printf("%4d", grid[r][c]);
+    std::printf("\n");
+  }
+  std::printf("         +--------------------------------------- cost deciles 0..9\n");
+
+  std::vector<int> corner = pipeline.SelectLowCostHighRuntime(costs, runtimes);
+  std::printf("\nlow-cost/high-runtime corner (cost <= p40, runtime >= p70): %zu jobs "
+              "(%.1f%% of the day) — the paper's Fig. 5 top-left anomaly pool.\n",
+              corner.size(), 100.0 * corner.size() / costs.size());
+  Footer();
+  return 0;
+}

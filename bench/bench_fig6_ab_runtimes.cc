@@ -1,0 +1,51 @@
+// Figure 6: percentage change in runtime from the default to the best of the
+// 10 cheapest alternative rule configurations, for selected jobs of each
+// workload — the headline A/B-testing result (§6.2).
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "exec/simulator.h"
+
+using namespace qsteer;
+using namespace qsteer::bench;
+
+int main() {
+  Header("Figure 6: % runtime change of best alternative configuration (A/B testing)",
+         "at least one alternative improves a majority of jobs; improvements up to "
+         "-90%; Workload C changes smaller in magnitude");
+
+  for (char which : {'A', 'B', 'C'}) {
+    Workload workload(BenchSpec(which));
+    Optimizer optimizer(&workload.catalog());
+    ExecutionSimulator simulator(&workload.catalog());
+    int max_jobs = static_cast<int>((which == 'B' ? 30 : 20) * BenchScale());
+    std::vector<JobAnalysis> analyses =
+        RunAbAnalysis(workload, optimizer, simulator, max_jobs);
+
+    std::vector<double> changes;
+    for (const JobAnalysis& analysis : analyses) {
+      changes.push_back(analysis.BestRuntimeChangePct());
+    }
+    std::sort(changes.begin(), changes.end());
+
+    int improved = 0, big = 0, regressed = 0;
+    for (double c : changes) {
+      if (c < -3.0) ++improved;
+      if (c < -50.0) ++big;
+      if (c > 3.0) ++regressed;
+    }
+    std::printf("\nWorkload %c (%zu analyzed jobs):\n", which, changes.size());
+    std::printf("  sorted best-config %%-changes: ");
+    for (double c : changes) std::printf("%+.0f ", c);
+    std::printf("\n  improved >3%%: %d   improved >50%%: %d   regressed-only: %d\n",
+                improved, big, regressed);
+    if (!changes.empty()) {
+      std::printf("  best: %+.0f%%   median: %+.0f%%\n", changes.front(),
+                  changes[changes.size() / 2]);
+    }
+  }
+  std::printf("\nPaper shape: majority improve in A and B with similar magnitudes, C "
+              "smaller; max improvements near -90%%.\n");
+  Footer();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 8: per-query runtime change (absolute and percentage) of the
+// learned model's choice vs the default configuration, for held-out jobs of
+// three job groups.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "core/learned_steering.h"
+#include "core/span.h"
+
+using namespace qsteer;
+using namespace qsteer::bench;
+
+int main() {
+  Header("Figure 8: learned-model per-query runtime change vs default (3 job groups)",
+         "improvements dominate in every group, with some regressions; group 3 often "
+         "picks the default (no bar) and has the smallest-magnitude regressions");
+
+  Workload workload(BenchSpec('B'));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  LearnedSteering learner(&optimizer, &simulator, &workload.catalog());
+
+  const int kTemplates[3] = {36, 4, 30};
+  const int kArms[3] = {10, 7, 10};
+  int days = static_cast<int>(14 * BenchScale());
+
+  for (int g = 0; g < 3; ++g) {
+    std::vector<Job> jobs;
+    for (int day = 1; day <= days; ++day) {
+      int instances = workload.InstancesOnDay(kTemplates[g], day);
+      for (int i = 0; i < std::max(1, instances); ++i) {
+        jobs.push_back(workload.MakeJob(kTemplates[g], day, i));
+      }
+    }
+    SpanResult span = ComputeJobSpan(optimizer, jobs.front());
+    ConfigSearchOptions search;
+    search.max_configs = kArms[g] * 4;
+    search.seed = 500 + static_cast<uint64_t>(g);
+    std::vector<RuleConfig> configs = {RuleConfig::Default()};
+    for (const RuleConfig& c : GenerateCandidateConfigs(span.span, search)) {
+      if (static_cast<int>(configs.size()) >= kArms[g]) break;
+      configs.push_back(c);
+    }
+    GroupDataset dataset = learner.CollectDataset(jobs, configs, 7 + static_cast<uint64_t>(g));
+    MlpOptions options;
+    options.hidden = 64;
+    options.epochs = 150;
+    options.seed = 21 + static_cast<uint64_t>(g);
+    LearnedEvaluation eval = learner.TrainAndEvaluate(dataset, options);
+
+    std::printf("\nJob group %d (%zu held-out queries):\n", g + 1, eval.test_choices.size());
+    std::printf("  %-32s %6s %10s %10s %8s\n", "query", "arm", "delta_s", "default_s",
+                "change");
+    int improved = 0, regressed = 0, chose_default = 0;
+    for (const LearnedChoice& choice : eval.test_choices) {
+      double delta = choice.chosen_runtime - choice.default_runtime;
+      double pct = choice.default_runtime > 0 ? delta / choice.default_runtime * 100 : 0;
+      std::printf("  %-32s %6d %+10.1f %10.1f %+7.1f%%\n", choice.job_name.c_str(),
+                  choice.chosen_arm, delta, choice.default_runtime, pct);
+      if (choice.chosen_arm == 0) ++chose_default;
+      if (pct < -2.0) ++improved;
+      if (pct > 2.0) ++regressed;
+    }
+    std::printf("  => improved %d, regressed %d, recommended default %d\n", improved,
+                regressed, chose_default);
+  }
+  Footer();
+  return 0;
+}

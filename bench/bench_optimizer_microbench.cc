@@ -1,0 +1,113 @@
+// Microbenchmarks (google-benchmark): compilation latency, span computation,
+// signature operations, and simulation throughput. These bound the offline
+// pipeline's cost: the paper's pipeline recompiles up to 1000 configurations
+// per analyzed job, so Compile() latency is the budget driver.
+#include <benchmark/benchmark.h>
+
+#include "core/config_search.h"
+#include "core/span.h"
+#include "exec/simulator.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+WorkloadSpec MicroSpec() {
+  WorkloadSpec spec;
+  spec.name = "M";
+  spec.seed = 555;
+  spec.num_templates = 40;
+  spec.num_stream_sets = 24;
+  return spec;
+}
+
+const Workload& SharedWorkload() {
+  static const Workload* workload = new Workload(MicroSpec());
+  return *workload;
+}
+
+void BM_CompileDefault(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(static_cast<int>(state.range(0)), 1);
+  RuleConfig config = RuleConfig::Default();
+  for (auto _ : state) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["operators"] = job.NumOperators();
+}
+BENCHMARK(BM_CompileDefault)->Arg(0)->Arg(1)->Arg(3)->Arg(5)->Arg(21);
+
+void BM_CompileAllEnabled(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(1, 1);
+  RuleConfig config = RuleConfig::AllEnabled();
+  for (auto _ : state) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_CompileAllEnabled);
+
+void BM_ComputeJobSpan(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(2, 1);
+  for (auto _ : state) {
+    SpanResult span = ComputeJobSpan(optimizer, job);
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_ComputeJobSpan);
+
+void BM_GenerateCandidates(benchmark::State& state) {
+  BitVector256 span = BitVector256::FromIndices(
+      {37, 38, 43, 83, 87, 94, 99, 104, 108, 224, 226, 228, 240, 241});
+  ConfigSearchOptions options;
+  options.max_configs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto configs = GenerateCandidateConfigs(span, options);
+    benchmark::DoNotOptimize(configs);
+  }
+}
+BENCHMARK(BM_GenerateCandidates)->Arg(100)->Arg(1000);
+
+void BM_SimulateExecution(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  Job job = workload.MakeJob(1, 1);
+  CompiledPlan plan = optimizer.Compile(job, RuleConfig::Default()).value();
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    ExecMetrics metrics = simulator.Execute(job, plan.root, ++nonce);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_SimulateExecution);
+
+void BM_SignatureHashAndDiff(benchmark::State& state) {
+  RuleSignature a = BitVector256::FromIndices({0, 1, 2, 5, 9, 87, 224, 240});
+  RuleSignature b = BitVector256::FromIndices({0, 1, 2, 5, 9, 83, 228, 241});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+    benchmark::DoNotOptimize(a.AndNot(b).ToIndices());
+  }
+}
+BENCHMARK(BM_SignatureHashAndDiff);
+
+void BM_TemplateHash(benchmark::State& state) {
+  const Workload& workload = SharedWorkload();
+  Job job = workload.MakeJob(3, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(job.TemplateHash());
+  }
+}
+BENCHMARK(BM_TemplateHash);
+
+}  // namespace
+}  // namespace qsteer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Table 2: rule categories with statistics — total rules and rules never
+// used (absent from every job's signature) over one day of Workload A.
+#include "bench/bench_util.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rule_registry.h"
+
+using namespace qsteer;
+using namespace qsteer::bench;
+
+int main() {
+  Header("Table 2: rule categories, counts and unused rules (one day, Workload A)",
+         "Required 37/9 unused; Off-by-default 46/36; On-by-default 141/37; "
+         "Implementation 32/4");
+
+  Workload workload(BenchSpec('A'));
+  Optimizer optimizer(&workload.catalog());
+
+  BitVector256 used_any;
+  int compiled = 0;
+  for (const Job& job : workload.JobsForDay(3)) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, ProductionConfig(job));
+    if (!plan.ok()) continue;
+    used_any = used_any.Or(plan.value().signature);
+    ++compiled;
+  }
+
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  struct CategoryRow {
+    const char* label;
+    RuleCategory category;
+    int paper_total;
+    int paper_unused;
+  };
+  const CategoryRow categories[] = {
+      {"Required", RuleCategory::kRequired, 37, 9},
+      {"Off-by-default", RuleCategory::kOffByDefault, 46, 36},
+      {"On-by-default", RuleCategory::kOnByDefault, 141, 37},
+      {"Implementation", RuleCategory::kImplementation, 32, 4},
+  };
+
+  std::printf("jobs compiled: %d\n\n", compiled);
+  std::printf("%-16s %8s %8s   %18s   examples of used rules\n", "Category", "#Rules",
+              "#Unused", "paper(#Rules/#Unused)");
+  for (const CategoryRow& row : categories) {
+    std::vector<RuleId> ids = registry.IdsInCategory(row.category);
+    int unused = 0;
+    std::string examples;
+    int shown = 0;
+    for (RuleId id : ids) {
+      if (!used_any.Test(id)) {
+        ++unused;
+      } else if (shown < 3) {
+        if (shown > 0) examples += ", ";
+        examples += registry.name(id);
+        ++shown;
+      }
+    }
+    std::printf("%-16s %8zu %8d   %12d / %-5d   %s\n", row.label, ids.size(), unused,
+                row.paper_total, row.paper_unused, examples.c_str());
+  }
+  std::printf(
+      "\nNote: our on-by-default catalog implements ~45 genuinely firing rewrites; the\n"
+      "remaining named rules target operator shapes this workload cannot produce, so\n"
+      "the measured unused count exceeds the paper's (see EXPERIMENTS.md).\n");
+  Footer();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Quickstart: build a SCOPE-like job by hand, compile it under the default
+// rule configuration, inspect its rule signature, steer it with rule hints,
+// and compare simulated executions.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "exec/simulator.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rule_registry.h"
+
+using namespace qsteer;
+
+int main() {
+  // -------------------------------------------------------------------
+  // 1. Catalog: one log stream set with three daily shards + a dimension.
+  // -------------------------------------------------------------------
+  Catalog catalog;
+  StreamSet events;
+  events.name = "clicks";
+  events.columns = {
+      {.name = "user_id", .type = ColumnType::kInt64, .distinct_count = 200000,
+       .zipf_skew = 1.1},
+      {.name = "page_id", .type = ColumnType::kInt64, .distinct_count = 5000},
+      {.name = "latency_ms", .type = ColumnType::kInt64, .distinct_count = 10000},
+  };
+  events.daily_growth = 0.02;
+  int events_set = catalog.AddStreamSet(events);
+  for (int d = 0; d < 3; ++d) {
+    catalog.AddStream(events_set, "clicks_d" + std::to_string(d), 80'000'000, 64);
+  }
+
+  StreamSet users;
+  users.name = "users";
+  users.columns = {
+      {.name = "user_id", .type = ColumnType::kInt64, .distinct_count = 200000},
+      {.name = "country", .type = ColumnType::kInt64, .distinct_count = 60},
+  };
+  int users_set = catalog.AddStreamSet(users);
+  catalog.AddStream(users_set, "users_snapshot", 200000, 8);
+
+  // -------------------------------------------------------------------
+  // 2. Job: UNION the daily click shards, filter, join users, aggregate.
+  // -------------------------------------------------------------------
+  auto universe = std::make_shared<ColumnUniverse>();
+  ColumnId user_id = universe->GetOrAddBaseColumn(events_set, 0, "user_id");
+  ColumnId page_id = universe->GetOrAddBaseColumn(events_set, 1, "page_id");
+  ColumnId latency = universe->GetOrAddBaseColumn(events_set, 2, "latency_ms");
+  ColumnId dim_user = universe->GetOrAddBaseColumn(users_set, 0, "user_id");
+  ColumnId country = universe->GetOrAddBaseColumn(users_set, 1, "country");
+
+  std::vector<PlanNodePtr> shards;
+  for (int d = 0; d < 3; ++d) {
+    Operator get;
+    get.kind = OpKind::kGet;
+    get.stream_id = catalog.stream_set(events_set).stream_ids[d];
+    get.stream_set_id = events_set;
+    get.scan_columns = {user_id, page_id, latency};
+    shards.push_back(PlanNode::Make(get, {}));
+  }
+  Operator union_all;
+  union_all.kind = OpKind::kUnionAll;
+  PlanNodePtr source = PlanNode::Make(union_all, std::move(shards));
+
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::And({Expr::Cmp(page_id, CmpOp::kLe, 500),
+                                Expr::IsNotNull(user_id)});
+  PlanNodePtr filtered = PlanNode::Make(select, {source});
+
+  Operator users_scan;
+  users_scan.kind = OpKind::kGet;
+  users_scan.stream_id = catalog.stream_set(users_set).stream_ids[0];
+  users_scan.stream_set_id = users_set;
+  users_scan.scan_columns = {dim_user, country};
+
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {user_id};
+  join.right_keys = {dim_user};
+  PlanNodePtr joined =
+      PlanNode::Make(join, {filtered, PlanNode::Make(users_scan, {})});
+
+  Operator group_by;
+  group_by.kind = OpKind::kGroupBy;
+  group_by.group_keys = {country};
+  group_by.aggs = {
+      {AggFunc::kCount, kInvalidColumn, universe->AddDerivedColumn("clicks", 1e6)},
+      {AggFunc::kMax, latency, universe->AddDerivedColumn("max_latency", 1e4)},
+  };
+  PlanNodePtr reduced = PlanNode::Make(group_by, {joined});
+
+  Operator output;
+  output.kind = OpKind::kOutput;
+
+  Job job;
+  job.name = "quickstart_job";
+  job.day = 5;
+  job.columns = universe;
+  job.root = PlanNode::Make(output, {reduced});
+
+  std::printf("Logical plan (%d operators):\n%s\n", job.NumOperators(),
+              PlanToString(job.root).c_str());
+
+  // -------------------------------------------------------------------
+  // 3. Compile with the default rule configuration; inspect the signature.
+  // -------------------------------------------------------------------
+  Optimizer optimizer(&catalog);
+  ExecutionSimulator simulator(&catalog);
+
+  Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+  if (!default_plan.ok()) {
+    std::printf("compile failed: %s\n", default_plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Default physical plan (estimated cost %.1f):\n%s\n",
+              default_plan.value().est_cost, PlanToString(default_plan.value().root).c_str());
+
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  std::printf("Rule signature (%d of 256 rules contributed):\n",
+              default_plan.value().signature.Count());
+  for (int id : default_plan.value().signature.ToIndices()) {
+    std::printf("  [%3d] %-28s (%s)\n", id, registry.name(id).c_str(),
+                RuleCategoryName(CategoryOfRule(id)));
+  }
+
+  // -------------------------------------------------------------------
+  // 4. Steer: disable the physical-union implementation AND the
+  //    select-below-union pushdowns, so the shards stay raw and the
+  //    optimizer must wire them up as a metadata-only VirtualDataset
+  //    (the UnionAllToVirtualDataset motif of the paper's Table 4).
+  // -------------------------------------------------------------------
+  RuleConfig steered = RuleConfig::WithHints(
+      /*enable=*/{},
+      /*disable=*/{rules::kUnionAllToUnionAll, /*SelectOnUnionAll=*/99,
+                   /*SelectOnUnionAll2=*/100, /*SelectSplitConjunction=*/86});
+  Result<CompiledPlan> steered_plan = optimizer.Compile(job, steered);
+  if (!steered_plan.ok()) {
+    std::printf("steered compile failed: %s\n", steered_plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nSteered physical plan (estimated cost %.1f):\n%s\n",
+              steered_plan.value().est_cost, PlanToString(steered_plan.value().root).c_str());
+
+  ExecMetrics default_metrics = simulator.Execute(job, default_plan.value().root, 1);
+  ExecMetrics steered_metrics = simulator.Execute(job, steered_plan.value().root, 1);
+  std::printf("A/B execution (50 tokens each):\n");
+  std::printf("  %-10s %12s %12s %12s\n", "plan", "runtime(s)", "cpu(s)", "io(s)");
+  std::printf("  %-10s %12.1f %12.1f %12.1f\n", "default", default_metrics.runtime,
+              default_metrics.cpu_time, default_metrics.io_time);
+  std::printf("  %-10s %12.1f %12.1f %12.1f\n", "steered", steered_metrics.runtime,
+              steered_metrics.cpu_time, steered_metrics.io_time);
+  double change = (steered_metrics.runtime - default_metrics.runtime) /
+                  default_metrics.runtime * 100.0;
+  std::printf("  runtime change: %+.1f%% (negative = faster)\n", change);
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "baselines/bao.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+
+std::vector<HintSet> BaoHintSets() {
+  struct Family {
+    const char* name;
+    std::vector<RuleId> rules;
+  };
+  const std::vector<Family> families = {
+      {"hashjoin", {rules::kHashJoinImpl1, rules::kHashJoinImpl2, 234}},
+      {"broadcastjoin", {rules::kBroadcastJoinImpl1, 227, 231}},
+      {"mergejoin", {rules::kMergeJoinImpl, 235}},
+      {"loopjoin", {rules::kLoopJoinImpl, 232, 233}},
+      {"virtualunion", {rules::kUnionAllToVirtualDataset, 242}},
+      {"partialagg", {121, 122, rules::kPreHashAggImpl}},
+  };
+
+  std::vector<HintSet> out;
+  for (int mask = 0; mask < (1 << 6) && static_cast<int>(out.size()) < 48; ++mask) {
+    // Keep at least one equi-join family (hash / broadcast / merge) enabled;
+    // Bao likewise only keeps combinations that can still plan every query.
+    bool hash_off = mask & 1, broadcast_off = mask & 2, merge_off = mask & 4;
+    if (hash_off && broadcast_off && merge_off) continue;
+    HintSet hint;
+    hint.config = RuleConfig::Default();
+    hint.name = "arm";
+    for (int f = 0; f < 6; ++f) {
+      if ((mask >> f) & 1) {
+        hint.name += std::string("_no-") + families[static_cast<size_t>(f)].name;
+        for (RuleId id : families[static_cast<size_t>(f)].rules) hint.config.Disable(id);
+      }
+    }
+    if (hint.name == "arm") hint.name = "arm_default";
+    out.push_back(std::move(hint));
+  }
+  return out;
+}
+
+BaoBandit::BaoBandit(int num_arms, uint64_t seed)
+    : arms_(static_cast<size_t>(num_arms)), rng_(seed, /*stream=*/401) {}
+
+int BaoBandit::ChooseArm() {
+  int best = 0;
+  double best_sample = 1e300;
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    const Arm& arm = arms_[a];
+    // Gaussian posterior on the mean log-ratio: prior N(0, 0.5^2); the
+    // posterior variance shrinks as 1/(1 + pulls).
+    double variance = 0.25 / (1.0 + arm.pulls);
+    double sample = arm.mean + std::sqrt(variance) * rng_.NextGaussian();
+    if (sample < best_sample) {
+      best_sample = sample;
+      best = static_cast<int>(a);
+    }
+  }
+  return best;
+}
+
+void BaoBandit::Observe(int arm, double runtime_ratio) {
+  if (arm < 0 || arm >= num_arms()) return;
+  Arm& a = arms_[static_cast<size_t>(arm)];
+  a.sum_log += std::log(std::max(runtime_ratio, 1e-6));
+  ++a.pulls;
+  a.mean = a.sum_log / a.pulls;
+}
+
+}  // namespace qsteer

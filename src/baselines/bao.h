@@ -1,0 +1,59 @@
+// Bao-style baseline (Marcus et al., the system this paper adapts): a fixed
+// catalog of 48 coarse hint sets — each disabling whole families of scan /
+// join / union implementation choices, like Bao's 48 PostgreSQL hint sets —
+// selected per job by a Thompson-sampling contextual-free bandit.
+//
+// This is the §4 contrast: 48 static arms versus the billions of per-job
+// rule configurations the steering pipeline searches.
+#ifndef QSTEER_BASELINES_BAO_H_
+#define QSTEER_BASELINES_BAO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+struct HintSet {
+  std::string name;
+  RuleConfig config;
+};
+
+/// The 48 hint sets: every combination of six family toggles (regular hash
+/// joins, broadcast joins, merge joins, loop/apply joins, virtual-dataset
+/// unions, partial aggregation) that leaves at least one equi-join
+/// implementation enabled, truncated to 48 in a fixed order (Bao likewise
+/// keeps the 48 valid combinations of its six boolean hints).
+std::vector<HintSet> BaoHintSets();
+
+/// Thompson-sampling bandit over the hint sets: each arm keeps a Gaussian
+/// posterior over the (log) runtime ratio vs the default configuration.
+class BaoBandit {
+ public:
+  explicit BaoBandit(int num_arms, uint64_t seed = 1);
+
+  /// Samples an arm from the posteriors.
+  int ChooseArm();
+
+  /// Records an observed runtime ratio (arm runtime / default runtime).
+  void Observe(int arm, double runtime_ratio);
+
+  int num_arms() const { return static_cast<int>(arms_.size()); }
+  double ArmMean(int arm) const { return arms_[static_cast<size_t>(arm)].mean; }
+  int ArmPulls(int arm) const { return arms_[static_cast<size_t>(arm)].pulls; }
+
+ private:
+  struct Arm {
+    double mean = 0.0;       // posterior mean of log runtime ratio
+    double sum_log = 0.0;
+    int pulls = 0;
+  };
+  std::vector<Arm> arms_;
+  Pcg32 rng_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_BASELINES_BAO_H_

@@ -1,0 +1,83 @@
+#include "catalog/datagen.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+namespace {
+
+// Maps a correlated driver value to the dependent column's domain.
+int64_t DerivedValue(int64_t driver_value, int64_t target_ndv) {
+  if (target_ndv <= 0) return 1;
+  return 1 + static_cast<int64_t>(Mix64(static_cast<uint64_t>(driver_value) * 0x9e3779b9ULL) %
+                                  static_cast<uint64_t>(target_ndv));
+}
+
+}  // namespace
+
+RowBatch MaterializeStream(const Catalog& catalog, int stream_id, int day, int64_t max_rows) {
+  const Stream& stream = catalog.stream(stream_id);
+  const StreamSet& set = catalog.stream_set(stream.stream_set_id);
+  int64_t rows = std::min(max_rows, catalog.TrueRowCount(stream_id, day));
+  rows = std::max<int64_t>(0, rows);
+
+  RowBatch batch;
+  batch.columns.assign(set.columns.size(), {});
+  for (auto& col : batch.columns) col.reserve(static_cast<size_t>(rows));
+
+  Pcg32 rng(HashCombine(HashString(stream.name), static_cast<uint64_t>(day) * 977),
+            /*stream=*/41);
+
+  // Per-column samplers. Zipf skew 0 degenerates to uniform via UniformInt.
+  std::vector<std::unique_ptr<ZipfSampler>> samplers(set.columns.size());
+  for (size_t c = 0; c < set.columns.size(); ++c) {
+    const ColumnDef& def = set.columns[c];
+    if (def.zipf_skew > 0.0) {
+      samplers[c] = std::make_unique<ZipfSampler>(
+          static_cast<int>(std::min<int64_t>(def.distinct_count, 2'000'000)), def.zipf_skew);
+    }
+  }
+
+  // For each column, the strongest correlation in which it is the dependent
+  // (second) member; generation makes column_b a deterministic function of
+  // column_a with probability `strength`.
+  std::vector<const CorrelationSpec*> driver_of(set.columns.size(), nullptr);
+  for (const CorrelationSpec& corr : set.correlations) {
+    size_t dep = static_cast<size_t>(corr.column_b);
+    if (dep < driver_of.size() &&
+        (driver_of[dep] == nullptr || corr.strength > driver_of[dep]->strength)) {
+      driver_of[dep] = &corr;
+    }
+  }
+
+  std::vector<int64_t> row(set.columns.size(), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < set.columns.size(); ++c) {
+      const ColumnDef& def = set.columns[c];
+      if (def.null_fraction > 0.0 && rng.NextBool(def.null_fraction)) {
+        row[c] = kNullValue;
+        continue;
+      }
+      const CorrelationSpec* corr = driver_of[c];
+      if (corr != nullptr && static_cast<size_t>(corr->column_a) < c &&
+          row[static_cast<size_t>(corr->column_a)] != kNullValue &&
+          rng.NextBool(corr->strength)) {
+        row[c] = DerivedValue(row[static_cast<size_t>(corr->column_a)], def.distinct_count);
+        continue;
+      }
+      if (samplers[c] != nullptr) {
+        row[c] = samplers[c]->Sample(&rng);
+      } else {
+        row[c] = rng.UniformInt(1, std::max<int64_t>(1, def.distinct_count));
+      }
+    }
+    for (size_t c = 0; c < set.columns.size(); ++c) {
+      batch.columns[c].push_back(row[c]);
+    }
+  }
+  return batch;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,36 @@
+// Row materialization from the catalog's generative model.
+//
+// Used by the reference (row-at-a-time) executor in tests to check that
+// optimizer transformation rules preserve query results, and that the
+// analytic true-cardinality model agrees with actually-counted rows.
+// Benchmarks never materialize rows; they use the analytic model.
+#ifndef QSTEER_CATALOG_DATAGEN_H_
+#define QSTEER_CATALOG_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace qsteer {
+
+/// Null sentinel in materialized data. All column values are "value ids" in
+/// [1, distinct_count]; rank 1 is the most frequent value under skew.
+constexpr int64_t kNullValue = INT64_MIN;
+
+/// Small columnar batch: columns[i][r] is row r of the set's i-th column.
+struct RowBatch {
+  std::vector<std::vector<int64_t>> columns;
+  int64_t num_rows() const {
+    return columns.empty() ? 0 : static_cast<int64_t>(columns[0].size());
+  }
+};
+
+/// Materializes up to `max_rows` rows of a stream on the given day, honoring
+/// the set's zipf skew, null fractions, and pairwise correlations.
+/// Deterministic in (stream, day).
+RowBatch MaterializeStream(const Catalog& catalog, int stream_id, int day, int64_t max_rows);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CATALOG_DATAGEN_H_

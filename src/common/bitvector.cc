@@ -1,0 +1,174 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+namespace qsteer {
+
+BitVector256 BitVector256::AllSet() {
+  BitVector256 bv;
+  bv.words_ = {~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  return bv;
+}
+
+BitVector256 BitVector256::FromIndices(const std::vector<int>& indices) {
+  BitVector256 bv;
+  for (int idx : indices) {
+    if (idx >= 0 && idx < kBits) bv.Set(idx);
+  }
+  return bv;
+}
+
+BitVector256 BitVector256::FromBinaryString(const std::string& text) {
+  BitVector256 bv;
+  int pos = 0;
+  for (char c : text) {
+    if (c != '0' && c != '1') continue;
+    if (pos >= kBits) break;
+    if (c == '1') bv.Set(pos);
+    ++pos;
+  }
+  return bv;
+}
+
+void BitVector256::Set(int pos) {
+  if (pos < 0 || pos >= kBits) return;
+  words_[pos >> 6] |= (1ULL << (pos & 63));
+}
+
+void BitVector256::Reset(int pos) {
+  if (pos < 0 || pos >= kBits) return;
+  words_[pos >> 6] &= ~(1ULL << (pos & 63));
+}
+
+void BitVector256::Assign(int pos, bool value) {
+  if (value) {
+    Set(pos);
+  } else {
+    Reset(pos);
+  }
+}
+
+bool BitVector256::Test(int pos) const {
+  if (pos < 0 || pos >= kBits) return false;
+  return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+}
+
+int BitVector256::Count() const {
+  int total = 0;
+  for (uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+bool BitVector256::IsSubsetOf(const BitVector256& other) const {
+  for (int i = 0; i < 4; ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector256::Intersects(const BitVector256& other) const {
+  for (int i = 0; i < 4; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+BitVector256 BitVector256::And(const BitVector256& other) const {
+  BitVector256 out;
+  for (int i = 0; i < 4; ++i) out.words_[i] = words_[i] & other.words_[i];
+  return out;
+}
+
+BitVector256 BitVector256::Or(const BitVector256& other) const {
+  BitVector256 out;
+  for (int i = 0; i < 4; ++i) out.words_[i] = words_[i] | other.words_[i];
+  return out;
+}
+
+BitVector256 BitVector256::Xor(const BitVector256& other) const {
+  BitVector256 out;
+  for (int i = 0; i < 4; ++i) out.words_[i] = words_[i] ^ other.words_[i];
+  return out;
+}
+
+BitVector256 BitVector256::AndNot(const BitVector256& other) const {
+  BitVector256 out;
+  for (int i = 0; i < 4; ++i) out.words_[i] = words_[i] & ~other.words_[i];
+  return out;
+}
+
+BitVector256 BitVector256::Not() const {
+  BitVector256 out;
+  for (int i = 0; i < 4; ++i) out.words_[i] = ~words_[i];
+  return out;
+}
+
+std::vector<int> BitVector256::ToIndices() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  for (int w = 0; w < 4; ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(w * 64 + bit);
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::string BitVector256::ToBinaryString(int bits) const {
+  if (bits < 0) bits = 0;
+  if (bits > kBits) bits = kBits;
+  std::string out;
+  out.reserve(bits);
+  for (int i = 0; i < bits; ++i) out.push_back(Test(i) ? '1' : '0');
+  return out;
+}
+
+std::string BitVector256::ToHexString() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (uint64_t word : words_) {
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      out.push_back(kDigits[(word >> (nibble * 4)) & 0xf]);
+    }
+  }
+  return out;
+}
+
+BitVector256 BitVector256::FromHexString(const std::string& text) {
+  BitVector256 out;
+  if (text.size() != 64) return out;
+  for (int w = 0; w < 4; ++w) {
+    uint64_t word = 0;
+    for (int nibble = 0; nibble < 16; ++nibble) {
+      char c = text[static_cast<size_t>(w * 16 + nibble)];
+      uint64_t v;
+      if (c >= '0' && c <= '9') {
+        v = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v = static_cast<uint64_t>(c - 'a') + 10;
+      } else {
+        return BitVector256();
+      }
+      word |= v << (nibble * 4);
+    }
+    out.words_[static_cast<size_t>(w)] = word;
+  }
+  return out;
+}
+
+uint64_t BitVector256::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t w : words_) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (w >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace qsteer

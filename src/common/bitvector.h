@@ -1,0 +1,92 @@
+// 256-bit fixed-width bit vector used to represent rule configurations and
+// rule signatures (Definitions 3.1 and 3.2 of the paper).
+#ifndef QSTEER_COMMON_BITVECTOR_H_
+#define QSTEER_COMMON_BITVECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsteer {
+
+/// Fixed-size bit vector over 256 positions.
+///
+/// The optimizer has exactly 256 rules (paper §3.2); both the *rule
+/// configuration* (which rules are enabled) and the *rule signature* (which
+/// rules contributed to the final plan) are bit vectors over rule ids, so a
+/// fixed 4x64-bit representation is used everywhere. Value type: copyable,
+/// hashable, totally ordered (lexicographic on words) so it can key maps.
+class BitVector256 {
+ public:
+  static constexpr int kBits = 256;
+
+  constexpr BitVector256() : words_{0, 0, 0, 0} {}
+
+  /// Returns a vector with all 256 bits set.
+  static BitVector256 AllSet();
+
+  /// Builds a vector from the given set bit positions. Positions outside
+  /// [0, 256) are ignored.
+  static BitVector256 FromIndices(const std::vector<int>& indices);
+
+  /// Parses a string of '0'/'1' characters, most significant (bit 0) first,
+  /// as printed by ToBinaryString(). Other characters are skipped, which
+  /// allows grouping separators.
+  static BitVector256 FromBinaryString(const std::string& text);
+
+  void Set(int pos);
+  void Reset(int pos);
+  void Assign(int pos, bool value);
+  bool Test(int pos) const;
+
+  /// Number of set bits.
+  int Count() const;
+
+  bool None() const { return Count() == 0; }
+  bool Any() const { return Count() > 0; }
+
+  /// True when every set bit of this vector is also set in `other`.
+  bool IsSubsetOf(const BitVector256& other) const;
+
+  /// True when the two vectors share at least one set bit.
+  bool Intersects(const BitVector256& other) const;
+
+  BitVector256 And(const BitVector256& other) const;
+  BitVector256 Or(const BitVector256& other) const;
+  BitVector256 Xor(const BitVector256& other) const;
+  /// Bits set in this vector but not in `other`.
+  BitVector256 AndNot(const BitVector256& other) const;
+  BitVector256 Not() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<int> ToIndices() const;
+
+  /// Bit 0 first; truncated to `bits` characters.
+  std::string ToBinaryString(int bits = kBits) const;
+
+  /// Compact 64-hex-digit encoding (words little-endian, low word first).
+  std::string ToHexString() const;
+  /// Parses ToHexString() output; returns an empty vector on malformed
+  /// input of the wrong length or with non-hex characters.
+  static BitVector256 FromHexString(const std::string& text);
+
+  /// 64-bit hash of the contents (FNV-1a over the words).
+  uint64_t Hash() const;
+
+  bool operator==(const BitVector256& other) const { return words_ == other.words_; }
+  bool operator!=(const BitVector256& other) const { return words_ != other.words_; }
+  bool operator<(const BitVector256& other) const { return words_ < other.words_; }
+
+ private:
+  std::array<uint64_t, 4> words_;
+};
+
+/// std::hash adapter so BitVector256 can key unordered containers.
+struct BitVector256Hasher {
+  size_t operator()(const BitVector256& bv) const { return static_cast<size_t>(bv.Hash()); }
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_BITVECTOR_H_

@@ -1,0 +1,48 @@
+// Hashing utilities shared across modules (template hashing, feature hashing).
+#ifndef QSTEER_COMMON_HASH_H_
+#define QSTEER_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qsteer {
+
+/// 64-bit FNV-1a over arbitrary bytes.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// SplitMix64 finalizer; good avalanche for combining integer hashes.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Deterministic hashing-trick encoder: maps a categorical value with a large
+/// alphabet to one of `bins` buckets (paper §7.2 uses 50 bins).
+inline int HashToBin(uint64_t value, int bins) {
+  if (bins <= 0) return 0;
+  return static_cast<int>(Mix64(value) % static_cast<uint64_t>(bins));
+}
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_HASH_H_

@@ -1,0 +1,114 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace qsteer {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  state_ = 0;
+  inc_ = (stream << 1u) | 1u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  uint64_t oldstate = state_;
+  state_ = oldstate * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((oldstate >> 18u) ^ oldstate) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(oldstate >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((-rot) & 31));
+}
+
+uint64_t Pcg32::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled to [0, 1).
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Pcg32::UniformInt(int64_t lo, int64_t hi) {
+  if (lo >= hi) return lo;
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  // Rejection sampling to remove modulo bias.
+  uint64_t threshold = (-range) % range;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return lo + static_cast<int64_t>(r % range);
+  }
+}
+
+double Pcg32::UniformDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+double Pcg32::NextGaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Pcg32::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+bool Pcg32::NextBool(double p_true) { return NextDouble() < p_true; }
+
+std::vector<int> Pcg32::SampleWithoutReplacement(int n, int k) {
+  std::vector<int> out;
+  if (n <= 0 || k <= 0) return out;
+  k = std::min(k, n);
+  if (k * 4 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<int> all(n);
+    for (int i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  // Sparse case: rejection sample into a set.
+  std::unordered_set<int> seen;
+  out.reserve(k);
+  while (static_cast<int>(out.size()) < k) {
+    int candidate = static_cast<int>(UniformInt(0, n - 1));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(int n, double s) : n_(std::max(1, n)), s_(s) {
+  cdf_.resize(static_cast<size_t>(n_));
+  double total = 0.0;
+  for (int k = 1; k <= n_; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), s_);
+    cdf_[static_cast<size_t>(k - 1)] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+int ZipfSampler::Sample(Pcg32* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_;
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Pmf(int k) const {
+  if (k < 1 || k > n_) return 0.0;
+  double prev = (k == 1) ? 0.0 : cdf_[static_cast<size_t>(k - 2)];
+  return cdf_[static_cast<size_t>(k - 1)] - prev;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,86 @@
+// Deterministic pseudo-random generation. All stochastic behaviour in the
+// library (data synthesis, configuration sampling, cluster noise) flows from
+// seeded Pcg32 instances so every experiment is reproducible bit-for-bit.
+#ifndef QSTEER_COMMON_RANDOM_H_
+#define QSTEER_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qsteer {
+
+/// PCG-XSH-RR 32-bit generator (O'Neill 2014). Small, fast, seedable, and
+/// independent of the C++ standard library distributions (whose outputs are
+/// not portable across implementations).
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  uint32_t NextU32();
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+  /// Lognormal with the given log-space mean and standard deviation.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Bernoulli draw.
+  bool NextBool(double p_true);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n). Returns fewer when k > n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  // Box-Muller produces pairs; cache the spare value.
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Zipf(s) sampler over ranks {1..n} using precomputed CDF; models skewed
+/// key distributions in generated data (a core source of the optimizer's
+/// uniformity-assumption errors).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+
+  /// Returns a rank in [1, n].
+  int Sample(Pcg32* rng) const;
+
+  int n() const { return n_; }
+  double s() const { return s_; }
+
+  /// Probability mass of rank k (1-based).
+  double Pmf(int k) const;
+
+ private:
+  int n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_RANDOM_H_

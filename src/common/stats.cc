@@ -1,0 +1,60 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsteer {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double GeoMean(const std::vector<double>& values) {
+  double log_sum = 0.0;
+  int n = 0;
+  for (double v : values) {
+    if (v <= 0.0) continue;
+    log_sum += std::log(v);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / n);
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = static_cast<int>(values.size());
+  if (values.empty()) return s;
+  s.mean = Mean(values);
+  s.stddev = StdDev(values);
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.p50 = Percentile(values, 50.0);
+  s.p90 = Percentile(values, 90.0);
+  s.p99 = Percentile(values, 99.0);
+  return s;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,36 @@
+// Small numeric summaries used by benches and the evaluation pipeline
+// (means, percentiles — Table 5 reports mean / 90P / 99P runtimes).
+#ifndef QSTEER_COMMON_STATS_H_
+#define QSTEER_COMMON_STATS_H_
+
+#include <vector>
+
+namespace qsteer {
+
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+/// Percentile with linear interpolation; `p` in [0, 100]. Returns 0 for an
+/// empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Geometric mean of strictly positive values; non-positive entries are
+/// skipped.
+double GeoMean(const std::vector<double>& values);
+
+struct Summary {
+  int count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary Summarize(const std::vector<double>& values);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_STATS_H_

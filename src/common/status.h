@@ -1,0 +1,74 @@
+// Minimal Status/Result error-propagation types (exception-free control flow,
+// following the style-guide convention for database code).
+#ifndef QSTEER_COMMON_STATUS_H_
+#define QSTEER_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace qsteer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  // The rule configuration cannot produce a complete physical plan (e.g.,
+  // every implementation rule for some operator class is disabled).
+  kCompilationFailed,
+  kInternal,
+};
+
+/// Lightweight status object; OK is the zero-cost common case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status CompilationFailed(std::string m) {
+    return Status(StatusCode::kCompilationFailed, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a Status explaining why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), status_(Status::OK()) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                 // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+ private:
+  T value_{};
+  Status status_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+#include "core/config_search.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace qsteer {
+
+std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
+                                                 const ConfigSearchOptions& options) {
+  std::vector<RuleConfig> out;
+  std::vector<int> span_ids = span.ToIndices();
+  if (span_ids.empty()) return out;
+
+  // Per-category views of the span.
+  std::vector<std::vector<int>> by_category(4);
+  for (int id : span_ids) {
+    by_category[static_cast<int>(CategoryOfRule(id))].push_back(id);
+  }
+
+  Pcg32 rng(options.seed, /*stream=*/211);
+  std::unordered_set<uint64_t> seen;
+  seen.insert(RuleConfig::Default().Hash());  // never emit the default
+
+  int attempts_budget = options.max_configs * options.max_attempts_factor;
+  while (static_cast<int>(out.size()) < options.max_configs && attempts_budget-- > 0) {
+    // Start from everything enabled: rules outside the span cannot change
+    // the plan if truly inapplicable, and keeping them on covers rules the
+    // span heuristic missed.
+    RuleConfig config = RuleConfig::AllEnabled();
+    if (options.per_category) {
+      // Independently per category, disable a random subset of the span.
+      for (const std::vector<int>& ids : by_category) {
+        if (ids.empty()) continue;
+        int k = static_cast<int>(rng.UniformInt(0, static_cast<int>(ids.size())));
+        for (int idx : rng.SampleWithoutReplacement(static_cast<int>(ids.size()), k)) {
+          config.Disable(ids[static_cast<size_t>(idx)]);
+        }
+      }
+    } else {
+      int k = static_cast<int>(rng.UniformInt(0, static_cast<int>(span_ids.size())));
+      for (int idx : rng.SampleWithoutReplacement(static_cast<int>(span_ids.size()), k)) {
+        config.Disable(span_ids[static_cast<size_t>(idx)]);
+      }
+    }
+    if (seen.insert(config.Hash()).second) {
+      out.push_back(std::move(config));
+    }
+  }
+  return out;
+}
+
+SearchSpaceSize ComputeSearchSpaceSize(const BitVector256& span) {
+  SearchSpaceSize size;
+  int per_category[4] = {0, 0, 0, 0};
+  int total = 0;
+  for (int id : span.ToIndices()) {
+    ++per_category[static_cast<int>(CategoryOfRule(id))];
+    ++total;
+  }
+  size.log2_naive = static_cast<double>(total);
+  double factorized = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    if (per_category[c] > 0) factorized += std::exp2(static_cast<double>(per_category[c]));
+  }
+  size.log2_factorized = factorized > 0.0 ? std::log2(factorized) : 0.0;
+  return size;
+}
+
+}  // namespace qsteer

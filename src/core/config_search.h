@@ -1,0 +1,46 @@
+// Randomized configuration search (paper §5.2).
+//
+// Candidates are generated from the job span under the category-independence
+// assumption: every rule outside the span stays enabled (including
+// off-by-default rules — footnote 2: rules missed by the span heuristic can
+// still matter), and within each category an independent random subset of
+// the span is disabled.
+#ifndef QSTEER_CORE_CONFIG_SEARCH_H_
+#define QSTEER_CORE_CONFIG_SEARCH_H_
+
+#include <vector>
+
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+struct ConfigSearchOptions {
+  /// M: number of unique candidate configurations to generate (§5 uses up
+  /// to 1000 per job).
+  int max_configs = 1000;
+  /// Attempt budget per candidate before giving up on uniqueness.
+  int max_attempts_factor = 8;
+  uint64_t seed = 1;
+  /// When false, ignore category structure and sample uniformly from the
+  /// whole span (the §5.2 ablation baseline).
+  bool per_category = true;
+};
+
+/// Generates up to `options.max_configs` unique candidate configurations for
+/// a job with the given span. The default configuration itself is never
+/// included.
+std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
+                                                 const ConfigSearchOptions& options);
+
+/// Size of the naive search space 2^|span| vs the category-factorized
+/// sum of 2^|span ∩ category| (the §5.2 example: 2^5=32 vs 2^2+2^3=12).
+/// Returned as log2 values to avoid overflow.
+struct SearchSpaceSize {
+  double log2_naive = 0.0;
+  double log2_factorized = 0.0;
+};
+SearchSpaceSize ComputeSearchSpaceSize(const BitVector256& span);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_CONFIG_SEARCH_H_

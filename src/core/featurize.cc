@@ -1,0 +1,130 @@
+#include "core/featurize.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "optimizer/stats.h"
+
+namespace qsteer {
+
+namespace {
+
+/// Logical operator kinds featurized as graph slots (fixed order).
+constexpr OpKind kGraphKinds[] = {
+    OpKind::kGet,     OpKind::kSelect, OpKind::kProject, OpKind::kJoin,
+    OpKind::kGroupBy, OpKind::kUnionAll, OpKind::kProcess, OpKind::kTop,
+    OpKind::kWindow,  OpKind::kSample,
+};
+constexpr int kNumGraphKinds = static_cast<int>(std::size(kGraphKinds));
+
+int GraphSlot(OpKind kind) {
+  for (int i = 0; i < kNumGraphKinds; ++i) {
+    if (kGraphKinds[i] == kind) return i;
+  }
+  return -1;
+}
+
+double Log1p(double v) { return std::log1p(std::max(0.0, v)); }
+
+}  // namespace
+
+JobFeaturizer::JobFeaturizer(const Catalog* catalog, FeaturizerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+int JobFeaturizer::JobFeatureWidth() const {
+  return 1 + 2 * options_.hash_bins + 2 * kNumGraphKinds;
+}
+
+int JobFeaturizer::ConfigFeatureWidth() const { return 1 + options_.diff_bins; }
+
+std::vector<double> JobFeaturizer::JobFeatures(const Job& job) const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(JobFeatureWidth()));
+
+  // (1a) Estimated total input size under the optimizer's (stale) view.
+  EstimatedStatsView est(catalog_, job.columns.get(), job.day);
+  double input_bytes = 0.0;
+  for (int stream : job.InputStreams()) {
+    input_bytes += est.StreamRows(stream) * est.StreamWidth(stream);
+  }
+  out.push_back(Log1p(input_bytes));
+
+  // (1b) Input hashes, hashed one-hot (a job reads several inputs; each
+  // sets one bin).
+  std::vector<double> input_bins(static_cast<size_t>(options_.hash_bins), 0.0);
+  for (uint64_t h : job.InputHashes()) {
+    input_bins[static_cast<size_t>(HashToBin(h, options_.hash_bins))] = 1.0;
+  }
+  out.insert(out.end(), input_bins.begin(), input_bins.end());
+
+  // (1c) Template hash, hashed one-hot.
+  std::vector<double> template_bins(static_cast<size_t>(options_.hash_bins), 0.0);
+  template_bins[static_cast<size_t>(HashToBin(job.TemplateHash(), options_.hash_bins))] = 1.0;
+  out.insert(out.end(), template_bins.begin(), template_bins.end());
+
+  // (2) Query-graph features: per operator kind, count and mean
+  // log-cardinality estimate, derived bottom-up over the logical DAG.
+  std::unordered_map<const PlanNode*, LogicalStats> stats;
+  std::vector<double> counts(kNumGraphKinds, 0.0);
+  std::vector<double> log_cards(kNumGraphKinds, 0.0);
+  VisitPlan(job.root, [&](const PlanNode& node) {
+    std::vector<const LogicalStats*> child_stats;
+    child_stats.reserve(node.children.size());
+    for (const PlanNodePtr& child : node.children) {
+      child_stats.push_back(&stats[child.get()]);
+    }
+    LogicalStats s = DeriveStats(node.op, child_stats, est);
+    int slot = GraphSlot(node.op.kind);
+    if (slot >= 0) {
+      counts[static_cast<size_t>(slot)] += 1.0;
+      log_cards[static_cast<size_t>(slot)] += Log1p(s.rows);
+    }
+    stats[&node] = std::move(s);
+  });
+  for (int i = 0; i < kNumGraphKinds; ++i) {
+    out.push_back(counts[static_cast<size_t>(i)]);
+    double mean = counts[static_cast<size_t>(i)] > 0.0
+                      ? log_cards[static_cast<size_t>(i)] / counts[static_cast<size_t>(i)]
+                      : 0.0;
+    out.push_back(mean);
+  }
+  return out;
+}
+
+std::vector<double> JobFeaturizer::ConfigFeatures(const CompiledPlan& plan,
+                                                  const RuleDiff& diff_vs_default) const {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(ConfigFeatureWidth()));
+  out.push_back(Log1p(plan.est_cost));
+  std::vector<double> bins(static_cast<size_t>(options_.diff_bins), 0.0);
+  for (RuleId id : diff_vs_default.only_in_default) {
+    bins[static_cast<size_t>(HashToBin(static_cast<uint64_t>(id), options_.diff_bins))] -= 1.0;
+  }
+  for (RuleId id : diff_vs_default.only_in_new) {
+    bins[static_cast<size_t>(HashToBin(static_cast<uint64_t>(id) ^ 0xd1f, options_.diff_bins))] +=
+        1.0;
+  }
+  out.insert(out.end(), bins.begin(), bins.end());
+  return out;
+}
+
+std::vector<double> JobFeaturizer::Featurize(const Job& job,
+                                             const std::vector<const CompiledPlan*>& plans,
+                                             const std::vector<const RuleDiff*>& diffs,
+                                             int k_slots) const {
+  std::vector<double> out = JobFeatures(job);
+  out.reserve(out.size() + static_cast<size_t>(k_slots * ConfigFeatureWidth()));
+  for (int k = 0; k < k_slots; ++k) {
+    if (k < static_cast<int>(plans.size()) && plans[static_cast<size_t>(k)] != nullptr) {
+      std::vector<double> slot =
+          ConfigFeatures(*plans[static_cast<size_t>(k)], *diffs[static_cast<size_t>(k)]);
+      out.insert(out.end(), slot.begin(), slot.end());
+    } else {
+      out.insert(out.end(), static_cast<size_t>(ConfigFeatureWidth()), 0.0);
+    }
+  }
+  return out;
+}
+
+}  // namespace qsteer

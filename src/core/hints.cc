@@ -1,0 +1,108 @@
+#include "core/hints.h"
+
+#include <cctype>
+
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+
+namespace {
+
+void SkipSpace(const std::string& text, size_t* pos) {
+  while (*pos < text.size() && std::isspace(static_cast<unsigned char>(text[*pos]))) ++*pos;
+}
+
+bool ConsumeKeyword(const std::string& text, size_t* pos, const std::string& keyword) {
+  SkipSpace(text, pos);
+  if (text.compare(*pos, keyword.size(), keyword) != 0) return false;
+  *pos += keyword.size();
+  return true;
+}
+
+bool ConsumeChar(const std::string& text, size_t* pos, char c) {
+  SkipSpace(text, pos);
+  if (*pos >= text.size() || text[*pos] != c) return false;
+  ++*pos;
+  return true;
+}
+
+std::string ReadName(const std::string& text, size_t* pos) {
+  SkipSpace(text, pos);
+  size_t start = *pos;
+  while (*pos < text.size() &&
+         (std::isalnum(static_cast<unsigned char>(text[*pos])) || text[*pos] == '_')) {
+    ++*pos;
+  }
+  return text.substr(start, *pos - start);
+}
+
+}  // namespace
+
+Result<RuleConfig> ParseHintString(const std::string& text) {
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  RuleConfig config = RuleConfig::Default();
+  size_t pos = 0;
+  SkipSpace(text, &pos);
+  while (pos < text.size()) {
+    bool enable;
+    if (ConsumeKeyword(text, &pos, "ENABLE")) {
+      enable = true;
+    } else if (ConsumeKeyword(text, &pos, "DISABLE")) {
+      enable = false;
+    } else {
+      return Status::InvalidArgument("expected ENABLE or DISABLE at position " +
+                                     std::to_string(pos));
+    }
+    if (!ConsumeChar(text, &pos, '(')) {
+      return Status::InvalidArgument("expected '(' after clause keyword");
+    }
+    for (;;) {
+      std::string name = ReadName(text, &pos);
+      if (name.empty()) return Status::InvalidArgument("expected rule name");
+      RuleId id = registry.FindByName(name);
+      if (id < 0) return Status::InvalidArgument("unknown rule: " + name);
+      if (enable) {
+        config.Enable(id);
+      } else {
+        if (CategoryOfRule(id) == RuleCategory::kRequired) {
+          return Status::InvalidArgument("cannot disable required rule: " + name);
+        }
+        config.Disable(id);
+      }
+      if (ConsumeChar(text, &pos, ',')) continue;
+      break;
+    }
+    if (!ConsumeChar(text, &pos, ')')) {
+      return Status::InvalidArgument("expected ')' closing clause");
+    }
+    SkipSpace(text, &pos);
+    if (pos < text.size()) {
+      if (!ConsumeChar(text, &pos, ';')) {
+        return Status::InvalidArgument("expected ';' between clauses");
+      }
+      SkipSpace(text, &pos);
+    }
+  }
+  return config;
+}
+
+std::string ToHintString(const RuleConfig& config) {
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  RuleConfig def = RuleConfig::Default();
+  std::string enables, disables;
+  for (RuleId id = 0; id < kNumRules; ++id) {
+    if (config.IsEnabled(id) == def.IsEnabled(id)) continue;
+    std::string& target = config.IsEnabled(id) ? enables : disables;
+    if (!target.empty()) target += ",";
+    target += registry.name(id);
+  }
+  std::string out;
+  if (!enables.empty()) out += "ENABLE(" + enables + ")";
+  if (!disables.empty()) {
+    if (!out.empty()) out += ";";
+    out += "DISABLE(" + disables + ")";
+  }
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,30 @@
+// Textual rule hints: the surface through which SCOPE customers (and this
+// library's recommender) express configurations (paper §3.2: "SCOPE exposes
+// flags, or 'hints', that allow end users to specify which rules should be
+// enabled or disabled"; §3.3: deployment as plan hints).
+//
+// Grammar (whitespace-insensitive, case-sensitive rule names):
+//   hint-string := clause (';' clause)*
+//   clause      := 'ENABLE' '(' name (',' name)* ')'
+//                | 'DISABLE' '(' name (',' name)* ')'
+#ifndef QSTEER_CORE_HINTS_H_
+#define QSTEER_CORE_HINTS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+/// Parses a hint string into a configuration (default + the hints).
+/// Unknown rule names and attempts to disable required rules are errors.
+Result<RuleConfig> ParseHintString(const std::string& text);
+
+/// Renders a configuration as the minimal hint string that reproduces it
+/// from the default configuration (empty string for the default itself).
+std::string ToHintString(const RuleConfig& config);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_HINTS_H_

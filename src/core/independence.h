@@ -1,0 +1,47 @@
+// Rule-independence discovery (paper §8 future work: "improvements can
+// discover independent subsets of rules, which will make the space of rule
+// configurations smaller, therefore enabling exploration of better
+// configurations").
+//
+// Two span rules are treated as interacting when their single-rule
+// *signature footprints* overlap: disabling rule a (alone) and rule b
+// (alone) changes overlapping sets of used rules, i.e., they steer the same
+// part of the plan. Independent groups are the connected components of the
+// interaction graph; configurations can then be sampled per group, shrinking
+// the search space from 2^|span| to sum(2^|group|) — the §5.2 example made
+// empirical instead of assumed-by-category.
+#ifndef QSTEER_CORE_INDEPENDENCE_H_
+#define QSTEER_CORE_INDEPENDENCE_H_
+
+#include <vector>
+
+#include "core/config_search.h"
+#include "optimizer/optimizer.h"
+
+namespace qsteer {
+
+struct IndependenceResult {
+  /// Independent rule groups (connected components), each sorted ascending.
+  std::vector<std::vector<RuleId>> groups;
+  /// Per-span-rule footprint: the signature bits that toggling the rule
+  /// alone changed (parallel to the sorted span id order).
+  std::vector<BitVector256> footprints;
+  double log2_naive = 0.0;
+  double log2_grouped = 0.0;
+  /// Compilations spent (|span| + 1).
+  int compiles_used = 0;
+};
+
+/// Discovers empirically independent rule groups within a job's span.
+IndependenceResult DiscoverIndependentGroups(const Optimizer& optimizer, const Job& job,
+                                             const BitVector256& span);
+
+/// Generates candidate configurations sampling each independent group
+/// separately (mirrors GenerateCandidateConfigs, with measured groups
+/// instead of the category-independence assumption).
+std::vector<RuleConfig> GenerateGroupedConfigs(const IndependenceResult& independence,
+                                               const ConfigSearchOptions& options);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_INDEPENDENCE_H_

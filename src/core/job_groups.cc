@@ -1,0 +1,32 @@
+#include "core/job_groups.h"
+
+#include <algorithm>
+
+namespace qsteer {
+
+int JobGroupIndex::Add(const RuleSignature& default_signature) {
+  ++total_jobs_;
+  auto it = index_.find(default_signature);
+  if (it != index_.end()) {
+    ++sizes_[static_cast<size_t>(it->second)];
+    return it->second;
+  }
+  int group = static_cast<int>(signatures_.size());
+  index_.emplace(default_signature, group);
+  signatures_.push_back(default_signature);
+  sizes_.push_back(1);
+  return group;
+}
+
+int JobGroupIndex::Find(const RuleSignature& default_signature) const {
+  auto it = index_.find(default_signature);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int> JobGroupIndex::SizesDescending() const {
+  std::vector<int> sizes = sizes_;
+  std::sort(sizes.begin(), sizes.end(), std::greater<int>());
+  return sizes;
+}
+
+}  // namespace qsteer

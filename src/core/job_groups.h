@@ -1,0 +1,45 @@
+// Rule-signature job groups (paper Definition 6.2): jobs whose default rule
+// signature maps to the same bit vector. The signature is the granularity at
+// which discovered configurations are extrapolated to unseen jobs (§6.4) —
+// it is coarser than templates (tens of thousands) yet captures "which code
+// path the job takes inside the optimizer".
+#ifndef QSTEER_CORE_JOB_GROUPS_H_
+#define QSTEER_CORE_JOB_GROUPS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+class JobGroupIndex {
+ public:
+  /// Registers a job's default signature; returns its group index (groups
+  /// are numbered in first-seen order).
+  int Add(const RuleSignature& default_signature);
+
+  /// Group index for a signature, or -1 when unseen.
+  int Find(const RuleSignature& default_signature) const;
+
+  int num_groups() const { return static_cast<int>(signatures_.size()); }
+  int num_jobs() const { return total_jobs_; }
+
+  const RuleSignature& signature(int group) const {
+    return signatures_[static_cast<size_t>(group)];
+  }
+  int group_size(int group) const { return sizes_[static_cast<size_t>(group)]; }
+
+  /// Group sizes in descending order (paper Fig. 2d's distribution).
+  std::vector<int> SizesDescending() const;
+
+ private:
+  std::unordered_map<RuleSignature, int, BitVector256Hasher> index_;
+  std::vector<RuleSignature> signatures_;
+  std::vector<int> sizes_;
+  int total_jobs_ = 0;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_JOB_GROUPS_H_

@@ -1,0 +1,133 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace qsteer {
+
+const ConfigOutcome* JobAnalysis::BestBy(Metric metric) const {
+  const ConfigOutcome* best = nullptr;
+  for (const ConfigOutcome& outcome : executed) {
+    if (!outcome.executed) continue;
+    if (best == nullptr || MetricOf(outcome.metrics, metric) < MetricOf(best->metrics, metric)) {
+      best = &outcome;
+    }
+  }
+  return best;
+}
+
+double JobAnalysis::BestRuntimeChangePct() const {
+  const ConfigOutcome* best = BestBy(Metric::kRuntime);
+  if (best == nullptr || default_metrics.runtime <= 0.0) return 0.0;
+  // Negative = improvement; positive when every alternative regresses.
+  return (best->metrics.runtime - default_metrics.runtime) / default_metrics.runtime * 100.0;
+}
+
+SteeringPipeline::SteeringPipeline(const Optimizer* optimizer,
+                                   const ExecutionSimulator* simulator,
+                                   PipelineOptions options)
+    : optimizer_(optimizer), simulator_(simulator), options_(std::move(options)) {}
+
+JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
+  JobAnalysis analysis;
+  analysis.job = job;
+
+  Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
+  if (!default_plan.ok()) {
+    // The default configuration always compiles for generated workloads;
+    // return an empty analysis defensively.
+    return analysis;
+  }
+  analysis.default_plan = std::move(default_plan.value());
+  analysis.span = ComputeJobSpan(*optimizer_, job);
+
+  ConfigSearchOptions search = options_.search;
+  search.max_configs = options_.max_candidate_configs;
+  search.seed = options_.seed ^ job.TemplateHash();
+  std::vector<RuleConfig> candidates = GenerateCandidateConfigs(analysis.span.span, search);
+  analysis.candidates_generated = static_cast<int>(candidates.size());
+
+  uint64_t default_plan_hash = PlanHash(analysis.default_plan.root, /*for_template=*/false);
+  std::vector<uint64_t> seen_plans = {default_plan_hash};
+
+  for (const RuleConfig& config : candidates) {
+    Result<CompiledPlan> plan = optimizer_->Compile(job, config);
+    if (!plan.ok()) {
+      ++analysis.compile_failures;
+      continue;
+    }
+    ++analysis.recompiled_ok;
+    analysis.candidate_costs.push_back(plan.value().est_cost);
+    if (plan.value().est_cost < analysis.default_plan.est_cost) {
+      ++analysis.cheaper_than_default;
+    }
+    // Keep only configurations that produce genuinely different plans: the
+    // rest cannot change any metric.
+    uint64_t plan_hash = PlanHash(plan.value().root, /*for_template=*/false);
+    if (std::find(seen_plans.begin(), seen_plans.end(), plan_hash) != seen_plans.end()) {
+      continue;
+    }
+    seen_plans.push_back(plan_hash);
+    ConfigOutcome outcome;
+    outcome.config = config;
+    outcome.plan = std::move(plan.value());
+    outcome.diff_vs_default =
+        ComputeRuleDiff(analysis.default_plan.signature, outcome.plan.signature);
+    analysis.executed.push_back(std::move(outcome));
+  }
+
+  // Keep the N cheapest distinct plans (§6.1: "select the 10 cheapest
+  // alternative rule configurations").
+  std::sort(analysis.executed.begin(), analysis.executed.end(),
+            [](const ConfigOutcome& a, const ConfigOutcome& b) {
+              return a.plan.est_cost < b.plan.est_cost;
+            });
+  if (static_cast<int>(analysis.executed.size()) > options_.configs_to_execute) {
+    analysis.executed.resize(static_cast<size_t>(options_.configs_to_execute));
+  }
+  return analysis;
+}
+
+JobAnalysis SteeringPipeline::AnalyzeJob(const Job& job) const {
+  JobAnalysis analysis = Recompile(job);
+  if (analysis.default_plan.root == nullptr) return analysis;
+  // A/B execution on fixed resources (§3.1.3): one run of the default plan
+  // and one per alternative, with independent noise draws.
+  analysis.default_metrics = simulator_->Execute(job, analysis.default_plan.root,
+                                                 /*run_nonce=*/options_.seed);
+  uint64_t nonce = options_.seed;
+  for (ConfigOutcome& outcome : analysis.executed) {
+    outcome.metrics = simulator_->Execute(job, outcome.plan.root, ++nonce);
+    outcome.executed = true;
+  }
+  return analysis;
+}
+
+std::vector<int> SteeringPipeline::SelectJobsInWindow(
+    const std::vector<double>& default_runtimes) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < default_runtimes.size(); ++i) {
+    if (default_runtimes[i] >= options_.min_runtime_s &&
+        default_runtimes[i] <= options_.max_runtime_s) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<int> SteeringPipeline::SelectLowCostHighRuntime(
+    const std::vector<double>& est_costs, const std::vector<double>& runtimes) const {
+  std::vector<int> out;
+  if (est_costs.empty() || est_costs.size() != runtimes.size()) return out;
+  double cost_threshold = Percentile(est_costs, options_.low_cost_quantile * 100.0);
+  double runtime_threshold = Percentile(runtimes, options_.high_runtime_quantile * 100.0);
+  for (size_t i = 0; i < est_costs.size(); ++i) {
+    if (est_costs[i] <= cost_threshold && runtimes[i] >= runtime_threshold) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,104 @@
+// The offline discovery pipeline (paper §4-§6): for selected jobs, compute
+// the span, generate up to M candidate configurations, recompile all of
+// them, pick the cheapest plans by estimated cost, and A/B-execute those to
+// find configurations that actually improve runtimes.
+#ifndef QSTEER_CORE_PIPELINE_H_
+#define QSTEER_CORE_PIPELINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/config_search.h"
+#include "core/rule_diff.h"
+#include "core/span.h"
+#include "exec/simulator.h"
+
+namespace qsteer {
+
+struct PipelineOptions {
+  /// M: candidate configurations to recompile per job (§5: up to 1000).
+  int max_candidate_configs = 200;
+  /// Number of cheapest recompiled plans to A/B-execute per job (§6.1: 10).
+  int configs_to_execute = 10;
+  /// Job-selection window: jobs faster than this (seconds) are too noisy,
+  /// longer ones too expensive to re-execute (§5.3: 5 minutes to 1 hour).
+  double min_runtime_s = 300.0;
+  double max_runtime_s = 3600.0;
+  /// "Clearly cheaper" threshold for the cheaper-plans heuristic (§6.1).
+  double cheaper_cost_ratio = 0.7;
+  /// Low-cost/high-runtime heuristic thresholds (Fig. 5's top-left corner):
+  /// estimated cost below this quantile and runtime above this quantile.
+  double low_cost_quantile = 0.4;
+  double high_runtime_quantile = 0.7;
+  uint64_t seed = 1;
+  ConfigSearchOptions search;
+};
+
+/// One recompiled (and possibly executed) alternative configuration.
+struct ConfigOutcome {
+  RuleConfig config;
+  CompiledPlan plan;
+  RuleDiff diff_vs_default;
+  bool executed = false;
+  ExecMetrics metrics;  // valid when executed
+};
+
+/// Full analysis of one job.
+struct JobAnalysis {
+  Job job;
+  CompiledPlan default_plan;
+  ExecMetrics default_metrics;
+  SpanResult span;
+
+  int candidates_generated = 0;
+  int recompiled_ok = 0;
+  int compile_failures = 0;
+  int cheaper_than_default = 0;
+  /// Estimated costs of all successfully recompiled candidates (Fig. 4).
+  std::vector<double> candidate_costs;
+  /// The executed alternatives (the N cheapest distinct plans).
+  std::vector<ConfigOutcome> executed;
+
+  /// Best executed outcome by a metric; nullptr when nothing improves on
+  /// the default is NOT implied — callers compare against default_metrics.
+  const ConfigOutcome* BestBy(Metric metric) const;
+
+  /// Percentage change of the best executed runtime vs the default
+  /// (negative = improvement; 0 when nothing executed beats default).
+  double BestRuntimeChangePct() const;
+};
+
+class SteeringPipeline {
+ public:
+  SteeringPipeline(const Optimizer* optimizer, const ExecutionSimulator* simulator,
+                   PipelineOptions options = {});
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Runs span + search + recompilation (no execution) for a job.
+  /// `default_metrics` may be supplied when already measured.
+  JobAnalysis Recompile(const Job& job) const;
+
+  /// Full §6 treatment: Recompile, then A/B-execute the cheapest distinct
+  /// alternative plans and the default.
+  JobAnalysis AnalyzeJob(const Job& job) const;
+
+  /// §6.1 job-selection heuristics over a day of (already default-compiled
+  /// and default-executed) jobs. Returns indices into `runtimes`/`costs`:
+  /// jobs in the runtime window that either have clearly-cheaper recompiled
+  /// plans (checked later) or sit in the low-cost/high-runtime corner.
+  std::vector<int> SelectJobsInWindow(const std::vector<double>& default_runtimes) const;
+
+  /// The Fig.-5 corner test given workload-level cost/runtime distributions.
+  std::vector<int> SelectLowCostHighRuntime(const std::vector<double>& est_costs,
+                                            const std::vector<double>& runtimes) const;
+
+ private:
+  const Optimizer* optimizer_;
+  const ExecutionSimulator* simulator_;
+  PipelineOptions options_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_PIPELINE_H_

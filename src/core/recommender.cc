@@ -1,0 +1,105 @@
+#include "core/recommender.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/hints.h"
+
+namespace qsteer {
+
+SteeringRecommender::SteeringRecommender(RecommenderOptions options) : options_(options) {}
+
+bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
+  if (analysis.default_plan.root == nullptr) return false;
+  const ConfigOutcome* best = analysis.BestBy(Metric::kRuntime);
+  if (best == nullptr) return false;
+  double change = analysis.BestRuntimeChangePct();
+  if (change > options_.min_improvement_pct) return false;
+
+  Entry& entry = store_[analysis.default_plan.signature];
+  if (entry.retired) return false;
+  if (entry.support == 0 || change < entry.improvement_pct) {
+    entry.config = best->config;
+    entry.improvement_pct = change;
+  }
+  ++entry.support;
+  return true;
+}
+
+SteeringRecommender::Recommendation SteeringRecommender::Recommend(
+    const RuleSignature& default_signature) const {
+  Recommendation rec;
+  auto it = store_.find(default_signature);
+  if (it == store_.end() || it->second.retired) {
+    rec.config = RuleConfig::Default();
+    return rec;
+  }
+  rec.is_default = false;
+  rec.config = it->second.config;
+  rec.expected_improvement_pct = it->second.improvement_pct;
+  rec.support = it->second.support;
+  return rec;
+}
+
+void SteeringRecommender::ObserveOutcome(const RuleSignature& default_signature,
+                                         double runtime_change_pct) {
+  auto it = store_.find(default_signature);
+  if (it == store_.end() || it->second.retired) return;
+  if (runtime_change_pct > options_.regression_threshold_pct) {
+    if (++it->second.regressions >= options_.max_regressions) {
+      it->second.retired = true;
+      ++retired_;
+    }
+  }
+}
+
+Status SteeringRecommender::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::InvalidArgument("cannot open for write: " + path);
+  out.precision(17);  // round-trip doubles exactly
+  for (const auto& [signature, entry] : store_) {
+    out << signature.ToHexString() << ' ' << entry.improvement_pct << ' ' << entry.support
+        << ' ' << entry.regressions << ' ' << (entry.retired ? 1 : 0) << ' '
+        << ToHintString(entry.config) << '\n';
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+Status SteeringRecommender::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+  std::unordered_map<RuleSignature, Entry, BitVector256Hasher> loaded;
+  int retired = 0;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string signature_hex, hints;
+    Entry entry;
+    int retired_flag = 0;
+    if (!(fields >> signature_hex >> entry.improvement_pct >> entry.support >>
+          entry.regressions >> retired_flag)) {
+      return Status::InvalidArgument("malformed store line " + std::to_string(line_number));
+    }
+    std::getline(fields, hints);
+    if (!hints.empty() && hints.front() == ' ') hints.erase(0, 1);
+    RuleSignature signature = BitVector256::FromHexString(signature_hex);
+    if (signature.None() && signature_hex != std::string(64, '0')) {
+      return Status::InvalidArgument("bad signature on line " + std::to_string(line_number));
+    }
+    Result<RuleConfig> config = ParseHintString(hints);
+    if (!config.ok()) return config.status();
+    entry.config = config.value();
+    entry.retired = retired_flag != 0;
+    if (entry.retired) ++retired;
+    loaded.emplace(signature, std::move(entry));
+  }
+  store_ = std::move(loaded);
+  retired_ = retired;
+  return Status::OK();
+}
+
+}  // namespace qsteer

@@ -1,0 +1,88 @@
+// The deployable steering service (paper §3.3 "ease of deployment as plan
+// hint" + §6.4 extrapolation + the weekly-refresh regression mitigation).
+//
+// Offline, the recommender ingests pipeline analyses and remembers, per
+// rule-signature job group, the configuration that improved the group's
+// base jobs. Online, an incoming job is compiled under the default
+// configuration, its signature looked up, and the stored configuration
+// recommended when its track record is positive. Observed regressions
+// demote and eventually retire a recommendation — the guardrail that makes
+// "surprising regressions" operationally safe.
+#ifndef QSTEER_CORE_RECOMMENDER_H_
+#define QSTEER_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+#include "core/pipeline.h"
+
+namespace qsteer {
+
+struct RecommenderOptions {
+  /// Minimum improvement (negative percentage) a base-job analysis must show
+  /// before its configuration is adopted for the group.
+  double min_improvement_pct = -10.0;
+  /// A recommendation retires after this many observed regressions.
+  int max_regressions = 2;
+  /// Regression threshold when observing outcomes (percent runtime change).
+  double regression_threshold_pct = 5.0;
+};
+
+class SteeringRecommender {
+ public:
+  explicit SteeringRecommender(RecommenderOptions options = {});
+
+  /// Offline: learn from one analyzed job. Adopts the best configuration for
+  /// the job's signature group when it clears the improvement bar; keeps the
+  /// better of two candidate configurations when the group already has one.
+  /// Returns true when the analysis changed the store.
+  bool LearnFromAnalysis(const JobAnalysis& analysis);
+
+  struct Recommendation {
+    bool is_default = true;
+    RuleConfig config;
+    /// Improvement the configuration showed on its base job(s).
+    double expected_improvement_pct = 0.0;
+    /// Number of base jobs backing the recommendation.
+    int support = 0;
+  };
+
+  /// Online: recommendation for a job whose default compilation produced
+  /// `default_signature`.
+  Recommendation Recommend(const RuleSignature& default_signature) const;
+
+  /// Guardrail: report the observed runtime change of a recommended run
+  /// (positive = regression). Retires configurations that regress
+  /// repeatedly.
+  void ObserveOutcome(const RuleSignature& default_signature, double runtime_change_pct);
+
+  int num_groups() const { return static_cast<int>(store_.size()); }
+  int num_retired() const { return retired_; }
+
+  /// Persists the store as a line-oriented text file:
+  ///   <signature-hex> <improvement%> <support> <regressions> <retired> <hints>
+  /// The hint column uses the §3.2 flag syntax, so a stored recommendation
+  /// is directly usable as a customer plan hint.
+  Status SaveToFile(const std::string& path) const;
+  /// Replaces the store with the file's contents.
+  Status LoadFromFile(const std::string& path);
+
+ private:
+  struct Entry {
+    RuleConfig config;
+    double improvement_pct = 0.0;
+    int support = 0;
+    int regressions = 0;
+    bool retired = false;
+  };
+
+  RecommenderOptions options_;
+  std::unordered_map<RuleSignature, Entry, BitVector256Hasher> store_;
+  int retired_ = 0;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_RECOMMENDER_H_

@@ -1,0 +1,43 @@
+#include "core/rule_diff.h"
+
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+
+RuleDiff ComputeRuleDiff(const RuleSignature& default_signature,
+                         const RuleSignature& new_signature) {
+  RuleDiff diff;
+  for (int id : default_signature.AndNot(new_signature).ToIndices()) {
+    diff.only_in_default.push_back(id);
+  }
+  for (int id : new_signature.AndNot(default_signature).ToIndices()) {
+    diff.only_in_new.push_back(id);
+  }
+  return diff;
+}
+
+std::vector<double> RuleDiff::ToFeatureVector() const {
+  std::vector<double> out(kNumRules, 0.0);
+  for (RuleId id : only_in_default) out[static_cast<size_t>(id)] = -1.0;
+  for (RuleId id : only_in_new) out[static_cast<size_t>(id)] = 1.0;
+  return out;
+}
+
+std::string RuleDiff::ToString() const {
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  std::string out = "only in default plan: ";
+  if (only_in_default.empty()) out += "-";
+  for (size_t i = 0; i < only_in_default.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += registry.name(only_in_default[i]);
+  }
+  out += " | only in new plan: ";
+  if (only_in_new.empty()) out += "-";
+  for (size_t i = 0; i < only_in_new.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += registry.name(only_in_new[i]);
+  }
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,36 @@
+// RuleDiff (paper Definition 6.1): the rules whose *usage* actually changed
+// between two compilations of the same job — comparing rule signatures, not
+// rule configurations, so no-op configuration changes do not show up.
+#ifndef QSTEER_CORE_RULE_DIFF_H_
+#define QSTEER_CORE_RULE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+struct RuleDiff {
+  /// Rules used by the default plan but not the new plan ("rules only in
+  /// default plan").
+  std::vector<RuleId> only_in_default;
+  /// Rules used by the new plan but not the default plan.
+  std::vector<RuleId> only_in_new;
+
+  bool Empty() const { return only_in_default.empty() && only_in_new.empty(); }
+
+  /// Fixed-width encoding over all 256 rules for featurization (§7.2):
+  /// +1 = only in new plan, -1 = only in default, 0 = unchanged.
+  std::vector<double> ToFeatureVector() const;
+
+  /// Human-readable listing with rule names (Table 4 style).
+  std::string ToString() const;
+};
+
+RuleDiff ComputeRuleDiff(const RuleSignature& default_signature,
+                         const RuleSignature& new_signature);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CORE_RULE_DIFF_H_

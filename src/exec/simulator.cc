@@ -1,0 +1,131 @@
+#include "exec/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "optimizer/stats.h"
+
+namespace qsteer {
+
+double MetricOf(const ExecMetrics& m, Metric metric) {
+  switch (metric) {
+    case Metric::kRuntime:
+      return m.runtime;
+    case Metric::kCpuTime:
+      return m.cpu_time;
+    case Metric::kIoTime:
+      return m.io_time;
+  }
+  return 0.0;
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kRuntime:
+      return "Runtime";
+    case Metric::kCpuTime:
+      return "CPU time";
+    case Metric::kIoTime:
+      return "IO time";
+  }
+  return "?";
+}
+
+ExecutionSimulator::ExecutionSimulator(const Catalog* catalog, SimulatorOptions options)
+    : catalog_(catalog), options_(options) {}
+
+namespace {
+
+struct NodeResult {
+  LogicalStats stats;
+  /// Earliest completion time of this fragment (critical path).
+  double finish = 0.0;
+};
+
+}  // namespace
+
+ExecMetrics ExecutionSimulator::Execute(const Job& job, const PlanNodePtr& physical_root,
+                                        uint64_t run_nonce) const {
+  ExecMetrics metrics;
+  if (physical_root == nullptr) return metrics;
+  TrueStatsView truth(catalog_, &job);
+
+  // Bottom-up over the DAG; shared fragments are evaluated (and their cost
+  // counted) once, as in the real engine where a cooked intermediate stream
+  // feeds several consumers.
+  std::unordered_map<const PlanNode*, NodeResult> results;
+  double total_cpu = 0.0;
+  double total_io = 0.0;
+  double total_bytes = 0.0;
+
+  std::function<const NodeResult&(const PlanNode*)> evaluate =
+      [&](const PlanNode* node) -> const NodeResult& {
+    auto it = results.find(node);
+    if (it != results.end()) return it->second;
+
+    std::vector<const LogicalStats*> child_stats;
+    double children_finish = 0.0;
+    child_stats.reserve(node->children.size());
+    for (const PlanNodePtr& child : node->children) {
+      const NodeResult& r = evaluate(child.get());
+      child_stats.push_back(&r.stats);
+      children_finish = std::max(children_finish, r.finish);
+    }
+
+    NodeResult result;
+    result.stats = DeriveStats(node->op, child_stats, truth);
+    OpCost cost = ComputeOpCost(node->op, result.stats, child_stats,
+                                std::max(1, node->op.dop), options_.cost_params, truth);
+
+    // Token budget: a stage wider than the job's token allotment runs in
+    // waves.
+    double latency = cost.latency;
+    if (node->op.dop > options_.tokens) {
+      latency *= static_cast<double>(node->op.dop) / options_.tokens;
+    }
+
+    result.finish = children_finish + latency;
+    total_cpu += cost.cpu;
+    total_io += cost.io;
+    total_bytes += cost.bytes_moved;
+    return results.emplace(node, std::move(result)).first->second;
+  };
+
+  const NodeResult& root = evaluate(physical_root.get());
+  metrics.runtime = root.finish;
+  metrics.cpu_time = total_cpu;
+  metrics.io_time = total_io;
+  metrics.bytes_moved = total_bytes;
+  metrics.output_rows = root.stats.rows;
+
+  if (!options_.deterministic) {
+    // Cluster noise: short jobs are noisier (resource allocation jitter,
+    // scheduling) than long ones, as observed in the paper (§3.1.1).
+    double sigma = metrics.runtime < options_.short_job_threshold
+                       ? options_.noise_sigma_short
+                       : options_.noise_sigma_long;
+    uint64_t seed = HashCombine(HashString(job.name), PlanHash(physical_root, false));
+    seed = HashCombine(seed, run_nonce + 0x777);
+    Pcg32 rng(seed, /*stream=*/59);
+    metrics.runtime *= std::exp(sigma * rng.NextGaussian());
+    metrics.cpu_time *= std::exp(0.5 * sigma * rng.NextGaussian());
+    metrics.io_time *= std::exp(0.5 * sigma * rng.NextGaussian());
+  }
+  return metrics;
+}
+
+Result<AbRunResult> AbTestHarness::Run(const Job& job, const RuleConfig& config,
+                                       uint64_t run_nonce) const {
+  Result<CompiledPlan> compiled = optimizer_->Compile(job, config);
+  if (!compiled.ok()) return compiled.status();
+  AbRunResult out;
+  out.plan = std::move(compiled.value());
+  out.metrics = simulator_->Execute(job, out.plan.root, run_nonce);
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,93 @@
+// Distributed execution simulator.
+//
+// Takes a compiled physical plan and "executes" it against the generative
+// ground truth: true cardinalities (TrueStatsView), true cluster cost
+// parameters, partition skew, spills computed from real sizes, a token
+// budget (concurrent containers, paper §3.1.3 uses 50), and cluster noise.
+// Reports the paper's three metrics: runtime, total CPU time, total IO time
+// (§3.1.2).
+#ifndef QSTEER_EXEC_SIMULATOR_H_
+#define QSTEER_EXEC_SIMULATOR_H_
+
+#include <unordered_map>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "plan/job.h"
+
+namespace qsteer {
+
+/// The paper's evaluation metrics (§3.1.2).
+struct ExecMetrics {
+  /// Wall-clock latency, seconds (excludes queueing, as in the paper).
+  double runtime = 0.0;
+  /// Total CPU seconds across all vertices.
+  double cpu_time = 0.0;
+  /// Total IO seconds (read/write/shuffle) across all vertices.
+  double io_time = 0.0;
+  double bytes_moved = 0.0;
+  /// Total true output rows of the job.
+  double output_rows = 0.0;
+};
+
+enum class Metric { kRuntime, kCpuTime, kIoTime };
+double MetricOf(const ExecMetrics& m, Metric metric);
+const char* MetricName(Metric metric);
+
+struct SimulatorOptions {
+  /// Concurrent container budget per job (the paper's A/B infrastructure
+  /// fixes 50 tokens per job).
+  int tokens = 50;
+  CostParams cost_params = CostParams::ClusterTruth();
+  /// Lognormal sigma of cluster noise for long jobs; short jobs get more
+  /// (paper §3.1.1: ~10% variance on short jobs).
+  double noise_sigma_long = 0.02;
+  double noise_sigma_short = 0.08;
+  /// Runtime (seconds) below which a job counts as "short" for noise.
+  double short_job_threshold = 300.0;
+  /// Disable noise entirely (unit tests).
+  bool deterministic = false;
+};
+
+class ExecutionSimulator {
+ public:
+  ExecutionSimulator(const Catalog* catalog, SimulatorOptions options = {});
+
+  /// Simulates one execution of a compiled plan for `job`. `run_nonce`
+  /// selects the noise draw: re-executions with different nonces model the
+  /// run-to-run variance of the cluster.
+  ExecMetrics Execute(const Job& job, const PlanNodePtr& physical_root,
+                      uint64_t run_nonce = 0) const;
+
+  const SimulatorOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  SimulatorOptions options_;
+};
+
+/// Convenience: compile + execute under a configuration; fails when the
+/// configuration does not compile.
+struct AbRunResult {
+  CompiledPlan plan;
+  ExecMetrics metrics;
+};
+
+/// A/B testing harness (paper §3.1.3): re-executes jobs with alternative
+/// rule configurations on fixed resources and reports all metrics.
+class AbTestHarness {
+ public:
+  AbTestHarness(const Optimizer* optimizer, const ExecutionSimulator* simulator)
+      : optimizer_(optimizer), simulator_(simulator) {}
+
+  Result<AbRunResult> Run(const Job& job, const RuleConfig& config,
+                          uint64_t run_nonce = 0) const;
+
+ private:
+  const Optimizer* optimizer_;
+  const ExecutionSimulator* simulator_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_EXEC_SIMULATOR_H_

@@ -1,0 +1,102 @@
+// Dependency-free neural network for learned configuration selection
+// (paper §7.3): a fully connected net with one hidden layer, sigmoid
+// outputs, binary-cross-entropy loss on min-max-normalized runtimes, and
+// Adam. The learning problems here are tiny (hundreds of samples, a few
+// hundred features), so an exact from-scratch implementation replaces the
+// paper's PyTorch dependency without approximation.
+#ifndef QSTEER_ML_MLP_H_
+#define QSTEER_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace qsteer {
+
+/// Row-major dense matrix, just enough for the MLP.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct MlpOptions {
+  int hidden = 64;
+  double learning_rate = 1e-3;
+  int epochs = 200;
+  int batch_size = 16;
+  uint64_t seed = 1;
+  /// Early-stop patience on validation loss (0 disables).
+  int patience = 25;
+};
+
+/// One-hidden-layer MLP: x -> ReLU(W1 x + b1) -> sigmoid(W2 h + b2).
+class Mlp {
+ public:
+  Mlp(int inputs, int hidden, int outputs, uint64_t seed);
+
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// One SGD/Adam step on a single example with BCE loss; returns the loss.
+  double TrainStep(const std::vector<double>& x, const std::vector<double>& y, double lr);
+
+  /// Mean BCE loss over a dataset.
+  double Evaluate(const std::vector<std::vector<double>>& xs,
+                  const std::vector<std::vector<double>>& ys) const;
+
+  int inputs() const { return inputs_; }
+  int outputs() const { return outputs_; }
+
+  /// Full training loop with shuffling and optional validation early stop.
+  static Mlp Train(const std::vector<std::vector<double>>& train_x,
+                   const std::vector<std::vector<double>>& train_y,
+                   const std::vector<std::vector<double>>& val_x,
+                   const std::vector<std::vector<double>>& val_y, int outputs,
+                   const MlpOptions& options);
+
+ private:
+  struct AdamState {
+    std::vector<double> m;
+    std::vector<double> v;
+  };
+
+  int inputs_;
+  int hidden_;
+  int outputs_;
+  Matrix w1_, w2_;
+  std::vector<double> b1_, b2_;
+  AdamState adam_w1_, adam_w2_, adam_b1_, adam_b2_;
+  int64_t step_ = 0;
+};
+
+/// Min-max feature scaler fit on training data (paper §7.2 encodes
+/// continuous features to [0, 1]).
+class MinMaxScaler {
+ public:
+  void Fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> Transform(const std::vector<double>& row) const;
+  void FitTransformInPlace(std::vector<std::vector<double>>* rows);
+
+ private:
+  std::vector<double> min_, max_;
+};
+
+/// Normalizes K runtimes to [0, 1] per sample (the BCE targets of §7.3).
+std::vector<double> NormalizeRuntimes(const std::vector<double>& runtimes);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_ML_MLP_H_

@@ -1,0 +1,103 @@
+#include "optimizer/explain.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <unordered_map>
+
+#include "optimizer/cost_model.h"
+#include "optimizer/rule_registry.h"
+#include "optimizer/stats.h"
+
+namespace qsteer {
+
+namespace {
+
+std::string HumanRows(double rows) {
+  char buf[32];
+  if (rows >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fB", rows / 1e9);
+  } else if (rows >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", rows / 1e6);
+  } else if (rows >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", rows / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", rows);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Catalog& catalog, const Job& job, const CompiledPlan& plan,
+                        const ExplainOptions& options) {
+  EstimatedStatsView est(&catalog, job.columns.get(), job.day);
+  TrueStatsView truth(&catalog, &job);
+  CostParams params = CostParams::OptimizerBeliefs();
+
+  // Bottom-up stats for both views.
+  std::unordered_map<const PlanNode*, LogicalStats> est_stats, true_stats;
+  VisitPlan(plan.root, [&](const PlanNode& node) {
+    std::vector<const LogicalStats*> est_children, true_children;
+    for (const PlanNodePtr& child : node.children) {
+      est_children.push_back(&est_stats[child.get()]);
+      true_children.push_back(&true_stats[child.get()]);
+    }
+    est_stats[&node] = DeriveStats(node.op, est_children, est);
+    if (options.show_true_rows) {
+      true_stats[&node] = DeriveStats(node.op, true_children, truth);
+    }
+  });
+
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "estimated cost: %.2f   memo: %d groups / %d exprs\n",
+                plan.est_cost, plan.memo_groups, plan.memo_exprs);
+  out += line;
+
+  std::unordered_map<const PlanNode*, int> ids;
+  std::function<void(const PlanNodePtr&, int)> render = [&](const PlanNodePtr& node,
+                                                            int depth) {
+    std::string indent(static_cast<size_t>(depth) * 2, ' ');
+    auto it = ids.find(node.get());
+    if (it != ids.end()) {
+      out += indent + "@" + std::to_string(it->second) + " (shared)\n";
+      return;
+    }
+    int id = static_cast<int>(ids.size());
+    ids[node.get()] = id;
+
+    std::vector<const LogicalStats*> est_children;
+    for (const PlanNodePtr& child : node->children) {
+      est_children.push_back(&est_stats[child.get()]);
+    }
+    OpCost local = ComputeOpCost(node->op, est_stats[node.get()], est_children,
+                                 std::max(1, node->op.dop), params, est);
+
+    out += indent + "@" + std::to_string(id) + " " + node->op.ToString();
+    std::string rows_text = "  est_rows=" + HumanRows(est_stats[node.get()].rows);
+    if (options.show_true_rows) {
+      rows_text += " true_rows=" + HumanRows(true_stats[node.get()].rows);
+    }
+    std::snprintf(line, sizeof(line), "%s local_cost=%.3f\n", rows_text.c_str(),
+                  local.latency);
+    out += line;
+    for (const PlanNodePtr& child : node->children) render(child, depth + 1);
+  };
+  render(plan.root, 0);
+
+  if (options.show_signature) {
+    const RuleRegistry& registry = RuleRegistry::Instance();
+    out += "rule signature (" + std::to_string(plan.signature.Count()) + "): ";
+    bool first = true;
+    for (int id : plan.signature.ToIndices()) {
+      if (!first) out += ", ";
+      out += registry.name(id);
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,28 @@
+// EXPLAIN-style rendering of compiled plans: per-operator estimated rows,
+// cost decomposition, delivered parallelism, and (optionally) the true rows
+// the simulator would see — a side-by-side view of the estimation gap that
+// drives the steering opportunities.
+#ifndef QSTEER_OPTIMIZER_EXPLAIN_H_
+#define QSTEER_OPTIMIZER_EXPLAIN_H_
+
+#include <string>
+
+#include "optimizer/optimizer.h"
+
+namespace qsteer {
+
+struct ExplainOptions {
+  /// Also derive and print the simulator's true cardinalities next to the
+  /// optimizer's estimates.
+  bool show_true_rows = true;
+  /// Print the rule signature after the tree.
+  bool show_signature = true;
+};
+
+/// Renders a compiled physical plan with per-node statistics.
+std::string ExplainPlan(const Catalog& catalog, const Job& job, const CompiledPlan& plan,
+                        const ExplainOptions& options = {});
+
+}  // namespace qsteer
+
+#endif  // QSTEER_OPTIMIZER_EXPLAIN_H_

@@ -1,0 +1,85 @@
+#include "optimizer/memo.h"
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+uint64_t Memo::ExprKey(const Operator& op, const std::vector<GroupId>& children) const {
+  uint64_t h = op.Hash(/*for_template=*/false);
+  for (GroupId c : children) h = HashCombine(h, static_cast<uint64_t>(c) + 0x9999);
+  return h;
+}
+
+GroupId Memo::Insert(const PlanNodePtr& root) {
+  std::unordered_map<const PlanNode*, GroupId> visited;
+  return InsertNode(root.get(), &visited);
+}
+
+GroupId Memo::InsertNode(const PlanNode* node,
+                         std::unordered_map<const PlanNode*, GroupId>* visited) {
+  auto it = visited->find(node);
+  if (it != visited->end()) return it->second;
+  std::vector<GroupId> children;
+  children.reserve(node->children.size());
+  for (const PlanNodePtr& child : node->children) {
+    children.push_back(InsertNode(child.get(), visited));
+  }
+  ExprId expr_id = AddExpr(node->op, std::move(children), kInvalidGroup, /*rule_id=*/-1,
+                           /*source_expr=*/kInvalidExpr);
+  GroupId group_id = exprs_[static_cast<size_t>(expr_id)].group;
+  (*visited)[node] = group_id;
+  return group_id;
+}
+
+ExprId Memo::AddExpr(Operator op, std::vector<GroupId> children, GroupId target_group,
+                     int rule_id, ExprId source_expr) {
+  uint64_t key = ExprKey(op, children);
+  auto it = dedup_.find(key);
+  if (it != dedup_.end()) {
+    // Verify it's a true duplicate, not a hash collision.
+    const GroupExpr& existing = exprs_[static_cast<size_t>(it->second)];
+    if (existing.children == children &&
+        existing.op.Hash(false) == op.Hash(false)) {
+      return it->second;
+    }
+  }
+
+  GroupExpr expr;
+  expr.is_logical = op.IsLogical();
+  expr.op = std::move(op);
+  expr.children = std::move(children);
+  expr.rule_id = rule_id;
+  expr.source_expr = source_expr;
+
+  if (target_group == kInvalidGroup) {
+    target_group = static_cast<GroupId>(groups_.size());
+    groups_.emplace_back();
+    std::vector<std::vector<ColumnId>> child_outputs;
+    child_outputs.reserve(expr.children.size());
+    for (GroupId c : expr.children) {
+      child_outputs.push_back(groups_[static_cast<size_t>(c)].output_columns);
+    }
+    groups_.back().output_columns = OutputColumns(expr.op, child_outputs);
+  }
+  expr.group = target_group;
+
+  ExprId id = static_cast<ExprId>(exprs_.size());
+  exprs_.push_back(std::move(expr));
+  Group& grp = groups_[static_cast<size_t>(target_group)];
+  grp.exprs.push_back(id);
+  if (grp.representative == kInvalidExpr && exprs_.back().is_logical) {
+    grp.representative = id;
+  }
+  dedup_[key] = id;
+  return id;
+}
+
+void Memo::CollectProvenance(ExprId id, std::vector<int>* rule_ids) const {
+  while (id != kInvalidExpr) {
+    const GroupExpr& e = exprs_[static_cast<size_t>(id)];
+    if (e.rule_id >= 0) rule_ids->push_back(e.rule_id);
+    id = e.source_expr;
+  }
+}
+
+}  // namespace qsteer

@@ -1,0 +1,113 @@
+// The Cascades memo: groups of equivalent expressions with provenance
+// tracking. Provenance (which rule created each expression, derived from
+// which source expression) is what lets the optimizer log *rule signatures* —
+// the paper's central instrumentation ("we modified the SCOPE optimizer to
+// log which rule contributes to any component of the final query plan").
+#ifndef QSTEER_OPTIMIZER_MEMO_H_
+#define QSTEER_OPTIMIZER_MEMO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/properties.h"
+#include "plan/job.h"
+#include "plan/operator.h"
+
+namespace qsteer {
+
+using GroupId = int32_t;
+using ExprId = int32_t;
+constexpr GroupId kInvalidGroup = -1;
+constexpr ExprId kInvalidExpr = -1;
+
+struct GroupExpr {
+  Operator op;
+  std::vector<GroupId> children;
+  GroupId group = kInvalidGroup;
+  /// Rule that created this expression; -1 for expressions of the initial
+  /// (input) plan.
+  int rule_id = -1;
+  /// Expression this one was derived from (rewrite source / logical
+  /// expression an implementation rule implemented); -1 for initial ones.
+  ExprId source_expr = kInvalidExpr;
+  bool is_logical = true;
+};
+
+/// Best implementation found for a (group, required property) pair.
+struct Winner {
+  ExprId expr = kInvalidExpr;
+  double cost = 0.0;
+  /// Chosen degree of parallelism for the winning expression.
+  int dop = 1;
+  /// Property requests issued to each child.
+  std::vector<PhysProp> child_requests;
+  /// Property the winning expression itself delivers (before enforcers).
+  PhysProp delivered;
+  /// Enforcer operators applied on top (bottom-up order), if any.
+  std::vector<Operator> enforcers;
+  bool valid = false;
+};
+
+struct Group {
+  std::vector<ExprId> exprs;
+  /// Sorted output column ids.
+  std::vector<ColumnId> output_columns;
+  /// Representative logical expression: the first logical expression the
+  /// group ever contained. Statistics are derived from it, which makes
+  /// estimates shape-sensitive across rule configurations (paper §5.3).
+  ExprId representative = kInvalidExpr;
+
+  // Lazily derived logical statistics (estimated by the optimizer).
+  bool stats_derived = false;
+  double est_rows = 0.0;
+  double est_width = 8.0;
+  std::unordered_map<ColumnId, double> est_ndv;
+
+  // Winner table keyed by PhysProp::Key().
+  std::unordered_map<uint64_t, Winner> winners;
+};
+
+class Memo {
+ public:
+  Memo() = default;
+  Memo(const Memo&) = delete;
+  Memo& operator=(const Memo&) = delete;
+
+  /// Copies a logical plan DAG into the memo (deduplicating shared
+  /// subtrees) and returns the root group.
+  GroupId Insert(const PlanNodePtr& root);
+
+  /// Adds an expression. If an identical (op, children) expression already
+  /// exists anywhere, returns it unchanged (its group may differ from
+  /// `target_group`; callers must check). Otherwise creates the expression
+  /// in `target_group`, or in a fresh group when `target_group` is
+  /// kInvalidGroup.
+  ExprId AddExpr(Operator op, std::vector<GroupId> children, GroupId target_group, int rule_id,
+                 ExprId source_expr);
+
+  const Group& group(GroupId id) const { return groups_[static_cast<size_t>(id)]; }
+  Group& group(GroupId id) { return groups_[static_cast<size_t>(id)]; }
+  const GroupExpr& expr(ExprId id) const { return exprs_[static_cast<size_t>(id)]; }
+  GroupExpr& expr(ExprId id) { return exprs_[static_cast<size_t>(id)]; }
+
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+  int num_exprs() const { return static_cast<int>(exprs_.size()); }
+
+  /// Collects the transitive provenance rule ids of an expression: the rule
+  /// that produced it plus the provenance of everything it was derived from.
+  void CollectProvenance(ExprId id, std::vector<int>* rule_ids) const;
+
+ private:
+  uint64_t ExprKey(const Operator& op, const std::vector<GroupId>& children) const;
+  GroupId InsertNode(const PlanNode* node,
+                     std::unordered_map<const PlanNode*, GroupId>* visited);
+
+  std::vector<Group> groups_;
+  std::vector<GroupExpr> exprs_;
+  std::unordered_map<uint64_t, ExprId> dedup_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_OPTIMIZER_MEMO_H_

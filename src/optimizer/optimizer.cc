@@ -1,0 +1,903 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+namespace {
+
+/// Per-compilation state.
+class CompileState {
+ public:
+  CompileState(const Optimizer& optimizer, const Job& job, const RuleConfig& config)
+      : options_(optimizer.options()),
+        config_(config),
+        registry_(RuleRegistry::Instance()),
+        est_view_(optimizer.catalog(), job.columns.get(), job.day),
+        universe_(job.columns.get()) {
+    ctx_.memo = &memo_;
+    ctx_.universe = universe_;
+  }
+
+  Result<CompiledPlan> Run(const Job& job) {
+    PlanNodePtr normalized = NormalizeInputPlan(job.root);
+    GroupId root = memo_.Insert(normalized);
+    Explore();
+    Implement();
+    PhysProp any = PhysProp::Any();
+    const Winner* winner = OptimizeGroup(root, any);
+    if (winner == nullptr || !winner->valid) {
+      return Status::CompilationFailed(
+          "no complete physical plan under this rule configuration");
+    }
+    CompiledPlan plan;
+    plan.est_cost = winner->cost;
+    plan.root = ExtractPlan(root, any, &plan.signature);
+    for (int rule_id : normalization_rules_used_) plan.signature.Set(rule_id);
+    AttributeMarkerRules(plan.root, &plan.signature);
+    plan.est_output_rows = GroupStats(root).rows;
+    plan.memo_groups = memo_.num_groups();
+    plan.memo_exprs = memo_.num_exprs();
+    return plan;
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  // Exploration and implementation
+  // ---------------------------------------------------------------------
+
+  // -----------------------------------------------------------------------
+  // Input normalization (config-dependent).
+  //
+  // SCOPE normalizes the script's plan with the enabled rewrite rules
+  // before/while seeding the memo, and group logical properties come from
+  // the first (normalized) expression. Because the estimator is
+  // shape-sensitive (conjunct backoff, stacked selects), configurations
+  // that disable normalization rules produce *different estimates* for the
+  // same job — the paper §5.3 mechanism that makes estimated costs
+  // incomparable across configurations.
+  // -----------------------------------------------------------------------
+
+  PlanNodePtr NormalizeInputPlan(const PlanNodePtr& root) {
+    std::unordered_map<const PlanNode*, PlanNodePtr> done;
+    return NormalizeNode(root, &done);
+  }
+
+  /// Output columns of a plan node (memoized).
+  const std::vector<ColumnId>& ColsOf(const PlanNodePtr& node) {
+    auto it = norm_cols_.find(node.get());
+    if (it != norm_cols_.end()) return it->second;
+    std::vector<std::vector<ColumnId>> child_cols;
+    child_cols.reserve(node->children.size());
+    for (const PlanNodePtr& child : node->children) child_cols.push_back(ColsOf(child));
+    return norm_cols_.emplace(node.get(), OutputColumns(node->op, child_cols)).first->second;
+  }
+
+  static bool BoundByCols(const ExprPtr& e, const std::vector<ColumnId>& cols) {
+    return e != nullptr && e->BoundBy(cols);
+  }
+
+  /// Normalization-time select pushdown (gated on the pushdown rules being
+  /// enabled): determines the *shape the estimator sees*, so disabling these
+  /// rules changes estimated properties — not just the search space.
+  PlanNodePtr PushSelectDown(const PlanNodePtr& select,
+                             std::unordered_map<const PlanNode*, PlanNodePtr>* done) {
+    const PlanNodePtr& child = select->children[0];
+    std::vector<ExprPtr> conjuncts = SplitConjuncts(select->op.predicate);
+    if (conjuncts.empty()) return select;
+
+    auto rebuild_select = [this](ExprPtr pred, PlanNodePtr input) {
+      Operator op;
+      op.kind = OpKind::kSelect;
+      op.predicate = std::move(pred);
+      PlanNodePtr node = PlanNode::Make(std::move(op), {std::move(input)});
+      // Keep synthetic nodes alive: the normalization cache and column cache
+      // are keyed by node address, so recycled addresses would alias.
+      norm_keepalive_.push_back(node);
+      return node;
+    };
+
+    if (child->op.kind == OpKind::kJoin) {
+      // Variant-exact gating: single-atom selects are handled by
+      // SelectOnJoinLeft/Right (94/96), multi-atom ones by the *2 variants
+      // (95/97). Disabling exactly the variant that applies therefore
+      // changes the normalized shape — and with it the estimates (§5.3).
+      int atoms = select->op.predicate->CountAtoms();
+      RuleId left_rule = atoms <= 1 ? 94 : 95;
+      RuleId right_rule = atoms <= 1 ? 96 : 97;
+      bool left_on = config_.IsEnabled(left_rule);
+      bool right_on =
+          config_.IsEnabled(right_rule) && child->op.join_type == JoinType::kInner;
+      if (!left_on && !right_on) return select;
+      std::vector<ExprPtr> to_left, to_right, residual;
+      for (const ExprPtr& conj : conjuncts) {
+        if (left_on && BoundByCols(conj, ColsOf(child->children[0]))) {
+          to_left.push_back(conj);
+        } else if (right_on && BoundByCols(conj, ColsOf(child->children[1]))) {
+          to_right.push_back(conj);
+        } else {
+          residual.push_back(conj);
+        }
+      }
+      if (to_left.empty() && to_right.empty()) return select;
+      if (!to_left.empty()) normalization_rules_used_.push_back(left_rule);
+      if (!to_right.empty()) normalization_rules_used_.push_back(right_rule);
+      PlanNodePtr left = child->children[0];
+      if (!to_left.empty()) {
+        left = NormalizeNode(rebuild_select(MakeConjunction(std::move(to_left)), left), done);
+      }
+      PlanNodePtr right = child->children[1];
+      if (!to_right.empty()) {
+        right =
+            NormalizeNode(rebuild_select(MakeConjunction(std::move(to_right)), right), done);
+      }
+      PlanNodePtr join = PlanNode::Make(child->op, {std::move(left), std::move(right)});
+      if (residual.empty()) return join;
+      return rebuild_select(MakeConjunction(std::move(residual)), std::move(join));
+    }
+
+    if (child->op.kind == OpKind::kUnionAll) {
+      // Variant by branch count: SelectOnUnionAll covers 2-5 branches,
+      // SelectOnUnionAll2 covers 6+.
+      RuleId union_rule = child->children.size() <= 5 ? 99 : 100;
+      if (!config_.IsEnabled(union_rule)) return select;
+      for (const PlanNodePtr& branch : child->children) {
+        if (!BoundByCols(select->op.predicate, ColsOf(branch))) return select;
+      }
+      normalization_rules_used_.push_back(union_rule);
+      std::vector<PlanNodePtr> branches;
+      for (const PlanNodePtr& branch : child->children) {
+        branches.push_back(NormalizeNode(rebuild_select(select->op.predicate, branch), done));
+      }
+      return PlanNode::Make(child->op, std::move(branches));
+    }
+
+    if (child->op.kind == OpKind::kProject) {
+      RuleId project_rule =
+          select->op.predicate->CountAtoms() <= 1 ? rules::kSelectOnProject : 89;
+      if (!config_.IsEnabled(project_rule)) return select;
+      if (!BoundByCols(select->op.predicate, ColsOf(child->children[0]))) return select;
+      normalization_rules_used_.push_back(project_rule);
+      PlanNodePtr pushed =
+          NormalizeNode(rebuild_select(select->op.predicate, child->children[0]), done);
+      return PlanNode::Make(child->op, {std::move(pushed)});
+    }
+    return select;
+  }
+
+  PlanNodePtr NormalizeNode(const PlanNodePtr& node,
+                            std::unordered_map<const PlanNode*, PlanNodePtr>* done) {
+    auto it = done->find(node.get());
+    if (it != done->end()) return it->second;
+    std::vector<PlanNodePtr> children;
+    children.reserve(node->children.size());
+    bool changed = false;
+    for (const PlanNodePtr& child : node->children) {
+      PlanNodePtr normalized = NormalizeNode(child, done);
+      changed |= normalized != child;
+      children.push_back(std::move(normalized));
+    }
+    PlanNodePtr out = changed ? PlanNode::Make(node->op, children) : node;
+
+    if (out->op.kind == OpKind::kSelect) {
+      // SelectOnTrue: drop trivially-true selects.
+      if (config_.IsEnabled(rules::kSelectOnTrue) &&
+          (out->op.predicate == nullptr || out->op.predicate->kind() == ExprKind::kTrue)) {
+        normalization_rules_used_.push_back(rules::kSelectOnTrue);
+        out = out->children[0];
+      } else if (config_.IsEnabled(rules::kCollapseSelects) &&
+                 out->children[0]->op.kind == OpKind::kSelect) {
+        // CollapseSelects: merge stacked selects into one conjunction. The
+        // combined predicate estimates with exponential backoff, unlike the
+        // stack's independent product.
+        std::vector<ExprPtr> conjuncts = SplitConjuncts(out->op.predicate);
+        std::vector<ExprPtr> inner = SplitConjuncts(out->children[0]->op.predicate);
+        conjuncts.insert(conjuncts.end(), inner.begin(), inner.end());
+        Operator merged;
+        merged.kind = OpKind::kSelect;
+        merged.predicate = MakeConjunction(std::move(conjuncts));
+        normalization_rules_used_.push_back(rules::kCollapseSelects);
+        out = PlanNode::Make(std::move(merged), {out->children[0]->children[0]});
+        norm_keepalive_.push_back(out);
+        // Collapsing can expose a deeper stack; renormalize this node.
+        return (*done)[node.get()] = NormalizeNode(out, done);
+      } else if (out->children[0]->op.kind == OpKind::kJoin ||
+                 out->children[0]->op.kind == OpKind::kUnionAll ||
+                 out->children[0]->op.kind == OpKind::kProject) {
+        PlanNodePtr pushed = PushSelectDown(out, done);
+        if (pushed != out) {
+          return (*done)[node.get()] = pushed;
+        }
+        // Fall through to predicate normalization on the unpushed select.
+        if (config_.IsEnabled(rules::kSelectPredNormalized)) {
+          std::vector<ExprPtr> conjuncts = SplitConjuncts(out->op.predicate);
+          if (conjuncts.size() >= 2) {
+            std::vector<ExprPtr> sorted = conjuncts;
+            std::sort(sorted.begin(), sorted.end(), [](const ExprPtr& a, const ExprPtr& b) {
+              return a->Hash(true) < b->Hash(true);
+            });
+            if (sorted != conjuncts) {
+              Operator normalized_op;
+              normalized_op.kind = OpKind::kSelect;
+              normalized_op.predicate = Expr::And(std::move(sorted));
+              normalization_rules_used_.push_back(rules::kSelectPredNormalized);
+              out = PlanNode::Make(std::move(normalized_op), {out->children[0]});
+            }
+          }
+        }
+      } else if (config_.IsEnabled(rules::kSelectPredNormalized)) {
+        // SelectPredNormalized: canonical conjunct order (changes which
+        // conjuncts the estimator's backoff dampens).
+        std::vector<ExprPtr> conjuncts = SplitConjuncts(out->op.predicate);
+        if (conjuncts.size() >= 2) {
+          std::vector<ExprPtr> sorted = conjuncts;
+          std::sort(sorted.begin(), sorted.end(), [](const ExprPtr& a, const ExprPtr& b) {
+            return a->Hash(true) < b->Hash(true);
+          });
+          if (sorted != conjuncts) {
+            Operator normalized_op;
+            normalized_op.kind = OpKind::kSelect;
+            normalized_op.predicate = Expr::And(std::move(sorted));
+            normalization_rules_used_.push_back(rules::kSelectPredNormalized);
+            out = PlanNode::Make(std::move(normalized_op), {out->children[0]});
+          }
+        }
+      }
+    } else if (out->op.kind == OpKind::kUnionAll && config_.IsEnabled(123)) {
+      // UnionAllFlatten.
+      std::vector<PlanNodePtr> flat;
+      bool flattened = false;
+      for (const PlanNodePtr& child : out->children) {
+        if (child->op.kind == OpKind::kUnionAll) {
+          flat.insert(flat.end(), child->children.begin(), child->children.end());
+          flattened = true;
+        } else {
+          flat.push_back(child);
+        }
+      }
+      if (flattened) {
+        normalization_rules_used_.push_back(123);
+        out = PlanNode::Make(out->op, std::move(flat));
+      }
+    } else if (out->op.kind == OpKind::kGroupBy && config_.IsEnabled(120)) {
+      // NormalizeReduce: dedup + sort grouping keys.
+      std::vector<ColumnId> keys = out->op.group_keys;
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      if (keys != out->op.group_keys) {
+        Operator normalized_op = out->op;
+        normalized_op.group_keys = std::move(keys);
+        normalization_rules_used_.push_back(120);
+        out = PlanNode::Make(std::move(normalized_op), out->children);
+      }
+    }
+    (*done)[node.get()] = out;
+    return out;
+  }
+
+  void Explore() {
+    std::vector<OpTree> proposals;
+    // Iterating by ascending ExprId covers expressions added mid-loop, so a
+    // single sweep reaches the rewrite fixpoint up to the budgets.
+    for (ExprId id = 0; id < memo_.num_exprs(); ++id) {
+      if (memo_.num_exprs() >= options_.max_total_exprs) break;
+      if (!memo_.expr(id).is_logical) continue;
+      for (const Rule* rule : registry_.transformation_rules()) {
+        if (!config_.IsEnabled(rule->id())) continue;
+        const GroupExpr& expr = memo_.expr(id);  // re-fetch: vector may grow
+        GroupId target = expr.group;
+        if (static_cast<int>(memo_.group(target).exprs.size()) >=
+            options_.max_exprs_per_group) {
+          break;
+        }
+        proposals.clear();
+        rule->Apply(ctx_, expr, &proposals);
+        for (OpTree& tree : proposals) {
+          Materialize(tree, target, rule->id(), id);
+          if (memo_.num_exprs() >= options_.max_total_exprs) return;
+        }
+      }
+    }
+  }
+
+  void Implement() {
+    int logical_count = memo_.num_exprs();  // snapshot: impls add physical only
+    std::vector<OpTree> proposals;
+    for (ExprId id = 0; id < logical_count; ++id) {
+      if (!memo_.expr(id).is_logical) continue;
+      for (const Rule* rule : registry_.implementation_rules()) {
+        if (!config_.IsEnabled(rule->id())) continue;
+        const GroupExpr& expr = memo_.expr(id);
+        proposals.clear();
+        rule->Apply(ctx_, expr, &proposals);
+        for (OpTree& tree : proposals) {
+          Materialize(tree, expr.group, rule->id(), id, /*enforce_cap=*/false);
+        }
+      }
+    }
+  }
+
+  /// Materializes a rule output into the memo. Internal nodes land in fresh
+  /// groups; the root is added to `target_group`. A leaf at the root aliases
+  /// the leaf group's logical expressions into the target group (group
+  /// equivalence without full merging).
+  void Materialize(const OpTree& tree, GroupId target_group, int rule_id, ExprId source,
+                   bool enforce_cap = true) {
+    if (tree.is_leaf) {
+      const Group& leaf = memo_.group(tree.leaf_group);
+      int copied = 0;
+      std::vector<ExprId> to_copy = leaf.exprs;  // snapshot: AddExpr mutates
+      for (ExprId eid : to_copy) {
+        if (copied >= options_.max_group_alias_copies) break;
+        const GroupExpr e = memo_.expr(eid);  // copy: vector may reallocate
+        if (!e.is_logical) continue;
+        if (static_cast<int>(memo_.group(target_group).exprs.size()) >=
+            options_.max_exprs_per_group) {
+          break;
+        }
+        memo_.AddExpr(e.op, e.children, target_group, rule_id, source);
+        ++copied;
+      }
+      return;
+    }
+    std::vector<GroupId> children;
+    children.reserve(tree.children.size());
+    for (const OpTree& child : tree.children) {
+      children.push_back(MaterializeChild(child, rule_id, source));
+    }
+    // The exploration budget only limits *logical* alternatives; every
+    // enabled implementation must be able to land, or groups saturated by
+    // rewrites could never get a physical plan.
+    if (enforce_cap && static_cast<int>(memo_.group(target_group).exprs.size()) >=
+                           options_.max_exprs_per_group) {
+      return;
+    }
+    memo_.AddExpr(tree.op, std::move(children), target_group, rule_id, source);
+  }
+
+  GroupId MaterializeChild(const OpTree& tree, int rule_id, ExprId source) {
+    if (tree.is_leaf) return tree.leaf_group;
+    std::vector<GroupId> children;
+    children.reserve(tree.children.size());
+    for (const OpTree& child : tree.children) {
+      children.push_back(MaterializeChild(child, rule_id, source));
+    }
+    ExprId id = memo_.AddExpr(tree.op, std::move(children), kInvalidGroup, rule_id, source);
+    return memo_.expr(id).group;
+  }
+
+  // ---------------------------------------------------------------------
+  // Logical statistics (estimated view, representative expression)
+  // ---------------------------------------------------------------------
+
+  const LogicalStats& GroupStats(GroupId gid) {
+    Group& group = memo_.group(gid);
+    auto it = stats_.find(gid);
+    if (it != stats_.end()) return it->second;
+    ExprId repr = group.representative;
+    LogicalStats stats;
+    if (repr != kInvalidExpr) {
+      const GroupExpr& expr = memo_.expr(repr);
+      std::vector<const LogicalStats*> child_stats;
+      child_stats.reserve(expr.children.size());
+      for (GroupId c : expr.children) child_stats.push_back(&GroupStats(c));
+      stats = DeriveStats(expr.op, child_stats, est_view_);
+    }
+    group.est_rows = stats.rows;
+    group.est_width = stats.width;
+    group.stats_derived = true;
+    return stats_.emplace(gid, std::move(stats)).first->second;
+  }
+
+  // ---------------------------------------------------------------------
+  // Cost-based optimization with property enforcement
+  // ---------------------------------------------------------------------
+
+  /// DOP candidates for an operator processing ~`bytes` of data.
+  std::vector<int> DopCandidates(double bytes, int required_dop, int natural = 0) const {
+    if (required_dop > 0) return {required_dop};
+    int work = static_cast<int>(
+        std::clamp(bytes / options_.bytes_per_vertex, 1.0,
+                   static_cast<double>(options_.max_dop)));
+    std::vector<int> out = {work};
+    int doubled = std::min(work * 2, options_.max_dop);
+    if (doubled != work) out.push_back(doubled);
+    if (natural > 0 && natural != work && natural != doubled &&
+        natural <= options_.max_dop) {
+      out.push_back(natural);
+    }
+    return out;
+  }
+
+  /// True when the property request can be delegated through a pipelined
+  /// operator to a child with these output columns.
+  static bool RequestCoveredBy(const PhysProp& req, const std::vector<ColumnId>& cols) {
+    for (ColumnId c : req.part_keys) {
+      if (!std::binary_search(cols.begin(), cols.end(), c)) return false;
+    }
+    for (ColumnId c : req.sort_keys) {
+      if (!std::binary_search(cols.begin(), cols.end(), c)) return false;
+    }
+    return true;
+  }
+
+  /// Adds exchange/sort enforcers so `delivered` satisfies `required`.
+  /// Returns the added cost; appends enforcer operators bottom-up.
+  double ApplyEnforcers(const PhysProp& required, const LogicalStats& stats,
+                        PhysProp* delivered, std::vector<Operator>* enforcers) {
+    double extra = 0.0;
+    std::vector<const LogicalStats*> child_stats = {&stats};
+    if (!required.SatisfiedBy(*delivered)) {
+      PhysProp target = *delivered;
+      Operator exchange;
+      exchange.kind = OpKind::kExchange;
+      bool need_exchange = false;
+      switch (required.scheme) {
+        case PartScheme::kHash:
+          if (delivered->scheme != PartScheme::kHash ||
+              delivered->part_keys != required.part_keys ||
+              (required.dop != 0 && delivered->dop != required.dop)) {
+            exchange.exchange = ExchangeKind::kRepartition;
+            exchange.exchange_keys = required.part_keys;
+            exchange.dop = required.dop > 0 ? required.dop : std::max(1, delivered->dop);
+            target.scheme = PartScheme::kHash;
+            target.part_keys = required.part_keys;
+            target.dop = exchange.dop;
+            target.sort_keys.clear();  // repartition destroys order
+            need_exchange = true;
+          }
+          break;
+        case PartScheme::kSingleton:
+          if (delivered->scheme != PartScheme::kSingleton) {
+            exchange.exchange = ExchangeKind::kGather;
+            exchange.dop = 1;
+            target.scheme = PartScheme::kSingleton;
+            target.part_keys.clear();
+            target.dop = 1;
+            // Merging gather preserves an existing order.
+            need_exchange = true;
+          }
+          break;
+        case PartScheme::kBroadcast:
+          if (delivered->scheme != PartScheme::kBroadcast ||
+              (required.dop != 0 && delivered->dop != required.dop)) {
+            exchange.exchange = ExchangeKind::kBroadcast;
+            exchange.dop = required.dop > 0 ? required.dop : std::max(1, delivered->dop);
+            target.scheme = PartScheme::kBroadcast;
+            target.part_keys.clear();
+            target.dop = exchange.dop;
+            need_exchange = true;
+          }
+          break;
+        case PartScheme::kAny:
+        case PartScheme::kRandom:
+          break;
+      }
+      if (need_exchange) {
+        OpCost cost =
+            ComputeOpCost(exchange, stats, child_stats, exchange.dop, options_.cost_params,
+                          est_view_);
+        extra += cost.latency;
+        enforcers->push_back(std::move(exchange));
+        *delivered = target;
+      }
+    }
+    if (!required.SortSatisfiedBy(*delivered)) {
+      Operator sort;
+      sort.kind = OpKind::kSort;
+      sort.sort_keys = required.sort_keys;
+      sort.dop = std::max(1, delivered->dop);
+      OpCost cost =
+          ComputeOpCost(sort, stats, child_stats, sort.dop, options_.cost_params, est_view_);
+      extra += cost.latency;
+      enforcers->push_back(std::move(sort));
+      delivered->sort_keys = required.sort_keys;
+    }
+    return extra;
+  }
+
+  struct Option {
+    std::vector<PhysProp> child_requests;
+    PhysProp delivered;
+    int dop = 1;
+    /// Pipelined: delivered/dop follow the first child's winner.
+    bool inherit_from_child = false;
+    /// Strip sort from the inherited delivered property.
+    bool clears_sort = false;
+  };
+
+  /// Enumerates implementation options (child property requests + delivered
+  /// property) for a physical expression under a required property.
+  void EnumerateOptions(const GroupExpr& expr, const PhysProp& required,
+                        std::vector<Option>* out) {
+    const Operator& op = expr.op;
+    const LogicalStats& stats = GroupStats(expr.group);
+    switch (op.kind) {
+      case OpKind::kRangeScan: {
+        double bytes = stats.Bytes();
+        for (int dop : DopCandidates(bytes, 0)) {
+          Option o;
+          o.delivered.scheme = PartScheme::kRandom;
+          o.delivered.dop = dop;
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kFilter:
+      case OpKind::kCompute:
+      case OpKind::kProcessVertex:
+      case OpKind::kSampleScan: {
+        Option o;
+        o.inherit_from_child = true;
+        const std::vector<ColumnId>& child_cols =
+            memo_.group(expr.children[0]).output_columns;
+        o.child_requests.push_back(RequestCoveredBy(required, child_cols) ? required
+                                                                          : PhysProp::Any());
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kPreHashAgg: {
+        Option o;
+        o.inherit_from_child = true;
+        o.clears_sort = true;
+        PhysProp down = required;
+        down.sort_keys.clear();
+        const std::vector<ColumnId>& child_cols =
+            memo_.group(expr.children[0]).output_columns;
+        o.child_requests.push_back(RequestCoveredBy(down, child_cols) ? down
+                                                                      : PhysProp::Any());
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kTopNSort:
+      case OpKind::kTopNHeap: {
+        Option o;
+        o.child_requests.push_back(PhysProp::Singleton());
+        o.delivered = PhysProp::Singleton();
+        if (op.kind == OpKind::kTopNSort) o.delivered.sort_keys = op.sort_keys;
+        o.dop = 1;
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kHashJoin: {
+        const LogicalStats& left = GroupStats(expr.children[0]);
+        const LogicalStats& right = GroupStats(expr.children[1]);
+        double bytes = left.Bytes() + right.Bytes();
+        int req_dop = (required.scheme == PartScheme::kHash &&
+                       required.part_keys == op.left_keys)
+                          ? required.dop
+                          : 0;
+        for (int dop : DopCandidates(bytes, req_dop)) {
+          Option o;
+          o.child_requests.push_back(PhysProp::Hash(op.left_keys, dop));
+          o.child_requests.push_back(PhysProp::Hash(op.right_keys, dop));
+          o.delivered = PhysProp::Hash(op.left_keys, dop);
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kBroadcastHashJoin: {
+        // Probe keeps its own distribution; the build side is broadcast to
+        // the probe's parallelism. The probe's dop is resolved by a
+        // two-phase walk in OptimizeGroup (kResolveBroadcast marker below).
+        Option o;
+        o.inherit_from_child = true;  // probe is child 0 in cost and plan
+        o.clears_sort = true;
+        o.child_requests.push_back(PhysProp::Any());
+        o.child_requests.push_back(PhysProp::Broadcast(0));  // dop patched later
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kMergeJoin: {
+        const LogicalStats& left = GroupStats(expr.children[0]);
+        const LogicalStats& right = GroupStats(expr.children[1]);
+        double bytes = left.Bytes() + right.Bytes();
+        int req_dop = (required.scheme == PartScheme::kHash &&
+                       required.part_keys == op.left_keys)
+                          ? required.dop
+                          : 0;
+        for (int dop : DopCandidates(bytes, req_dop)) {
+          Option o;
+          PhysProp l = PhysProp::Hash(op.left_keys, dop);
+          l.sort_keys = op.left_keys;
+          PhysProp r = PhysProp::Hash(op.right_keys, dop);
+          r.sort_keys = op.right_keys;
+          o.child_requests = {std::move(l), std::move(r)};
+          o.delivered = PhysProp::Hash(op.left_keys, dop);
+          o.delivered.sort_keys = op.left_keys;
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kLoopJoin: {
+        Option o;
+        o.child_requests = {PhysProp::Singleton(), PhysProp::Singleton()};
+        o.delivered = PhysProp::Singleton();
+        o.dop = 1;
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kIndexApplyJoin: {
+        Option o;
+        o.inherit_from_child = true;
+        o.clears_sort = true;
+        o.child_requests.push_back(PhysProp::Any());
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kHashAgg:
+      case OpKind::kStreamAgg: {
+        const LogicalStats& child = GroupStats(expr.children[0]);
+        if (op.group_keys.empty()) {
+          Option o;
+          PhysProp req = PhysProp::Singleton();
+          if (op.kind == OpKind::kStreamAgg) req.sort_keys = op.group_keys;
+          o.child_requests.push_back(std::move(req));
+          o.delivered = PhysProp::Singleton();
+          o.dop = 1;
+          out->push_back(std::move(o));
+          break;
+        }
+        int req_dop = (required.scheme == PartScheme::kHash &&
+                       required.part_keys == op.group_keys)
+                          ? required.dop
+                          : 0;
+        for (int dop : DopCandidates(child.Bytes(), req_dop)) {
+          Option o;
+          PhysProp req = PhysProp::Hash(op.group_keys, dop);
+          if (op.kind == OpKind::kStreamAgg) req.sort_keys = op.group_keys;
+          o.child_requests.push_back(std::move(req));
+          o.delivered = PhysProp::Hash(op.group_keys, dop);
+          if (op.kind == OpKind::kStreamAgg) o.delivered.sort_keys = op.group_keys;
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kPhysicalUnionAll: {
+        const LogicalStats& stats_out = GroupStats(expr.group);
+        for (int dop : DopCandidates(stats_out.Bytes(), 0)) {
+          Option o;
+          o.child_requests.assign(expr.children.size(), PhysProp::Any());
+          o.delivered.scheme = PartScheme::kRandom;
+          o.delivered.dop = dop;
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kVirtualDataset: {
+        Option o;
+        o.child_requests.assign(expr.children.size(), PhysProp::Any());
+        o.delivered.scheme = PartScheme::kRandom;
+        o.delivered.dop = 0;  // resolved to the sum of child dops
+        o.dop = 0;
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kSortedUnionAll: {
+        Option o;
+        o.child_requests.assign(expr.children.size(), PhysProp::Singleton());
+        o.delivered = PhysProp::Singleton();
+        o.dop = 1;
+        out->push_back(std::move(o));
+        break;
+      }
+      case OpKind::kWindowSegment: {
+        const LogicalStats& child = GroupStats(expr.children[0]);
+        for (int dop : DopCandidates(child.Bytes(), 0)) {
+          Option o;
+          PhysProp req = PhysProp::Hash(op.window_keys, dop);
+          req.sort_keys = op.window_keys;
+          o.child_requests.push_back(std::move(req));
+          o.delivered = PhysProp::Hash(op.window_keys, dop);
+          o.delivered.sort_keys = op.window_keys;
+          o.dop = dop;
+          out->push_back(std::move(o));
+        }
+        break;
+      }
+      case OpKind::kOutputWriter: {
+        Option o;
+        o.inherit_from_child = true;
+        o.child_requests.push_back(PhysProp::Any());
+        out->push_back(std::move(o));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  const Winner* OptimizeGroup(GroupId gid, const PhysProp& required) {
+    Group& group = memo_.group(gid);
+    uint64_t key = required.Key();
+    auto it = group.winners.find(key);
+    if (it != group.winners.end()) return &it->second;
+    // Insert an invalid placeholder to terminate accidental recursion.
+    group.winners.emplace(key, Winner{});
+
+    Winner best;
+    const LogicalStats& stats = GroupStats(gid);
+
+    // Iterate over a copy: optimizing children can grow the expr vector and
+    // invalidate references, but never adds exprs to *this* group.
+    std::vector<ExprId> exprs = group.exprs;
+    std::vector<Option> opts;
+    for (ExprId eid : exprs) {
+      const GroupExpr& expr = memo_.expr(eid);
+      if (expr.is_logical) continue;
+      opts.clear();
+      EnumerateOptions(expr, required, &opts);
+      for (Option& opt : opts) {
+        // Defensive: an option must request exactly one property per child.
+        if (opt.child_requests.size() != expr.children.size()) continue;
+        double cost = 0.0;
+        std::vector<PhysProp> child_reqs = opt.child_requests;
+        std::vector<const LogicalStats*> child_stats;
+        bool feasible = true;
+
+        // Two-phase resolution for broadcast joins: probe first, then the
+        // build side at the probe's parallelism.
+        if (expr.op.kind == OpKind::kBroadcastHashJoin) {
+          const Winner* probe = OptimizeGroup(expr.children[0], child_reqs[0]);
+          if (probe == nullptr || !probe->valid) continue;
+          int probe_dop = std::max(1, probe->delivered.dop);
+          child_reqs[1].dop = probe_dop;
+          const Winner* build = OptimizeGroup(expr.children[1], child_reqs[1]);
+          if (build == nullptr || !build->valid) continue;
+          cost = probe->cost + build->cost;
+          child_stats = {&GroupStats(expr.children[0]), &GroupStats(expr.children[1])};
+          opt.delivered = probe->delivered;
+          opt.delivered.sort_keys.clear();
+          opt.dop = probe_dop;
+        } else {
+          for (size_t i = 0; i < expr.children.size(); ++i) {
+            const Winner* child = OptimizeGroup(expr.children[i], child_reqs[i]);
+            if (child == nullptr || !child->valid) {
+              feasible = false;
+              break;
+            }
+            cost += child->cost;
+            child_stats.push_back(&GroupStats(expr.children[i]));
+            if (i == 0 && opt.inherit_from_child) {
+              opt.delivered = child->delivered;
+              if (opt.clears_sort) opt.delivered.sort_keys.clear();
+              opt.dop = std::max(1, child->delivered.dop);
+            }
+          }
+          if (!feasible) continue;
+          if (expr.op.kind == OpKind::kVirtualDataset) {
+            // Delivered parallelism is the union of all source partitions.
+            int total = 0;
+            for (size_t i = 0; i < expr.children.size(); ++i) {
+              const Winner* child = OptimizeGroup(expr.children[i], child_reqs[i]);
+              total += std::max(1, child->delivered.dop);
+            }
+            opt.delivered.dop = std::min(total, options_.max_dop * 2);
+            opt.dop = opt.delivered.dop;
+          }
+        }
+
+        OpCost local = ComputeOpCost(expr.op, stats, child_stats, std::max(1, opt.dop),
+                                     options_.cost_params, est_view_);
+        cost += local.latency;
+
+        PhysProp delivered = opt.delivered;
+        std::vector<Operator> enforcers;
+        cost += ApplyEnforcers(required, stats, &delivered, &enforcers);
+        if (!required.SatisfiedBy(delivered)) continue;  // unsatisfiable request
+
+        if (!best.valid || cost < best.cost) {
+          best.valid = true;
+          best.cost = cost;
+          best.expr = eid;
+          best.dop = std::max(1, opt.dop);
+          best.child_requests = std::move(child_reqs);
+          best.delivered = delivered;
+          best.enforcers = std::move(enforcers);
+        }
+      }
+    }
+
+    Group& group_again = memo_.group(gid);
+    group_again.winners[key] = std::move(best);
+    return &group_again.winners[key];
+  }
+
+  // ---------------------------------------------------------------------
+  // Plan extraction + signature logging
+  // ---------------------------------------------------------------------
+
+  PlanNodePtr ExtractPlan(GroupId gid, const PhysProp& required, RuleSignature* signature) {
+    uint64_t cache_key = HashCombine(static_cast<uint64_t>(gid), required.Key());
+    auto cached = extraction_cache_.find(cache_key);
+    if (cached != extraction_cache_.end()) return cached->second;
+
+    const Group& group = memo_.group(gid);
+    auto wit = group.winners.find(required.Key());
+    if (wit == group.winners.end() || !wit->second.valid) return nullptr;
+    const Winner& winner = wit->second;
+    const GroupExpr& expr = memo_.expr(winner.expr);
+
+    // Provenance: the implementation rule + the rewrite lineage of the
+    // logical expression it implemented.
+    std::vector<int> rule_ids;
+    memo_.CollectProvenance(winner.expr, &rule_ids);
+    for (int id : rule_ids) signature->Set(id);
+
+    std::vector<PlanNodePtr> children;
+    children.reserve(expr.children.size());
+    for (size_t i = 0; i < expr.children.size(); ++i) {
+      PlanNodePtr child = ExtractPlan(expr.children[i], winner.child_requests[i], signature);
+      if (child == nullptr) return nullptr;
+      children.push_back(std::move(child));
+    }
+    Operator op = expr.op;
+    op.dop = winner.dop;
+    PlanNodePtr node = PlanNode::Make(std::move(op), std::move(children));
+
+    for (const Operator& enforcer : winner.enforcers) {
+      if (enforcer.kind == OpKind::kExchange) {
+        switch (enforcer.exchange) {
+          case ExchangeKind::kRepartition:
+            signature->Set(rules::kEnforceExchange);
+            break;
+          case ExchangeKind::kGather:
+            signature->Set(rules::kEnforceGather);
+            break;
+          case ExchangeKind::kBroadcast:
+            signature->Set(rules::kEnforceBroadcast);
+            break;
+        }
+      } else {
+        signature->Set(rules::kEnforceSort);
+      }
+      node = PlanNode::Make(enforcer, {std::move(node)});
+    }
+    extraction_cache_[cache_key] = node;
+    return node;
+  }
+
+  const OptimizerOptions& options_;
+  const RuleConfig& config_;
+  const RuleRegistry& registry_;
+  Memo memo_;
+  EstimatedStatsView est_view_;
+  ColumnUniverse* universe_;
+  RuleContext ctx_;
+  std::unordered_map<GroupId, LogicalStats> stats_;
+  std::unordered_map<uint64_t, PlanNodePtr> extraction_cache_;
+  std::vector<int> normalization_rules_used_;
+  std::unordered_map<const PlanNode*, std::vector<ColumnId>> norm_cols_;
+  /// Synthetic normalization nodes pinned so address-keyed caches stay valid.
+  std::vector<PlanNodePtr> norm_keepalive_;
+};
+
+}  // namespace
+
+RuleConfig ProductionConfig(const Job& job) {
+  RuleConfig config = RuleConfig::Default();
+  for (int id : job.customer_hints) config.Enable(id);
+  return config;
+}
+
+Optimizer::Optimizer(const Catalog* catalog, OptimizerOptions options)
+    : catalog_(catalog), options_(options) {}
+
+Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config) const {
+  if (job.root == nullptr || job.root->op.kind != OpKind::kOutput) {
+    return Status::InvalidArgument("job root must be an Output operator");
+  }
+  CompileState state(*this, job, config);
+  return state.Run(job);
+}
+
+}  // namespace qsteer

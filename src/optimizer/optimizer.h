@@ -1,0 +1,72 @@
+// The Cascades-style optimizer driver: exploration (transformation rules to
+// fixpoint under budgets), implementation (logical -> physical), and
+// cost-based extraction with property enforcement — the SCOPE-like query
+// optimizer the steering pipeline operates on.
+//
+// Compile(job, rule_config) returns the chosen physical plan, its estimated
+// cost, and the job's *rule signature* under that configuration — the three
+// surfaces the paper's method needs.
+#ifndef QSTEER_OPTIMIZER_OPTIMIZER_H_
+#define QSTEER_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/memo.h"
+#include "optimizer/rule_config.h"
+#include "optimizer/rule_registry.h"
+#include "optimizer/stats.h"
+#include "plan/job.h"
+
+namespace qsteer {
+
+struct OptimizerOptions {
+  /// Exploration budgets (SCOPE-style caps keep huge DAG jobs tractable).
+  int max_exprs_per_group = 12;
+  int max_total_exprs = 4000;
+  int max_group_alias_copies = 4;
+
+  /// Parallelism search.
+  int max_dop = 128;
+  double bytes_per_vertex = 2.56e8;  // sizing heuristic: ~256 MB per vertex
+
+  CostParams cost_params = CostParams::OptimizerBeliefs();
+};
+
+/// Result of one compilation.
+struct CompiledPlan {
+  PlanNodePtr root;  // physical plan (DAG; shared fragments are shared)
+  double est_cost = 0.0;
+  RuleSignature signature;
+  double est_output_rows = 0.0;
+  int memo_groups = 0;
+  int memo_exprs = 0;
+};
+
+/// The configuration a job runs with in production: the default plus the
+/// customer's rule hints (§3.3).
+RuleConfig ProductionConfig(const Job& job);
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog, OptimizerOptions options = {});
+
+  /// Compiles a job under a rule configuration. Fails with
+  /// kCompilationFailed when the enabled implementation rules cannot cover
+  /// some operator (the paper's "many configurations do not compile").
+  Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config) const;
+
+  const OptimizerOptions& options() const { return options_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_OPTIMIZER_OPTIMIZER_H_

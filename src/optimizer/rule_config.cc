@@ -1,0 +1,76 @@
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+RuleCategory CategoryOfRule(RuleId id) {
+  if (id < kOffByDefaultBegin) return RuleCategory::kRequired;
+  if (id < kOnByDefaultBegin) return RuleCategory::kOffByDefault;
+  if (id < kImplementationBegin) return RuleCategory::kOnByDefault;
+  return RuleCategory::kImplementation;
+}
+
+const char* RuleCategoryName(RuleCategory category) {
+  switch (category) {
+    case RuleCategory::kRequired:
+      return "Required";
+    case RuleCategory::kOffByDefault:
+      return "Off-by-default";
+    case RuleCategory::kOnByDefault:
+      return "On-by-default";
+    case RuleCategory::kImplementation:
+      return "Implementation";
+  }
+  return "?";
+}
+
+RuleConfig::RuleConfig() {
+  enabled_ = BitVector256::AllSet();
+  for (RuleId id = kOffByDefaultBegin; id < kOffByDefaultBegin + kNumOffByDefault; ++id) {
+    enabled_.Reset(id);
+  }
+}
+
+RuleConfig RuleConfig::Default() { return RuleConfig(); }
+
+RuleConfig RuleConfig::AllEnabled() {
+  RuleConfig config;
+  config.enabled_ = BitVector256::AllSet();
+  return config;
+}
+
+RuleConfig RuleConfig::WithHints(const std::vector<RuleId>& enable,
+                                 const std::vector<RuleId>& disable) {
+  RuleConfig config = Default();
+  for (RuleId id : enable) config.Enable(id);
+  for (RuleId id : disable) config.Disable(id);
+  return config;
+}
+
+void RuleConfig::Enable(RuleId id) {
+  if (id >= 0 && id < kNumRules) enabled_.Set(id);
+}
+
+void RuleConfig::Disable(RuleId id) {
+  if (id < 0 || id >= kNumRules) return;
+  if (CategoryOfRule(id) == RuleCategory::kRequired) return;
+  enabled_.Reset(id);
+}
+
+int RuleConfig::EnabledNonRequiredCount() const {
+  int count = 0;
+  for (RuleId id = kNumRequired; id < kNumRules; ++id) {
+    if (enabled_.Test(id)) ++count;
+  }
+  return count;
+}
+
+std::vector<RuleId> RuleConfig::DisabledVsDefault() const {
+  RuleConfig def = Default();
+  std::vector<RuleId> out;
+  for (RuleId id = 0; id < kNumRules; ++id) {
+    if (def.IsEnabled(id) && !IsEnabled(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace qsteer

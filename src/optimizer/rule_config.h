@@ -1,0 +1,87 @@
+// Rule identity, categories, configurations and signatures (paper §3.2).
+//
+// The optimizer has exactly 256 rules, partitioned as in Table 2:
+//   37 required, 46 off-by-default, 141 on-by-default, 32 implementation.
+// A *rule configuration* (Definition 3.1) is the bit vector of enabled rules;
+// the default configuration disables exactly the off-by-default rules. A
+// *rule signature* (Definition 3.2) is the bit vector of rules that directly
+// contributed to the final plan.
+#ifndef QSTEER_OPTIMIZER_RULE_CONFIG_H_
+#define QSTEER_OPTIMIZER_RULE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace qsteer {
+
+using RuleId = int;
+
+enum class RuleCategory : uint8_t {
+  kRequired,
+  kOffByDefault,
+  kOnByDefault,
+  kImplementation,
+};
+
+constexpr int kNumRules = 256;
+// Id layout (contiguous per category, mirroring Table 2's counts).
+constexpr RuleId kRequiredBegin = 0;
+constexpr int kNumRequired = 37;
+constexpr RuleId kOffByDefaultBegin = 37;
+constexpr int kNumOffByDefault = 46;
+constexpr RuleId kOnByDefaultBegin = 83;
+constexpr int kNumOnByDefault = 141;
+constexpr RuleId kImplementationBegin = 224;
+constexpr int kNumImplementation = 32;
+constexpr int kNumNonRequired = kNumRules - kNumRequired;  // 219
+
+RuleCategory CategoryOfRule(RuleId id);
+const char* RuleCategoryName(RuleCategory category);
+
+/// Bit vector of rules contributing to a final plan (Definition 3.2).
+using RuleSignature = BitVector256;
+
+/// A rule configuration: which of the 256 rules are enabled (Definition
+/// 3.1). Required rules are always enabled; the class maintains that
+/// invariant on every mutation.
+class RuleConfig {
+ public:
+  /// All rules enabled except the off-by-default category.
+  static RuleConfig Default();
+
+  /// Every rule enabled (including experimental off-by-default rules).
+  static RuleConfig AllEnabled();
+
+  /// Default configuration with the listed rules force-disabled /
+  /// force-enabled ("hints", §3.3). Required rules cannot be disabled.
+  static RuleConfig WithHints(const std::vector<RuleId>& enable,
+                              const std::vector<RuleId>& disable);
+
+  RuleConfig();
+
+  bool IsEnabled(RuleId id) const { return enabled_.Test(id); }
+  void Enable(RuleId id);
+  /// No-op for required rules.
+  void Disable(RuleId id);
+
+  const BitVector256& bits() const { return enabled_; }
+
+  /// Number of enabled non-required rules.
+  int EnabledNonRequiredCount() const;
+
+  /// Rules disabled relative to the default configuration.
+  std::vector<RuleId> DisabledVsDefault() const;
+
+  uint64_t Hash() const { return enabled_.Hash(); }
+  bool operator==(const RuleConfig& other) const { return enabled_ == other.enabled_; }
+  bool operator!=(const RuleConfig& other) const { return enabled_ != other.enabled_; }
+
+ private:
+  BitVector256 enabled_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_OPTIMIZER_RULE_CONFIG_H_

@@ -1,0 +1,537 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+double LogicalStats::NdvOf(ColumnId col) const {
+  auto it = ndv.find(col);
+  if (it == ndv.end()) return std::max(1.0, rows * 0.1);
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Zipf helpers
+// ---------------------------------------------------------------------------
+
+double GenHarmonic(double k, double s) {
+  if (k < 1.0) return 0.0;
+  constexpr int kExactTerms = 64;
+  double kf = std::floor(k);
+  int exact_upto = static_cast<int>(std::min(kf, static_cast<double>(kExactTerms)));
+  double h = 0.0;
+  for (int i = 1; i <= exact_upto; ++i) h += std::pow(static_cast<double>(i), -s);
+  if (kf <= kExactTerms) return h;
+  // Euler–Maclaurin tail from kExactTerms to k.
+  if (std::abs(s - 1.0) < 1e-9) {
+    return h + std::log(kf / kExactTerms);
+  }
+  return h + (std::pow(kf, 1.0 - s) - std::pow(static_cast<double>(kExactTerms), 1.0 - s)) /
+                 (1.0 - s);
+}
+
+double ZipfCdf(double k, double n, double s) {
+  if (n < 1.0) return 1.0;
+  k = std::clamp(k, 0.0, n);
+  if (k <= 0.0) return 0.0;
+  if (s <= 0.0) return k / n;
+  return GenHarmonic(k, s) / GenHarmonic(n, s);
+}
+
+double ZipfPmf(double k, double n, double s) {
+  if (n < 1.0 || k < 1.0 || k > n) return 0.0;
+  if (s <= 0.0) return 1.0 / n;
+  return std::pow(k, -s) / GenHarmonic(n, s);
+}
+
+double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2) {
+  n1 = std::max(1.0, n1);
+  n2 = std::max(1.0, n2);
+  if (s1 <= 0.0 && s2 <= 0.0) return 1.0 / std::max(n1, n2);
+  double numer = GenHarmonic(std::min(n1, n2), s1 + s2);
+  double denom = GenHarmonic(n1, s1) * GenHarmonic(n2, s2);
+  return std::clamp(numer / denom, 1e-12, 1.0);
+}
+
+double UdfTrueSelectivity(const std::string& name) {
+  uint64_t h = Mix64(HashString(name) ^ 0xabcdULL);
+  return 0.05 + 0.9 * (static_cast<double>(h & 0xffff) / 65535.0);
+}
+
+double UdoTrueSelectivity(const std::string& name) {
+  uint64_t h = Mix64(HashString(name) ^ 0x7d0ULL);
+  return 0.05 + 0.95 * (static_cast<double>(h & 0xffff) / 65535.0);
+}
+
+// ---------------------------------------------------------------------------
+// EstimatedStatsView
+// ---------------------------------------------------------------------------
+
+EstimatedStatsView::EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe,
+                                       int day)
+    : StatsView(universe), catalog_(catalog), day_(day) {}
+
+const OptimizerStreamStats& EstimatedStatsView::StatsFor(int stream_id) const {
+  auto it = cache_.find(stream_id);
+  if (it == cache_.end()) {
+    it = cache_.emplace(stream_id, catalog_->GetOptimizerStats(stream_id, day_)).first;
+  }
+  return it->second;
+}
+
+ColumnDistribution EstimatedStatsView::ColumnDist(ColumnId col) const {
+  const ColumnInfo& info = universe_->info(col);
+  ColumnDistribution dist;
+  if (info.derived) {
+    dist.ndv = std::max(1.0, info.derived_ndv);
+    dist.domain = dist.ndv;
+    dist.avg_width = info.avg_width;
+    return dist;
+  }
+  const StreamSet& set = catalog_->stream_set(info.stream_set_id);
+  // Optimizer-believed NDV: use the set's first stream (errors are keyed per
+  // (set, column), so any member stream carries the same believed NDV).
+  const OptimizerStreamStats& stats = StatsFor(set.stream_ids.front());
+  dist.ndv = std::max(1.0, stats.distinct_counts[static_cast<size_t>(info.column_index)]);
+  const ColumnDef& def = set.columns[static_cast<size_t>(info.column_index)];
+  // The optimizer knows the declared domain but believes values are uniform
+  // over it (no skew knowledge).
+  dist.domain = std::max(1.0, static_cast<double>(def.distinct_count));
+  dist.zipf_skew = 0.0;
+  dist.null_fraction = def.null_fraction;
+  dist.avg_width = def.avg_width;
+  return dist;
+}
+
+double EstimatedStatsView::StreamRows(int stream_id) const {
+  return static_cast<double>(StatsFor(stream_id).row_count);
+}
+
+double EstimatedStatsView::StreamWidth(int stream_id) const {
+  return StatsFor(stream_id).avg_row_width;
+}
+
+double EstimatedStatsView::UdfSelectivity(const Expr& udf) const {
+  return udf.udf_selectivity_guess();
+}
+
+double EstimatedStatsView::ProcessSelectivity(const Operator& op) const {
+  return op.udo_selectivity_guess;
+}
+
+double EstimatedStatsView::ProcessCostPerRow(const Operator& op) const {
+  return op.udo_cost_per_row_guess;
+}
+
+// ---------------------------------------------------------------------------
+// TrueStatsView
+// ---------------------------------------------------------------------------
+
+TrueStatsView::TrueStatsView(const Catalog* catalog, const Job* job)
+    : StatsView(job->columns.get()), catalog_(catalog), job_(job) {}
+
+ColumnDistribution TrueStatsView::ColumnDist(ColumnId col) const {
+  const ColumnInfo& info = universe_->info(col);
+  ColumnDistribution dist;
+  if (info.derived) {
+    dist.ndv = std::max(1.0, info.derived_ndv);
+    dist.domain = dist.ndv;
+    dist.avg_width = info.avg_width;
+    return dist;
+  }
+  const StreamSet& set = catalog_->stream_set(info.stream_set_id);
+  const ColumnDef& def = set.columns[static_cast<size_t>(info.column_index)];
+  dist.ndv = std::max(1.0, static_cast<double>(def.distinct_count));
+  dist.domain = dist.ndv;
+  dist.zipf_skew = def.zipf_skew;
+  dist.null_fraction = def.null_fraction;
+  dist.avg_width = def.avg_width;
+  return dist;
+}
+
+double TrueStatsView::Correlation(ColumnId a, ColumnId b) const {
+  const ColumnInfo& ia = universe_->info(a);
+  const ColumnInfo& ib = universe_->info(b);
+  if (ia.derived || ib.derived) return 0.0;
+  if (ia.stream_set_id != ib.stream_set_id) return 0.0;
+  return catalog_->stream_set(ia.stream_set_id)
+      .CorrelationBetween(ia.column_index, ib.column_index);
+}
+
+double TrueStatsView::StreamRows(int stream_id) const {
+  return static_cast<double>(catalog_->TrueRowCount(stream_id, job_->day));
+}
+
+double TrueStatsView::StreamWidth(int stream_id) const {
+  return catalog_->TrueRowWidth(catalog_->stream(stream_id).stream_set_id);
+}
+
+double TrueStatsView::UdfSelectivity(const Expr& udf) const {
+  return UdfTrueSelectivity(udf.udf_name());
+}
+
+double TrueStatsView::ProcessSelectivity(const Operator& op) const {
+  double sel = UdoTrueSelectivity(op.udo_name) * job_->udo_true_selectivity;
+  return std::clamp(sel, 0.005, 1.0);
+}
+
+double TrueStatsView::ProcessCostPerRow(const Operator& op) const {
+  // True per-row cost: name-keyed base factor scaled by the job's latent.
+  uint64_t h = Mix64(HashString(op.udo_name) ^ 0xc057ULL);
+  double base = 0.5 + 8.0 * (static_cast<double>(h & 0xffff) / 65535.0);
+  return base * job_->udo_true_cost_per_row;
+}
+
+double TrueStatsView::TopValueShare(ColumnId col) const {
+  ColumnDistribution dist = ColumnDist(col);
+  return ZipfPmf(1.0, dist.ndv, dist.zipf_skew);
+}
+
+// ---------------------------------------------------------------------------
+// Predicate selectivity
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double AtomSelectivity(const Expr& atom, const StatsView& view) {
+  switch (atom.kind()) {
+    case ExprKind::kTrue:
+      return 1.0;
+    case ExprKind::kIsNotNull:
+      return 1.0 - view.ColumnDist(atom.column()).null_fraction;
+    case ExprKind::kUdfPredicate:
+      return std::clamp(view.UdfSelectivity(atom), 0.0, 1.0);
+    case ExprKind::kCompare: {
+      const Expr& lhs = *atom.children()[0];
+      const Expr& rhs = *atom.children()[1];
+      if (lhs.kind() == ExprKind::kColumn && rhs.kind() == ExprKind::kLiteral) {
+        ColumnDistribution dist = view.ColumnDist(lhs.column());
+        double not_null = 1.0 - dist.null_fraction;
+        double v = static_cast<double>(rhs.literal());
+        switch (atom.cmp()) {
+          case CmpOp::kEq:
+            return not_null * ZipfPmf(v, dist.domain, dist.zipf_skew) *
+                   (dist.zipf_skew > 0.0 ? 1.0 : dist.domain / std::max(dist.ndv, 1.0));
+          case CmpOp::kNe:
+            return not_null * (1.0 - ZipfPmf(v, dist.domain, dist.zipf_skew));
+          case CmpOp::kLt:
+            return not_null * ZipfCdf(v - 1.0, dist.domain, dist.zipf_skew);
+          case CmpOp::kLe:
+            return not_null * ZipfCdf(v, dist.domain, dist.zipf_skew);
+          case CmpOp::kGt:
+            return not_null * (1.0 - ZipfCdf(v, dist.domain, dist.zipf_skew));
+          case CmpOp::kGe:
+            return not_null * (1.0 - ZipfCdf(v - 1.0, dist.domain, dist.zipf_skew));
+        }
+        return 0.3;
+      }
+      if (lhs.kind() == ExprKind::kColumn && rhs.kind() == ExprKind::kColumn) {
+        ColumnDistribution dl = view.ColumnDist(lhs.column());
+        ColumnDistribution dr = view.ColumnDist(rhs.column());
+        if (atom.cmp() == CmpOp::kEq) {
+          return 1.0 / std::max({dl.ndv, dr.ndv, 1.0});
+        }
+        return 0.3;
+      }
+      return 0.3;
+    }
+    default:
+      return 0.3;
+  }
+}
+
+// Columns referenced by one conjunct (first one found used for correlation
+// bookkeeping).
+std::vector<ColumnId> ConjunctColumns(const ExprPtr& conjunct) {
+  std::vector<ColumnId> cols;
+  conjunct->CollectColumns(&cols);
+  return cols;
+}
+
+}  // namespace
+
+double PredicateSelectivity(const ExprPtr& predicate, const StatsView& view) {
+  if (predicate == nullptr) return 1.0;
+  switch (predicate->kind()) {
+    case ExprKind::kAnd: {
+      std::vector<ExprPtr> conjuncts = SplitConjuncts(predicate);
+      std::vector<double> sels;
+      sels.reserve(conjuncts.size());
+      if (view.UseExponentialBackoff()) {
+        // SQL-Server-2014-style exponential backoff: most selective conjunct
+        // fully, then square-root decay. This makes the estimate depend on
+        // whether conjuncts are collapsed into one Select or stacked in
+        // separate Selects — the shape-sensitivity of paper §5.3.
+        for (const ExprPtr& c : conjuncts) sels.push_back(PredicateSelectivity(c, view));
+        std::sort(sels.begin(), sels.end());
+        double sel = 1.0;
+        double exponent = 1.0;
+        for (size_t i = 0; i < sels.size() && i < 4; ++i) {
+          sel *= std::pow(sels[i], exponent);
+          exponent *= 0.5;
+        }
+        return std::clamp(sel, 0.0, 1.0);
+      }
+      // Truth: correlation-aware product. A conjunct correlated with an
+      // already-applied column contributes a dampened factor s^(1-c).
+      std::sort(conjuncts.begin(), conjuncts.end(),
+                [](const ExprPtr& a, const ExprPtr& b) { return a->Hash(false) < b->Hash(false); });
+      std::vector<ColumnId> applied;
+      double sel = 1.0;
+      for (const ExprPtr& c : conjuncts) {
+        double s = PredicateSelectivity(c, view);
+        std::vector<ColumnId> cols = ConjunctColumns(c);
+        double max_corr = 0.0;
+        for (ColumnId mine : cols) {
+          for (ColumnId prev : applied) {
+            max_corr = std::max(max_corr, view.Correlation(mine, prev));
+          }
+        }
+        sel *= std::pow(std::clamp(s, 1e-12, 1.0), 1.0 - max_corr);
+        applied.insert(applied.end(), cols.begin(), cols.end());
+      }
+      return std::clamp(sel, 0.0, 1.0);
+    }
+    case ExprKind::kOr: {
+      double keep = 1.0;
+      for (const ExprPtr& c : predicate->children()) {
+        keep *= 1.0 - PredicateSelectivity(c, view);
+      }
+      return std::clamp(1.0 - keep, 0.0, 1.0);
+    }
+    case ExprKind::kNot:
+      return std::clamp(1.0 - PredicateSelectivity(predicate->children()[0], view), 0.0, 1.0);
+    default:
+      return std::clamp(AtomSelectivity(*predicate, view), 0.0, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator stats derivation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Collapses physical operator kinds onto their logical estimation semantics.
+OpKind LogicalKindOf(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRangeScan:
+      return OpKind::kGet;
+    case OpKind::kFilter:
+      return OpKind::kSelect;
+    case OpKind::kCompute:
+      return OpKind::kProject;
+    case OpKind::kHashJoin:
+    case OpKind::kBroadcastHashJoin:
+    case OpKind::kMergeJoin:
+    case OpKind::kLoopJoin:
+    case OpKind::kIndexApplyJoin:
+      return OpKind::kJoin;
+    case OpKind::kHashAgg:
+    case OpKind::kStreamAgg:
+      return OpKind::kGroupBy;
+    case OpKind::kPhysicalUnionAll:
+    case OpKind::kVirtualDataset:
+    case OpKind::kSortedUnionAll:
+      return OpKind::kUnionAll;
+    case OpKind::kTopNSort:
+    case OpKind::kTopNHeap:
+      return OpKind::kTop;
+    case OpKind::kProcessVertex:
+      return OpKind::kProcess;
+    case OpKind::kWindowSegment:
+      return OpKind::kWindow;
+    case OpKind::kSampleScan:
+      return OpKind::kSample;
+    case OpKind::kOutputWriter:
+      return OpKind::kOutput;
+    default:
+      return kind;
+  }
+}
+
+void CapNdvToRows(LogicalStats* stats) {
+  for (auto& [col, ndv] : stats->ndv) {
+    ndv = std::max(1.0, std::min(ndv, stats->rows));
+  }
+}
+
+double WidthOfColumns(const std::vector<ColumnId>& cols, const StatsView& view) {
+  double width = 0.0;
+  for (ColumnId c : cols) width += view.ColumnDist(c).avg_width;
+  return std::max(1.0, width);
+}
+
+}  // namespace
+
+LogicalStats DeriveStats(const Operator& op, const std::vector<const LogicalStats*>& children,
+                         const StatsView& view) {
+  LogicalStats out;
+  switch (LogicalKindOf(op.kind)) {
+    case OpKind::kGet: {
+      // partition_fraction is a read-cost reduction (pruning), not a
+      // cardinality change: the pruned partitions provably contain no
+      // matches for the pruning predicate, which stays in the plan.
+      out.rows = view.StreamRows(op.stream_id);
+      out.width = view.StreamWidth(op.stream_id);
+      for (ColumnId c : op.scan_columns) {
+        out.ndv[c] = std::min(view.ColumnDist(c).ndv, out.rows);
+      }
+      break;
+    }
+    case OpKind::kSelect: {
+      const LogicalStats& child = *children.at(0);
+      double sel = PredicateSelectivity(op.predicate, view);
+      out.rows = child.rows * sel;
+      out.width = child.width;
+      out.ndv = child.ndv;
+      break;
+    }
+    case OpKind::kProject: {
+      const LogicalStats& child = *children.at(0);
+      out.rows = child.rows;
+      std::vector<ColumnId> out_cols;
+      for (const NamedExpr& p : op.projections) {
+        out_cols.push_back(p.output);
+        if (p.pass_through && !p.inputs.empty()) {
+          out.ndv[p.output] = child.NdvOf(p.inputs[0]);
+        } else {
+          out.ndv[p.output] = std::min(view.ColumnDist(p.output).ndv, child.rows);
+        }
+      }
+      out.width = WidthOfColumns(out_cols, view);
+      break;
+    }
+    case OpKind::kJoin: {
+      const LogicalStats& left = *children.at(0);
+      // IndexApplyJoin embeds its inner stream; synthesize its stats.
+      LogicalStats synthesized;
+      if (children.size() < 2) {
+        synthesized.rows = view.StreamRows(op.stream_id);
+        synthesized.width = view.StreamWidth(op.stream_id);
+        for (ColumnId c : op.scan_columns) {
+          synthesized.ndv[c] = std::min(view.ColumnDist(c).ndv, synthesized.rows);
+        }
+      }
+      const LogicalStats& right = children.size() >= 2 ? *children.at(1) : synthesized;
+      double match_p = 1.0;
+      for (size_t i = 0; i < op.left_keys.size(); ++i) {
+        ColumnDistribution dl = view.ColumnDist(op.left_keys[i]);
+        ColumnDistribution dr = view.ColumnDist(op.right_keys[i]);
+        double ndv_l = std::min(left.NdvOf(op.left_keys[i]), dl.ndv);
+        double ndv_r = std::min(right.NdvOf(op.right_keys[i]), dr.ndv);
+        match_p *= ZipfJoinMatchProbability(ndv_l, dl.zipf_skew, ndv_r, dr.zipf_skew);
+      }
+      double residual = PredicateSelectivity(op.predicate, view);
+      out.rows = left.rows * right.rows * match_p * residual;
+      if (op.join_type == JoinType::kLeftOuter) {
+        out.rows = std::max(out.rows, left.rows);
+      } else if (op.join_type == JoinType::kLeftSemi) {
+        out.rows = std::min(left.rows, out.rows);
+      }
+      out.ndv = left.ndv;
+      if (op.join_type != JoinType::kLeftSemi) {
+        for (const auto& [col, ndv] : right.ndv) out.ndv[col] = ndv;
+        out.width = left.width + right.width;
+      } else {
+        out.width = left.width;
+      }
+      break;
+    }
+    case OpKind::kGroupBy: {
+      const LogicalStats& child = *children.at(0);
+      double joint = 1.0;
+      for (ColumnId key : op.group_keys) joint *= std::max(1.0, child.NdvOf(key));
+      // Correlated keys reduce the joint distinct count.
+      for (size_t i = 0; i < op.group_keys.size(); ++i) {
+        for (size_t j = i + 1; j < op.group_keys.size(); ++j) {
+          double corr = view.Correlation(op.group_keys[i], op.group_keys[j]);
+          if (corr > 0.0) {
+            double smaller = std::min(child.NdvOf(op.group_keys[i]),
+                                      child.NdvOf(op.group_keys[j]));
+            joint /= std::pow(std::max(1.0, smaller), corr);
+          }
+        }
+      }
+      out.rows = std::min(child.rows, joint);
+      std::vector<ColumnId> out_cols = op.group_keys;
+      for (ColumnId key : op.group_keys) {
+        out.ndv[key] = std::min(child.NdvOf(key), out.rows);
+      }
+      for (const AggExpr& agg : op.aggs) {
+        out.ndv[agg.output] = out.rows;
+        out_cols.push_back(agg.output);
+      }
+      out.width = WidthOfColumns(out_cols, view);
+      // Partial (pre-shuffle) aggregation only collapses duplicates within
+      // each partition; assume a nominal partition count when the physical
+      // DOP is not yet fixed.
+      if (op.kind == OpKind::kPreHashAgg || op.partial_agg) {
+        int partitions = op.dop > 1 ? op.dop : 64;
+        out.rows = std::min(child.rows, joint * partitions);
+      }
+      break;
+    }
+    case OpKind::kUnionAll: {
+      out.rows = 0.0;
+      double width = 8.0;
+      for (const LogicalStats* child : children) {
+        out.rows += child->rows;
+        width = child->width;
+        for (const auto& [col, ndv] : child->ndv) {
+          auto it = out.ndv.find(col);
+          out.ndv[col] = (it == out.ndv.end()) ? ndv : std::max(it->second, ndv);
+        }
+      }
+      out.width = width;
+      break;
+    }
+    case OpKind::kProcess: {
+      const LogicalStats& child = *children.at(0);
+      out.rows = child.rows * std::clamp(view.ProcessSelectivity(op), 0.0, 1.0);
+      out.width = child.width;
+      out.ndv = child.ndv;
+      break;
+    }
+    case OpKind::kTop: {
+      const LogicalStats& child = *children.at(0);
+      out.rows = std::min(child.rows, static_cast<double>(std::max<int64_t>(op.limit, 1)));
+      out.width = child.width;
+      out.ndv = child.ndv;
+      break;
+    }
+    case OpKind::kWindow: {
+      const LogicalStats& child = *children.at(0);
+      out.rows = child.rows;
+      out.width = child.width;
+      out.ndv = child.ndv;
+      for (const NamedExpr& p : op.projections) {
+        out.ndv[p.output] = std::min(view.ColumnDist(p.output).ndv, out.rows);
+        out.width += view.ColumnDist(p.output).avg_width;
+      }
+      break;
+    }
+    case OpKind::kSample: {
+      const LogicalStats& child = *children.at(0);
+      out.rows = child.rows * std::clamp(op.sample_fraction, 0.0, 1.0);
+      out.width = child.width;
+      out.ndv = child.ndv;
+      break;
+    }
+    default: {
+      // Sorts, exchanges, output, filters-as-pass-through.
+      if (!children.empty()) {
+        out = *children.at(0);
+      }
+      break;
+    }
+  }
+  out.rows = std::max(out.rows, 0.0);
+  CapNdvToRows(&out);
+  return out;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,154 @@
+// Cardinality derivation under two views of the data.
+//
+// One derivation engine (DeriveStats + predicate selectivity) is evaluated
+// against two StatsView implementations:
+//
+//  * EstimatedStatsView — what the SCOPE optimizer believes: stale row
+//    counts, sampled NDVs, uniformity (no skew), independence (no
+//    correlations), guessed UDF/UDO selectivities, and SQL-Server-style
+//    exponential backoff when combining conjuncts *within one predicate*.
+//
+//  * TrueStatsView — the generative ground truth used by the execution
+//    simulator: true row counts, zipf skew, pairwise correlations, true
+//    UDF/UDO selectivities.
+//
+// The systematic gap between the two views is exactly the class of
+// estimation error the paper exploits: steering the optimizer away from
+// paths whose estimates are wrong.
+#ifndef QSTEER_OPTIMIZER_STATS_H_
+#define QSTEER_OPTIMIZER_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/job.h"
+
+namespace qsteer {
+
+/// Believed distribution of a single column.
+struct ColumnDistribution {
+  double ndv = 1000.0;
+  /// Values live in [1, domain]; literals are drawn from the true domain.
+  double domain = 1000.0;
+  /// Zipf exponent; 0 = uniform (the optimizer always believes 0).
+  double zipf_skew = 0.0;
+  double null_fraction = 0.0;
+  double avg_width = 8.0;
+};
+
+/// Derived statistics of one plan fragment.
+struct LogicalStats {
+  double rows = 0.0;
+  double width = 8.0;
+  std::unordered_map<ColumnId, double> ndv;
+
+  double NdvOf(ColumnId col) const;
+  double Bytes() const { return rows * width; }
+};
+
+/// Abstract data-statistics oracle.
+class StatsView {
+ public:
+  virtual ~StatsView() = default;
+
+  virtual ColumnDistribution ColumnDist(ColumnId col) const = 0;
+  /// Correlation strength in [0,1] between two columns (0 = independent).
+  virtual double Correlation(ColumnId a, ColumnId b) const = 0;
+  virtual double StreamRows(int stream_id) const = 0;
+  virtual double StreamWidth(int stream_id) const = 0;
+  /// Selectivity of an opaque UDF predicate.
+  virtual double UdfSelectivity(const Expr& udf) const = 0;
+  /// Row selectivity of a Process (user-defined operator).
+  virtual double ProcessSelectivity(const Operator& op) const = 0;
+  /// Relative per-row cost factor of a Process operator.
+  virtual double ProcessCostPerRow(const Operator& op) const = 0;
+  /// Whether AND-combination uses exponential backoff (estimator behaviour)
+  /// instead of the correlation-aware product (true behaviour).
+  virtual bool UseExponentialBackoff() const = 0;
+  /// Mass of the most frequent value of `col` (skew; 0 under uniformity
+  /// beliefs). Drives partition-imbalance in the runtime model.
+  virtual double TopValueShare(ColumnId col) const = 0;
+
+  const ColumnUniverse* universe() const { return universe_; }
+
+ protected:
+  explicit StatsView(const ColumnUniverse* universe) : universe_(universe) {}
+  const ColumnUniverse* universe_;
+};
+
+/// The optimizer's view (stale + simplified).
+class EstimatedStatsView : public StatsView {
+ public:
+  EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe, int day);
+
+  ColumnDistribution ColumnDist(ColumnId col) const override;
+  double Correlation(ColumnId /*a*/, ColumnId /*b*/) const override { return 0.0; }
+  double StreamRows(int stream_id) const override;
+  double StreamWidth(int stream_id) const override;
+  double UdfSelectivity(const Expr& udf) const override;
+  double ProcessSelectivity(const Operator& op) const override;
+  double ProcessCostPerRow(const Operator& op) const override;
+  bool UseExponentialBackoff() const override { return true; }
+  double TopValueShare(ColumnId) const override { return 0.0; }
+
+ private:
+  const Catalog* catalog_;
+  int day_;
+  // Per-stream optimizer stats are cached; repeated Compile calls on one job
+  // hit the same few streams.
+  mutable std::unordered_map<int, OptimizerStreamStats> cache_;
+  const OptimizerStreamStats& StatsFor(int stream_id) const;
+};
+
+/// Ground truth view (generative model + job-level latents).
+class TrueStatsView : public StatsView {
+ public:
+  TrueStatsView(const Catalog* catalog, const Job* job);
+
+  ColumnDistribution ColumnDist(ColumnId col) const override;
+  double Correlation(ColumnId a, ColumnId b) const override;
+  double StreamRows(int stream_id) const override;
+  double StreamWidth(int stream_id) const override;
+  double UdfSelectivity(const Expr& udf) const override;
+  double ProcessSelectivity(const Operator& op) const override;
+  double ProcessCostPerRow(const Operator& op) const override;
+  bool UseExponentialBackoff() const override { return false; }
+  double TopValueShare(ColumnId col) const override;
+
+ private:
+  const Catalog* catalog_;
+  const Job* job_;
+};
+
+/// Selectivity of a predicate under a view. `view.UseExponentialBackoff()`
+/// selects the conjunct-combination policy.
+double PredicateSelectivity(const ExprPtr& predicate, const StatsView& view);
+
+/// Derives output statistics of one operator given child statistics.
+/// Physical operators are mapped onto their logical estimation semantics.
+LogicalStats DeriveStats(const Operator& op, const std::vector<const LogicalStats*>& children,
+                         const StatsView& view);
+
+/// True expected pass rate of a UDF predicate with the given name; must
+/// match Expr::EvalPredicate's per-row behaviour in expectation.
+double UdfTrueSelectivity(const std::string& name);
+
+/// True row selectivity of a Process operator for jobs lacking an explicit
+/// latent (keyed by UDO name).
+double UdoTrueSelectivity(const std::string& name);
+
+/// Generalized harmonic number H(k, s) with Euler–Maclaurin approximation
+/// for large k. Exposed for tests.
+double GenHarmonic(double k, double s);
+/// P(value <= k) under Zipf(s) on [1, n]; uniform when s == 0.
+double ZipfCdf(double k, double n, double s);
+/// P(value == k) under Zipf(s) on [1, n].
+double ZipfPmf(double k, double n, double s);
+/// Expected per-pair match probability of joining two aligned Zipf
+/// distributions (the uniform/uniform case reduces to 1/max(n1, n2)).
+double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_OPTIMIZER_STATS_H_

@@ -1,0 +1,33 @@
+#include "plan/column.h"
+
+namespace qsteer {
+
+ColumnId ColumnUniverse::GetOrAddBaseColumn(int stream_set_id, int column_index,
+                                            const std::string& name) {
+  auto key = std::make_pair(stream_set_id, column_index);
+  auto it = base_index_.find(key);
+  if (it != base_index_.end()) return it->second;
+  ColumnInfo info;
+  info.name = name;
+  info.stream_set_id = stream_set_id;
+  info.column_index = column_index;
+  info.derived = false;
+  ColumnId id = static_cast<ColumnId>(columns_.size());
+  columns_.push_back(std::move(info));
+  base_index_[key] = id;
+  return id;
+}
+
+ColumnId ColumnUniverse::AddDerivedColumn(const std::string& name, double ndv_hint,
+                                          double avg_width) {
+  ColumnInfo info;
+  info.name = name;
+  info.derived = true;
+  info.derived_ndv = ndv_hint;
+  info.avg_width = avg_width;
+  ColumnId id = static_cast<ColumnId>(columns_.size());
+  columns_.push_back(std::move(info));
+  return id;
+}
+
+}  // namespace qsteer

@@ -1,0 +1,50 @@
+// Column identity. Every job owns a ColumnUniverse mapping small integer
+// ColumnIds to column metadata. Base columns are deduplicated per
+// (stream set, column index), so two scans of different streams of the same
+// set produce identical ColumnIds — which is what makes UNION ALL branches
+// over daily streams schema-compatible, as in SCOPE cooking jobs.
+#ifndef QSTEER_PLAN_COLUMN_H_
+#define QSTEER_PLAN_COLUMN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qsteer {
+
+using ColumnId = int32_t;
+constexpr ColumnId kInvalidColumn = -1;
+
+struct ColumnInfo {
+  std::string name;
+  /// Stream set that defines this column; -1 for derived columns.
+  int stream_set_id = -1;
+  /// Index within the stream set schema; -1 for derived columns.
+  int column_index = -1;
+  bool derived = false;
+  /// NDV hint for derived columns (aggregates, computed expressions).
+  double derived_ndv = 1000.0;
+  double avg_width = 8.0;
+};
+
+/// Per-job registry of columns. Not thread-safe; one universe per job.
+class ColumnUniverse {
+ public:
+  /// Returns the id for a base column, creating it on first use.
+  ColumnId GetOrAddBaseColumn(int stream_set_id, int column_index, const std::string& name);
+
+  /// Registers a new derived column (always a fresh id).
+  ColumnId AddDerivedColumn(const std::string& name, double ndv_hint, double avg_width = 8.0);
+
+  const ColumnInfo& info(ColumnId id) const { return columns_[static_cast<size_t>(id)]; }
+  int size() const { return static_cast<int>(columns_.size()); }
+
+ private:
+  std::vector<ColumnInfo> columns_;
+  std::map<std::pair<int, int>, ColumnId> base_index_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_PLAN_COLUMN_H_

@@ -1,0 +1,281 @@
+#include "plan/expr.h"
+
+#include <algorithm>
+
+#include "catalog/datagen.h"
+#include "common/hash.h"
+
+namespace qsteer {
+
+ExprPtr Expr::Column(ColumnId column) {
+  Expr e;
+  e.kind_ = ExprKind::kColumn;
+  e.column_ = column;
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::Literal(int64_t value) {
+  Expr e;
+  e.kind_ = ExprKind::kLiteral;
+  e.literal_ = value;
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  Expr e;
+  e.kind_ = ExprKind::kCompare;
+  e.cmp_ = op;
+  e.children_ = {std::move(lhs), std::move(rhs)};
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::Cmp(ColumnId column, CmpOp op, int64_t value) {
+  return Compare(op, Column(column), Literal(value));
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  Expr e;
+  e.kind_ = ExprKind::kAnd;
+  e.children_ = std::move(children);
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  Expr e;
+  e.kind_ = ExprKind::kOr;
+  e.children_ = std::move(children);
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  Expr e;
+  e.kind_ = ExprKind::kNot;
+  e.children_ = {std::move(child)};
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::IsNotNull(ColumnId column) {
+  Expr e;
+  e.kind_ = ExprKind::kIsNotNull;
+  e.column_ = column;
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::UdfPredicate(std::string name, double selectivity_guess, ColumnId input) {
+  Expr e;
+  e.kind_ = ExprKind::kUdfPredicate;
+  e.udf_name_ = std::move(name);
+  e.udf_selectivity_guess_ = selectivity_guess;
+  e.column_ = input;
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+ExprPtr Expr::True() {
+  Expr e;
+  e.kind_ = ExprKind::kTrue;
+  return std::make_shared<const Expr>(std::move(e));
+}
+
+bool Expr::EvalPredicate(const RowAccessor& row) const {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kCompare: {
+      int64_t lhs = children_[0]->EvalValue(row);
+      int64_t rhs = children_[1]->EvalValue(row);
+      if (lhs == kNullValue || rhs == kNullValue) return false;
+      switch (cmp_) {
+        case CmpOp::kEq:
+          return lhs == rhs;
+        case CmpOp::kNe:
+          return lhs != rhs;
+        case CmpOp::kLt:
+          return lhs < rhs;
+        case CmpOp::kLe:
+          return lhs <= rhs;
+        case CmpOp::kGt:
+          return lhs > rhs;
+        case CmpOp::kGe:
+          return lhs >= rhs;
+      }
+      return false;
+    }
+    case ExprKind::kAnd:
+      for (const ExprPtr& c : children_) {
+        if (!c->EvalPredicate(row)) return false;
+      }
+      return true;
+    case ExprKind::kOr:
+      for (const ExprPtr& c : children_) {
+        if (c->EvalPredicate(row)) return true;
+      }
+      return false;
+    case ExprKind::kNot:
+      return !children_[0]->EvalPredicate(row);
+    case ExprKind::kIsNotNull:
+      return row.Get(column_) != kNullValue;
+    case ExprKind::kUdfPredicate: {
+      // Deterministic pseudo-random row filter: an opaque user predicate
+      // whose *true* pass rate is keyed by its name (it generally differs
+      // from udf_selectivity_guess_ — a deliberate estimation-error source;
+      // the analytic counterpart is UdfTrueSelectivity in optimizer/stats).
+      int64_t v = row.Get(column_);
+      if (v == kNullValue) return false;
+      uint64_t name_hash = Mix64(HashString(udf_name_) ^ 0xabcdULL);
+      double true_rate = 0.05 + 0.9 * (static_cast<double>(name_hash & 0xffff) / 65535.0);
+      uint64_t h = Mix64(HashString(udf_name_) ^ static_cast<uint64_t>(v) * 0x9e3779b97f4aULL);
+      return (static_cast<double>(h & 0xffffff) / 16777215.0) < true_rate;
+    }
+    case ExprKind::kColumn:
+    case ExprKind::kLiteral:
+      return EvalValue(row) != 0;
+  }
+  return false;
+}
+
+int64_t Expr::EvalValue(const RowAccessor& row) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return row.Get(column_);
+    case ExprKind::kLiteral:
+      return literal_;
+    default:
+      return EvalPredicate(row) ? 1 : 0;
+  }
+}
+
+void Expr::CollectColumns(std::vector<ColumnId>* out) const {
+  if (column_ != kInvalidColumn) out->push_back(column_);
+  for (const ExprPtr& c : children_) c->CollectColumns(out);
+}
+
+bool Expr::BoundBy(const std::vector<ColumnId>& sorted_columns) const {
+  std::vector<ColumnId> used;
+  CollectColumns(&used);
+  for (ColumnId c : used) {
+    if (!std::binary_search(sorted_columns.begin(), sorted_columns.end(), c)) return false;
+  }
+  return true;
+}
+
+uint64_t Expr::Hash(bool ignore_literals) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind_) * 131 + 7);
+  switch (kind_) {
+    case ExprKind::kColumn:
+    case ExprKind::kIsNotNull:
+      h = HashCombine(h, static_cast<uint64_t>(column_));
+      break;
+    case ExprKind::kLiteral:
+      h = HashCombine(h, ignore_literals ? 0xfeedULL : static_cast<uint64_t>(literal_));
+      break;
+    case ExprKind::kCompare:
+      h = HashCombine(h, static_cast<uint64_t>(cmp_));
+      break;
+    case ExprKind::kUdfPredicate:
+      h = HashCombine(h, HashString(udf_name_));
+      h = HashCombine(h, static_cast<uint64_t>(column_));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : children_) h = HashCombine(h, c->Hash(ignore_literals));
+  return h;
+}
+
+int Expr::CountAtoms() const {
+  switch (kind_) {
+    case ExprKind::kCompare:
+    case ExprKind::kUdfPredicate:
+    case ExprKind::kIsNotNull:
+      return 1;
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot: {
+      int total = 0;
+      for (const ExprPtr& c : children_) total += c->CountAtoms();
+      return total;
+    }
+    default:
+      return 0;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kTrue:
+      return "true";
+    case ExprKind::kColumn:
+      return "c" + std::to_string(column_);
+    case ExprKind::kLiteral:
+      return std::to_string(literal_);
+    case ExprKind::kCompare:
+      return "(" + children_[0]->ToString() + " " + CmpOpName(cmp_) + " " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kAnd: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kOr: {
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += " OR ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprKind::kIsNotNull:
+      return "c" + std::to_string(column_) + " IS NOT NULL";
+    case ExprKind::kUdfPredicate:
+      return udf_name_ + "(c" + std::to_string(column_) + ")";
+  }
+  return "?";
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr || expr->kind() == ExprKind::kTrue) return out;
+  if (expr->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : expr->children()) {
+      auto sub = SplitConjuncts(c);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return Expr::True();
+  return Expr::And(std::move(conjuncts));
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace qsteer

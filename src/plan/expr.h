@@ -1,0 +1,110 @@
+// Scalar (predicate) expressions: immutable shared trees over ColumnIds and
+// integer literals, with evaluation for the reference executor and
+// structural/template hashing for recurring-job identification.
+#ifndef QSTEER_PLAN_EXPR_H_
+#define QSTEER_PLAN_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/column.h"
+
+namespace qsteer {
+
+enum class ExprKind : uint8_t {
+  kColumn,
+  kLiteral,
+  kCompare,
+  kAnd,
+  kOr,
+  kNot,
+  kIsNotNull,
+  /// Opaque user-defined predicate (C#/Python in SCOPE scripts). The
+  /// optimizer only has a selectivity guess for it; the truth is job-level.
+  kUdfPredicate,
+  /// Always-true predicate (target of the SelectOnTrue cleanup rule).
+  kTrue,
+};
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Row value access used by Expr::Eval; implemented by the reference
+/// executor which knows where each ColumnId lives in its row layout.
+class RowAccessor {
+ public:
+  virtual ~RowAccessor() = default;
+  virtual int64_t Get(ColumnId column) const = 0;
+};
+
+class Expr {
+ public:
+  static ExprPtr Column(ColumnId column);
+  static ExprPtr Literal(int64_t value);
+  static ExprPtr Compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  /// Convenience: column <op> literal.
+  static ExprPtr Cmp(ColumnId column, CmpOp op, int64_t value);
+  static ExprPtr And(std::vector<ExprPtr> children);
+  static ExprPtr Or(std::vector<ExprPtr> children);
+  static ExprPtr Not(ExprPtr child);
+  static ExprPtr IsNotNull(ColumnId column);
+  static ExprPtr UdfPredicate(std::string name, double selectivity_guess, ColumnId input);
+  static ExprPtr True();
+
+  ExprKind kind() const { return kind_; }
+  ColumnId column() const { return column_; }
+  int64_t literal() const { return literal_; }
+  CmpOp cmp() const { return cmp_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const std::string& udf_name() const { return udf_name_; }
+  double udf_selectivity_guess() const { return udf_selectivity_guess_; }
+
+  /// Evaluates to a boolean (for predicate roots) or value (leaves).
+  /// Null semantics: any comparison touching kNullValue is false.
+  bool EvalPredicate(const RowAccessor& row) const;
+  int64_t EvalValue(const RowAccessor& row) const;
+
+  /// Appends every referenced ColumnId (with duplicates) to `out`.
+  void CollectColumns(std::vector<ColumnId>* out) const;
+
+  /// True when every referenced column is present in the sorted id list.
+  bool BoundBy(const std::vector<ColumnId>& sorted_columns) const;
+
+  /// Structural hash. With `ignore_literals`, literal values hash as a fixed
+  /// marker — used by template hashing so recurring jobs that differ only in
+  /// predicate constants share a template (paper §3.1.1).
+  uint64_t Hash(bool ignore_literals) const;
+
+  /// Number of atoms (comparisons / UDF predicates) in the tree.
+  int CountAtoms() const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kTrue;
+  ColumnId column_ = kInvalidColumn;
+  int64_t literal_ = 0;
+  CmpOp cmp_ = CmpOp::kEq;
+  std::vector<ExprPtr> children_;
+  std::string udf_name_;
+  double udf_selectivity_guess_ = 0.5;
+};
+
+/// Splits an AND tree into its conjuncts (flattening nested ANDs); a
+/// non-AND expression yields a single conjunct.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Rebuilds a conjunction from conjuncts; empty input yields True().
+ExprPtr MakeConjunction(std::vector<ExprPtr> conjuncts);
+
+const char* CmpOpName(CmpOp op);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_PLAN_EXPR_H_

@@ -1,0 +1,97 @@
+#include "plan/job.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+PlanNodePtr PlanNode::Make(Operator op, std::vector<PlanNodePtr> children) {
+  auto node = std::make_shared<PlanNode>();
+  node->op = std::move(op);
+  node->children = std::move(children);
+  return node;
+}
+
+namespace {
+
+uint64_t PlanHashImpl(const PlanNode* node, bool for_template,
+                      std::unordered_map<const PlanNode*, uint64_t>* memo) {
+  auto it = memo->find(node);
+  if (it != memo->end()) return it->second;
+  uint64_t h = node->op.Hash(for_template);
+  for (const PlanNodePtr& child : node->children) {
+    h = HashCombine(h, PlanHashImpl(child.get(), for_template, memo));
+  }
+  (*memo)[node] = h;
+  return h;
+}
+
+}  // namespace
+
+uint64_t PlanHash(const PlanNodePtr& root, bool for_template) {
+  if (root == nullptr) return 0;
+  std::unordered_map<const PlanNode*, uint64_t> memo;
+  return PlanHashImpl(root.get(), for_template, &memo);
+}
+
+void VisitPlan(const PlanNodePtr& root, const std::function<void(const PlanNode&)>& fn) {
+  std::unordered_set<const PlanNode*> seen;
+  std::function<void(const PlanNodePtr&)> recurse = [&](const PlanNodePtr& node) {
+    if (node == nullptr || !seen.insert(node.get()).second) return;
+    for (const PlanNodePtr& child : node->children) recurse(child);
+    fn(*node);
+  };
+  recurse(root);
+}
+
+std::string PlanToString(const PlanNodePtr& root) {
+  std::string out;
+  std::unordered_map<const PlanNode*, int> ids;
+  std::function<void(const PlanNodePtr&, int)> recurse = [&](const PlanNodePtr& node,
+                                                             int depth) {
+    for (int i = 0; i < depth; ++i) out += "  ";
+    auto it = ids.find(node.get());
+    if (it != ids.end()) {
+      out += "@" + std::to_string(it->second) + " (shared)\n";
+      return;
+    }
+    int id = static_cast<int>(ids.size());
+    ids[node.get()] = id;
+    out += "@" + std::to_string(id) + " " + node->op.ToString() + "\n";
+    for (const PlanNodePtr& child : node->children) recurse(child, depth + 1);
+  };
+  if (root != nullptr) recurse(root, 0);
+  return out;
+}
+
+uint64_t Job::TemplateHash() const { return PlanHash(root, /*for_template=*/true); }
+
+std::vector<uint64_t> Job::InputHashes() const {
+  std::vector<uint64_t> out;
+  for (int stream : InputStreams()) {
+    out.push_back(Mix64(static_cast<uint64_t>(stream) + 0x51beefULL));
+  }
+  return out;
+}
+
+int Job::NumOperators() const {
+  int count = 0;
+  VisitPlan(root, [&count](const PlanNode&) { ++count; });
+  return count;
+}
+
+std::vector<int> Job::InputStreams() const {
+  std::vector<int> out;
+  VisitPlan(root, [&out](const PlanNode& node) {
+    if (node.op.kind == OpKind::kGet) out.push_back(node.op.stream_id);
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace qsteer

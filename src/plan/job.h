@@ -1,0 +1,82 @@
+// User-facing job representation: an immutable logical-plan DAG plus job
+// metadata (day, latent UDO truth, template identity).
+#ifndef QSTEER_PLAN_JOB_H_
+#define QSTEER_PLAN_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/column.h"
+#include "plan/operator.h"
+
+namespace qsteer {
+
+struct PlanNode;
+using PlanNodePtr = std::shared_ptr<const PlanNode>;
+
+/// One node of the logical plan DAG. Children may be shared between parents
+/// (SCOPE jobs are DAGs, not trees: a cooked stream can feed several
+/// consumers).
+struct PlanNode {
+  Operator op;
+  std::vector<PlanNodePtr> children;
+
+  static PlanNodePtr Make(Operator op, std::vector<PlanNodePtr> children = {});
+};
+
+/// A SCOPE job: the compiled script as a logical DAG plus everything the
+/// steering pipeline needs to know about it.
+struct Job {
+  std::string name;
+  int day = 0;
+  /// Identifier of the workload the job belongs to ("A"/"B"/"C").
+  std::string workload;
+  std::shared_ptr<ColumnUniverse> columns;
+  PlanNodePtr root;  // kOutput node
+
+  /// Latent ground truth for the job's user-defined operators: the real
+  /// selectivity/cost the optimizer cannot see (it uses the per-operator
+  /// guesses embedded in the plan).
+  double udo_true_selectivity = 1.0;
+  double udo_true_cost_per_row = 2.0;
+
+  /// Index of the template that generated this job (workload generator
+  /// bookkeeping; TemplateHash() must agree across jobs of one template).
+  int template_index = -1;
+
+  /// Rule hints the submitting customer attached to the script (paper §3.3:
+  /// "rule flags are already available and often used by customers"). The
+  /// production configuration of the job is the default configuration plus
+  /// these enables.
+  std::vector<int> customer_hints;
+
+  /// Structural template hash: ignores literals and stream variants, so the
+  /// same recurring script over fresh daily inputs maps to one template.
+  uint64_t TemplateHash() const;
+
+  /// Hashes of the distinct physical inputs read by this job.
+  std::vector<uint64_t> InputHashes() const;
+
+  /// Number of distinct operator nodes in the DAG.
+  int NumOperators() const;
+
+  /// Distinct stream ids read by the job.
+  std::vector<int> InputStreams() const;
+};
+
+/// Structural hash of a plan DAG. Shared subtrees hash once.
+uint64_t PlanHash(const PlanNodePtr& root, bool for_template);
+
+/// Multi-line indented rendering of a plan DAG (shared nodes annotated).
+std::string PlanToString(const PlanNodePtr& root);
+
+/// Applies `fn` to every distinct node of the DAG exactly once, children
+/// before parents.
+void VisitPlan(const PlanNodePtr& root, const std::function<void(const PlanNode&)>& fn);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_PLAN_JOB_H_

@@ -1,0 +1,210 @@
+#include "plan/operator.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+namespace {
+
+uint64_t HashColumns(const std::vector<ColumnId>& cols, uint64_t h) {
+  for (ColumnId c : cols) h = HashCombine(h, static_cast<uint64_t>(c) + 1);
+  return h;
+}
+
+}  // namespace
+
+uint64_t Operator::Hash(bool for_template) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(kind) * 0x9e37 + 0x1234);
+  switch (kind) {
+    case OpKind::kGet:
+    case OpKind::kRangeScan:
+    case OpKind::kSampleScan:
+      h = HashCombine(h, static_cast<uint64_t>(stream_set_id) + 1);
+      if (!for_template) {
+        h = HashCombine(h, static_cast<uint64_t>(stream_id) + 1);
+        h = HashCombine(h, static_cast<uint64_t>(partition_fraction * 1e6));
+      }
+      h = HashColumns(scan_columns, h);
+      break;
+    default:
+      break;
+  }
+  if (predicate != nullptr) h = HashCombine(h, predicate->Hash(/*ignore_literals=*/for_template));
+  h = HashCombine(h, static_cast<uint64_t>(join_type));
+  h = HashColumns(left_keys, h);
+  h = HashColumns(right_keys, h);
+  h = HashCombine(h, static_cast<uint64_t>(build_side));
+  h = HashColumns(group_keys, h);
+  if (partial_agg) h = HashCombine(h, 0x9a97);
+  for (const AggExpr& a : aggs) {
+    h = HashCombine(h, static_cast<uint64_t>(a.func) * 131 + static_cast<uint64_t>(a.arg + 2));
+    h = HashCombine(h, static_cast<uint64_t>(a.output + 2));
+  }
+  for (const NamedExpr& p : projections) {
+    h = HashCombine(h, static_cast<uint64_t>(p.output + 2));
+    h = HashCombine(h, p.pass_through ? 0x11 : 0x22);
+    h = HashColumns(p.inputs, h);
+    h = HashCombine(h, p.fn_seed);
+  }
+  if (limit != 0) {
+    h = HashCombine(h, for_template ? 0x77ULL : static_cast<uint64_t>(limit));
+  }
+  h = HashColumns(sort_keys, h);
+  if (!udo_name.empty()) h = HashCombine(h, HashString(udo_name));
+  h = HashColumns(window_keys, h);
+  if (sample_fraction != 1.0 && !for_template) {
+    h = HashCombine(h, static_cast<uint64_t>(sample_fraction * 1e6));
+  }
+  if (kind == OpKind::kExchange) {
+    h = HashCombine(h, static_cast<uint64_t>(exchange) + 0x40);
+    h = HashColumns(exchange_keys, h);
+  }
+  if (IsPhysical() && !for_template) h = HashCombine(h, static_cast<uint64_t>(dop));
+  return h;
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGet:
+      return "Get";
+    case OpKind::kSelect:
+      return "Select";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kGroupBy:
+      return "GroupBy";
+    case OpKind::kUnionAll:
+      return "UnionAll";
+    case OpKind::kProcess:
+      return "Process";
+    case OpKind::kTop:
+      return "Top";
+    case OpKind::kWindow:
+      return "Window";
+    case OpKind::kSample:
+      return "Sample";
+    case OpKind::kOutput:
+      return "Output";
+    case OpKind::kRangeScan:
+      return "RangeScan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kCompute:
+      return "Compute";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kBroadcastHashJoin:
+      return "BroadcastHashJoin";
+    case OpKind::kMergeJoin:
+      return "MergeJoin";
+    case OpKind::kLoopJoin:
+      return "LoopJoin";
+    case OpKind::kIndexApplyJoin:
+      return "IndexApplyJoin";
+    case OpKind::kHashAgg:
+      return "HashAgg";
+    case OpKind::kStreamAgg:
+      return "StreamAgg";
+    case OpKind::kPreHashAgg:
+      return "PreHashAgg";
+    case OpKind::kPhysicalUnionAll:
+      return "PhysicalUnionAll";
+    case OpKind::kVirtualDataset:
+      return "VirtualDataset";
+    case OpKind::kSortedUnionAll:
+      return "SortedUnionAll";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kTopNSort:
+      return "TopNSort";
+    case OpKind::kTopNHeap:
+      return "TopNHeap";
+    case OpKind::kExchange:
+      return "Exchange";
+    case OpKind::kProcessVertex:
+      return "ProcessVertex";
+    case OpKind::kWindowSegment:
+      return "WindowSegment";
+    case OpKind::kSampleScan:
+      return "SampleScan";
+    case OpKind::kOutputWriter:
+      return "OutputWriter";
+  }
+  return "?";
+}
+
+std::string Operator::ToString() const {
+  std::string out = OpKindName(kind);
+  if (kind == OpKind::kGet || kind == OpKind::kRangeScan) {
+    out += "(stream=" + std::to_string(stream_id) + ")";
+  } else if (predicate != nullptr && predicate->kind() != ExprKind::kTrue) {
+    out += "(" + predicate->ToString() + ")";
+  } else if (kind == OpKind::kExchange) {
+    out += exchange == ExchangeKind::kRepartition
+               ? "(repartition)"
+               : (exchange == ExchangeKind::kGather ? "(gather)" : "(broadcast)");
+  }
+  if (IsPhysical()) out += "[dop=" + std::to_string(dop) + "]";
+  return out;
+}
+
+std::vector<ColumnId> OutputColumns(const Operator& op,
+                                    const std::vector<std::vector<ColumnId>>& child_outputs) {
+  std::vector<ColumnId> out;
+  switch (op.kind) {
+    case OpKind::kGet:
+    case OpKind::kRangeScan:
+    case OpKind::kSampleScan:
+      out = op.scan_columns;
+      break;
+    case OpKind::kProject:
+    case OpKind::kCompute:
+      for (const NamedExpr& p : op.projections) out.push_back(p.output);
+      break;
+    case OpKind::kIndexApplyJoin:
+      // Single-child form: the inner side is the seekable stream embedded in
+      // the operator itself.
+      out = child_outputs.at(0);
+      if (op.join_type != JoinType::kLeftSemi) {
+        out.insert(out.end(), op.scan_columns.begin(), op.scan_columns.end());
+      }
+      break;
+    case OpKind::kJoin:
+    case OpKind::kHashJoin:
+    case OpKind::kBroadcastHashJoin:
+    case OpKind::kMergeJoin:
+    case OpKind::kLoopJoin:
+      out = child_outputs.at(0);
+      if (op.join_type != JoinType::kLeftSemi) {
+        const std::vector<ColumnId>& right = child_outputs.at(1);
+        out.insert(out.end(), right.begin(), right.end());
+      }
+      break;
+    case OpKind::kGroupBy:
+    case OpKind::kHashAgg:
+    case OpKind::kStreamAgg:
+    case OpKind::kPreHashAgg:
+      out = op.group_keys;
+      for (const AggExpr& a : op.aggs) out.push_back(a.output);
+      break;
+    case OpKind::kWindow:
+    case OpKind::kWindowSegment:
+      out = child_outputs.at(0);
+      for (const NamedExpr& p : op.projections) out.push_back(p.output);
+      break;
+    default:
+      // Filters, unions, exchanges, sorts, tops, process, output: schema
+      // passes through the first child.
+      if (!child_outputs.empty()) out = child_outputs[0];
+      break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace qsteer

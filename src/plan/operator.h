@@ -1,0 +1,150 @@
+// Operator descriptors shared by the user-facing plan DAG and the optimizer
+// memo. One "fat" value struct covers all logical and physical operators —
+// the standard prototype-optimizer tradeoff: a closed operator algebra with
+// cheap hashing/equality, which the memo needs for deduplication.
+#ifndef QSTEER_PLAN_OPERATOR_H_
+#define QSTEER_PLAN_OPERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace qsteer {
+
+enum class OpKind : uint8_t {
+  // --- Logical operators (SCOPE script algebra) ---
+  kGet,       // read one stream
+  kSelect,    // row filter
+  kProject,   // column projection / computed columns
+  kJoin,      // logical join (type + equi keys)
+  kGroupBy,   // aggregation ("Reduce" in SCOPE terms)
+  kUnionAll,  // n-ary bag union over schema-compatible inputs
+  kProcess,   // user-defined operator (C#/Python processor)
+  kTop,       // top-N by sort keys
+  kWindow,    // windowed analytic (rare)
+  kSample,    // bernoulli sampling (rare)
+  kOutput,    // job sink
+
+  // --- Physical operators ---
+  kRangeScan,
+  kFilter,
+  kCompute,
+  kHashJoin,
+  kBroadcastHashJoin,
+  kMergeJoin,
+  kLoopJoin,
+  kIndexApplyJoin,
+  kHashAgg,
+  kStreamAgg,
+  kPreHashAgg,  // local (partial) aggregation below the shuffle
+  kPhysicalUnionAll,
+  kVirtualDataset,  // metadata-only union of co-located streams
+  kSortedUnionAll,
+  kSort,
+  kTopNSort,
+  kTopNHeap,
+  kExchange,
+  kProcessVertex,
+  kWindowSegment,
+  kSampleScan,
+  kOutputWriter,
+};
+
+enum class JoinType : uint8_t { kInner, kLeftOuter, kLeftSemi };
+enum class ExchangeKind : uint8_t { kRepartition, kGather, kBroadcast };
+
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax };
+
+struct AggExpr {
+  AggFunc func = AggFunc::kCount;
+  ColumnId arg = kInvalidColumn;  // ignored for kCount
+  ColumnId output = kInvalidColumn;
+};
+
+/// One output column of a Project/Window: either a pass-through of an input
+/// column or a deterministic computed function of one or two inputs.
+struct NamedExpr {
+  ColumnId output = kInvalidColumn;
+  bool pass_through = true;
+  std::vector<ColumnId> inputs;
+  /// Seed distinguishing computed functions (executor hashes inputs with it).
+  uint64_t fn_seed = 0;
+};
+
+struct Operator {
+  OpKind kind = OpKind::kGet;
+
+  // kGet / kRangeScan
+  int stream_id = -1;
+  int stream_set_id = -1;
+  std::vector<ColumnId> scan_columns;
+  /// Fraction of partitions kept after partition pruning (SelectPartitions).
+  double partition_fraction = 1.0;
+
+  // kSelect / kFilter / join condition residual
+  ExprPtr predicate;
+
+  // kJoin and physical joins
+  JoinType join_type = JoinType::kInner;
+  std::vector<ColumnId> left_keys;
+  std::vector<ColumnId> right_keys;
+  /// 0 = build/broadcast the right input, 1 = the left input.
+  int build_side = 0;
+
+  // kGroupBy and physical aggregations
+  std::vector<ColumnId> group_keys;
+  std::vector<AggExpr> aggs;
+  /// Partial (pre-shuffle) aggregation: collapses duplicates per partition
+  /// only. Set by the PartialAggregation rewrite.
+  bool partial_agg = false;
+
+  // kProject / kCompute / kWindow output definitions
+  std::vector<NamedExpr> projections;
+
+  // kTop / kSort / kTopNSort / kTopNHeap
+  int64_t limit = 0;
+  std::vector<ColumnId> sort_keys;
+
+  // kProcess / kProcessVertex
+  std::string udo_name;
+  double udo_selectivity_guess = 1.0;
+  double udo_cost_per_row_guess = 2.0;
+
+  // kWindow / kWindowSegment
+  std::vector<ColumnId> window_keys;
+
+  // kSample / kSampleScan
+  double sample_fraction = 1.0;
+
+  // kExchange
+  ExchangeKind exchange = ExchangeKind::kRepartition;
+  std::vector<ColumnId> exchange_keys;
+
+  // Physical-only: degree of parallelism chosen by the optimizer.
+  int dop = 1;
+
+  bool IsLogical() const { return kind <= OpKind::kOutput; }
+  bool IsPhysical() const { return !IsLogical(); }
+
+  /// Structural hash of the descriptor (children excluded). With
+  /// `for_template`, literals hash as markers and stream identity collapses
+  /// to the stream *set*, so recurring jobs over fresh daily streams hash
+  /// identically (paper §3.1.1's template identification).
+  uint64_t Hash(bool for_template) const;
+
+  std::string ToString() const;
+};
+
+const char* OpKindName(OpKind kind);
+
+/// Output columns of an operator, given its children's output columns.
+/// Returned list is sorted ascending (column order is not semantically
+/// meaningful in this algebra; sorting makes set operations cheap).
+std::vector<ColumnId> OutputColumns(const Operator& op,
+                                    const std::vector<std::vector<ColumnId>>& child_outputs);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_PLAN_OPERATOR_H_

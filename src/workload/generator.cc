@@ -1,0 +1,656 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace qsteer {
+
+WorkloadSpec WorkloadSpec::WorkloadA(double scale) {
+  WorkloadSpec spec;
+  spec.name = "A";
+  spec.seed = 0xA001;
+  spec.num_templates = std::max(20, static_cast<int>(48000 * scale));
+  spec.jobs_per_day = static_cast<int>(95000 * scale);
+  spec.num_stream_sets = std::max(24, static_cast<int>(2000 * scale));
+  spec.log_set_fraction = 0.45;
+  spec.data_scale = 1.0;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::WorkloadB(double scale) {
+  WorkloadSpec spec;
+  spec.name = "B";
+  spec.seed = 0xB002;
+  spec.num_templates = std::max(12, static_cast<int>(10500 * scale));
+  spec.jobs_per_day = static_cast<int>(15000 * scale);
+  spec.num_stream_sets = std::max(16, static_cast<int>(700 * scale));
+  spec.log_set_fraction = 0.55;  // B is union/cooking heavy (longer jobs)
+  spec.data_scale = 2.5;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::WorkloadC(double scale) {
+  WorkloadSpec spec;
+  spec.name = "C";
+  spec.seed = 0xC003;
+  spec.num_templates = std::max(16, static_cast<int>(22000 * scale));
+  spec.jobs_per_day = static_cast<int>(40000 * scale);
+  spec.num_stream_sets = std::max(20, static_cast<int>(1400 * scale));
+  spec.log_set_fraction = 0.35;
+  spec.data_scale = 4.0;  // C jobs run longest (paper §6.2)
+  return spec;
+}
+
+namespace {
+
+const char* kColumnNames[] = {"key",  "uid",   "ts",    "region", "status",
+                              "kind", "value", "score", "bytes",  "flag"};
+
+/// A plan fragment with its output column set (sorted).
+struct Frag {
+  PlanNodePtr node;
+  std::vector<ColumnId> cols;
+};
+
+}  // namespace
+
+Workload::Workload(WorkloadSpec spec) : spec_(std::move(spec)) {
+  catalog_ = std::make_unique<Catalog>();
+  Pcg32 rng(spec_.seed, /*stream=*/7);
+  for (int s = 0; s < spec_.num_stream_sets; ++s) {
+    StreamSet set;
+    set.name = "ws_" + spec_.name + "_" + std::to_string(s);
+    bool is_log = rng.NextDouble() < spec_.log_set_fraction;
+    // Dimension row counts are decided up front so the leading column can be
+    // a (near-)unique key: joins against dimensions then behave like
+    // key/foreign-key joins instead of exploding.
+    double dim_rows = std::pow(10.0, rng.UniformDouble(4.0, 6.3)) * spec_.data_scale;
+    int num_cols = static_cast<int>(rng.UniformInt(4, 8));
+    for (int c = 0; c < num_cols; ++c) {
+      ColumnDef col;
+      col.name = std::string(kColumnNames[c % 10]) + std::to_string(c);
+      col.type = ColumnType::kInt64;
+      if (c == 0) {
+        // Leading column: the natural key / partition column. For
+        // dimensions it is (nearly) unique.
+        col.distinct_count = is_log ? static_cast<int64_t>(
+                                          std::pow(10.0, rng.UniformDouble(4.0, 6.5)))
+                                    : std::max<int64_t>(
+                                          1, static_cast<int64_t>(
+                                                 dim_rows * rng.UniformDouble(0.6, 1.0)));
+      } else {
+        col.distinct_count =
+            static_cast<int64_t>(std::pow(10.0, rng.UniformDouble(1.0, 5.0)));
+      }
+      // Dimension keys are unique and unskewed; other columns may be skewed.
+      if (!(c == 0 && !is_log) && rng.NextBool(0.5)) {
+        col.zipf_skew = rng.UniformDouble(0.4, 1.4);
+      }
+      if (rng.NextBool(0.3)) col.null_fraction = rng.UniformDouble(0.01, 0.08);
+      col.avg_width = rng.UniformDouble(6.0, 36.0);
+      set.columns.push_back(std::move(col));
+    }
+    int num_corr = static_cast<int>(rng.UniformInt(1, 3));
+    for (int k = 0; k < num_corr; ++k) {
+      CorrelationSpec corr;
+      corr.column_a = static_cast<int>(rng.UniformInt(0, num_cols - 2));
+      corr.column_b = static_cast<int>(rng.UniformInt(corr.column_a + 1, num_cols - 1));
+      corr.strength = rng.UniformDouble(0.3, 0.95);
+      set.correlations.push_back(corr);
+    }
+    set.daily_growth = rng.UniformDouble(0.0, 0.04);
+    int set_id = catalog_->AddStreamSet(std::move(set));
+
+    int num_streams = is_log ? static_cast<int>(rng.UniformInt(4, 16)) : 1;
+    for (int v = 0; v < num_streams; ++v) {
+      double rows =
+          is_log ? std::pow(10.0, rng.UniformDouble(6.5, 9.3)) * spec_.data_scale : dim_rows;
+      catalog_->AddStream(set_id,
+                          catalog_->stream_set(set_id).name + "_d" + std::to_string(v),
+                          static_cast<int64_t>(rows),
+                          static_cast<int>(rng.UniformInt(8, 200)));
+    }
+  }
+}
+
+int Workload::InstancesOnDay(int template_id, int day) const {
+  // Structural base frequency: most templates recur once per day, a tail
+  // recurs many times (paper: 95K jobs over 48K templates).
+  Pcg32 struct_rng(HashCombine(spec_.seed, static_cast<uint64_t>(template_id)), 11);
+  double roll = struct_rng.NextDouble();
+  int base = 1;
+  if (roll > 0.90) {
+    base = static_cast<int>(struct_rng.UniformInt(5, 15));
+  } else if (roll > 0.70) {
+    base = static_cast<int>(struct_rng.UniformInt(2, 4));
+  }
+  // Mild day-to-day jitter; some days a template does not arrive at all.
+  Pcg32 day_rng(
+      HashCombine(HashCombine(spec_.seed, static_cast<uint64_t>(template_id)),
+                  static_cast<uint64_t>(day) + 0xdab),
+      13);
+  if (base == 1) return day_rng.NextBool(0.9) ? 1 : 0;
+  double jitter = 0.7 + 0.6 * day_rng.NextDouble();
+  return std::max(0, static_cast<int>(std::lround(base * jitter)));
+}
+
+std::vector<Job> Workload::JobsForDay(int day) const {
+  std::vector<Job> jobs;
+  jobs.reserve(static_cast<size_t>(spec_.jobs_per_day));
+  for (int t = 0; t < spec_.num_templates; ++t) {
+    int instances = InstancesOnDay(t, day);
+    for (int i = 0; i < instances; ++i) {
+      jobs.push_back(MakeJob(t, day, i));
+    }
+  }
+  return jobs;
+}
+
+namespace {
+
+/// Per-template plan construction. Structural choices come from struct_rng
+/// (stable across days); literals, shard rotation and latent truths come
+/// from inst_rng (fresh per (day, instance)).
+class TemplateBuilder {
+ public:
+  TemplateBuilder(const Catalog& catalog, uint64_t workload_seed, int template_id, int day,
+                  int instance)
+      : catalog_(catalog),
+        struct_rng_(HashCombine(workload_seed, static_cast<uint64_t>(template_id)), 17),
+        inst_rng_(HashCombine(HashCombine(workload_seed, static_cast<uint64_t>(template_id)),
+                              HashCombine(static_cast<uint64_t>(day),
+                                          static_cast<uint64_t>(instance))),
+                  19),
+        template_id_(template_id),
+        day_(day) {
+    universe_ = std::make_shared<ColumnUniverse>();
+  }
+
+  Job Build(const std::string& workload_name) {
+    double archetype = struct_rng_.NextDouble();
+    Frag body;
+    if (archetype < 0.25) {
+      body = BuildCook();
+    } else if (archetype < 0.55) {
+      body = BuildJoinAnalytics();
+    } else if (archetype < 0.65) {
+      body = BuildSemiFunnel();
+    } else if (archetype < 0.80) {
+      body = BuildUdoPipeline();
+    } else if (archetype < 0.88) {
+      body = BuildSharedDag();
+    } else if (archetype < 0.98) {
+      body = BuildTopkReport();
+    } else {
+      body = BuildRareShape();
+    }
+
+    Operator output;
+    output.kind = OpKind::kOutput;
+    Job job;
+    job.name = "job_" + workload_name + "_t" + std::to_string(template_id_) + "_d" +
+               std::to_string(day_);
+    job.day = day_;
+    job.workload = workload_name;
+    job.columns = universe_;
+    job.root = PlanNode::Make(std::move(output), {body.node});
+    job.template_index = template_id_;
+    // A minority of templates carry customer rule hints enabling
+    // off-by-default rules (the paper's §3.3 deployment path: "rule flags
+    // are already available and often used by customers") — this is why some
+    // off-by-default rules appear in production signatures (Table 2). Hints
+    // are shape-aware: a customer enables a rule relevant to their script.
+    if (!applicable_hints_.empty() && struct_rng_.NextBool(0.18)) {
+      int hints = struct_rng_.NextBool(0.3) ? 2 : 1;
+      for (int h = 0; h < hints && h < static_cast<int>(applicable_hints_.size()); ++h) {
+        job.customer_hints.push_back(applicable_hints_[static_cast<size_t>(
+            struct_rng_.UniformInt(0, static_cast<int>(applicable_hints_.size()) - 1))]);
+      }
+    }
+    // Latent truths drift per instance — recurring jobs are similar but not
+    // identical (paper §6.4: behaviour can evolve with inputs).
+    job.udo_true_selectivity = std::exp(0.20 * inst_rng_.NextGaussian());
+    job.udo_true_cost_per_row =
+        std::exp(struct_rng_.UniformDouble(-0.3, 1.2) + 0.2 * inst_rng_.NextGaussian());
+    return job;
+  }
+
+ private:
+  // --- stream/column helpers ---
+
+  int PickSet(bool want_log) {
+    // Never reuse a stream set within one template: scans of the same set
+    // share ColumnIds (union compatibility), so reuse would alias columns
+    // across unrelated join inputs.
+    int fallback = -1;
+    for (int tries = 0; tries < 96; ++tries) {
+      int set_id = static_cast<int>(struct_rng_.UniformInt(0, catalog_.num_stream_sets() - 1));
+      const StreamSet& set = catalog_.stream_set(set_id);
+      bool is_log = set.stream_ids.size() > 1;
+      if (is_log != want_log) continue;
+      if (std::find(used_sets_.begin(), used_sets_.end(), set_id) != used_sets_.end()) {
+        fallback = set_id;
+        continue;
+      }
+      used_sets_.push_back(set_id);
+      return set_id;
+    }
+    // Tiny catalogs may force reuse of a matching set; prefer that over a
+    // wrong-kind set.
+    if (fallback >= 0) return fallback;
+    return 0;
+  }
+
+  std::vector<ColumnId> SetColumns(int set_id) {
+    const StreamSet& set = catalog_.stream_set(set_id);
+    std::vector<ColumnId> cols;
+    for (size_t c = 0; c < set.columns.size(); ++c) {
+      cols.push_back(universe_->GetOrAddBaseColumn(set_id, static_cast<int>(c),
+                                                   set.columns[c].name));
+    }
+    std::sort(cols.begin(), cols.end());
+    return cols;
+  }
+
+  Frag Scan(int set_id, int shard_offset = 0) {
+    const StreamSet& set = catalog_.stream_set(set_id);
+    // Daily rotation: the same template reads a different shard every day.
+    int shard = (shard_offset + day_) % static_cast<int>(set.stream_ids.size());
+    Operator op;
+    op.kind = OpKind::kGet;
+    op.stream_id = set.stream_ids[static_cast<size_t>(shard)];
+    op.stream_set_id = set_id;
+    op.scan_columns = SetColumns(set_id);
+    Frag f;
+    f.cols = op.scan_columns;
+    f.node = PlanNode::Make(std::move(op), {});
+    return f;
+  }
+
+  /// Union over several daily shards of a log set (the SCOPE cooking
+  /// pattern).
+  Frag UnionSource(int set_id) {
+    const StreamSet& set = catalog_.stream_set(set_id);
+    int shards = static_cast<int>(set.stream_ids.size());
+    int width = static_cast<int>(struct_rng_.UniformInt(2, std::min(shards, 12)));
+    std::vector<PlanNodePtr> branches;
+    Frag first;
+    for (int j = 0; j < width; ++j) {
+      Frag f = Scan(set_id, j);
+      if (j == 0) first = f;
+      branches.push_back(f.node);
+    }
+    Operator u;
+    u.kind = OpKind::kUnionAll;
+    Frag out;
+    out.cols = first.cols;
+    out.node = PlanNode::Make(std::move(u), std::move(branches));
+    return out;
+  }
+
+  ExprPtr MakeAtom(const std::vector<ColumnId>& cols) {
+    ColumnId col = cols[static_cast<size_t>(struct_rng_.UniformInt(
+        0, static_cast<int>(cols.size()) - 1))];
+    const ColumnInfo& info = universe_->info(col);
+    double roll = struct_rng_.NextDouble();
+    if (roll < 0.06) return Expr::IsNotNull(col);
+    if (roll < 0.14) {
+      std::string udf =
+          "udf_t" + std::to_string(template_id_) + "_" + std::to_string(udf_counter_++);
+      return Expr::UdfPredicate(udf, struct_rng_.UniformDouble(0.2, 0.9), col);
+    }
+    int64_t domain = 1000;
+    if (!info.derived) {
+      domain = catalog_.stream_set(info.stream_set_id)
+                   .columns[static_cast<size_t>(info.column_index)]
+                   .distinct_count;
+    }
+    // The literal varies per instance (recurring template, new constants).
+    int64_t value = inst_rng_.UniformInt(1, std::max<int64_t>(1, domain));
+    double kind = struct_rng_.NextDouble();
+    CmpOp op = kind < 0.35 ? CmpOp::kEq
+                           : (kind < 0.6 ? CmpOp::kLe : (kind < 0.85 ? CmpOp::kGe : CmpOp::kNe));
+    return Expr::Cmp(col, op, value);
+  }
+
+  ExprPtr MakePredicate(const std::vector<ColumnId>& cols, int min_atoms, int max_atoms) {
+    int atoms = static_cast<int>(struct_rng_.UniformInt(min_atoms, max_atoms));
+    if (atoms <= 0) return Expr::True();
+    std::vector<ExprPtr> conjuncts;
+    for (int i = 0; i < atoms; ++i) {
+      if (struct_rng_.NextBool(0.12) && atoms > 1) {
+        conjuncts.push_back(Expr::Or({MakeAtom(cols), MakeAtom(cols)}));
+      } else {
+        conjuncts.push_back(MakeAtom(cols));
+      }
+    }
+    // Script-author sloppiness the cleanup rewrites target: duplicated
+    // conjuncts (RemoveDupPredicates) and constant guards left behind by
+    // templating (ConstantFolding).
+    if (!conjuncts.empty() && struct_rng_.NextBool(0.05)) {
+      conjuncts.push_back(conjuncts[0]);
+    }
+    if (struct_rng_.NextBool(0.04)) {
+      conjuncts.push_back(Expr::Compare(CmpOp::kEq, Expr::Literal(1), Expr::Literal(1)));
+    }
+    return MakeConjunction(std::move(conjuncts));
+  }
+
+  Frag Select(Frag input, int min_atoms = 1, int max_atoms = 3) {
+    Operator op;
+    op.kind = OpKind::kSelect;
+    op.predicate = MakePredicate(input.cols, min_atoms, max_atoms);
+    Frag out;
+    out.cols = input.cols;
+    out.node = PlanNode::Make(std::move(op), {input.node});
+    return out;
+  }
+
+  /// A stack of selects / a trivially-true select (targets for the
+  /// CollapseSelects / SelectOnTrue rewrites).
+  Frag SelectChain(Frag input) {
+    double roll = struct_rng_.NextDouble();
+    if (roll < 0.12) {
+      Operator noop;
+      noop.kind = OpKind::kSelect;
+      noop.predicate = Expr::True();
+      Frag mid;
+      mid.cols = input.cols;
+      mid.node = PlanNode::Make(std::move(noop), {input.node});
+      return Select(mid);
+    }
+    if (roll < 0.40) {
+      return Select(Select(input, 1, 2), 1, 2);
+    }
+    return Select(input, 1, 4);
+  }
+
+  Frag Process(Frag input) {
+    Operator op;
+    op.kind = OpKind::kProcess;
+    op.udo_name = "udo_t" + std::to_string(template_id_) + "_" + std::to_string(udo_counter_++);
+    op.udo_selectivity_guess = struct_rng_.UniformDouble(0.3, 1.0);
+    op.udo_cost_per_row_guess = struct_rng_.UniformDouble(0.5, 4.0);
+    Frag out;
+    out.cols = input.cols;
+    out.node = PlanNode::Make(std::move(op), {input.node});
+    return out;
+  }
+
+  Frag Project(Frag input, bool add_computed) {
+    Operator op;
+    op.kind = OpKind::kProject;
+    std::vector<ColumnId> out_cols;
+    // Keep a subset of the inputs (at least 2), pass-through.
+    int keep = std::max(2, static_cast<int>(struct_rng_.UniformInt(
+                               2, static_cast<int>(input.cols.size()))));
+    for (int i = 0; i < keep && i < static_cast<int>(input.cols.size()); ++i) {
+      NamedExpr p;
+      p.output = input.cols[static_cast<size_t>(i)];
+      p.pass_through = true;
+      p.inputs = {p.output};
+      op.projections.push_back(std::move(p));
+      out_cols.push_back(input.cols[static_cast<size_t>(i)]);
+    }
+    if (add_computed) {
+      NamedExpr p;
+      p.pass_through = false;
+      p.inputs = {input.cols[0]};
+      if (input.cols.size() > 2 && struct_rng_.NextBool(0.5)) {
+        p.inputs.push_back(input.cols[2]);
+      }
+      p.fn_seed = struct_rng_.NextU64();
+      p.output = universe_->AddDerivedColumn(
+          "c_t" + std::to_string(template_id_) + "_" + std::to_string(derived_counter_++),
+          std::pow(10.0, struct_rng_.UniformDouble(1.0, 4.0)));
+      out_cols.push_back(p.output);
+      op.projections.push_back(std::move(p));
+    }
+    std::sort(out_cols.begin(), out_cols.end());
+    Frag out;
+    out.cols = out_cols;
+    out.node = PlanNode::Make(std::move(op), {input.node});
+    return out;
+  }
+
+  Frag Join(Frag left, Frag right, JoinType type, int num_keys) {
+    Operator op;
+    op.kind = OpKind::kJoin;
+    op.join_type = type;
+    num_keys = std::min({num_keys, static_cast<int>(left.cols.size()),
+                         static_cast<int>(right.cols.size())});
+    std::vector<int> lpick = struct_rng_.SampleWithoutReplacement(
+        static_cast<int>(left.cols.size()), num_keys);
+    for (int i = 0; i < num_keys; ++i) {
+      op.left_keys.push_back(left.cols[static_cast<size_t>(lpick[static_cast<size_t>(i)])]);
+      // Dimension joins hit the leading key column; extra keys walk the
+      // schema.
+      op.right_keys.push_back(right.cols[static_cast<size_t>(
+          std::min<int>(i, static_cast<int>(right.cols.size()) - 1))]);
+    }
+    Frag out;
+    out.cols = left.cols;
+    if (type != JoinType::kLeftSemi) {
+      out.cols.insert(out.cols.end(), right.cols.begin(), right.cols.end());
+      std::sort(out.cols.begin(), out.cols.end());
+      out.cols.erase(std::unique(out.cols.begin(), out.cols.end()), out.cols.end());
+    }
+    out.node = PlanNode::Make(std::move(op), {left.node, right.node});
+    return out;
+  }
+
+  Frag GroupBy(Frag input, int max_keys = 3) {
+    Operator op;
+    op.kind = OpKind::kGroupBy;
+    int keys = static_cast<int>(struct_rng_.UniformInt(
+        1, std::min(max_keys, static_cast<int>(input.cols.size()))));
+    std::vector<int> pick =
+        struct_rng_.SampleWithoutReplacement(static_cast<int>(input.cols.size()), keys);
+    for (int idx : pick) op.group_keys.push_back(input.cols[static_cast<size_t>(idx)]);
+    std::sort(op.group_keys.begin(), op.group_keys.end());
+
+    int num_aggs = static_cast<int>(struct_rng_.UniformInt(1, 3));
+    for (int a = 0; a < num_aggs; ++a) {
+      AggExpr agg;
+      double roll = struct_rng_.NextDouble();
+      // MIN/MAX-heavy: duplicate-insensitive aggregates keep more rewrites
+      // (eager aggregation) applicable, as in cooking workloads.
+      agg.func = roll < 0.3 ? AggFunc::kMin
+                            : (roll < 0.6 ? AggFunc::kMax
+                                          : (roll < 0.85 ? AggFunc::kCount : AggFunc::kSum));
+      agg.arg = input.cols[static_cast<size_t>(
+          struct_rng_.UniformInt(0, static_cast<int>(input.cols.size()) - 1))];
+      agg.output = universe_->AddDerivedColumn(
+          "agg_t" + std::to_string(template_id_) + "_" + std::to_string(derived_counter_++),
+          1e6);
+      op.aggs.push_back(agg);
+    }
+    Frag out;
+    out.cols = op.group_keys;
+    for (const AggExpr& a : op.aggs) out.cols.push_back(a.output);
+    std::sort(out.cols.begin(), out.cols.end());
+    out.node = PlanNode::Make(std::move(op), {input.node});
+    return out;
+  }
+
+  Frag Top(Frag input) {
+    Operator op;
+    op.kind = OpKind::kTop;
+    op.limit = static_cast<int64_t>(std::pow(10.0, struct_rng_.UniformDouble(1.0, 4.0)));
+    int keys = static_cast<int>(struct_rng_.UniformInt(1, 2));
+    std::vector<int> pick =
+        struct_rng_.SampleWithoutReplacement(static_cast<int>(input.cols.size()), keys);
+    for (int idx : pick) op.sort_keys.push_back(input.cols[static_cast<size_t>(idx)]);
+    Frag out;
+    out.cols = input.cols;
+    out.node = PlanNode::Make(std::move(op), {input.node});
+    return out;
+  }
+
+  // --- archetypes ---
+
+  Frag BuildCook() {
+    Frag source = UnionSource(PickSet(/*want_log=*/true));
+    Frag body = SelectChain(source);
+    if (struct_rng_.NextBool(0.5)) {
+      body = Process(body);
+      applicable_hints_.push_back(45);  // SelectBelowUdo
+    }
+    if (struct_rng_.NextBool(0.3)) body = Project(body, struct_rng_.NextBool(0.5));
+    return GroupBy(body);
+  }
+
+  Frag BuildJoinAnalytics() {
+    bool union_fact = struct_rng_.NextBool(0.45);
+    if (union_fact) {
+      // CorrelatedJoinOnUnionAll variants apply: join over a union input.
+      applicable_hints_.insert(applicable_hints_.end(), {37, 38, 39, 42});
+    }
+    // Eager aggregation below the join + transitive predicates.
+    applicable_hints_.insert(applicable_hints_.end(), {43, 44, 46});
+    int fact_set = PickSet(/*want_log=*/true);
+    Frag fact = union_fact ? UnionSource(fact_set) : Scan(fact_set);
+    bool select_above_join = struct_rng_.NextBool(0.5);
+    Frag fact_cols_frag = fact;
+    if (!select_above_join) fact = SelectChain(fact);
+
+    int num_dims = static_cast<int>(struct_rng_.UniformInt(1, 3));
+    Frag body = fact;
+    for (int d = 0; d < num_dims; ++d) {
+      Frag dim = Scan(PickSet(/*want_log=*/false));
+      if (struct_rng_.NextBool(0.5)) dim = Select(dim, 1, 2);
+      JoinType type = struct_rng_.NextBool(0.85) ? JoinType::kInner : JoinType::kLeftOuter;
+      body = Join(body, dim, type, struct_rng_.NextBool(0.25) ? 2 : 1);
+    }
+    if (select_above_join) {
+      // Predicate on the fact columns lands above the join: pushdown rules
+      // decide where it ends up.
+      Operator op;
+      op.kind = OpKind::kSelect;
+      op.predicate = MakePredicate(fact_cols_frag.cols, 1, 3);
+      Frag out;
+      out.cols = body.cols;
+      out.node = PlanNode::Make(std::move(op), {body.node});
+      body = out;
+    }
+    body = GroupBy(body);
+    if (struct_rng_.NextBool(0.3)) body = Top(body);
+    return body;
+  }
+
+  Frag BuildSemiFunnel() {
+    applicable_hints_.push_back(40);  // semi-join-on-union variant
+    Frag events = Select(Scan(PickSet(/*want_log=*/true)), 1, 3);
+    Frag cohort = Select(Scan(PickSet(/*want_log=*/false)), 1, 2);
+    Frag body = Join(events, cohort, JoinType::kLeftSemi, 1);
+    body = GroupBy(body);
+    if (struct_rng_.NextBool(0.5)) body = Top(body);
+    return body;
+  }
+
+  Frag BuildUdoPipeline() {
+    applicable_hints_.push_back(45);  // SelectBelowUdo
+    Frag body = UnionSource(PickSet(/*want_log=*/true));
+    body = Process(body);
+    body = Select(body, 1, 3);
+    if (struct_rng_.NextBool(0.5)) body = Process(body);
+    if (struct_rng_.NextBool(0.4)) body = Project(body, true);
+    return GroupBy(body);
+  }
+
+  Frag BuildSharedDag() {
+    // A cooked intermediate feeding two consumers whose union is reduced:
+    // the DAG (not tree) shape of SCOPE jobs.
+    Frag shared = Select(UnionSource(PickSet(/*want_log=*/true)), 1, 2);
+    Frag branch1 = Process(shared);
+    Frag branch2 = Select(shared, 1, 2);
+    Operator u;
+    u.kind = OpKind::kUnionAll;
+    Frag unioned;
+    unioned.cols = shared.cols;
+    unioned.node = PlanNode::Make(std::move(u), {branch1.node, branch2.node});
+    return GroupBy(unioned);
+  }
+
+  Frag BuildTopkReport() {
+    Frag fact = Select(Scan(PickSet(/*want_log=*/true)), 1, 3);
+    Frag dim = Scan(PickSet(/*want_log=*/false));
+    Frag body = Join(fact, dim, JoinType::kInner, 1);
+    if (struct_rng_.NextBool(0.5)) body = Project(body, struct_rng_.NextBool(0.4));
+    body = GroupBy(body, 2);
+    body = Top(body);
+    // Occasionally a redundant outer limit survives view composition
+    // (TopTopCollapse's target shape).
+    if (struct_rng_.NextBool(0.15)) {
+      Operator outer;
+      outer.kind = OpKind::kTop;
+      outer.limit = static_cast<int64_t>(
+          std::pow(10.0, struct_rng_.UniformDouble(2.0, 5.0)));
+      outer.sort_keys = body.node->op.sort_keys;
+      Frag wrapped;
+      wrapped.cols = body.cols;
+      wrapped.node = PlanNode::Make(std::move(outer), {body.node});
+      body = wrapped;
+    }
+    return body;
+  }
+
+  Frag BuildRareShape() {
+    // Rare window/sample jobs: keep the rare-rule population honest.
+    Frag body = Scan(PickSet(/*want_log=*/true));
+    if (struct_rng_.NextBool(0.5)) {
+      Operator op;
+      op.kind = OpKind::kSample;
+      op.sample_fraction = struct_rng_.UniformDouble(0.01, 0.2);
+      Frag out;
+      out.cols = body.cols;
+      out.node = PlanNode::Make(std::move(op), {body.node});
+      body = out;
+    } else {
+      Operator op;
+      op.kind = OpKind::kWindow;
+      op.window_keys = {body.cols[0]};
+      NamedExpr p;
+      p.pass_through = false;
+      p.inputs = {body.cols[0]};
+      p.fn_seed = struct_rng_.NextU64();
+      p.output = universe_->AddDerivedColumn(
+          "win_t" + std::to_string(template_id_), 1e4);
+      op.projections.push_back(std::move(p));
+      Frag out;
+      out.cols = body.cols;
+      out.cols.push_back(op.projections[0].output);
+      std::sort(out.cols.begin(), out.cols.end());
+      out.node = PlanNode::Make(std::move(op), {body.node});
+      body = out;
+    }
+    body = Select(body, 1, 2);
+    return GroupBy(body);
+  }
+
+  const Catalog& catalog_;
+  Pcg32 struct_rng_;
+  Pcg32 inst_rng_;
+  std::shared_ptr<ColumnUniverse> universe_;
+  int template_id_;
+  int day_;
+  std::vector<int> applicable_hints_;
+  int udo_counter_ = 0;
+  int udf_counter_ = 0;
+  int derived_counter_ = 0;
+  std::vector<int> used_sets_;
+};
+
+}  // namespace
+
+Job Workload::MakeJob(int template_id, int day, int instance) const {
+  TemplateBuilder builder(*catalog_, spec_.seed, template_id, day, instance);
+  Job job = builder.Build(spec_.name);
+  job.name += "_i" + std::to_string(instance);
+  return job;
+}
+
+}  // namespace qsteer

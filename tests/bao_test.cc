@@ -1,0 +1,90 @@
+#include "baselines/bao.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/generator.h"
+#include "optimizer/optimizer.h"
+
+namespace qsteer {
+namespace {
+
+TEST(BaoHintSets, Exactly48DistinctArms) {
+  std::vector<HintSet> arms = BaoHintSets();
+  ASSERT_EQ(arms.size(), 48u);
+  std::set<uint64_t> hashes;
+  std::set<std::string> names;
+  for (const HintSet& arm : arms) {
+    hashes.insert(arm.config.Hash());
+    names.insert(arm.name);
+  }
+  EXPECT_EQ(hashes.size(), 48u);
+  EXPECT_EQ(names.size(), 48u);
+}
+
+TEST(BaoHintSets, FirstArmIsDefault) {
+  std::vector<HintSet> arms = BaoHintSets();
+  EXPECT_EQ(arms[0].config, RuleConfig::Default());
+  EXPECT_EQ(arms[0].name, "arm_default");
+}
+
+TEST(BaoHintSets, EveryArmKeepsAnEquiJoinFamily) {
+  for (const HintSet& arm : BaoHintSets()) {
+    bool hash_on = arm.config.IsEnabled(rules::kHashJoinImpl1);
+    bool broadcast_on = arm.config.IsEnabled(rules::kBroadcastJoinImpl1);
+    bool merge_on = arm.config.IsEnabled(rules::kMergeJoinImpl);
+    EXPECT_TRUE(hash_on || broadcast_on || merge_on) << arm.name;
+  }
+}
+
+TEST(BaoHintSets, EveryArmCompilesEveryJob) {
+  WorkloadSpec spec;
+  spec.name = "B";
+  spec.seed = 404;
+  spec.num_templates = 10;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  Optimizer optimizer(&workload.catalog());
+  std::vector<HintSet> arms = BaoHintSets();
+  for (int t = 0; t < 10; ++t) {
+    Job job = workload.MakeJob(t, 1);
+    for (size_t a = 0; a < arms.size(); a += 7) {  // sample arms for speed
+      Result<CompiledPlan> plan = optimizer.Compile(job, arms[a].config);
+      EXPECT_TRUE(plan.ok()) << "arm " << arms[a].name << " failed on template " << t;
+    }
+  }
+}
+
+TEST(BaoBandit, ConvergesToBestArm) {
+  // Arm 2 has ratio 0.5 (2x faster); others 1.0-1.3.
+  BaoBandit bandit(5, /*seed=*/3);
+  Pcg32 rng(17);
+  auto true_ratio = [](int arm) { return arm == 2 ? 0.5 : 1.0 + 0.075 * arm; };
+  int chosen_best = 0;
+  for (int round = 0; round < 400; ++round) {
+    int arm = bandit.ChooseArm();
+    double noise = std::exp(0.05 * rng.NextGaussian());
+    bandit.Observe(arm, true_ratio(arm) * noise);
+    if (round >= 300 && arm == 2) ++chosen_best;
+  }
+  // After the exploration phase, the bandit should mostly pull the best arm.
+  EXPECT_GE(chosen_best, 70);
+  EXPECT_LT(bandit.ArmMean(2), bandit.ArmMean(0));
+}
+
+TEST(BaoBandit, PullsAreCounted) {
+  BaoBandit bandit(3, 1);
+  bandit.Observe(0, 1.0);
+  bandit.Observe(0, 2.0);
+  bandit.Observe(2, 0.5);
+  EXPECT_EQ(bandit.ArmPulls(0), 2);
+  EXPECT_EQ(bandit.ArmPulls(1), 0);
+  EXPECT_EQ(bandit.ArmPulls(2), 1);
+  bandit.Observe(99, 1.0);  // out of range ignored
+  EXPECT_EQ(bandit.ArmPulls(2), 1);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,121 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace qsteer {
+namespace {
+
+TEST(BitVector256, StartsEmpty) {
+  BitVector256 bv;
+  EXPECT_EQ(bv.Count(), 0);
+  EXPECT_TRUE(bv.None());
+  for (int i = 0; i < 256; ++i) EXPECT_FALSE(bv.Test(i));
+}
+
+TEST(BitVector256, SetTestReset) {
+  BitVector256 bv;
+  for (int pos : {0, 1, 63, 64, 127, 128, 200, 255}) {
+    bv.Set(pos);
+    EXPECT_TRUE(bv.Test(pos)) << pos;
+  }
+  EXPECT_EQ(bv.Count(), 8);
+  bv.Reset(64);
+  EXPECT_FALSE(bv.Test(64));
+  EXPECT_EQ(bv.Count(), 7);
+}
+
+TEST(BitVector256, OutOfRangePositionsIgnored) {
+  BitVector256 bv;
+  bv.Set(-1);
+  bv.Set(256);
+  bv.Set(10000);
+  EXPECT_EQ(bv.Count(), 0);
+  EXPECT_FALSE(bv.Test(-1));
+  EXPECT_FALSE(bv.Test(256));
+}
+
+TEST(BitVector256, AllSetHas256Bits) {
+  BitVector256 bv = BitVector256::AllSet();
+  EXPECT_EQ(bv.Count(), 256);
+  bv.Reset(100);
+  EXPECT_EQ(bv.Count(), 255);
+}
+
+TEST(BitVector256, FromIndicesAndToIndicesRoundTrip) {
+  std::vector<int> indices = {3, 17, 64, 65, 191, 255};
+  BitVector256 bv = BitVector256::FromIndices(indices);
+  EXPECT_EQ(bv.ToIndices(), indices);
+}
+
+TEST(BitVector256, BinaryStringRoundTrip) {
+  BitVector256 bv = BitVector256::FromIndices({0, 2, 5});
+  std::string s = bv.ToBinaryString(8);
+  EXPECT_EQ(s, "10100100");
+  BitVector256 parsed = BitVector256::FromBinaryString(s);
+  EXPECT_EQ(parsed, bv);
+}
+
+TEST(BitVector256, PaperDefinitionExample) {
+  // Definition 3.2's example: configuration 1111111110 (rule 9 disabled),
+  // signature 1100000000 (only rules 0 and 1 used).
+  BitVector256 config = BitVector256::FromBinaryString("1111111110");
+  BitVector256 signature = BitVector256::FromBinaryString("1100000000");
+  EXPECT_EQ(config.Count(), 9);
+  EXPECT_EQ(signature.Count(), 2);
+  EXPECT_TRUE(signature.IsSubsetOf(config));
+}
+
+TEST(BitVector256, SetOperations) {
+  BitVector256 a = BitVector256::FromIndices({1, 2, 3, 100});
+  BitVector256 b = BitVector256::FromIndices({2, 3, 4, 200});
+  EXPECT_EQ(a.And(b).ToIndices(), (std::vector<int>{2, 3}));
+  EXPECT_EQ(a.Or(b).ToIndices(), (std::vector<int>{1, 2, 3, 4, 100, 200}));
+  EXPECT_EQ(a.Xor(b).ToIndices(), (std::vector<int>{1, 4, 100, 200}));
+  EXPECT_EQ(a.AndNot(b).ToIndices(), (std::vector<int>{1, 100}));
+  EXPECT_EQ(a.Not().Count(), 252);
+}
+
+TEST(BitVector256, SubsetAndIntersects) {
+  BitVector256 small = BitVector256::FromIndices({5, 10});
+  BitVector256 big = BitVector256::FromIndices({5, 10, 20});
+  BitVector256 other = BitVector256::FromIndices({99});
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(small.Intersects(big));
+  EXPECT_FALSE(small.Intersects(other));
+}
+
+TEST(BitVector256, HexRoundTrip) {
+  BitVector256 bv = BitVector256::FromIndices({0, 7, 63, 64, 130, 255});
+  std::string hex = bv.ToHexString();
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(BitVector256::FromHexString(hex), bv);
+  EXPECT_EQ(BitVector256::FromHexString(BitVector256().ToHexString()), BitVector256());
+  EXPECT_EQ(BitVector256::FromHexString(BitVector256::AllSet().ToHexString()),
+            BitVector256::AllSet());
+  // Malformed inputs decode to empty.
+  EXPECT_TRUE(BitVector256::FromHexString("abc").None());
+  EXPECT_TRUE(BitVector256::FromHexString(std::string(64, 'z')).None());
+}
+
+TEST(BitVector256, HashDistinguishesValues) {
+  std::unordered_set<uint64_t> hashes;
+  for (int i = 0; i < 256; ++i) {
+    hashes.insert(BitVector256::FromIndices({i}).Hash());
+  }
+  EXPECT_EQ(hashes.size(), 256u);
+  EXPECT_EQ(BitVector256::FromIndices({7}).Hash(), BitVector256::FromIndices({7}).Hash());
+}
+
+TEST(BitVector256, OrderingIsTotal) {
+  BitVector256 a = BitVector256::FromIndices({1});
+  BitVector256 b = BitVector256::FromIndices({2});
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,167 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "catalog/datagen.h"
+
+namespace qsteer {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  StreamSet set;
+  set.name = "logs";
+  set.columns = {
+      {.name = "key", .distinct_count = 1000, .zipf_skew = 1.0},
+      {.name = "uid", .distinct_count = 500},
+      {.name = "region", .distinct_count = 50, .null_fraction = 0.1},
+  };
+  set.correlations = {{.column_a = 0, .column_b = 1, .strength = 0.9}};
+  set.daily_growth = 0.02;
+  int id = catalog.AddStreamSet(std::move(set));
+  EXPECT_TRUE(catalog.AddStream(id, "logs_d0", 100000, 16).ok());
+  EXPECT_TRUE(catalog.AddStream(id, "logs_d1", 120000, 16).ok());
+  return catalog;
+}
+
+TEST(Catalog, LookupByName) {
+  Catalog catalog = MakeCatalog();
+  EXPECT_NE(catalog.FindStreamSet("logs"), nullptr);
+  EXPECT_EQ(catalog.FindStreamSet("nope"), nullptr);
+  const Stream* s = catalog.FindStream("logs_d1");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->variant_index, 1);
+  EXPECT_EQ(catalog.FindStream("bogus"), nullptr);
+}
+
+TEST(Catalog, DuplicateStreamNameRejected) {
+  Catalog catalog = MakeCatalog();
+  Result<int> dup = catalog.AddStream(0, "logs_d0", 5, 4);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  Result<int> bad_set = catalog.AddStream(99, "x", 5, 4);
+  EXPECT_FALSE(bad_set.ok());
+}
+
+TEST(Catalog, TrueRowCountGrowsWithDays) {
+  Catalog catalog = MakeCatalog();
+  double day0 = static_cast<double>(catalog.TrueRowCount(0, 0));
+  double day30 = static_cast<double>(catalog.TrueRowCount(0, 30));
+  // 2% daily growth over 30 days ≈ 1.81x, modulo jitter.
+  EXPECT_GT(day30 / day0, 1.3);
+  EXPECT_LT(day30 / day0, 2.6);
+  // Deterministic.
+  EXPECT_EQ(catalog.TrueRowCount(0, 30), catalog.TrueRowCount(0, 30));
+}
+
+TEST(Catalog, OptimizerStatsAreStaleForGrowingStreams) {
+  Catalog catalog = MakeCatalog();
+  StatsErrorModel model;
+  model.staleness_days = 5;
+  model.rowcount_error_sigma = 0.0;
+  catalog.set_stats_error_model(model);
+  int day = 40;
+  OptimizerStreamStats stats = catalog.GetOptimizerStats(0, day);
+  int64_t true_rows = catalog.TrueRowCount(0, day);
+  int64_t stale_truth = catalog.TrueRowCount(0, day - 5);
+  EXPECT_EQ(stats.row_count, stale_truth);
+  EXPECT_NE(stats.row_count, true_rows);
+}
+
+TEST(Catalog, OptimizerNdvHasBoundedError) {
+  Catalog catalog = MakeCatalog();
+  OptimizerStreamStats stats = catalog.GetOptimizerStats(0, 3);
+  ASSERT_EQ(stats.distinct_counts.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    double believed = stats.distinct_counts[c];
+    double truth = static_cast<double>(catalog.stream_set(0).columns[c].distinct_count);
+    EXPECT_GT(believed, 0.0);
+    // Error is lognormal(0.6): within e^{±3 sigma} almost surely.
+    EXPECT_LT(std::abs(std::log(believed / truth)), 2.0) << c;
+  }
+}
+
+TEST(Catalog, CorrelationLookupIsSymmetric) {
+  Catalog catalog = MakeCatalog();
+  const StreamSet& set = catalog.stream_set(0);
+  EXPECT_DOUBLE_EQ(set.CorrelationBetween(0, 1), 0.9);
+  EXPECT_DOUBLE_EQ(set.CorrelationBetween(1, 0), 0.9);
+  EXPECT_DOUBLE_EQ(set.CorrelationBetween(0, 2), 0.0);
+}
+
+TEST(Datagen, MaterializeRespectsRowCapAndDomains) {
+  Catalog catalog = MakeCatalog();
+  RowBatch batch = MaterializeStream(catalog, 0, /*day=*/1, /*max_rows=*/500);
+  EXPECT_EQ(batch.num_rows(), 500);
+  ASSERT_EQ(batch.columns.size(), 3u);
+  for (int64_t v : batch.columns[0]) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 1000);
+  }
+}
+
+TEST(Datagen, NullFractionApproximatelyRespected) {
+  Catalog catalog = MakeCatalog();
+  RowBatch batch = MaterializeStream(catalog, 0, 1, 4000);
+  int nulls = 0;
+  for (int64_t v : batch.columns[2]) {
+    if (v == kNullValue) ++nulls;
+  }
+  double frac = static_cast<double>(nulls) / static_cast<double>(batch.num_rows());
+  EXPECT_NEAR(frac, 0.1, 0.03);
+}
+
+TEST(Datagen, SkewedColumnHasHotValues) {
+  Catalog catalog = MakeCatalog();
+  RowBatch batch = MaterializeStream(catalog, 0, 1, 4000);
+  // With zipf 1.0 over 1000 values, rank 1 should carry far more than the
+  // uniform share.
+  int hot = 0;
+  for (int64_t v : batch.columns[0]) {
+    if (v == 1) ++hot;
+  }
+  EXPECT_GT(hot, 4000 / 1000 * 20);
+}
+
+TEST(Datagen, CorrelatedColumnFollowsDriver) {
+  Catalog catalog = MakeCatalog();
+  RowBatch batch = MaterializeStream(catalog, 0, 1, 4000);
+  // column 1 is 90%-determined by column 0: group rows by column-0 value and
+  // check the dominant column-1 value covers most of each group.
+  std::map<int64_t, std::map<int64_t, int>> groups;
+  for (int64_t r = 0; r < batch.num_rows(); ++r) {
+    int64_t a = batch.columns[0][static_cast<size_t>(r)];
+    int64_t b = batch.columns[1][static_cast<size_t>(r)];
+    if (a == kNullValue || b == kNullValue) continue;
+    groups[a][b]++;
+  }
+  int big_groups = 0, dominated = 0;
+  for (const auto& [a, dist] : groups) {
+    int total = 0, best = 0;
+    for (const auto& [b, count] : dist) {
+      total += count;
+      best = std::max(best, count);
+    }
+    if (total >= 20) {
+      ++big_groups;
+      if (best >= static_cast<int>(0.7 * total)) ++dominated;
+    }
+  }
+  ASSERT_GT(big_groups, 3);
+  EXPECT_GE(dominated, big_groups * 2 / 3);
+}
+
+TEST(Datagen, DeterministicPerStreamAndDay) {
+  Catalog catalog = MakeCatalog();
+  RowBatch a = MaterializeStream(catalog, 0, 2, 100);
+  RowBatch b = MaterializeStream(catalog, 0, 2, 100);
+  EXPECT_EQ(a.columns, b.columns);
+  RowBatch other_day = MaterializeStream(catalog, 0, 3, 100);
+  EXPECT_NE(a.columns, other_day.columns);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,112 @@
+#include "core/config_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace qsteer {
+namespace {
+
+BitVector256 MakeSpan() {
+  // 2 off-by-default, 3 on-by-default, 2 implementation rules.
+  return BitVector256::FromIndices({37, 43, 83, 94, 104, 224, 228});
+}
+
+TEST(ConfigSearch, GeneratesUniqueConfigs) {
+  ConfigSearchOptions options;
+  options.max_configs = 50;
+  options.seed = 9;
+  std::vector<RuleConfig> configs = GenerateCandidateConfigs(MakeSpan(), options);
+  EXPECT_GT(configs.size(), 20u);
+  std::set<uint64_t> hashes;
+  for (const RuleConfig& c : configs) hashes.insert(c.Hash());
+  EXPECT_EQ(hashes.size(), configs.size());
+}
+
+TEST(ConfigSearch, NeverEmitsDefaultConfig) {
+  ConfigSearchOptions options;
+  options.max_configs = 200;
+  std::vector<RuleConfig> configs = GenerateCandidateConfigs(MakeSpan(), options);
+  for (const RuleConfig& c : configs) {
+    EXPECT_NE(c, RuleConfig::Default());
+  }
+}
+
+TEST(ConfigSearch, OnlySpanRulesAreDisabled) {
+  ConfigSearchOptions options;
+  options.max_configs = 100;
+  BitVector256 span = MakeSpan();
+  for (const RuleConfig& c : GenerateCandidateConfigs(span, options)) {
+    for (RuleId id = 0; id < kNumRules; ++id) {
+      if (!c.IsEnabled(id)) {
+        EXPECT_TRUE(span.Test(id)) << "disabled non-span rule " << id;
+      }
+    }
+  }
+}
+
+TEST(ConfigSearch, RulesOutsideSpanIncludingOffByDefaultAreEnabled) {
+  // Footnote 2 of the paper: rules outside the span stay enabled — including
+  // off-by-default ones the span heuristic may have missed.
+  ConfigSearchOptions options;
+  options.max_configs = 20;
+  for (const RuleConfig& c : GenerateCandidateConfigs(MakeSpan(), options)) {
+    EXPECT_TRUE(c.IsEnabled(38));  // off-by-default, outside this span
+    EXPECT_TRUE(c.IsEnabled(85));  // on-by-default, outside this span
+  }
+}
+
+TEST(ConfigSearch, EmptySpanYieldsNothing) {
+  ConfigSearchOptions options;
+  EXPECT_TRUE(GenerateCandidateConfigs(BitVector256(), options).empty());
+}
+
+TEST(ConfigSearch, BoundedBySpanSubsetCount) {
+  // A span of 3 rules has at most 2^3 - 1 = 7 non-default candidates... but
+  // category factorization restricts combinations further when rules sit in
+  // one category.
+  BitVector256 tiny = BitVector256::FromIndices({224, 228});  // both implementation
+  ConfigSearchOptions options;
+  options.max_configs = 100;
+  std::vector<RuleConfig> configs = GenerateCandidateConfigs(tiny, options);
+  EXPECT_LE(configs.size(), 4u);
+  EXPECT_GE(configs.size(), 3u);  // {disable 224}, {disable 228}, {both}
+}
+
+TEST(ConfigSearch, DeterministicPerSeed) {
+  ConfigSearchOptions options;
+  options.max_configs = 30;
+  options.seed = 5;
+  std::vector<RuleConfig> a = GenerateCandidateConfigs(MakeSpan(), options);
+  std::vector<RuleConfig> b = GenerateCandidateConfigs(MakeSpan(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  options.seed = 6;
+  std::vector<RuleConfig> c = GenerateCandidateConfigs(MakeSpan(), options);
+  bool differs = c.size() != a.size();
+  for (size_t i = 0; !differs && i < std::min(a.size(), c.size()); ++i) {
+    differs = !(a[i] == c[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ConfigSearch, SearchSpaceFactorizationShrinks) {
+  // The §5.2 example: 5 rules, groups of 2 and 3 -> 2^5=32 vs 2^2+2^3=12.
+  BitVector256 span = BitVector256::FromIndices({37, 40, 83, 94, 104});
+  SearchSpaceSize size = ComputeSearchSpaceSize(span);
+  EXPECT_DOUBLE_EQ(size.log2_naive, 5.0);
+  EXPECT_NEAR(std::exp2(size.log2_factorized), 2 * 2 + 8, 1e-6);
+  EXPECT_LT(size.log2_factorized, size.log2_naive);
+}
+
+TEST(ConfigSearch, UniformModeIgnoresCategories) {
+  ConfigSearchOptions options;
+  options.max_configs = 64;
+  options.per_category = false;
+  std::vector<RuleConfig> configs = GenerateCandidateConfigs(MakeSpan(), options);
+  EXPECT_GT(configs.size(), 30u);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,116 @@
+// Semantic-correctness property tests: any plan the optimizer produces for a
+// job — under ANY rule configuration — must return exactly the rows the
+// original logical plan returns on the same (materialized) data. This is the
+// ground truth that every transformation and implementation rule is
+// results-preserving.
+#include <gtest/gtest.h>
+
+#include "core/config_search.h"
+#include "core/span.h"
+#include "exec/reference_executor.h"
+#include "optimizer/optimizer.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+struct CorrectnessParam {
+  uint64_t workload_seed;
+  int template_id;
+  int day;
+};
+
+class RuleCorrectnessTest : public ::testing::TestWithParam<CorrectnessParam> {
+ protected:
+  static WorkloadSpec SpecFor(uint64_t seed) {
+    WorkloadSpec spec;
+    spec.name = "X";
+    spec.seed = seed;
+    spec.num_templates = 32;
+    spec.num_stream_sets = 20;
+    spec.log_set_fraction = 0.5;
+    return spec;
+  }
+
+  /// Columns to compare: full output unless the plan contains a Top (whose
+  /// non-key columns are tie-dependent), in which case only the outermost
+  /// Top's sort keys (whose result multiset is unique for any valid
+  /// tie-breaking).
+  static std::vector<ColumnId> RestrictionFor(const Job& job) {
+    std::vector<ColumnId> restrict_to;
+    VisitPlan(job.root, [&](const PlanNode& node) {
+      if (node.op.kind == OpKind::kTop) restrict_to = node.op.sort_keys;
+    });
+    return restrict_to;
+  }
+};
+
+TEST_P(RuleCorrectnessTest, AllConfigurationsPreserveResults) {
+  CorrectnessParam param = GetParam();
+  Workload workload(SpecFor(param.workload_seed));
+  Optimizer optimizer(&workload.catalog());
+  ReferenceExecutor executor(&workload.catalog());
+
+  Job job = workload.MakeJob(param.template_id, param.day);
+  std::vector<ColumnId> restriction = RestrictionFor(job);
+
+  Relation reference = executor.Execute(job, job.root);
+  std::string expected = reference.Fingerprint(restriction);
+
+  // Default configuration.
+  Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(default_plan.ok()) << default_plan.status().ToString();
+  Relation default_result = executor.Execute(job, default_plan.value().root);
+  EXPECT_EQ(default_result.Fingerprint(restriction), expected)
+      << "default plan changed results:\n"
+      << PlanToString(default_plan.value().root);
+
+  // Everything enabled (all off-by-default rules active).
+  Result<CompiledPlan> all_plan = optimizer.Compile(job, RuleConfig::AllEnabled());
+  ASSERT_TRUE(all_plan.ok());
+  EXPECT_EQ(executor.Execute(job, all_plan.value().root).Fingerprint(restriction), expected)
+      << "all-enabled plan changed results:\n"
+      << PlanToString(all_plan.value().root);
+
+  // Random candidate configurations from the job's span.
+  SpanResult span = ComputeJobSpan(optimizer, job);
+  ConfigSearchOptions search;
+  search.max_configs = 12;
+  search.seed = param.workload_seed * 1000 + param.template_id;
+  int verified = 0;
+  for (const RuleConfig& config : GenerateCandidateConfigs(span.span, search)) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    if (!plan.ok()) continue;  // non-compiling configurations are expected
+    Relation result = executor.Execute(job, plan.value().root);
+    ASSERT_EQ(result.Fingerprint(restriction), expected)
+        << "configuration changed results; disabled rules vs default: "
+        << config.DisabledVsDefault().size() << "\n"
+        << PlanToString(plan.value().root);
+    ++verified;
+  }
+  EXPECT_GT(verified, 0);
+}
+
+std::vector<CorrectnessParam> MakeParams() {
+  std::vector<CorrectnessParam> params;
+  for (uint64_t seed : {101ULL, 202ULL}) {
+    for (int t = 0; t < 16; ++t) {
+      params.push_back({seed, t, 2});
+    }
+  }
+  // A few day-variations for template stability.
+  params.push_back({101, 0, 5});
+  params.push_back({101, 3, 9});
+  params.push_back({202, 7, 4});
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RuleCorrectnessTest, ::testing::ValuesIn(MakeParams()),
+                         [](const ::testing::TestParamInfo<CorrectnessParam>& info) {
+                           return "w" + std::to_string(info.param.workload_seed) + "_t" +
+                                  std::to_string(info.param.template_id) + "_d" +
+                                  std::to_string(info.param.day);
+                         });
+
+}  // namespace
+}  // namespace qsteer

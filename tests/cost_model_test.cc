@@ -1,0 +1,230 @@
+// Cost model unit tests: parallelism scaling, skew, spills, and the
+// broadcast/hash/merge/loop trade-offs that drive plan choice.
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace qsteer {
+namespace {
+
+/// Minimal stats view with injectable skew.
+class FakeView : public StatsView {
+ public:
+  FakeView() : StatsView(nullptr) {}
+  double top_share = 0.0;
+  double process_cost = 2.0;
+
+  ColumnDistribution ColumnDist(ColumnId) const override { return {}; }
+  double Correlation(ColumnId, ColumnId) const override { return 0.0; }
+  double StreamRows(int) const override { return 1e6; }
+  double StreamWidth(int) const override { return 100.0; }
+  double UdfSelectivity(const Expr&) const override { return 0.5; }
+  double ProcessSelectivity(const Operator&) const override { return 1.0; }
+  double ProcessCostPerRow(const Operator&) const override { return process_cost; }
+  bool UseExponentialBackoff() const override { return false; }
+  double TopValueShare(ColumnId) const override { return top_share; }
+};
+
+LogicalStats MakeStats(double rows, double width = 100.0) {
+  LogicalStats s;
+  s.rows = rows;
+  s.width = width;
+  return s;
+}
+
+Operator MakeOp(OpKind kind) {
+  Operator op;
+  op.kind = kind;
+  return op;
+}
+
+TEST(CostModel, ScanCostScalesWithBytesAndPruning) {
+  FakeView view;
+  CostParams params;
+  Operator scan = MakeOp(OpKind::kRangeScan);
+  LogicalStats out = MakeStats(1e7);
+  OpCost full = ComputeOpCost(scan, out, {}, 10, params, view);
+  scan.partition_fraction = 0.125;
+  OpCost pruned = ComputeOpCost(scan, out, {}, 10, params, view);
+  EXPECT_LT(pruned.io, full.io * 0.2);
+  EXPECT_LT(pruned.bytes_moved, full.bytes_moved * 0.2);
+  EXPECT_GT(full.latency, 0.0);
+}
+
+TEST(CostModel, HigherDopReducesLatencyNotCpu) {
+  FakeView view;
+  CostParams params;
+  Operator agg = MakeOp(OpKind::kHashAgg);
+  agg.group_keys = {0};
+  // Narrow rows: large enough that parallelism pays, small enough in bytes
+  // that no DOP choice spills (spills would legitimately change total CPU,
+  // covered by the spill test below).
+  LogicalStats in = MakeStats(5e7, /*width=*/20.0);
+  LogicalStats out = MakeStats(1e4, 20.0);
+  OpCost narrow = ComputeOpCost(agg, out, {&in}, 2, params, view);
+  OpCost wide = ComputeOpCost(agg, out, {&in}, 64, params, view);
+  EXPECT_LT(wide.latency, narrow.latency);
+  EXPECT_NEAR(wide.cpu, narrow.cpu, narrow.cpu * 0.01);  // total work unchanged
+}
+
+TEST(CostModel, CoordinationPenalizesExtremeDop) {
+  // Tiny input + huge dop: scheduling overhead dominates and latency rises.
+  FakeView view;
+  CostParams params;
+  Operator filter = MakeOp(OpKind::kFilter);
+  filter.predicate = Expr::Cmp(0, CmpOp::kEq, 1);
+  LogicalStats in = MakeStats(1000);
+  LogicalStats out = MakeStats(100);
+  OpCost small = ComputeOpCost(filter, out, {&in}, 1, params, view);
+  OpCost huge = ComputeOpCost(filter, out, {&in}, 128, params, view);
+  EXPECT_GT(huge.latency, small.latency);
+}
+
+TEST(CostModel, SkewCapsEffectiveParallelism) {
+  FakeView view;
+  CostParams params;
+  Operator join = MakeOp(OpKind::kHashJoin);
+  join.left_keys = {0};
+  join.right_keys = {1};
+  LogicalStats left = MakeStats(5e7);
+  LogicalStats right = MakeStats(1e6);
+  LogicalStats out = MakeStats(5e7);
+
+  view.top_share = 0.0;  // uniform: full parallelism
+  OpCost uniform = ComputeOpCost(join, out, {&left, &right}, 64, params, view);
+  view.top_share = 0.25;  // hottest key holds 25% of rows: eff dop <= 4
+  OpCost skewed = ComputeOpCost(join, out, {&left, &right}, 64, params, view);
+  // Effective parallelism caps at 4 of 64; the fixed coordination term
+  // dilutes the ratio below a full 16x.
+  EXPECT_GT(skewed.latency, uniform.latency * 3);
+  EXPECT_NEAR(skewed.cpu, uniform.cpu, uniform.cpu * 1e-9);  // same work
+}
+
+TEST(CostModel, BroadcastJoinImmuneToKeySkew) {
+  FakeView view;
+  view.top_share = 0.25;
+  CostParams params;
+  Operator hash_join = MakeOp(OpKind::kHashJoin);
+  hash_join.left_keys = {0};
+  hash_join.right_keys = {1};
+  Operator bcast_join = MakeOp(OpKind::kBroadcastHashJoin);
+  bcast_join.left_keys = {0};
+  bcast_join.right_keys = {1};
+  LogicalStats probe = MakeStats(5e7);
+  LogicalStats build = MakeStats(1e4, 50.0);
+  LogicalStats out = MakeStats(5e7);
+  OpCost hash = ComputeOpCost(hash_join, out, {&probe, &build}, 64, params, view);
+  OpCost bcast = ComputeOpCost(bcast_join, out, {&probe, &build}, 64, params, view);
+  // With heavy key skew and a small build side, broadcasting wins on
+  // latency — the paper's alternative-join-implementation motif.
+  EXPECT_LT(bcast.latency, hash.latency);
+}
+
+TEST(CostModel, HashBuildSpillsWhenBuildExceedsMemory) {
+  FakeView view;
+  CostParams params;
+  params.memory_per_vertex_bytes = 1e6;
+  Operator join = MakeOp(OpKind::kHashJoin);
+  join.left_keys = {0};
+  join.right_keys = {1};
+  LogicalStats probe = MakeStats(1e6, 100);
+  LogicalStats small_build = MakeStats(1e3, 100);   // fits
+  LogicalStats big_build = MakeStats(1e7, 100);     // spills
+  LogicalStats out = MakeStats(1e6);
+  OpCost fits = ComputeOpCost(join, out, {&probe, &small_build}, 4, params, view);
+  OpCost spills = ComputeOpCost(join, out, {&probe, &big_build}, 4, params, view);
+  EXPECT_DOUBLE_EQ(fits.io, 0.0);
+  EXPECT_GT(spills.io, 0.0);  // spill adds extra IO passes
+  // Spilled hash work is penalized: CPU exceeds the no-spill formula.
+  double no_spill_cpu = big_build.rows * params.hash_build_per_row +
+                        probe.rows * params.hash_probe_per_row +
+                        out.rows * params.emit_per_row;
+  EXPECT_GT(spills.cpu, no_spill_cpu * 1.5);
+}
+
+TEST(CostModel, LoopJoinQuadraticallyWorseThanHash) {
+  FakeView view;
+  CostParams params;
+  Operator loop = MakeOp(OpKind::kLoopJoin);
+  Operator hash = MakeOp(OpKind::kHashJoin);
+  hash.left_keys = {0};
+  hash.right_keys = {1};
+  LogicalStats left = MakeStats(1e5);
+  LogicalStats right = MakeStats(1e5);
+  LogicalStats out = MakeStats(1e5);
+  OpCost loop_cost = ComputeOpCost(loop, out, {&left, &right}, 1, params, view);
+  OpCost hash_cost = ComputeOpCost(hash, out, {&left, &right}, 1, params, view);
+  EXPECT_GT(loop_cost.cpu, hash_cost.cpu * 100);
+}
+
+TEST(CostModel, ExchangeKinds) {
+  FakeView view;
+  CostParams params;
+  LogicalStats in = MakeStats(1e6, 100);
+  LogicalStats out = in;
+  Operator ex = MakeOp(OpKind::kExchange);
+  ex.exchange = ExchangeKind::kRepartition;
+  ex.exchange_keys = {0};
+  OpCost repart = ComputeOpCost(ex, out, {&in}, 16, params, view);
+  ex.exchange = ExchangeKind::kBroadcast;
+  OpCost bcast = ComputeOpCost(ex, out, {&in}, 16, params, view);
+  ex.exchange = ExchangeKind::kGather;
+  OpCost gather = ComputeOpCost(ex, out, {&in}, 1, params, view);
+  // Broadcast moves dop copies of the data.
+  EXPECT_NEAR(bcast.bytes_moved, repart.bytes_moved * 16, 1.0);
+  EXPECT_GT(bcast.io, repart.io * 10);
+  EXPECT_GT(gather.latency, 0.0);
+}
+
+TEST(CostModel, VirtualDatasetNearlyFree) {
+  FakeView view;
+  CostParams params;
+  LogicalStats in = MakeStats(1e8, 100);
+  LogicalStats out = MakeStats(3e8, 100);
+  Operator physical = MakeOp(OpKind::kPhysicalUnionAll);
+  Operator virtual_ds = MakeOp(OpKind::kVirtualDataset);
+  OpCost concat = ComputeOpCost(physical, out, {&in, &in, &in}, 32, params, view);
+  OpCost metadata = ComputeOpCost(virtual_ds, out, {&in, &in, &in}, 32, params, view);
+  EXPECT_LT(metadata.latency, concat.latency / 100);
+  EXPECT_DOUBLE_EQ(metadata.io, 0.0);
+}
+
+TEST(CostModel, ProcessCostUsesViewFactor) {
+  FakeView view;
+  CostParams params;
+  Operator udo = MakeOp(OpKind::kProcessVertex);
+  udo.udo_name = "u";
+  LogicalStats in = MakeStats(1e6);
+  LogicalStats out = in;
+  view.process_cost = 1.0;
+  OpCost cheap = ComputeOpCost(udo, out, {&in}, 8, params, view);
+  view.process_cost = 10.0;
+  OpCost costly = ComputeOpCost(udo, out, {&in}, 8, params, view);
+  EXPECT_NEAR(costly.cpu / cheap.cpu, 10.0, 0.1);
+}
+
+TEST(CostModel, OptimizerBeliefsAreOptimisticAboutOverheads) {
+  CostParams beliefs = CostParams::OptimizerBeliefs();
+  CostParams truth = CostParams::ClusterTruth();
+  EXPECT_LT(beliefs.vertex_startup, truth.vertex_startup);
+  EXPECT_LT(beliefs.coordination_per_vertex, truth.coordination_per_vertex);
+  // Work rates agree — the disagreement is parallelism overheads only.
+  EXPECT_DOUBLE_EQ(beliefs.read_per_byte, truth.read_per_byte);
+  EXPECT_DOUBLE_EQ(beliefs.hash_build_per_row, truth.hash_build_per_row);
+}
+
+TEST(CostModel, LogicalOperatorsAreFree) {
+  FakeView view;
+  CostParams params;
+  LogicalStats in = MakeStats(1e6);
+  for (OpKind kind : {OpKind::kGet, OpKind::kSelect, OpKind::kJoin, OpKind::kGroupBy}) {
+    OpCost cost = ComputeOpCost(MakeOp(kind), in, {&in, &in}, 8, params, view);
+    EXPECT_DOUBLE_EQ(cost.latency, 0.0) << OpKindName(kind);
+    EXPECT_DOUBLE_EQ(cost.cpu, 0.0) << OpKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,134 @@
+#include "plan/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "catalog/datagen.h"
+#include "optimizer/stats.h"
+
+namespace qsteer {
+namespace {
+
+/// Test accessor over a fixed column->value map.
+class MapRow : public RowAccessor {
+ public:
+  explicit MapRow(std::map<ColumnId, int64_t> values) : values_(std::move(values)) {}
+  int64_t Get(ColumnId column) const override {
+    auto it = values_.find(column);
+    return it == values_.end() ? kNullValue : it->second;
+  }
+
+ private:
+  std::map<ColumnId, int64_t> values_;
+};
+
+TEST(Expr, CompareEvaluation) {
+  MapRow row(std::map<ColumnId, int64_t>{{0, 5}, {1, 10}});
+  EXPECT_TRUE(Expr::Cmp(0, CmpOp::kEq, 5)->EvalPredicate(row));
+  EXPECT_FALSE(Expr::Cmp(0, CmpOp::kEq, 6)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Cmp(0, CmpOp::kLt, 6)->EvalPredicate(row));
+  EXPECT_FALSE(Expr::Cmp(0, CmpOp::kLt, 5)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Cmp(0, CmpOp::kLe, 5)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Cmp(1, CmpOp::kGt, 5)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Cmp(1, CmpOp::kGe, 10)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Cmp(1, CmpOp::kNe, 5)->EvalPredicate(row));
+  EXPECT_TRUE(
+      Expr::Compare(CmpOp::kLt, Expr::Column(0), Expr::Column(1))->EvalPredicate(row));
+}
+
+TEST(Expr, NullComparisonsAreFalse) {
+  MapRow row(std::map<ColumnId, int64_t>{{0, kNullValue}});
+  EXPECT_FALSE(Expr::Cmp(0, CmpOp::kEq, 1)->EvalPredicate(row));
+  EXPECT_FALSE(Expr::Cmp(0, CmpOp::kNe, 1)->EvalPredicate(row));
+  EXPECT_FALSE(Expr::Cmp(0, CmpOp::kLt, 1)->EvalPredicate(row));
+  EXPECT_FALSE(Expr::IsNotNull(0)->EvalPredicate(row));
+  MapRow present(std::map<ColumnId, int64_t>{{0, 3}});
+  EXPECT_TRUE(Expr::IsNotNull(0)->EvalPredicate(present));
+}
+
+TEST(Expr, BooleanConnectives) {
+  MapRow row(std::map<ColumnId, int64_t>{{0, 5}});
+  ExprPtr t = Expr::Cmp(0, CmpOp::kEq, 5);
+  ExprPtr f = Expr::Cmp(0, CmpOp::kEq, 6);
+  EXPECT_TRUE(Expr::And({t, t})->EvalPredicate(row));
+  EXPECT_FALSE(Expr::And({t, f})->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Or({f, t})->EvalPredicate(row));
+  EXPECT_FALSE(Expr::Or({f, f})->EvalPredicate(row));
+  EXPECT_TRUE(Expr::Not(f)->EvalPredicate(row));
+  EXPECT_TRUE(Expr::True()->EvalPredicate(row));
+}
+
+TEST(Expr, AndOrOfOneChildCollapses) {
+  ExprPtr atom = Expr::Cmp(0, CmpOp::kEq, 1);
+  EXPECT_EQ(Expr::And({atom}), atom);
+  EXPECT_EQ(Expr::Or({atom}), atom);
+  EXPECT_EQ(Expr::And({})->kind(), ExprKind::kTrue);
+}
+
+TEST(Expr, SplitAndRebuildConjuncts) {
+  ExprPtr a = Expr::Cmp(0, CmpOp::kEq, 1);
+  ExprPtr b = Expr::Cmp(1, CmpOp::kLt, 5);
+  ExprPtr c = Expr::Cmp(2, CmpOp::kGt, 7);
+  ExprPtr nested = Expr::And({a, Expr::And({b, c})});
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(nested);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0], a);
+  EXPECT_EQ(conjuncts[1], b);
+  EXPECT_EQ(conjuncts[2], c);
+  EXPECT_EQ(MakeConjunction({})->kind(), ExprKind::kTrue);
+  EXPECT_EQ(MakeConjunction({a}), a);
+  EXPECT_TRUE(SplitConjuncts(Expr::True()).empty());
+}
+
+TEST(Expr, CollectColumnsAndBoundBy) {
+  ExprPtr e = Expr::And({Expr::Cmp(3, CmpOp::kEq, 1),
+                         Expr::Compare(CmpOp::kLt, Expr::Column(5), Expr::Column(7))});
+  std::vector<ColumnId> cols;
+  e->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<ColumnId>{3, 5, 7}));
+  EXPECT_TRUE(e->BoundBy({3, 5, 7, 9}));
+  EXPECT_FALSE(e->BoundBy({3, 5}));
+}
+
+TEST(Expr, TemplateHashIgnoresLiterals) {
+  ExprPtr a = Expr::Cmp(0, CmpOp::kEq, 100);
+  ExprPtr b = Expr::Cmp(0, CmpOp::kEq, 999);
+  EXPECT_EQ(a->Hash(true), b->Hash(true));
+  EXPECT_NE(a->Hash(false), b->Hash(false));
+  // Different column or op changes the template hash too.
+  EXPECT_NE(a->Hash(true), Expr::Cmp(1, CmpOp::kEq, 100)->Hash(true));
+  EXPECT_NE(a->Hash(true), Expr::Cmp(0, CmpOp::kLt, 100)->Hash(true));
+}
+
+TEST(Expr, CountAtoms) {
+  ExprPtr e = Expr::And({Expr::Cmp(0, CmpOp::kEq, 1),
+                         Expr::Or({Expr::Cmp(1, CmpOp::kLt, 5), Expr::IsNotNull(2)})});
+  EXPECT_EQ(e->CountAtoms(), 3);
+  EXPECT_EQ(Expr::True()->CountAtoms(), 0);
+}
+
+TEST(Expr, UdfPredicateEmpiricalRateMatchesAnalytic) {
+  // The per-row UDF decision must average out to UdfTrueSelectivity(name).
+  std::string name = "udf_test_42";
+  ExprPtr udf = Expr::UdfPredicate(name, /*selectivity_guess=*/0.5, /*input=*/0);
+  int passes = 0;
+  constexpr int kN = 20000;
+  for (int v = 1; v <= kN; ++v) {
+    MapRow row(std::map<ColumnId, int64_t>{{0, v}});
+    if (udf->EvalPredicate(row)) ++passes;
+  }
+  double rate = static_cast<double>(passes) / kN;
+  EXPECT_NEAR(rate, UdfTrueSelectivity(name), 0.02);
+  // Deterministic per value.
+  MapRow row(std::map<ColumnId, int64_t>{{0, 7}});
+  EXPECT_EQ(udf->EvalPredicate(row), udf->EvalPredicate(row));
+}
+
+TEST(Expr, ToStringReadable) {
+  ExprPtr e = Expr::And({Expr::Cmp(0, CmpOp::kLe, 4), Expr::IsNotNull(1)});
+  EXPECT_EQ(e->ToString(), "((c0 <= 4) AND c1 IS NOT NULL)");
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,91 @@
+// Randomized round-trip properties over the serialization surfaces:
+// hint strings, hex signatures, and configuration algebra — 200 random
+// draws each, seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/hints.h"
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+namespace {
+
+RuleConfig RandomConfig(Pcg32* rng) {
+  RuleConfig config = RuleConfig::Default();
+  int toggles = static_cast<int>(rng->UniformInt(0, 40));
+  for (int i = 0; i < toggles; ++i) {
+    RuleId id = static_cast<RuleId>(rng->UniformInt(0, kNumRules - 1));
+    if (rng->NextBool(0.5)) {
+      config.Enable(id);
+    } else {
+      config.Disable(id);
+    }
+  }
+  return config;
+}
+
+TEST(FuzzRoundTrip, HintStringsReproduceConfigs) {
+  Pcg32 rng(0xf022);
+  for (int trial = 0; trial < 200; ++trial) {
+    RuleConfig config = RandomConfig(&rng);
+    std::string hints = ToHintString(config);
+    Result<RuleConfig> parsed = ParseHintString(hints);
+    ASSERT_TRUE(parsed.ok()) << trial << ": " << hints;
+    EXPECT_EQ(parsed.value(), config) << trial << ": " << hints;
+  }
+}
+
+TEST(FuzzRoundTrip, HexSignaturesReproduceBitVectors) {
+  Pcg32 rng(0xf023);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector256 bv;
+    int bits = static_cast<int>(rng.UniformInt(0, 64));
+    for (int i = 0; i < bits; ++i) bv.Set(static_cast<int>(rng.UniformInt(0, 255)));
+    EXPECT_EQ(BitVector256::FromHexString(bv.ToHexString()), bv) << trial;
+    // Binary round trip too.
+    EXPECT_EQ(BitVector256::FromBinaryString(bv.ToBinaryString()), bv) << trial;
+  }
+}
+
+TEST(FuzzRoundTrip, ConfigAlgebraInvariants) {
+  Pcg32 rng(0xf024);
+  for (int trial = 0; trial < 200; ++trial) {
+    RuleConfig config = RandomConfig(&rng);
+    // Required rules can never be disabled, regardless of toggle history.
+    for (RuleId id = 0; id < kNumRequired; ++id) {
+      ASSERT_TRUE(config.IsEnabled(id)) << trial << " rule " << id;
+    }
+    // DisabledVsDefault is exactly the default-enabled rules now disabled.
+    RuleConfig def = RuleConfig::Default();
+    for (RuleId id : config.DisabledVsDefault()) {
+      EXPECT_TRUE(def.IsEnabled(id));
+      EXPECT_FALSE(config.IsEnabled(id));
+    }
+    // Hash is content-determined.
+    RuleConfig copy = config;
+    EXPECT_EQ(copy.Hash(), config.Hash());
+  }
+}
+
+TEST(FuzzRoundTrip, MalformedHintStringsNeverCrash) {
+  Pcg32 rng(0xf025);
+  const std::string alphabet = "ENABLEDISABLE(),;HashJoinImpl1 _0budget";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+      garbage.push_back(alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int>(alphabet.size()) - 1))]);
+    }
+    Result<RuleConfig> parsed = ParseHintString(garbage);  // must not crash
+    if (parsed.ok()) {
+      // Whatever parsed must still respect the required-rule invariant.
+      for (RuleId id = 0; id < kNumRequired; ++id) {
+        EXPECT_TRUE(parsed.value().IsEnabled(id));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,92 @@
+// Hint-string parsing/rendering (the §3.2/§3.3 deployment surface) and the
+// EXPLAIN facility.
+#include "core/hints.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/explain.h"
+#include "optimizer/rule_registry.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+TEST(Hints, ParseSimpleClauses) {
+  Result<RuleConfig> config =
+      ParseHintString("ENABLE(CorrelatedJoinOnUnionAll2);DISABLE(HashJoinImpl1,JoinCommute)");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_TRUE(config.value().IsEnabled(rules::kCorrelatedJoinOnUnionAll2));
+  EXPECT_FALSE(config.value().IsEnabled(rules::kHashJoinImpl1));
+  EXPECT_FALSE(config.value().IsEnabled(rules::kJoinCommute));
+  // Everything else stays at the default.
+  EXPECT_TRUE(config.value().IsEnabled(rules::kMergeJoinImpl));
+  EXPECT_FALSE(config.value().IsEnabled(rules::kGroupbyOnJoin1));
+}
+
+TEST(Hints, WhitespaceInsensitive) {
+  Result<RuleConfig> config =
+      ParseHintString("  DISABLE ( HashJoinImpl1 ,  MergeJoinImpl )  ;  "
+                      "ENABLE( GroupbyOnJoin1 ) ");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config.value().IsEnabled(rules::kHashJoinImpl1));
+  EXPECT_FALSE(config.value().IsEnabled(rules::kMergeJoinImpl));
+  EXPECT_TRUE(config.value().IsEnabled(rules::kGroupbyOnJoin1));
+}
+
+TEST(Hints, EmptyStringIsDefault) {
+  Result<RuleConfig> config = ParseHintString("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value(), RuleConfig::Default());
+}
+
+TEST(Hints, RejectsUnknownRulesAndRequiredDisables) {
+  EXPECT_FALSE(ParseHintString("DISABLE(NoSuchRule)").ok());
+  EXPECT_FALSE(ParseHintString("DISABLE(GetToRange)").ok());
+  EXPECT_FALSE(ParseHintString("FROBNICATE(HashJoinImpl1)").ok());
+  EXPECT_FALSE(ParseHintString("DISABLE(HashJoinImpl1").ok());
+  EXPECT_FALSE(ParseHintString("DISABLE()").ok());
+  EXPECT_FALSE(ParseHintString("DISABLE(HashJoinImpl1) ENABLE(JoinCommute)").ok());
+}
+
+TEST(Hints, RoundTripArbitraryConfig) {
+  RuleConfig config = RuleConfig::WithHints(
+      {rules::kCorrelatedJoinOnUnionAll1, rules::kGroupbyOnJoin2},
+      {rules::kHashJoinImpl2, rules::kUnionAllToVirtualDataset, rules::kCollapseSelects});
+  std::string text = ToHintString(config);
+  Result<RuleConfig> parsed = ParseHintString(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(parsed.value(), config);
+}
+
+TEST(Hints, DefaultRendersEmpty) {
+  EXPECT_EQ(ToHintString(RuleConfig::Default()), "");
+}
+
+TEST(Explain, RendersPlanWithBothViews) {
+  WorkloadSpec spec;
+  spec.name = "H";
+  spec.seed = 99;
+  spec.num_templates = 6;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(0, 1);
+  Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  std::string text = ExplainPlan(workload.catalog(), job, plan.value());
+  EXPECT_NE(text.find("estimated cost:"), std::string::npos);
+  EXPECT_NE(text.find("est_rows="), std::string::npos);
+  EXPECT_NE(text.find("true_rows="), std::string::npos);
+  EXPECT_NE(text.find("rule signature"), std::string::npos);
+  EXPECT_NE(text.find("OutputWriter"), std::string::npos);
+
+  ExplainOptions options;
+  options.show_true_rows = false;
+  options.show_signature = false;
+  std::string terse = ExplainPlan(workload.catalog(), job, plan.value(), options);
+  EXPECT_EQ(terse.find("true_rows="), std::string::npos);
+  EXPECT_EQ(terse.find("rule signature"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,175 @@
+// Cross-cutting optimizer invariants, property-tested over a sweep of
+// (workload, template, configuration) combinations:
+//   1. signature ⊆ enabled rules ∪ required rules — a disabled rule can
+//      never contribute to a plan;
+//   2. every physical operator in an emitted plan has a positive DOP;
+//   3. exchanges/sorts appear exactly where property mismatches demand them;
+//   4. compilation and simulation are bit-stable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/span.h"
+#include "core/config_search.h"
+#include "exec/simulator.h"
+#include "optimizer/optimizer.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  int template_id;
+};
+
+class InvariantTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static WorkloadSpec Spec(uint64_t seed) {
+    WorkloadSpec spec;
+    spec.name = "I";
+    spec.seed = seed;
+    spec.num_templates = 24;
+    spec.num_stream_sets = 18;
+    return spec;
+  }
+};
+
+TEST_P(InvariantTest, SignatureOnlyContainsEnabledOrRequiredRules) {
+  Workload workload(Spec(GetParam().seed));
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(GetParam().template_id, 2);
+
+  std::vector<RuleConfig> configs = {RuleConfig::Default(), RuleConfig::AllEnabled()};
+  SpanResult span = ComputeJobSpan(optimizer, job);
+  ConfigSearchOptions search;
+  search.max_configs = 8;
+  search.seed = GetParam().seed;
+  for (const RuleConfig& c : GenerateCandidateConfigs(span.span, search)) {
+    configs.push_back(c);
+  }
+
+  for (const RuleConfig& config : configs) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    if (!plan.ok()) continue;
+    for (int id : plan.value().signature.ToIndices()) {
+      bool allowed = config.IsEnabled(id) || CategoryOfRule(id) == RuleCategory::kRequired;
+      EXPECT_TRUE(allowed) << "disabled rule " << id << " in signature";
+    }
+  }
+}
+
+TEST_P(InvariantTest, PhysicalPlansAreWellFormed) {
+  Workload workload(Spec(GetParam().seed));
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(GetParam().template_id, 2);
+  Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  VisitPlan(plan.value().root, [&](const PlanNode& node) {
+    // Only physical operators in the final plan.
+    EXPECT_TRUE(node.op.IsPhysical()) << node.op.ToString();
+    EXPECT_GE(node.op.dop, 1) << node.op.ToString();
+    // Scans carry valid stream references.
+    if (node.op.kind == OpKind::kRangeScan) {
+      EXPECT_GE(node.op.stream_id, 0);
+      EXPECT_LT(node.op.stream_id, workload.catalog().num_streams());
+    }
+    // Arity sanity.
+    switch (node.op.kind) {
+      case OpKind::kRangeScan:
+        EXPECT_TRUE(node.children.empty());
+        break;
+      case OpKind::kHashJoin:
+      case OpKind::kBroadcastHashJoin:
+      case OpKind::kMergeJoin:
+      case OpKind::kLoopJoin:
+        EXPECT_EQ(node.children.size(), 2u);
+        break;
+      case OpKind::kIndexApplyJoin:
+        EXPECT_EQ(node.children.size(), 1u);
+        break;
+      case OpKind::kPhysicalUnionAll:
+      case OpKind::kVirtualDataset:
+        EXPECT_GE(node.children.size(), 2u);
+        break;
+      default:
+        EXPECT_EQ(node.children.size(), 1u) << node.op.ToString();
+        break;
+    }
+  });
+}
+
+TEST_P(InvariantTest, MergeJoinInputsAreSortedByEnforcers) {
+  // Force merge joins: whenever one appears in a plan, each input subtree
+  // must contain a Sort or an order-preserving chain below it.
+  Workload workload(Spec(GetParam().seed));
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(GetParam().template_id, 2);
+  RuleConfig merge_only = RuleConfig::Default();
+  for (RuleId id : {224, 225, 226, 227, 229, 232, 233, 234}) merge_only.Disable(id);
+  Result<CompiledPlan> plan = optimizer.Compile(job, merge_only);
+  if (!plan.ok()) return;  // jobs without compatible joins may fail: fine
+  int merge_joins = 0, sorts = 0;
+  VisitPlan(plan.value().root, [&](const PlanNode& node) {
+    if (node.op.kind == OpKind::kMergeJoin) ++merge_joins;
+    if (node.op.kind == OpKind::kSort) ++sorts;
+  });
+  // Merge joins require sorted inputs; scans deliver unsorted data, so any
+  // merge join in the plan forces at least one Sort enforcer somewhere.
+  if (merge_joins > 0) {
+    EXPECT_GT(sorts, 0);
+    EXPECT_TRUE(plan.value().signature.Test(rules::kEnforceSort));
+  }
+  ExecutionSimulator simulator(&workload.catalog());
+  EXPECT_GT(simulator.Execute(job, plan.value().root).runtime, 0.0);
+}
+
+TEST_P(InvariantTest, CompileAndSimulateAreDeterministic) {
+  Workload workload(Spec(GetParam().seed));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  Job job1 = workload.MakeJob(GetParam().template_id, 2);
+  Job job2 = workload.MakeJob(GetParam().template_id, 2);
+  Result<CompiledPlan> a = optimizer.Compile(job1, RuleConfig::AllEnabled());
+  Result<CompiledPlan> b = optimizer.Compile(job2, RuleConfig::AllEnabled());
+  ASSERT_EQ(a.ok(), b.ok());
+  if (!a.ok()) return;
+  EXPECT_DOUBLE_EQ(a.value().est_cost, b.value().est_cost);
+  EXPECT_EQ(a.value().signature, b.value().signature);
+  EXPECT_DOUBLE_EQ(simulator.Execute(job1, a.value().root, 5).runtime,
+                   simulator.Execute(job2, b.value().root, 5).runtime);
+}
+
+TEST_P(InvariantTest, EstimatedCostPositiveAndFiniteAcrossConfigs) {
+  Workload workload(Spec(GetParam().seed));
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(GetParam().template_id, 2);
+  SpanResult span = ComputeJobSpan(optimizer, job);
+  ConfigSearchOptions search;
+  search.max_configs = 10;
+  search.seed = GetParam().seed + 1;
+  for (const RuleConfig& config : GenerateCandidateConfigs(span.span, search)) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    if (!plan.ok()) continue;
+    EXPECT_GT(plan.value().est_cost, 0.0);
+    EXPECT_TRUE(std::isfinite(plan.value().est_cost));
+    EXPECT_GT(plan.value().signature.Count(), 0);
+  }
+}
+
+std::vector<SweepParam> SweepParams() {
+  std::vector<SweepParam> params;
+  for (uint64_t seed : {11ULL, 22ULL}) {
+    for (int t = 0; t < 12; ++t) params.push_back({seed, t});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InvariantTest, ::testing::ValuesIn(SweepParams()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           return "s" + std::to_string(info.param.seed) + "_t" +
+                                  std::to_string(info.param.template_id);
+                         });
+
+}  // namespace
+}  // namespace qsteer

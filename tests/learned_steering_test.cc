@@ -1,0 +1,140 @@
+// Learned configuration selection (§7): dataset collection, featurization,
+// training, and the key qualitative property — the learned policy lands
+// between the default and the best-known configuration.
+#include "core/learned_steering.h"
+
+#include <gtest/gtest.h>
+
+#include "core/span.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class LearnedSteeringTest : public ::testing::Test {
+ protected:
+  LearnedSteeringTest()
+      : workload_(Spec()),
+        optimizer_(&workload_.catalog()),
+        simulator_(&workload_.catalog()),
+        learner_(&optimizer_, &simulator_, &workload_.catalog()) {}
+
+  static WorkloadSpec Spec() {
+    WorkloadSpec spec;
+    spec.name = "L";
+    spec.seed = 31337;
+    spec.num_templates = 16;
+    spec.num_stream_sets = 16;
+    return spec;
+  }
+
+  /// Jobs of one template over multiple days/instances: the same job group.
+  std::vector<Job> GroupJobs(int template_id, int days) {
+    std::vector<Job> jobs;
+    for (int day = 1; day <= days; ++day) {
+      for (int inst = 0; inst < 2; ++inst) {
+        jobs.push_back(workload_.MakeJob(template_id, day, inst));
+      }
+    }
+    return jobs;
+  }
+
+  /// Candidate configurations derived from the first job's span (default
+  /// first, as the dataset contract requires).
+  std::vector<RuleConfig> Candidates(const Job& job, int k) {
+    SpanResult span = ComputeJobSpan(optimizer_, job);
+    ConfigSearchOptions options;
+    options.max_configs = k * 3;
+    options.seed = 4;
+    std::vector<RuleConfig> configs = {RuleConfig::Default()};
+    for (const RuleConfig& c : GenerateCandidateConfigs(span.span, options)) {
+      if (static_cast<int>(configs.size()) >= k) break;
+      configs.push_back(c);
+    }
+    return configs;
+  }
+
+  Workload workload_;
+  Optimizer optimizer_;
+  ExecutionSimulator simulator_;
+  LearnedSteering learner_;
+};
+
+TEST_F(LearnedSteeringTest, DatasetShapesAreConsistent) {
+  std::vector<Job> jobs = GroupJobs(0, 6);
+  std::vector<RuleConfig> configs = Candidates(jobs[0], 5);
+  GroupDataset dataset = learner_.CollectDataset(jobs, configs, /*seed=*/1);
+  ASSERT_GT(dataset.size(), 0);
+  EXPECT_EQ(dataset.k(), static_cast<int>(configs.size()));
+  size_t width = dataset.features[0].size();
+  for (int i = 0; i < dataset.size(); ++i) {
+    EXPECT_EQ(dataset.features[static_cast<size_t>(i)].size(), width);
+    EXPECT_EQ(dataset.runtimes[static_cast<size_t>(i)].size(),
+              static_cast<size_t>(dataset.k()));
+    // Default (slot 0) always executes.
+    EXPECT_GT(dataset.runtimes[static_cast<size_t>(i)][0], 0.0);
+  }
+}
+
+TEST_F(LearnedSteeringTest, LearnedPolicyBetweenDefaultAndBest) {
+  // Gather samples across several templates' groups to get a mixed dataset
+  // (like the paper's job groups with no always-winning configuration).
+  std::vector<Job> jobs = GroupJobs(1, 14);
+  std::vector<RuleConfig> configs = Candidates(jobs[0], 6);
+  GroupDataset dataset = learner_.CollectDataset(jobs, configs, 2);
+  ASSERT_GE(dataset.size(), 10);
+
+  MlpOptions options;
+  options.hidden = 32;
+  options.epochs = 120;
+  options.seed = 7;
+  LearnedEvaluation eval = learner_.TrainAndEvaluate(dataset, options);
+  ASSERT_FALSE(eval.test_choices.empty());
+
+  // Best <= learned (the model cannot beat the oracle) and the oracle is no
+  // worse than default.
+  EXPECT_LE(eval.mean_best, eval.mean_learned + 1e-9);
+  EXPECT_LE(eval.mean_best, eval.mean_default + 1e-9);
+  for (const LearnedChoice& choice : eval.test_choices) {
+    EXPECT_LE(choice.best_runtime, choice.chosen_runtime + 1e-9);
+    EXPECT_LE(choice.best_runtime, choice.default_runtime + 1e-9);
+    EXPECT_GE(choice.chosen_arm, 0);
+    EXPECT_LT(choice.chosen_arm, dataset.k());
+  }
+}
+
+TEST_F(LearnedSteeringTest, FeaturizerWidthsMatchContract) {
+  JobFeaturizer featurizer(&workload_.catalog());
+  Job job = workload_.MakeJob(2, 1);
+  std::vector<double> job_features = featurizer.JobFeatures(job);
+  EXPECT_EQ(static_cast<int>(job_features.size()), featurizer.JobFeatureWidth());
+
+  Result<CompiledPlan> plan = optimizer_.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  RuleDiff empty_diff;
+  std::vector<double> config_features = featurizer.ConfigFeatures(plan.value(), empty_diff);
+  EXPECT_EQ(static_cast<int>(config_features.size()), featurizer.ConfigFeatureWidth());
+
+  std::vector<double> full = featurizer.Featurize(job, {&plan.value()}, {&empty_diff}, 4);
+  EXPECT_EQ(static_cast<int>(full.size()),
+            featurizer.JobFeatureWidth() + 4 * featurizer.ConfigFeatureWidth());
+}
+
+TEST_F(LearnedSteeringTest, FeaturesStableWithinTemplateVaryAcrossTemplates) {
+  JobFeaturizer featurizer(&workload_.catalog());
+  std::vector<double> a1 = featurizer.JobFeatures(workload_.MakeJob(3, 1));
+  std::vector<double> a2 = featurizer.JobFeatures(workload_.MakeJob(3, 2));
+  std::vector<double> b = featurizer.JobFeatures(workload_.MakeJob(4, 1));
+  ASSERT_EQ(a1.size(), a2.size());
+  // Template one-hot bins identical across days of one template.
+  int diff_same = 0, diff_other = 0;
+  for (size_t i = 0; i < a1.size(); ++i) {
+    if (std::abs(a1[i] - a2[i]) > 1e-9) ++diff_same;
+    if (std::abs(a1[i] - b[i]) > 1e-9) ++diff_other;
+  }
+  EXPECT_LT(diff_same, static_cast<int>(a1.size()) / 4);  // only sizes drift
+  EXPECT_GT(diff_other, diff_same);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,119 @@
+#include "optimizer/memo.h"
+
+#include <gtest/gtest.h>
+
+namespace qsteer {
+namespace {
+
+Operator Scan(int stream) {
+  Operator op;
+  op.kind = OpKind::kGet;
+  op.stream_id = stream;
+  op.stream_set_id = 0;
+  op.scan_columns = {0, 1};
+  return op;
+}
+
+Operator Select(int64_t literal) {
+  Operator op;
+  op.kind = OpKind::kSelect;
+  op.predicate = Expr::Cmp(0, CmpOp::kEq, literal);
+  return op;
+}
+
+TEST(Memo, InsertDeduplicatesSharedSubtrees) {
+  // Union of two selects over the SAME shared scan node.
+  PlanNodePtr scan = PlanNode::Make(Scan(0), {});
+  PlanNodePtr a = PlanNode::Make(Select(1), {scan});
+  PlanNodePtr b = PlanNode::Make(Select(2), {scan});
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  PlanNodePtr root = PlanNode::Make(u, {a, b});
+
+  Memo memo;
+  GroupId root_group = memo.Insert(root);
+  // Groups: scan, select1, select2, union = 4.
+  EXPECT_EQ(memo.num_groups(), 4);
+  EXPECT_EQ(memo.num_exprs(), 4);
+  EXPECT_EQ(root_group, 3);
+  // Both selects share the scan child group.
+  const GroupExpr& ua = memo.expr(memo.group(root_group).exprs[0]);
+  ASSERT_EQ(ua.children.size(), 2u);
+  EXPECT_EQ(memo.expr(memo.group(ua.children[0]).exprs[0]).children[0],
+            memo.expr(memo.group(ua.children[1]).exprs[0]).children[0]);
+}
+
+TEST(Memo, AddExprDeduplicatesIdenticalExpressions) {
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId scan_group = memo.expr(scan).group;
+  ExprId again = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  EXPECT_EQ(scan, again);
+  EXPECT_EQ(memo.num_groups(), 1);
+
+  ExprId sel = memo.AddExpr(Select(5), {scan_group}, kInvalidGroup, 10, scan);
+  ExprId sel_dup = memo.AddExpr(Select(5), {scan_group}, kInvalidGroup, 11, scan);
+  EXPECT_EQ(sel, sel_dup);  // provenance of the first creator wins
+  EXPECT_EQ(memo.expr(sel).rule_id, 10);
+}
+
+TEST(Memo, TargetGroupAttachesEquivalentExpr) {
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId scan_group = memo.expr(scan).group;
+  ExprId sel = memo.AddExpr(Select(5), {scan_group}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId sel_group = memo.expr(sel).group;
+  // A rewrite adds an equivalent expression into the select's group.
+  ExprId alt = memo.AddExpr(Select(6), {scan_group}, sel_group, 42, sel);
+  EXPECT_EQ(memo.expr(alt).group, sel_group);
+  EXPECT_EQ(memo.group(sel_group).exprs.size(), 2u);
+  EXPECT_EQ(memo.expr(alt).rule_id, 42);
+  EXPECT_EQ(memo.expr(alt).source_expr, sel);
+}
+
+TEST(Memo, OutputColumnsDerivedOnGroupCreation) {
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId scan_group = memo.expr(scan).group;
+  EXPECT_EQ(memo.group(scan_group).output_columns, (std::vector<ColumnId>{0, 1}));
+
+  Operator gb;
+  gb.kind = OpKind::kGroupBy;
+  gb.group_keys = {1};
+  gb.aggs = {AggExpr{AggFunc::kCount, kInvalidColumn, 7}};
+  ExprId agg = memo.AddExpr(gb, {scan_group}, kInvalidGroup, -1, kInvalidExpr);
+  EXPECT_EQ(memo.group(memo.expr(agg).group).output_columns, (std::vector<ColumnId>{1, 7}));
+}
+
+TEST(Memo, ProvenanceChainsThroughRewrites) {
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId scan_group = memo.expr(scan).group;
+  ExprId sel = memo.AddExpr(Select(5), {scan_group}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId sel_group = memo.expr(sel).group;
+  ExprId rewritten = memo.AddExpr(Select(7), {scan_group}, sel_group, 90, sel);
+  // Implementation on top of the rewritten expression.
+  Operator filter;
+  filter.kind = OpKind::kFilter;
+  filter.predicate = Expr::Cmp(0, CmpOp::kEq, 7);
+  ExprId impl = memo.AddExpr(filter, {scan_group}, sel_group, 2, rewritten);
+
+  std::vector<int> rule_ids;
+  memo.CollectProvenance(impl, &rule_ids);
+  EXPECT_EQ(rule_ids, (std::vector<int>{2, 90}));
+}
+
+TEST(Memo, RepresentativeIsFirstLogicalExpr) {
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(3), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId group = memo.expr(scan).group;
+  EXPECT_EQ(memo.group(group).representative, scan);
+  // Adding a physical expression does not change the representative.
+  Operator range = Scan(3);
+  range.kind = OpKind::kRangeScan;
+  memo.AddExpr(range, {}, group, 1, scan);
+  EXPECT_EQ(memo.group(group).representative, scan);
+}
+
+}  // namespace
+}  // namespace qsteer

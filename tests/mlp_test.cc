@@ -1,0 +1,120 @@
+#include "ml/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qsteer {
+namespace {
+
+TEST(Mlp, ForwardOutputsAreProbabilities) {
+  Mlp model(4, 8, 3, /*seed=*/1);
+  std::vector<double> out = model.Forward({0.1, 0.5, -0.3, 1.0});
+  ASSERT_EQ(out.size(), 3u);
+  for (double p : out) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(Mlp, LearnsSeparableFunction) {
+  // y = 1 when x0 > x1 else 0: trivially learnable.
+  Pcg32 rng(5);
+  std::vector<std::vector<double>> xs, ys;
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    xs.push_back({a, b});
+    ys.push_back({a > b ? 1.0 : 0.0});
+  }
+  MlpOptions options;
+  options.hidden = 16;
+  options.epochs = 80;
+  options.patience = 0;
+  Mlp model = Mlp::Train(xs, ys, {}, {}, 1, options);
+  int correct = 0;
+  for (int i = 0; i < 200; ++i) {
+    double a = rng.NextDouble(), b = rng.NextDouble();
+    double p = model.Forward({a, b})[0];
+    if ((p > 0.5) == (a > b)) ++correct;
+  }
+  EXPECT_GE(correct, 180);
+}
+
+TEST(Mlp, TrainStepReducesLossOnFixedExample) {
+  Mlp model(3, 8, 2, 7);
+  std::vector<double> x = {0.2, 0.8, 0.5};
+  std::vector<double> y = {1.0, 0.0};
+  double first = model.TrainStep(x, y, 1e-2);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = model.TrainStep(x, y, 1e-2);
+  EXPECT_LT(last, first * 0.5);
+}
+
+TEST(Mlp, EvaluateMatchesTrainStepLossScale) {
+  Mlp model(2, 4, 2, 3);
+  std::vector<std::vector<double>> xs = {{0.1, 0.9}, {0.8, 0.2}};
+  std::vector<std::vector<double>> ys = {{1.0, 0.0}, {0.0, 1.0}};
+  double loss = model.Evaluate(xs, ys);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 5.0);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  Mlp a(4, 8, 2, 11);
+  Mlp b(4, 8, 2, 11);
+  std::vector<double> x = {0.5, -0.5, 1.0, 0.0};
+  EXPECT_EQ(a.Forward(x), b.Forward(x));
+  Mlp c(4, 8, 2, 12);
+  EXPECT_NE(a.Forward(x), c.Forward(x));
+}
+
+TEST(Mlp, EarlyStoppingReturnsBestValidationModel) {
+  // Tiny train set + noisy validation: with patience, training stops and
+  // returns a model at least as good on validation as the final one.
+  Pcg32 rng(9);
+  std::vector<std::vector<double>> xs, ys, vx, vy;
+  for (int i = 0; i < 60; ++i) {
+    double a = rng.NextDouble();
+    xs.push_back({a});
+    ys.push_back({a > 0.5 ? 1.0 : 0.0});
+  }
+  for (int i = 0; i < 30; ++i) {
+    double a = rng.NextDouble();
+    vx.push_back({a});
+    vy.push_back({a > 0.5 ? 1.0 : 0.0});
+  }
+  MlpOptions options;
+  options.hidden = 8;
+  options.epochs = 100;
+  options.patience = 10;
+  Mlp model = Mlp::Train(xs, ys, vx, vy, 1, options);
+  EXPECT_LT(model.Evaluate(vx, vy), 0.4);
+}
+
+TEST(MinMaxScaler, ScalesToUnitRange) {
+  MinMaxScaler scaler;
+  std::vector<std::vector<double>> rows = {{0.0, 10.0, 5.0}, {10.0, 20.0, 5.0}};
+  scaler.Fit(rows);
+  std::vector<double> mid = scaler.Transform({5.0, 15.0, 5.0});
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 0.5);
+  EXPECT_DOUBLE_EQ(mid[2], 0.0);  // constant feature maps to 0
+  // Out-of-range values clamp.
+  std::vector<double> out = scaler.Transform({-5.0, 100.0, 7.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+}
+
+TEST(NormalizeRuntimes, MapsToUnitIntervalWithMinAtZero) {
+  std::vector<double> norm = NormalizeRuntimes({100.0, 300.0, 200.0});
+  EXPECT_DOUBLE_EQ(norm[0], 0.0);
+  EXPECT_DOUBLE_EQ(norm[1], 1.0);
+  EXPECT_DOUBLE_EQ(norm[2], 0.5);
+  // Constant runtimes map to all zeros.
+  std::vector<double> flat = NormalizeRuntimes({5.0, 5.0});
+  EXPECT_DOUBLE_EQ(flat[0], 0.0);
+  EXPECT_DOUBLE_EQ(flat[1], 0.0);
+}
+
+}  // namespace
+}  // namespace qsteer

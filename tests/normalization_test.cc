@@ -1,0 +1,226 @@
+// Config-dependent normalization (§5.3): the same job compiled under
+// configurations that differ in normalization/pushdown rules yields
+// different estimated costs — and signatures attribute the normalization
+// rules that fired.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+namespace {
+
+class NormalizationTest : public ::testing::Test {
+ protected:
+  NormalizationTest() {
+    StreamSet logs;
+    logs.name = "logs";
+    logs.columns = {
+        {.name = "k", .distinct_count = 100000, .zipf_skew = 0.9},
+        {.name = "a", .distinct_count = 1000},
+        {.name = "b", .distinct_count = 200},
+    };
+    int logs_id = catalog_.AddStreamSet(std::move(logs));
+    for (int d = 0; d < 4; ++d) {
+      catalog_.AddStream(logs_id, "logs_d" + std::to_string(d), 30'000'000, 32);
+    }
+    StreamSet dim;
+    dim.name = "dim";
+    dim.columns = {
+        {.name = "dk", .distinct_count = 95000},
+        {.name = "dv", .distinct_count = 40},
+    };
+    int dim_id = catalog_.AddStreamSet(std::move(dim));
+    catalog_.AddStream(dim_id, "dim_d0", 100000, 8);
+
+    universe_ = std::make_shared<ColumnUniverse>();
+    k_ = universe_->GetOrAddBaseColumn(0, 0, "k");
+    a_ = universe_->GetOrAddBaseColumn(0, 1, "a");
+    b_ = universe_->GetOrAddBaseColumn(0, 2, "b");
+    dk_ = universe_->GetOrAddBaseColumn(1, 0, "dk");
+    dv_ = universe_->GetOrAddBaseColumn(1, 1, "dv");
+  }
+
+  PlanNodePtr Scan(int set, int variant = 0) {
+    const StreamSet& s = catalog_.stream_set(set);
+    Operator op;
+    op.kind = OpKind::kGet;
+    op.stream_set_id = set;
+    op.stream_id = s.stream_ids[static_cast<size_t>(variant)];
+    op.scan_columns.clear();
+    for (size_t c = 0; c < s.columns.size(); ++c) {
+      op.scan_columns.push_back(
+          universe_->GetOrAddBaseColumn(set, static_cast<int>(c), s.columns[c].name));
+    }
+    return PlanNode::Make(op, {});
+  }
+
+  Job MakeJob(PlanNodePtr body) {
+    Operator gb;
+    gb.kind = OpKind::kGroupBy;
+    gb.group_keys = {b_};
+    gb.aggs = {{AggFunc::kCount, kInvalidColumn, universe_->AddDerivedColumn("c", 1e4)}};
+    Operator output;
+    output.kind = OpKind::kOutput;
+    Job job;
+    job.name = "norm";
+    job.day = 2;
+    job.columns = universe_;
+    job.root = PlanNode::Make(output, {PlanNode::Make(gb, {std::move(body)})});
+    return job;
+  }
+
+  Catalog catalog_;
+  std::shared_ptr<ColumnUniverse> universe_;
+  ColumnId k_, a_, b_, dk_, dv_;
+};
+
+TEST_F(NormalizationTest, CollapseSelectsChangesEstimates) {
+  // A stack of two selects: with CollapseSelects the combined conjunction
+  // estimates with exponential backoff (higher selectivity); without it the
+  // stack multiplies independently — different estimated cost.
+  Operator s1;
+  s1.kind = OpKind::kSelect;
+  s1.predicate = Expr::Cmp(a_, CmpOp::kLe, 100);
+  Operator s2;
+  s2.kind = OpKind::kSelect;
+  s2.predicate = Expr::Cmp(b_, CmpOp::kLe, 20);
+  Job job = MakeJob(PlanNode::Make(s2, {PlanNode::Make(s1, {Scan(0)})}));
+
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> with = optimizer.Compile(job, RuleConfig::Default());
+  RuleConfig no_collapse = RuleConfig::Default();
+  no_collapse.Disable(rules::kCollapseSelects);
+  Result<CompiledPlan> without = optimizer.Compile(job, no_collapse);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NE(with.value().est_cost, without.value().est_cost);
+  // The default signature records the collapse; the other does not.
+  EXPECT_TRUE(with.value().signature.Test(rules::kCollapseSelects));
+  EXPECT_FALSE(without.value().signature.Test(rules::kCollapseSelects));
+}
+
+TEST_F(NormalizationTest, PushdownVariantGatingIsExact) {
+  // Multi-atom select above a join: the *2 variants (95) govern it; the
+  // single-atom variants (94) must not.
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {k_};
+  join.right_keys = {dk_};
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate =
+      Expr::And({Expr::Cmp(a_, CmpOp::kLe, 500), Expr::Cmp(b_, CmpOp::kGe, 10)});
+  Job job = MakeJob(
+      PlanNode::Make(select, {PlanNode::Make(join, {Scan(0), Scan(1)})}));
+
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> base = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(base.ok());
+  EXPECT_TRUE(base.value().signature.Test(95));  // SelectOnJoinLeft2 fired
+
+  RuleConfig no_single = RuleConfig::Default();
+  no_single.Disable(94);
+  Result<CompiledPlan> same = optimizer.Compile(job, no_single);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(same.value().est_cost, base.value().est_cost);
+
+  RuleConfig no_multi = RuleConfig::Default();
+  no_multi.Disable(95);
+  Result<CompiledPlan> changed = optimizer.Compile(job, no_multi);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_NE(changed.value().est_cost, base.value().est_cost);
+}
+
+TEST_F(NormalizationTest, SelectBelowUnionVariantByBranchCount) {
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  PlanNodePtr union_node =
+      PlanNode::Make(u, {Scan(0, 0), Scan(0, 1), Scan(0, 2), Scan(0, 3)});
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::Cmp(a_, CmpOp::kLe, 50);
+  Job job = MakeJob(PlanNode::Make(select, {union_node}));
+
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> base = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(base.ok());
+  // 4 branches: variant 99 (2-5 branches) fires; 100 does not.
+  EXPECT_TRUE(base.value().signature.Test(99));
+  EXPECT_FALSE(base.value().signature.Test(100));
+}
+
+TEST_F(NormalizationTest, SelectOnTrueRemovesNoopSelects) {
+  Operator noop;
+  noop.kind = OpKind::kSelect;
+  noop.predicate = Expr::True();
+  Job job = MakeJob(PlanNode::Make(noop, {Scan(0)}));
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value().signature.Test(rules::kSelectOnTrue));
+  // No Filter node with a trivially-true predicate survives.
+  VisitPlan(plan.value().root, [](const PlanNode& node) {
+    if (node.op.kind == OpKind::kFilter) {
+      EXPECT_NE(node.op.predicate->kind(), ExprKind::kTrue);
+    }
+  });
+}
+
+TEST_F(NormalizationTest, UnionBranchesAliasDistinctStreams) {
+  // Regression test for the normalization cache aliasing bug: pushing one
+  // select into several union branches must keep the branches distinct.
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  PlanNodePtr union_node = PlanNode::Make(u, {Scan(0, 0), Scan(0, 1)});
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::Cmp(a_, CmpOp::kLe, 50);
+  Job job = MakeJob(PlanNode::Make(select, {union_node}));
+
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  std::set<int> scanned_streams;
+  VisitPlan(plan.value().root, [&](const PlanNode& node) {
+    if (node.op.kind == OpKind::kRangeScan) scanned_streams.insert(node.op.stream_id);
+  });
+  EXPECT_EQ(scanned_streams.size(), 2u);
+}
+
+TEST_F(NormalizationTest, EstimatesNotComparableAcrossConfigs) {
+  // The headline §5.3 property: over a set of configurations differing in
+  // normalization rules, estimated costs for the same job differ, and some
+  // are *below* the default's.
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {k_};
+  join.right_keys = {dk_};
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::And({Expr::Cmp(a_, CmpOp::kLe, 100),
+                                Expr::Cmp(b_, CmpOp::kLe, 20),
+                                Expr::IsNotNull(k_)});
+  Job job = MakeJob(
+      PlanNode::Make(select, {PlanNode::Make(join, {Scan(0), Scan(1)})}));
+
+  Optimizer optimizer(&catalog_);
+  Result<CompiledPlan> base = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(base.ok());
+  std::map<double, int> distinct_costs;
+  ++distinct_costs[base.value().est_cost];
+  for (RuleId rule : {95, 87, 83, 101, 102}) {
+    RuleConfig config = RuleConfig::Default();
+    config.Disable(rule);
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    if (plan.ok()) ++distinct_costs[plan.value().est_cost];
+  }
+  EXPECT_GE(distinct_costs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,133 @@
+// End-to-end smoke tests: generated workload jobs compile under the default
+// rule configuration, simulate, and produce sane signatures and costs.
+#include <gtest/gtest.h>
+
+#include "exec/simulator.h"
+#include "optimizer/optimizer.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class OptimizerSmokeTest : public ::testing::Test {
+ protected:
+  OptimizerSmokeTest() : workload_(SmallSpec()) {}
+
+  static WorkloadSpec SmallSpec() {
+    WorkloadSpec spec;
+    spec.name = "T";
+    spec.seed = 42;
+    spec.num_templates = 40;
+    spec.num_stream_sets = 24;
+    spec.log_set_fraction = 0.5;
+    return spec;
+  }
+
+  Workload workload_;
+};
+
+TEST_F(OptimizerSmokeTest, AllTemplatesCompileUnderDefaultConfig) {
+  Optimizer optimizer(&workload_.catalog());
+  RuleConfig config = RuleConfig::Default();
+  int compiled = 0;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    Job job = workload_.MakeJob(t, /*day=*/3);
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    ASSERT_TRUE(plan.ok()) << "template " << t << ": " << plan.status().ToString();
+    EXPECT_GT(plan.value().est_cost, 0.0) << "template " << t;
+    EXPECT_NE(plan.value().root, nullptr);
+    // Signature must contain at least the scan + output glue.
+    EXPECT_TRUE(plan.value().signature.Test(rules::kGetToRange));
+    EXPECT_TRUE(plan.value().signature.Test(rules::kBuildOutput));
+    ++compiled;
+  }
+  EXPECT_EQ(compiled, workload_.num_templates());
+}
+
+TEST_F(OptimizerSmokeTest, SignatureSizeIsSmallRelativeToCatalog) {
+  // Paper Fig. 2c: a single job uses 10-20 rules out of 256.
+  Optimizer optimizer(&workload_.catalog());
+  RuleConfig config = RuleConfig::Default();
+  for (int t = 0; t < 10; ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    ASSERT_TRUE(plan.ok());
+    int used = plan.value().signature.Count();
+    EXPECT_GE(used, 4) << "template " << t;
+    EXPECT_LE(used, 60) << "template " << t;
+  }
+}
+
+TEST_F(OptimizerSmokeTest, CompilationIsDeterministic) {
+  Optimizer optimizer(&workload_.catalog());
+  RuleConfig config = RuleConfig::Default();
+  Job job1 = workload_.MakeJob(7, 2);
+  Job job2 = workload_.MakeJob(7, 2);
+  Result<CompiledPlan> a = optimizer.Compile(job1, config);
+  Result<CompiledPlan> b = optimizer.Compile(job2, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().est_cost, b.value().est_cost);
+  EXPECT_EQ(a.value().signature, b.value().signature);
+  EXPECT_EQ(PlanHash(a.value().root, false), PlanHash(b.value().root, false));
+}
+
+TEST_F(OptimizerSmokeTest, SimulatorProducesPositiveMetrics) {
+  Optimizer optimizer(&workload_.catalog());
+  ExecutionSimulator simulator(&workload_.catalog());
+  RuleConfig config = RuleConfig::Default();
+  for (int t = 0; t < 10; ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    ASSERT_TRUE(plan.ok());
+    ExecMetrics metrics = simulator.Execute(job, plan.value().root);
+    EXPECT_GT(metrics.runtime, 0.0) << "template " << t;
+    EXPECT_GT(metrics.cpu_time, 0.0) << "template " << t;
+    EXPECT_GE(metrics.io_time, 0.0) << "template " << t;
+  }
+}
+
+TEST_F(OptimizerSmokeTest, ReexecutionVarianceMatchesNoiseModel) {
+  Optimizer optimizer(&workload_.catalog());
+  ExecutionSimulator simulator(&workload_.catalog());
+  Job job = workload_.MakeJob(1, 1);
+  Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+  ASSERT_TRUE(plan.ok());
+  ExecMetrics a = simulator.Execute(job, plan.value().root, /*run_nonce=*/1);
+  ExecMetrics b = simulator.Execute(job, plan.value().root, /*run_nonce=*/2);
+  ExecMetrics a_again = simulator.Execute(job, plan.value().root, /*run_nonce=*/1);
+  EXPECT_NE(a.runtime, b.runtime);                 // noise across runs
+  EXPECT_DOUBLE_EQ(a.runtime, a_again.runtime);    // deterministic per nonce
+  EXPECT_LT(std::abs(a.runtime - b.runtime) / a.runtime, 0.6);
+}
+
+TEST_F(OptimizerSmokeTest, DisablingAllJoinImplsFailsJobsWithJoins) {
+  Optimizer optimizer(&workload_.catalog());
+  RuleConfig config = RuleConfig::Default();
+  for (RuleId id = kImplementationBegin; id < kNumRules; ++id) config.Disable(id);
+  // With every implementation rule disabled, jobs with joins/aggregations
+  // cannot produce complete plans (paper: "many configurations do not
+  // compile due to implicit dependencies").
+  int failures = 0;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    Result<CompiledPlan> plan = optimizer.Compile(job, config);
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kCompilationFailed);
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, workload_.num_templates() / 2);
+}
+
+TEST_F(OptimizerSmokeTest, JobTemplateHashStableAcrossDays) {
+  Job day1 = workload_.MakeJob(5, 1);
+  Job day2 = workload_.MakeJob(5, 2);
+  EXPECT_EQ(day1.TemplateHash(), day2.TemplateHash());
+  // Different templates hash differently.
+  Job other = workload_.MakeJob(6, 1);
+  EXPECT_NE(day1.TemplateHash(), other.TemplateHash());
+}
+
+}  // namespace
+}  // namespace qsteer

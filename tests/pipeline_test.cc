@@ -1,0 +1,129 @@
+// End-to-end tests of the discovery pipeline (§5-§6): recompilation,
+// cheapest-plan selection, A/B execution, and the job-selection heuristics.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : workload_(Spec()),
+        optimizer_(&workload_.catalog()),
+        simulator_(&workload_.catalog()),
+        pipeline_(&optimizer_, &simulator_, Options()) {}
+
+  static WorkloadSpec Spec() {
+    WorkloadSpec spec;
+    spec.name = "P";
+    spec.seed = 2024;
+    spec.num_templates = 24;
+    spec.num_stream_sets = 18;
+    return spec;
+  }
+
+  static PipelineOptions Options() {
+    PipelineOptions options;
+    options.max_candidate_configs = 60;
+    options.configs_to_execute = 8;
+    return options;
+  }
+
+  Workload workload_;
+  Optimizer optimizer_;
+  ExecutionSimulator simulator_;
+  SteeringPipeline pipeline_;
+};
+
+TEST_F(PipelineTest, RecompileProducesDistinctExecutablePlans) {
+  Job job = workload_.MakeJob(0, 1);
+  JobAnalysis analysis = pipeline_.Recompile(job);
+  ASSERT_NE(analysis.default_plan.root, nullptr);
+  EXPECT_GT(analysis.candidates_generated, 10);
+  EXPECT_GT(analysis.recompiled_ok, 5);
+  EXPECT_LE(static_cast<int>(analysis.executed.size()), 8);
+  EXPECT_GE(static_cast<int>(analysis.executed.size()), 1);
+  // Executed plans are distinct from the default and from each other.
+  std::set<uint64_t> hashes = {PlanHash(analysis.default_plan.root, false)};
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    EXPECT_TRUE(hashes.insert(PlanHash(outcome.plan.root, false)).second);
+    EXPECT_FALSE(outcome.executed);  // Recompile() does not execute
+  }
+}
+
+TEST_F(PipelineTest, ExecutedOutcomesAreCheapestFirst) {
+  JobAnalysis analysis = pipeline_.Recompile(workload_.MakeJob(1, 1));
+  for (size_t i = 1; i < analysis.executed.size(); ++i) {
+    EXPECT_LE(analysis.executed[i - 1].plan.est_cost, analysis.executed[i].plan.est_cost);
+  }
+}
+
+TEST_F(PipelineTest, AnalyzeJobExecutesAndFindsImprovements) {
+  int improved = 0, jobs = 0;
+  for (int t = 0; t < 10; ++t) {
+    JobAnalysis analysis = pipeline_.AnalyzeJob(workload_.MakeJob(t, 1));
+    if (analysis.default_plan.root == nullptr) continue;
+    ++jobs;
+    EXPECT_GT(analysis.default_metrics.runtime, 0.0);
+    for (const ConfigOutcome& outcome : analysis.executed) {
+      EXPECT_TRUE(outcome.executed);
+      EXPECT_GT(outcome.metrics.runtime, 0.0);
+    }
+    if (analysis.BestRuntimeChangePct() < -3.0) ++improved;
+  }
+  ASSERT_EQ(jobs, 10);
+  // Paper §6.2: at least one alternative improves runtimes for a majority
+  // of analyzed jobs.
+  EXPECT_GE(improved, 5);
+}
+
+TEST_F(PipelineTest, RuleDiffOnlyReflectsActualPlanChanges) {
+  JobAnalysis analysis = pipeline_.Recompile(workload_.MakeJob(2, 1));
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    // Executed alternatives have distinct plans, so their signatures must
+    // differ from the default in at least one direction.
+    EXPECT_FALSE(outcome.diff_vs_default.Empty())
+        << "distinct plan with empty RuleDiff";
+    // Every "only in default" rule is genuinely in the default signature.
+    for (RuleId id : outcome.diff_vs_default.only_in_default) {
+      EXPECT_TRUE(analysis.default_plan.signature.Test(id));
+      EXPECT_FALSE(outcome.plan.signature.Test(id));
+    }
+    for (RuleId id : outcome.diff_vs_default.only_in_new) {
+      EXPECT_TRUE(outcome.plan.signature.Test(id));
+      EXPECT_FALSE(analysis.default_plan.signature.Test(id));
+    }
+  }
+}
+
+TEST_F(PipelineTest, JobWindowSelection) {
+  std::vector<double> runtimes = {10.0, 400.0, 3000.0, 5000.0, 299.0, 3601.0};
+  std::vector<int> selected = pipeline_.SelectJobsInWindow(runtimes);
+  EXPECT_EQ(selected, (std::vector<int>{1, 2}));
+}
+
+TEST_F(PipelineTest, LowCostHighRuntimeCorner) {
+  // Costs ascending with runtimes mostly following, plus one anomaly: cheap
+  // estimate but huge runtime (index 1).
+  std::vector<double> costs = {1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0};
+  std::vector<double> runtimes = {5.0, 900.0, 15.0, 40.0, 80.0, 120.0, 160.0, 200.0,
+                                  240.0, 280.0};
+  std::vector<int> corner = pipeline_.SelectLowCostHighRuntime(costs, runtimes);
+  ASSERT_EQ(corner.size(), 1u);
+  EXPECT_EQ(corner[0], 1);
+}
+
+TEST_F(PipelineTest, AnalysisIsDeterministic) {
+  JobAnalysis a = pipeline_.AnalyzeJob(workload_.MakeJob(3, 2));
+  JobAnalysis b = pipeline_.AnalyzeJob(workload_.MakeJob(3, 2));
+  EXPECT_EQ(a.executed.size(), b.executed.size());
+  EXPECT_DOUBLE_EQ(a.default_metrics.runtime, b.default_metrics.runtime);
+  EXPECT_DOUBLE_EQ(a.BestRuntimeChangePct(), b.BestRuntimeChangePct());
+}
+
+}  // namespace
+}  // namespace qsteer

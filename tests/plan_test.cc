@@ -1,0 +1,161 @@
+#include "plan/job.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+PlanNodePtr MakeScan(int stream, int set, std::vector<ColumnId> cols) {
+  Operator op;
+  op.kind = OpKind::kGet;
+  op.stream_id = stream;
+  op.stream_set_id = set;
+  op.scan_columns = std::move(cols);
+  return PlanNode::Make(std::move(op), {});
+}
+
+TEST(PlanNode, VisitPlanVisitsSharedNodesOnce) {
+  PlanNodePtr scan = MakeScan(0, 0, {0, 1});
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::True();
+  PlanNodePtr a = PlanNode::Make(select, {scan});
+  PlanNodePtr b = PlanNode::Make(select, {scan});
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  PlanNodePtr root = PlanNode::Make(u, {a, b});
+  int visits = 0, scans = 0;
+  VisitPlan(root, [&](const PlanNode& node) {
+    ++visits;
+    if (node.op.kind == OpKind::kGet) ++scans;
+  });
+  // a and b are distinct nodes but reference one shared scan.
+  EXPECT_EQ(scans, 1);
+  EXPECT_EQ(visits, 4);
+}
+
+TEST(PlanNode, PlanHashDistinguishesStructure) {
+  PlanNodePtr scan0 = MakeScan(0, 0, {0});
+  PlanNodePtr scan1 = MakeScan(1, 0, {0});
+  EXPECT_NE(PlanHash(scan0, false), PlanHash(scan1, false));
+  // Template hash collapses stream variants of the same set.
+  EXPECT_EQ(PlanHash(scan0, true), PlanHash(scan1, true));
+  PlanNodePtr other_set = MakeScan(2, 1, {0});
+  EXPECT_NE(PlanHash(scan0, true), PlanHash(other_set, true));
+}
+
+TEST(PlanNode, OutputColumnsPerOperator) {
+  // Join merges children; semi join keeps the left side only.
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  std::vector<std::vector<ColumnId>> children = {{0, 1}, {2, 3}};
+  EXPECT_EQ(OutputColumns(join, children), (std::vector<ColumnId>{0, 1, 2, 3}));
+  join.join_type = JoinType::kLeftSemi;
+  EXPECT_EQ(OutputColumns(join, children), (std::vector<ColumnId>{0, 1}));
+
+  Operator gb;
+  gb.kind = OpKind::kGroupBy;
+  gb.group_keys = {1};
+  gb.aggs = {AggExpr{AggFunc::kSum, 0, 9}};
+  EXPECT_EQ(OutputColumns(gb, children), (std::vector<ColumnId>{1, 9}));
+
+  Operator select;
+  select.kind = OpKind::kSelect;
+  EXPECT_EQ(OutputColumns(select, children), (std::vector<ColumnId>{0, 1}));
+}
+
+TEST(ColumnUniverse, BaseColumnsDedupDerivedDoNot) {
+  ColumnUniverse universe;
+  ColumnId a = universe.GetOrAddBaseColumn(0, 0, "key");
+  ColumnId b = universe.GetOrAddBaseColumn(0, 0, "key");
+  ColumnId c = universe.GetOrAddBaseColumn(0, 1, "uid");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  ColumnId d1 = universe.AddDerivedColumn("agg", 100);
+  ColumnId d2 = universe.AddDerivedColumn("agg", 100);
+  EXPECT_NE(d1, d2);
+  EXPECT_TRUE(universe.info(d1).derived);
+  EXPECT_FALSE(universe.info(a).derived);
+}
+
+TEST(Workload, RecurringJobsShareTemplateHash) {
+  WorkloadSpec spec;
+  spec.name = "T";
+  spec.seed = 9;
+  spec.num_templates = 20;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  for (int t = 0; t < 20; ++t) {
+    Job d1 = workload.MakeJob(t, 1);
+    Job d2 = workload.MakeJob(t, 5);
+    EXPECT_EQ(d1.TemplateHash(), d2.TemplateHash()) << t;
+    EXPECT_EQ(d1.template_index, t);
+  }
+}
+
+TEST(Workload, DifferentTemplatesMostlyDistinctHashes) {
+  WorkloadSpec spec;
+  spec.name = "T";
+  spec.seed = 9;
+  spec.num_templates = 40;
+  spec.num_stream_sets = 24;
+  Workload workload(spec);
+  std::set<uint64_t> hashes;
+  for (int t = 0; t < 40; ++t) hashes.insert(workload.MakeJob(t, 1).TemplateHash());
+  EXPECT_GE(hashes.size(), 36u);
+}
+
+TEST(Workload, DailyInputsRotate) {
+  WorkloadSpec spec;
+  spec.name = "T";
+  spec.seed = 9;
+  spec.num_templates = 20;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  int rotated = 0;
+  for (int t = 0; t < 20; ++t) {
+    Job d1 = workload.MakeJob(t, 1);
+    Job d2 = workload.MakeJob(t, 2);
+    if (d1.InputStreams() != d2.InputStreams()) ++rotated;
+  }
+  // Templates over multi-shard log sets read different shards on different
+  // days.
+  EXPECT_GT(rotated, 5);
+}
+
+TEST(Workload, JobsForDayMatchesInstanceCounts) {
+  WorkloadSpec spec;
+  spec.name = "T";
+  spec.seed = 11;
+  spec.num_templates = 30;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  std::vector<Job> jobs = workload.JobsForDay(4);
+  int expected = 0;
+  for (int t = 0; t < 30; ++t) expected += workload.InstancesOnDay(t, 4);
+  EXPECT_EQ(static_cast<int>(jobs.size()), expected);
+  EXPECT_GT(expected, 20);  // on average ~2 jobs per template
+  for (const Job& job : jobs) {
+    EXPECT_EQ(job.day, 4);
+    EXPECT_GE(job.NumOperators(), 3);
+  }
+}
+
+TEST(Workload, PlanPrintingMentionsOperators) {
+  WorkloadSpec spec;
+  spec.name = "T";
+  spec.seed = 9;
+  spec.num_templates = 5;
+  spec.num_stream_sets = 16;
+  Workload workload(spec);
+  Job job = workload.MakeJob(0, 1);
+  std::string text = PlanToString(job.root);
+  EXPECT_NE(text.find("Output"), std::string::npos);
+  EXPECT_NE(text.find("Get"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsteer

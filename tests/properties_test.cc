@@ -1,0 +1,107 @@
+// Physical-property satisfaction matrix: the contract behind enforcer
+// placement.
+#include "optimizer/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace qsteer {
+namespace {
+
+PhysProp Random(int dop) {
+  PhysProp p;
+  p.scheme = PartScheme::kRandom;
+  p.dop = dop;
+  return p;
+}
+
+TEST(PhysProp, AnyAcceptsEverything) {
+  PhysProp any = PhysProp::Any();
+  EXPECT_TRUE(any.SatisfiedBy(Random(8)));
+  EXPECT_TRUE(any.SatisfiedBy(PhysProp::Hash({1}, 4)));
+  EXPECT_TRUE(any.SatisfiedBy(PhysProp::Singleton()));
+  EXPECT_TRUE(any.SatisfiedBy(PhysProp::Broadcast(4)));
+}
+
+TEST(PhysProp, HashRequiresMatchingKeysAndDop) {
+  PhysProp req = PhysProp::Hash({1, 2}, 8);
+  EXPECT_TRUE(req.SatisfiedBy(PhysProp::Hash({1, 2}, 8)));
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Hash({1, 2}, 16)));  // dop mismatch
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Hash({2, 1}, 8)));   // key order matters
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Hash({1}, 8)));
+  EXPECT_FALSE(req.SatisfiedBy(Random(8)));
+  // Singleton data trivially satisfies any hash partitioning.
+  EXPECT_TRUE(req.SatisfiedBy(PhysProp::Singleton()));
+  // dop 0 on the request side = any partition count.
+  PhysProp loose = PhysProp::Hash({1, 2}, 0);
+  EXPECT_TRUE(loose.SatisfiedBy(PhysProp::Hash({1, 2}, 33)));
+}
+
+TEST(PhysProp, SingletonOnlyFromSingleton) {
+  PhysProp req = PhysProp::Singleton();
+  EXPECT_TRUE(req.SatisfiedBy(PhysProp::Singleton()));
+  EXPECT_FALSE(req.SatisfiedBy(Random(1)));
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Hash({0}, 1)));
+}
+
+TEST(PhysProp, BroadcastMatching) {
+  PhysProp req = PhysProp::Broadcast(8);
+  EXPECT_TRUE(req.SatisfiedBy(PhysProp::Broadcast(8)));
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Broadcast(4)));
+  EXPECT_FALSE(req.SatisfiedBy(PhysProp::Singleton()));
+  PhysProp any_dop = PhysProp::Broadcast(0);
+  EXPECT_TRUE(any_dop.SatisfiedBy(PhysProp::Broadcast(17)));
+}
+
+TEST(PhysProp, SortPrefixSemantics) {
+  PhysProp req;
+  req.sort_keys = {3, 4};
+  PhysProp exact;
+  exact.sort_keys = {3, 4};
+  PhysProp longer;
+  longer.sort_keys = {3, 4, 5};
+  PhysProp shorter;
+  shorter.sort_keys = {3};
+  PhysProp wrong;
+  wrong.sort_keys = {4, 3};
+  EXPECT_TRUE(req.SortSatisfiedBy(exact));
+  EXPECT_TRUE(req.SortSatisfiedBy(longer));
+  EXPECT_FALSE(req.SortSatisfiedBy(shorter));
+  EXPECT_FALSE(req.SortSatisfiedBy(wrong));
+  // Unsorted request satisfied by anything.
+  PhysProp none;
+  EXPECT_TRUE(none.SortSatisfiedBy(wrong));
+}
+
+TEST(PhysProp, SatisfactionIncludesSort) {
+  PhysProp req = PhysProp::Hash({1}, 4);
+  req.sort_keys = {1};
+  PhysProp delivered = PhysProp::Hash({1}, 4);
+  EXPECT_FALSE(req.SatisfiedBy(delivered));
+  delivered.sort_keys = {1};
+  EXPECT_TRUE(req.SatisfiedBy(delivered));
+}
+
+TEST(PhysProp, KeyIsInjectiveOnDistinctRequests) {
+  std::vector<PhysProp> props = {
+      PhysProp::Any(),         PhysProp::Singleton(),       PhysProp::Hash({1}, 4),
+      PhysProp::Hash({1}, 8),  PhysProp::Hash({2}, 4),     PhysProp::Hash({1, 2}, 4),
+      PhysProp::Broadcast(4),  PhysProp::Broadcast(8),     Random(4),
+  };
+  PhysProp sorted = PhysProp::Hash({1}, 4);
+  sorted.sort_keys = {1};
+  props.push_back(sorted);
+  std::set<uint64_t> keys;
+  for (const PhysProp& p : props) keys.insert(p.Key());
+  EXPECT_EQ(keys.size(), props.size());
+}
+
+TEST(PhysProp, ToStringReadable) {
+  PhysProp p = PhysProp::Hash({1, 2}, 16);
+  p.sort_keys = {1};
+  EXPECT_EQ(p.ToString(), "hash(c1,c2)@16 sorted(c1)");
+  EXPECT_EQ(PhysProp::Singleton().ToString(), "singleton@1");
+  EXPECT_EQ(PhysProp::Any().ToString(), "any");
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,129 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace qsteer {
+namespace {
+
+TEST(Pcg32, DeterministicForSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU32(), b.NextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1, 7);
+  Pcg32 b(2, 7);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformIntRespectsBoundsAndCoversRange) {
+  Pcg32 rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(Pcg32, GaussianMomentsApproximatelyStandard) {
+  Pcg32 rng(77);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Pcg32, LogNormalIsPositiveWithRightMedian) {
+  Pcg32 rng(31);
+  std::vector<double> values;
+  for (int i = 0; i < 20001; ++i) {
+    double v = rng.NextLogNormal(1.0, 0.5);
+    EXPECT_GT(v, 0.0);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[values.size() / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Pcg32, SampleWithoutReplacementIsDistinctAndBounded) {
+  Pcg32 rng(13);
+  std::vector<int> sample = rng.SampleWithoutReplacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+  // k > n clamps.
+  EXPECT_EQ(rng.SampleWithoutReplacement(5, 50).size(), 5u);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 3).empty());
+}
+
+TEST(Pcg32, ShuffleIsPermutation) {
+  Pcg32 rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfSampler, UniformWhenSkewHandledByPmf) {
+  ZipfSampler z(10, 1.0);
+  // Rank 1 strictly more likely than rank 10.
+  EXPECT_GT(z.Pmf(1), z.Pmf(10));
+  double total = 0.0;
+  for (int k = 1; k <= 10; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(z.Pmf(0), 0.0);
+  EXPECT_EQ(z.Pmf(11), 0.0);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler z(50, 1.2);
+  Pcg32 rng(7);
+  std::vector<int> counts(51, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    int k = z.Sample(&rng);
+    ASSERT_GE(k, 1);
+    ASSERT_LE(k, 50);
+    ++counts[static_cast<size_t>(k)];
+  }
+  for (int k : {1, 2, 5, 10}) {
+    double expected = z.Pmf(k) * kN;
+    EXPECT_NEAR(counts[static_cast<size_t>(k)], expected, expected * 0.12 + 30) << k;
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

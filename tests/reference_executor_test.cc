@@ -1,0 +1,308 @@
+// Reference-executor semantics on hand-built plans over a tiny controlled
+// catalog: join types with null keys, aggregate null handling, Top-N
+// determinism, DAG sharing, and union alignment.
+#include "exec/reference_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "catalog/datagen.h"
+
+namespace qsteer {
+namespace {
+
+class RefExecTest : public ::testing::Test {
+ protected:
+  RefExecTest() {
+    StreamSet left;
+    left.name = "left";
+    left.columns = {
+        {.name = "k", .distinct_count = 8},
+        {.name = "v", .distinct_count = 50, .null_fraction = 0.2},
+    };
+    int left_id = catalog_.AddStreamSet(std::move(left));
+    catalog_.AddStream(left_id, "left_d0", 400, 4);
+
+    StreamSet right;
+    right.name = "right";
+    right.columns = {
+        {.name = "rk", .distinct_count = 8},
+        {.name = "rv", .distinct_count = 30},
+    };
+    int right_id = catalog_.AddStreamSet(std::move(right));
+    catalog_.AddStream(right_id, "right_d0", 300, 4);
+
+    universe_ = std::make_shared<ColumnUniverse>();
+    k_ = universe_->GetOrAddBaseColumn(0, 0, "k");
+    v_ = universe_->GetOrAddBaseColumn(0, 1, "v");
+    rk_ = universe_->GetOrAddBaseColumn(1, 0, "rk");
+    rv_ = universe_->GetOrAddBaseColumn(1, 1, "rv");
+
+    job_.name = "ref";
+    job_.day = 0;
+    job_.columns = universe_;
+  }
+
+  PlanNodePtr Scan(int set, const std::vector<ColumnId>& cols) {
+    Operator op;
+    op.kind = OpKind::kGet;
+    op.stream_set_id = set;
+    op.stream_id = catalog_.stream_set(set).stream_ids[0];
+    op.scan_columns = cols;
+    return PlanNode::Make(op, {});
+  }
+
+  Relation Run(const PlanNodePtr& root) {
+    ReferenceExecutor executor(&catalog_);
+    Job job = job_;
+    job.root = root;
+    return executor.Execute(job, root);
+  }
+
+  Catalog catalog_;
+  std::shared_ptr<ColumnUniverse> universe_;
+  ColumnId k_, v_, rk_, rv_;
+  Job job_;
+};
+
+TEST_F(RefExecTest, ScanReturnsAllRows) {
+  Relation r = Run(Scan(0, {k_, v_}));
+  // True row counts carry deterministic per-day jitter around the base.
+  EXPECT_EQ(r.num_rows(), catalog_.TrueRowCount(0, /*day=*/0));
+  EXPECT_NEAR(static_cast<double>(r.num_rows()), 400.0, 150.0);
+  EXPECT_EQ(r.columns, (std::vector<ColumnId>{k_, v_}));
+}
+
+TEST_F(RefExecTest, FilterMatchesManualCount) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Relation all = Run(scan);
+  int k_idx = 0;
+  int64_t expected = 0;
+  for (const auto& row : all.rows) {
+    if (row[static_cast<size_t>(k_idx)] != kNullValue && row[static_cast<size_t>(k_idx)] <= 4) {
+      ++expected;
+    }
+  }
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::Cmp(k_, CmpOp::kLe, 4);
+  Relation filtered = Run(PlanNode::Make(select, {scan}));
+  EXPECT_EQ(filtered.num_rows(), expected);
+  EXPECT_GT(expected, 0);
+  EXPECT_LT(expected, 400);
+}
+
+TEST_F(RefExecTest, InnerJoinMatchesNestedLoopOracle) {
+  PlanNodePtr left = Scan(0, {k_, v_});
+  PlanNodePtr right = Scan(1, {rk_, rv_});
+  Relation l = Run(left), r = Run(right);
+  int64_t oracle = 0;
+  for (const auto& lrow : l.rows) {
+    for (const auto& rrow : r.rows) {
+      if (lrow[0] != kNullValue && lrow[0] == rrow[0]) ++oracle;
+    }
+  }
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {k_};
+  join.right_keys = {rk_};
+  Relation joined = Run(PlanNode::Make(join, {left, right}));
+  EXPECT_EQ(joined.num_rows(), oracle);
+  EXPECT_GT(oracle, 0);
+  EXPECT_EQ(joined.columns, (std::vector<ColumnId>{k_, v_, rk_, rv_}));
+}
+
+TEST_F(RefExecTest, LeftOuterJoinPadsUnmatchedRows) {
+  PlanNodePtr left = Scan(0, {k_, v_});
+  // Filter the right side so some left keys have no match.
+  Operator narrow;
+  narrow.kind = OpKind::kSelect;
+  narrow.predicate = Expr::Cmp(rk_, CmpOp::kLe, 3);
+  PlanNodePtr right = PlanNode::Make(narrow, {Scan(1, {rk_, rv_})});
+
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kLeftOuter;
+  join.left_keys = {k_};
+  join.right_keys = {rk_};
+  Relation outer = Run(PlanNode::Make(join, {left, right}));
+  Relation l = Run(left);
+  // Every left row appears at least once.
+  EXPECT_GE(outer.num_rows(), l.num_rows());
+  // Unmatched rows have null right columns.
+  int rv_idx = 3;
+  int padded = 0;
+  for (const auto& row : outer.rows) {
+    if (row[static_cast<size_t>(rv_idx)] == kNullValue) ++padded;
+  }
+  EXPECT_GT(padded, 0);
+}
+
+TEST_F(RefExecTest, SemiJoinKeepsLeftColumnsOnly) {
+  PlanNodePtr left = Scan(0, {k_, v_});
+  PlanNodePtr right = Scan(1, {rk_, rv_});
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kLeftSemi;
+  join.left_keys = {k_};
+  join.right_keys = {rk_};
+  Relation semi = Run(PlanNode::Make(join, {left, right}));
+  EXPECT_EQ(semi.columns, (std::vector<ColumnId>{k_, v_}));
+  Relation l = Run(left);
+  EXPECT_LE(semi.num_rows(), l.num_rows());
+  EXPECT_GT(semi.num_rows(), 0);
+  // No duplicates beyond the left multiplicity: every semi row exists in l.
+  EXPECT_LE(semi.num_rows(), l.num_rows());
+}
+
+TEST_F(RefExecTest, NullKeysNeverJoin) {
+  // v has 20% nulls; join left.v = right.rk and check no null-key matches.
+  PlanNodePtr left = Scan(0, {k_, v_});
+  PlanNodePtr right = Scan(1, {rk_, rv_});
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {v_};
+  join.right_keys = {rk_};
+  Relation joined = Run(PlanNode::Make(join, {left, right}));
+  int v_idx = 1;
+  for (const auto& row : joined.rows) {
+    EXPECT_NE(row[static_cast<size_t>(v_idx)], kNullValue);
+  }
+}
+
+TEST_F(RefExecTest, GroupByAggregatesWithNullSkipping) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Relation all = Run(scan);
+  ColumnId cnt = universe_->AddDerivedColumn("cnt", 100);
+  ColumnId mx = universe_->AddDerivedColumn("mx", 100);
+  Operator gb;
+  gb.kind = OpKind::kGroupBy;
+  gb.group_keys = {k_};
+  gb.aggs = {{AggFunc::kCount, kInvalidColumn, cnt}, {AggFunc::kMax, v_, mx}};
+  Relation grouped = Run(PlanNode::Make(gb, {scan}));
+
+  // Oracle for one key value.
+  int64_t key = all.rows[0][0];
+  int64_t oracle_count = 0, oracle_max = kNullValue;
+  for (const auto& row : all.rows) {
+    if (row[0] != key) continue;
+    ++oracle_count;
+    if (row[1] != kNullValue && (oracle_max == kNullValue || row[1] > oracle_max)) {
+      oracle_max = row[1];
+    }
+  }
+  int cnt_idx = static_cast<int>(
+      std::lower_bound(grouped.columns.begin(), grouped.columns.end(), cnt) -
+      grouped.columns.begin());
+  int mx_idx = static_cast<int>(
+      std::lower_bound(grouped.columns.begin(), grouped.columns.end(), mx) -
+      grouped.columns.begin());
+  bool found = false;
+  for (const auto& row : grouped.rows) {
+    if (row[0] != key) continue;
+    found = true;
+    EXPECT_EQ(row[static_cast<size_t>(cnt_idx)], oracle_count);
+    EXPECT_EQ(row[static_cast<size_t>(mx_idx)], oracle_max);
+  }
+  EXPECT_TRUE(found);
+  EXPECT_LE(grouped.num_rows(), 8);  // k has 8 distinct values
+}
+
+TEST_F(RefExecTest, TopNDeterministicAndOrdered) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Operator top;
+  top.kind = OpKind::kTop;
+  top.limit = 10;
+  top.sort_keys = {k_};
+  Relation a = Run(PlanNode::Make(top, {scan}));
+  Relation b = Run(PlanNode::Make(top, {scan}));
+  EXPECT_EQ(a.num_rows(), 10);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // The kept keys are the globally smallest (key multiset well-defined).
+  Relation all = Run(scan);
+  std::vector<int64_t> keys;
+  for (const auto& row : all.rows) keys.push_back(row[0]);
+  std::sort(keys.begin(), keys.end());
+  std::vector<int64_t> top_keys;
+  for (const auto& row : a.rows) top_keys.push_back(row[0]);
+  std::sort(top_keys.begin(), top_keys.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(top_keys[static_cast<size_t>(i)], keys[static_cast<size_t>(i)]);
+}
+
+TEST_F(RefExecTest, UnionAllConcatenatesAndSharedNodesStable) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  Relation doubled = Run(PlanNode::Make(u, {scan, scan}));
+  Relation single = Run(scan);
+  EXPECT_EQ(doubled.num_rows(), single.num_rows() * 2);
+}
+
+TEST_F(RefExecTest, ExchangeAndSortAreResultNeutral) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Operator exchange;
+  exchange.kind = OpKind::kExchange;
+  exchange.exchange = ExchangeKind::kRepartition;
+  exchange.exchange_keys = {k_};
+  Operator sort;
+  sort.kind = OpKind::kSort;
+  sort.sort_keys = {k_};
+  Relation wrapped =
+      Run(PlanNode::Make(sort, {PlanNode::Make(exchange, {scan})}));
+  EXPECT_EQ(wrapped.Fingerprint(), Run(scan).Fingerprint());
+}
+
+TEST_F(RefExecTest, ComputedProjectionIsDeterministicPerRow) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  ColumnId derived = universe_->AddDerivedColumn("d", 16);
+  Operator project;
+  project.kind = OpKind::kProject;
+  NamedExpr pass;
+  pass.output = k_;
+  pass.pass_through = true;
+  pass.inputs = {k_};
+  NamedExpr computed;
+  computed.output = derived;
+  computed.pass_through = false;
+  computed.inputs = {k_};
+  computed.fn_seed = 0x1234;
+  project.projections = {pass, computed};
+  Relation a = Run(PlanNode::Make(project, {scan}));
+  Relation b = Run(PlanNode::Make(project, {scan}));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  // Same input value -> same derived value.
+  std::map<int64_t, int64_t> mapping;
+  for (const auto& row : a.rows) {
+    auto it = mapping.find(row[0]);
+    if (it == mapping.end()) {
+      mapping[row[0]] = row[1];
+    } else {
+      EXPECT_EQ(it->second, row[1]);
+    }
+  }
+  // Derived values live in [1, 16].
+  for (const auto& row : a.rows) {
+    EXPECT_GE(row[1], 1);
+    EXPECT_LE(row[1], 16);
+  }
+}
+
+TEST_F(RefExecTest, ProcessFiltersDeterministically) {
+  PlanNodePtr scan = Scan(0, {k_, v_});
+  Operator process;
+  process.kind = OpKind::kProcess;
+  process.udo_name = "udo_ref_test";
+  Relation a = Run(PlanNode::Make(process, {scan}));
+  Relation b = Run(PlanNode::Make(process, {scan}));
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  Relation base = Run(scan);
+  EXPECT_LT(a.num_rows(), base.num_rows());
+  EXPECT_GT(a.num_rows(), 0);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,70 @@
+#include "core/rule_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "core/job_groups.h"
+#include "optimizer/rule_registry.h"
+
+namespace qsteer {
+namespace {
+
+TEST(RuleDiff, IdenticalSignaturesAreEmpty) {
+  RuleSignature sig = BitVector256::FromIndices({1, 2, 224});
+  RuleDiff diff = ComputeRuleDiff(sig, sig);
+  EXPECT_TRUE(diff.Empty());
+  EXPECT_EQ(diff.ToString(), "only in default plan: - | only in new plan: -");
+}
+
+TEST(RuleDiff, PartitionsChangedRules) {
+  RuleSignature default_sig = BitVector256::FromIndices({1, 2, 224, 240});
+  RuleSignature new_sig = BitVector256::FromIndices({1, 2, 228, 241});
+  RuleDiff diff = ComputeRuleDiff(default_sig, new_sig);
+  EXPECT_EQ(diff.only_in_default, (std::vector<RuleId>{224, 240}));
+  EXPECT_EQ(diff.only_in_new, (std::vector<RuleId>{228, 241}));
+  EXPECT_FALSE(diff.Empty());
+}
+
+TEST(RuleDiff, PaperTable4Example) {
+  // Q_B2 style: JoinImpl2 only in default, HashJoinImpl1 only in best.
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  RuleId impl2 = registry.FindByName("HashJoinImpl2");
+  RuleId impl1 = registry.FindByName("HashJoinImpl1");
+  ASSERT_GE(impl1, 0);
+  ASSERT_GE(impl2, 0);
+  RuleSignature default_sig = BitVector256::FromIndices({1, impl2});
+  RuleSignature best_sig = BitVector256::FromIndices({1, impl1});
+  RuleDiff diff = ComputeRuleDiff(default_sig, best_sig);
+  std::string text = diff.ToString();
+  EXPECT_NE(text.find("HashJoinImpl2"), std::string::npos);
+  EXPECT_NE(text.find("HashJoinImpl1"), std::string::npos);
+}
+
+TEST(RuleDiff, FeatureVectorEncoding) {
+  RuleSignature default_sig = BitVector256::FromIndices({5, 10});
+  RuleSignature new_sig = BitVector256::FromIndices({5, 20});
+  std::vector<double> features = ComputeRuleDiff(default_sig, new_sig).ToFeatureVector();
+  ASSERT_EQ(features.size(), 256u);
+  EXPECT_DOUBLE_EQ(features[10], -1.0);
+  EXPECT_DOUBLE_EQ(features[20], 1.0);
+  EXPECT_DOUBLE_EQ(features[5], 0.0);
+}
+
+TEST(JobGroupIndex, GroupsBySignature) {
+  JobGroupIndex index;
+  RuleSignature a = BitVector256::FromIndices({1, 2});
+  RuleSignature b = BitVector256::FromIndices({1, 3});
+  EXPECT_EQ(index.Add(a), 0);
+  EXPECT_EQ(index.Add(b), 1);
+  EXPECT_EQ(index.Add(a), 0);
+  EXPECT_EQ(index.Add(a), 0);
+  EXPECT_EQ(index.num_groups(), 2);
+  EXPECT_EQ(index.num_jobs(), 4);
+  EXPECT_EQ(index.group_size(0), 3);
+  EXPECT_EQ(index.group_size(1), 1);
+  EXPECT_EQ(index.Find(a), 0);
+  EXPECT_EQ(index.Find(BitVector256::FromIndices({9})), -1);
+  EXPECT_EQ(index.SizesDescending(), (std::vector<int>{3, 1}));
+}
+
+}  // namespace
+}  // namespace qsteer

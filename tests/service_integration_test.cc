@@ -1,0 +1,93 @@
+// End-to-end integration: offline discovery on day 1, persisted store,
+// online serving with guardrails over subsequent days — asserting the
+// deployment-level properties (net savings, safety, persistence).
+#include <gtest/gtest.h>
+
+#include "core/hints.h"
+#include "core/recommender.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+TEST(ServiceIntegration, WeekOfServingSavesRuntimeSafely) {
+  Workload workload(WorkloadSpec::WorkloadB(0.003));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  PipelineOptions pipeline_options;
+  pipeline_options.max_candidate_configs = 80;
+  SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
+  SteeringRecommender recommender;
+
+  // Day 1: offline discovery.
+  int analyzed = 0, adopted = 0;
+  for (const Job& job : workload.JobsForDay(1)) {
+    if (analyzed >= 25) break;
+    ++analyzed;
+    if (recommender.LearnFromAnalysis(pipeline.AnalyzeJob(job))) ++adopted;
+  }
+  ASSERT_GT(adopted, 2);
+
+  // Persist + restore mid-deployment (operational restart).
+  std::string path = ::testing::TempDir() + "/service_store.txt";
+  ASSERT_TRUE(recommender.SaveToFile(path).ok());
+  SteeringRecommender serving;
+  ASSERT_TRUE(serving.LoadFromFile(path).ok());
+  // Several analyses can strengthen one group: adoptions >= groups.
+  ASSERT_EQ(serving.num_groups(), recommender.num_groups());
+  ASSERT_GE(adopted, serving.num_groups());
+
+  // Days 2-4: online serving.
+  double total_default = 0.0, total_served = 0.0;
+  int steered = 0, jobs = 0;
+  uint64_t nonce = 7;
+  for (int day = 2; day <= 4; ++day) {
+    for (const Job& job : workload.JobsForDay(day)) {
+      if (jobs >= 120) break;
+      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+      if (!default_plan.ok()) continue;
+      ++jobs;
+      double default_runtime =
+          simulator.Execute(job, default_plan.value().root, ++nonce).runtime;
+      double served = default_runtime;
+      auto rec = serving.Recommend(default_plan.value().signature);
+      if (!rec.is_default) {
+        Result<CompiledPlan> plan = optimizer.Compile(job, rec.config);
+        // Adopted configurations always compile for their group's jobs in
+        // this workload; a failure would fall back to the default.
+        if (plan.ok()) {
+          ++steered;
+          served = simulator.Execute(job, plan.value().root, ++nonce).runtime;
+          serving.ObserveOutcome(default_plan.value().signature,
+                                 (served - default_runtime) / default_runtime * 100.0);
+        }
+      }
+      total_default += default_runtime;
+      total_served += served;
+    }
+  }
+
+  // Deployment-level assertions: some jobs steered, net positive savings,
+  // guardrail state consistent.
+  EXPECT_GT(steered, 3);
+  EXPECT_LT(total_served, total_default);
+  EXPECT_GE(serving.num_retired(), 0);
+  EXPECT_LE(serving.num_retired(), serving.num_groups());
+
+  // Every stored recommendation is expressible as a plan hint and parses
+  // back (the paper's deployment path).
+  for (const Job& job : workload.JobsForDay(2)) {
+    Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::Default());
+    if (!plan.ok()) continue;
+    auto rec = serving.Recommend(plan.value().signature);
+    if (rec.is_default) continue;
+    std::string hints = ToHintString(rec.config);
+    EXPECT_FALSE(hints.empty());
+    Result<RuleConfig> parsed = ParseHintString(hints);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), rec.config);
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

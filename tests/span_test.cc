@@ -1,0 +1,141 @@
+// Job span (Algorithm 1) tests, including the paper's §5.1 limitation
+// scenario of hidden alternative rules behind dependencies.
+#include "core/span.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class SpanTest : public ::testing::Test {
+ protected:
+  SpanTest() : workload_(Spec()) {}
+
+  static WorkloadSpec Spec() {
+    WorkloadSpec spec;
+    spec.name = "S";
+    spec.seed = 77;
+    spec.num_templates = 30;
+    spec.num_stream_sets = 20;
+    return spec;
+  }
+
+  Workload workload_;
+};
+
+TEST_F(SpanTest, SpanContainsDefaultSignatureNonRequiredRules) {
+  Optimizer optimizer(&workload_.catalog());
+  for (int t = 0; t < 12; ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    SpanResult span = ComputeJobSpan(optimizer, job);
+    // The all-enabled first iteration's on-rules are in the span by
+    // construction; the default signature's non-required rules need not all
+    // be (default disables off-by-default rules), but the all-enabled
+    // signature's are.
+    Result<CompiledPlan> plan = optimizer.Compile(job, RuleConfig::AllEnabled());
+    ASSERT_TRUE(plan.ok());
+    for (int id : plan.value().signature.ToIndices()) {
+      if (CategoryOfRule(id) == RuleCategory::kRequired) continue;
+      EXPECT_TRUE(span.span.Test(id))
+          << "rule " << id << " used by all-enabled compile but missing from span (t" << t
+          << ")";
+    }
+  }
+}
+
+TEST_F(SpanTest, SpanExcludesRequiredRules) {
+  Optimizer optimizer(&workload_.catalog());
+  for (int t = 0; t < 12; ++t) {
+    SpanResult span = ComputeJobSpan(optimizer, workload_.MakeJob(t, 1));
+    for (int id : span.span.ToIndices()) {
+      EXPECT_NE(CategoryOfRule(id), RuleCategory::kRequired) << id;
+    }
+    EXPECT_EQ(span.span.Count(),
+              span.off_by_default + span.on_by_default + span.implementation);
+  }
+}
+
+TEST_F(SpanTest, SpanIsSmallRelativeToRuleCatalog) {
+  // Paper Fig. 3: on average up to ~20 of the 219 non-required rules.
+  Optimizer optimizer(&workload_.catalog());
+  double total = 0.0;
+  for (int t = 0; t < 20; ++t) {
+    SpanResult span = ComputeJobSpan(optimizer, workload_.MakeJob(t, 1));
+    EXPECT_GE(span.span.Count(), 2) << t;
+    EXPECT_LE(span.span.Count(), 45) << t;
+    total += span.span.Count();
+  }
+  EXPECT_LE(total / 20.0, 30.0);
+}
+
+TEST_F(SpanTest, IterativeDisablingFindsAlternativeImplementations) {
+  // Disabling the hash-join implementations used in iteration 1 must expose
+  // alternatives (merge/broadcast joins) in later iterations — the essence
+  // of Algorithm 1.
+  Optimizer optimizer(&workload_.catalog());
+  bool found_multi_impl_span = false;
+  for (int t = 0; t < 20 && !found_multi_impl_span; ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    SpanResult span = ComputeJobSpan(optimizer, job);
+    if (span.implementation >= 3 && span.iterations >= 2) found_multi_impl_span = true;
+  }
+  EXPECT_TRUE(found_multi_impl_span);
+}
+
+TEST_F(SpanTest, LoopTerminatesViaCompileFailureOrFixpoint) {
+  Optimizer optimizer(&workload_.catalog());
+  for (int t = 0; t < 12; ++t) {
+    SpanResult span = ComputeJobSpan(optimizer, workload_.MakeJob(t, 1));
+    EXPECT_LE(span.iterations, 24);
+    // Jobs with joins/aggs eventually exhaust their implementations: the
+    // loop must observe at least one compile failure or reach a fixpoint.
+    EXPECT_TRUE(span.ended_on_compile_failure || span.iterations >= 1);
+  }
+}
+
+TEST_F(SpanTest, SpanIsDeterministic) {
+  Optimizer optimizer(&workload_.catalog());
+  Job job = workload_.MakeJob(4, 2);
+  SpanResult a = ComputeJobSpan(optimizer, job);
+  SpanResult b = ComputeJobSpan(optimizer, job);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST_F(SpanTest, KnownLimitationDependentRuleCanBeMissed) {
+  // Paper §5.1: rules B and C alternative under a dependency on A may hide C.
+  // Our registry exhibits this with e.g. GraceHashJoinImpl (an alternative to
+  // HashJoinImpl1 for multi-key joins): once HashJoinImpl1 is in the span
+  // and disabled together with the other observed rules, the grace variant
+  // may or may not surface. The documented guarantee is only one-sided:
+  // everything in the span genuinely affects plans. Verify the one-sided
+  // guarantee by toggling a span rule and observing a plan change for at
+  // least one job.
+  Optimizer optimizer(&workload_.catalog());
+  int observed_changes = 0;
+  for (int t = 0; t < 10; ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    SpanResult span = ComputeJobSpan(optimizer, job);
+    Result<CompiledPlan> base = optimizer.Compile(job, RuleConfig::AllEnabled());
+    ASSERT_TRUE(base.ok());
+    for (int id : span.span.ToIndices()) {
+      RuleConfig config = RuleConfig::AllEnabled();
+      config.Disable(id);
+      Result<CompiledPlan> alt = optimizer.Compile(job, config);
+      if (!alt.ok()) {
+        ++observed_changes;  // the rule was load-bearing
+        continue;
+      }
+      if (PlanHash(alt.value().root, false) != PlanHash(base.value().root, false) ||
+          alt.value().signature != base.value().signature) {
+        ++observed_changes;
+      }
+    }
+  }
+  EXPECT_GT(observed_changes, 10);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,263 @@
+#include "optimizer/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "catalog/datagen.h"
+
+namespace qsteer {
+namespace {
+
+TEST(ZipfMath, GenHarmonicExactForSmallK) {
+  EXPECT_NEAR(GenHarmonic(1, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(GenHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(GenHarmonic(4, 2.0), 1.0 + 0.25 + 1.0 / 9.0 + 1.0 / 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GenHarmonic(0, 1.0), 0.0);
+}
+
+TEST(ZipfMath, GenHarmonicApproximationAccurate) {
+  // Compare the Euler–Maclaurin tail against a direct sum.
+  for (double s : {0.5, 1.0, 1.5}) {
+    double exact = 0.0;
+    for (int i = 1; i <= 100000; ++i) exact += std::pow(i, -s);
+    EXPECT_NEAR(GenHarmonic(100000, s) / exact, 1.0, 0.01) << s;
+  }
+}
+
+TEST(ZipfMath, CdfUniformWhenNoSkew) {
+  EXPECT_NEAR(ZipfCdf(25, 100, 0.0), 0.25, 1e-12);
+  EXPECT_NEAR(ZipfCdf(100, 100, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(ZipfCdf(0, 100, 0.0), 0.0, 1e-12);
+}
+
+TEST(ZipfMath, SkewedCdfFrontLoaded) {
+  // Under zipf(1.0) over 1000 values, the first 10 values carry far more
+  // than 1% of the mass.
+  double mass = ZipfCdf(10, 1000, 1.0);
+  EXPECT_GT(mass, 0.3);
+  EXPECT_LT(mass, 0.6);
+  EXPECT_NEAR(ZipfCdf(1000, 1000, 1.0), 1.0, 1e-9);
+}
+
+TEST(ZipfMath, PmfSumsToOne) {
+  double total = 0.0;
+  for (int k = 1; k <= 50; ++k) total += ZipfPmf(k, 50, 1.2);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(ZipfPmf(1, 50, 1.2), ZipfPmf(50, 50, 1.2));
+}
+
+TEST(ZipfMath, JoinMatchProbabilityUniformReducesToMaxNdv) {
+  EXPECT_NEAR(ZipfJoinMatchProbability(100, 0, 1000, 0), 1.0 / 1000.0, 1e-12);
+  EXPECT_NEAR(ZipfJoinMatchProbability(1000, 0, 100, 0), 1.0 / 1000.0, 1e-12);
+}
+
+TEST(ZipfMath, SkewedJoinsMatchMoreOften) {
+  double uniform = ZipfJoinMatchProbability(1000, 0, 1000, 0);
+  double skewed = ZipfJoinMatchProbability(1000, 1.0, 1000, 1.0);
+  EXPECT_GT(skewed, uniform * 5);
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity under both views against materialized data
+// ---------------------------------------------------------------------------
+
+class StatsViewTest : public ::testing::Test {
+ protected:
+  StatsViewTest() {
+    StreamSet set;
+    set.name = "s";
+    set.columns = {
+        {.name = "key", .distinct_count = 200, .zipf_skew = 1.0},
+        {.name = "uid", .distinct_count = 100},
+        {.name = "flag", .distinct_count = 10},
+    };
+    set.correlations = {{.column_a = 1, .column_b = 2, .strength = 0.9}};
+    int id = catalog_.AddStreamSet(std::move(set));
+    catalog_.AddStream(id, "s_d0", 50000, 8);
+
+    job_.name = "test";
+    job_.day = 0;
+    job_.columns = std::make_shared<ColumnUniverse>();
+    key_ = job_.columns->GetOrAddBaseColumn(0, 0, "key");
+    uid_ = job_.columns->GetOrAddBaseColumn(0, 1, "uid");
+    flag_ = job_.columns->GetOrAddBaseColumn(0, 2, "flag");
+  }
+
+  double EmpiricalSelectivity(const ExprPtr& predicate, int64_t rows = 4000) {
+    RowBatch batch = MaterializeStream(catalog_, 0, 0, rows);
+    struct BatchRow : RowAccessor {
+      const RowBatch* batch;
+      int64_t row;
+      int64_t Get(ColumnId column) const override {
+        return batch->columns[static_cast<size_t>(column)][static_cast<size_t>(row)];
+      }
+    } accessor;
+    accessor.batch = &batch;
+    int pass = 0;
+    for (int64_t r = 0; r < batch.num_rows(); ++r) {
+      accessor.row = r;
+      if (predicate->EvalPredicate(accessor)) ++pass;
+    }
+    return static_cast<double>(pass) / static_cast<double>(batch.num_rows());
+  }
+
+  Catalog catalog_;
+  Job job_;
+  ColumnId key_, uid_, flag_;
+};
+
+TEST_F(StatsViewTest, TrueRangeSelectivityMatchesData) {
+  TrueStatsView truth(&catalog_, &job_);
+  // key <= 5 under zipf(1.0) on 200 values: heavily front-loaded.
+  ExprPtr pred = Expr::Cmp(key_, CmpOp::kLe, 5);
+  double analytic = PredicateSelectivity(pred, truth);
+  double empirical = EmpiricalSelectivity(pred);
+  EXPECT_NEAR(analytic, empirical, 0.05);
+  EXPECT_GT(analytic, 0.3);  // far from the uniform 2.5%
+}
+
+TEST_F(StatsViewTest, EstimatedRangeSelectivityAssumesUniform) {
+  EstimatedStatsView est(&catalog_, job_.columns.get(), 0);
+  ExprPtr pred = Expr::Cmp(key_, CmpOp::kLe, 5);
+  double estimated = PredicateSelectivity(pred, est);
+  // The uniform assumption puts this near 5/200, far below the skewed truth.
+  EXPECT_LT(estimated, 0.08);
+}
+
+TEST_F(StatsViewTest, TrueConjunctionUsesCorrelation) {
+  TrueStatsView truth(&catalog_, &job_);
+  ExprPtr a = Expr::Cmp(uid_, CmpOp::kLe, 50);
+  ExprPtr b = Expr::Cmp(flag_, CmpOp::kLe, 5);
+  double sel_a = PredicateSelectivity(a, truth);
+  double sel_b = PredicateSelectivity(b, truth);
+  double joint = PredicateSelectivity(Expr::And({a, b}), truth);
+  // uid and flag are 0.9-correlated: the joint selectivity must be well
+  // above the independence product.
+  EXPECT_GT(joint, sel_a * sel_b * 1.5);
+  EXPECT_LE(joint, std::max(sel_a, sel_b) + 0.05);
+}
+
+TEST_F(StatsViewTest, EstimatorBackoffIsShapeSensitive) {
+  EstimatedStatsView est(&catalog_, job_.columns.get(), 0);
+  ExprPtr a = Expr::Cmp(uid_, CmpOp::kLe, 20);
+  ExprPtr b = Expr::Cmp(flag_, CmpOp::kLe, 3);
+  double combined = PredicateSelectivity(Expr::And({a, b}), est);
+  double product = PredicateSelectivity(a, est) * PredicateSelectivity(b, est);
+  // Exponential backoff: combined conjunction estimates HIGHER than the
+  // independence product — this is the paper §5.3 shape-sensitivity.
+  EXPECT_GT(combined, product * 1.2);
+}
+
+TEST_F(StatsViewTest, UdfSelectivityDiffersBetweenViews) {
+  TrueStatsView truth(&catalog_, &job_);
+  EstimatedStatsView est(&catalog_, job_.columns.get(), 0);
+  ExprPtr udf = Expr::UdfPredicate("udf_x", 0.5, uid_);
+  EXPECT_DOUBLE_EQ(PredicateSelectivity(udf, est), 0.5);
+  double true_sel = PredicateSelectivity(udf, truth);
+  EXPECT_DOUBLE_EQ(true_sel, UdfTrueSelectivity("udf_x"));
+}
+
+TEST_F(StatsViewTest, DeriveStatsScanSelectGroupBy) {
+  TrueStatsView truth(&catalog_, &job_);
+  Operator get;
+  get.kind = OpKind::kGet;
+  get.stream_id = 0;
+  get.stream_set_id = 0;
+  get.scan_columns = {key_, uid_, flag_};
+  LogicalStats scan = DeriveStats(get, {}, truth);
+  EXPECT_NEAR(scan.rows, static_cast<double>(catalog_.TrueRowCount(0, 0)), scan.rows * 0.01);
+  EXPECT_NEAR(scan.NdvOf(key_), 200.0, 1.0);
+
+  Operator select;
+  select.kind = OpKind::kSelect;
+  select.predicate = Expr::Cmp(flag_, CmpOp::kEq, 1);
+  LogicalStats filtered = DeriveStats(select, {&scan}, truth);
+  EXPECT_LT(filtered.rows, scan.rows);
+  EXPECT_GT(filtered.rows, 0.0);
+
+  Operator gb;
+  gb.kind = OpKind::kGroupBy;
+  gb.group_keys = {flag_};
+  gb.aggs = {AggExpr{AggFunc::kCount, kInvalidColumn, 100}};
+  job_.columns->AddDerivedColumn("pad", 10);  // ids below 100 unaffected
+  LogicalStats grouped = DeriveStats(gb, {&scan}, truth);
+  EXPECT_LE(grouped.rows, 10.5);  // flag has 10 distinct values
+}
+
+TEST_F(StatsViewTest, GroupByJointNdvShrinksUnderCorrelation) {
+  TrueStatsView truth(&catalog_, &job_);
+  EstimatedStatsView est(&catalog_, job_.columns.get(), 0);
+  Operator get;
+  get.kind = OpKind::kGet;
+  get.stream_id = 0;
+  get.stream_set_id = 0;
+  get.scan_columns = {key_, uid_, flag_};
+  LogicalStats scan_true = DeriveStats(get, {}, truth);
+  LogicalStats scan_est = DeriveStats(get, {}, est);
+
+  Operator gb;
+  gb.kind = OpKind::kGroupBy;
+  gb.group_keys = {uid_, flag_};
+  LogicalStats true_groups = DeriveStats(gb, {&scan_true}, truth);
+  LogicalStats est_groups = DeriveStats(gb, {&scan_est}, est);
+  // uid determines flag with 0.9 strength: the true joint NDV is much
+  // smaller than the independence product 100 * 10 = 1000.
+  EXPECT_LT(true_groups.rows, 350.0);
+  // The estimator applies no correlation discount: its joint NDV is the
+  // full product of its believed per-column NDVs.
+  double est_product = scan_est.NdvOf(uid_) * scan_est.NdvOf(flag_);
+  EXPECT_NEAR(est_groups.rows, std::min(est_product, scan_est.rows), est_product * 0.01);
+}
+
+TEST_F(StatsViewTest, JoinCardinalityWithSkewInflation) {
+  TrueStatsView truth(&catalog_, &job_);
+  Operator get;
+  get.kind = OpKind::kGet;
+  get.stream_id = 0;
+  get.stream_set_id = 0;
+  get.scan_columns = {key_, uid_, flag_};
+  LogicalStats side = DeriveStats(get, {}, truth);
+
+  Operator join;
+  join.kind = OpKind::kJoin;
+  join.join_type = JoinType::kInner;
+  join.left_keys = {key_};
+  join.right_keys = {key_};
+  LogicalStats joined = DeriveStats(join, {&side, &side}, truth);
+  double uniform_expect = side.rows * side.rows / 200.0;
+  // Both sides zipf(1.0): matches inflate well beyond the uniform estimate.
+  EXPECT_GT(joined.rows, uniform_expect * 3);
+}
+
+TEST_F(StatsViewTest, UnionAndTopAndProcess) {
+  TrueStatsView truth(&catalog_, &job_);
+  Operator get;
+  get.kind = OpKind::kGet;
+  get.stream_id = 0;
+  get.stream_set_id = 0;
+  get.scan_columns = {key_, uid_, flag_};
+  LogicalStats scan = DeriveStats(get, {}, truth);
+
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  LogicalStats unioned = DeriveStats(u, {&scan, &scan, &scan}, truth);
+  EXPECT_NEAR(unioned.rows, 3 * scan.rows, 1.0);
+
+  Operator top;
+  top.kind = OpKind::kTop;
+  top.limit = 10;
+  top.sort_keys = {key_};
+  EXPECT_DOUBLE_EQ(DeriveStats(top, {&unioned}, truth).rows, 10.0);
+
+  Operator process;
+  process.kind = OpKind::kProcess;
+  process.udo_name = "udo_y";
+  process.udo_selectivity_guess = 1.0;
+  LogicalStats processed = DeriveStats(process, {&scan}, truth);
+  EXPECT_LT(processed.rows, scan.rows * 1.01);
+  EXPECT_GT(processed.rows, 0.0);
+}
+
+}  // namespace
+}  // namespace qsteer

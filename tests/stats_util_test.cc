@@ -1,0 +1,58 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace qsteer {
+namespace {
+
+TEST(Stats, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.01);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 90.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<double> v = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, GeoMeanSkipsNonPositive) {
+  EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+  EXPECT_DOUBLE_EQ(GeoMean({-1.0, 0.0}), 0.0);
+  EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(GeoMean({2.0, 8.0, -5.0}), 4.0, 1e-9);
+}
+
+TEST(Stats, SummaryFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_GT(s.stddev, 0.0);
+}
+
+TEST(Stats, SummaryEmpty) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace qsteer

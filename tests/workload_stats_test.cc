@@ -1,0 +1,130 @@
+// Workload-generator statistics: archetype coverage, heavy tails, customer
+// hints, and catalog shape — the properties the Table-1/Figure-2 benches
+// depend on.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "optimizer/rule_config.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class WorkloadStatsTest : public ::testing::Test {
+ protected:
+  WorkloadStatsTest() : workload_(WorkloadSpec::WorkloadA(0.004)) {}
+  Workload workload_;
+};
+
+TEST_F(WorkloadStatsTest, CatalogHasLogAndDimensionSets) {
+  const Catalog& catalog = workload_.catalog();
+  int log_sets = 0, dim_sets = 0;
+  for (int s = 0; s < catalog.num_stream_sets(); ++s) {
+    const StreamSet& set = catalog.stream_set(s);
+    EXPECT_GE(set.columns.size(), 4u);
+    EXPECT_LE(set.columns.size(), 8u);
+    EXPECT_FALSE(set.correlations.empty());
+    if (set.stream_ids.size() > 1) {
+      ++log_sets;
+    } else {
+      ++dim_sets;
+      // Dimension leading columns are near-unique unskewed keys.
+      const Stream& stream = catalog.stream(set.stream_ids[0]);
+      EXPECT_GE(static_cast<double>(set.columns[0].distinct_count),
+                0.5 * static_cast<double>(stream.base_rows));
+      EXPECT_DOUBLE_EQ(set.columns[0].zipf_skew, 0.0);
+    }
+  }
+  EXPECT_GT(log_sets, 3);
+  EXPECT_GT(dim_sets, 3);
+}
+
+TEST_F(WorkloadStatsTest, OperatorMixCoversTheAlgebra) {
+  std::map<OpKind, int> counts;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    VisitPlan(workload_.MakeJob(t, 1).root,
+              [&](const PlanNode& node) { ++counts[node.op.kind]; });
+  }
+  EXPECT_GT(counts[OpKind::kGet], 0);
+  EXPECT_GT(counts[OpKind::kSelect], 0);
+  EXPECT_GT(counts[OpKind::kJoin], 0);
+  EXPECT_GT(counts[OpKind::kGroupBy], 0);
+  EXPECT_GT(counts[OpKind::kUnionAll], 0);
+  EXPECT_GT(counts[OpKind::kProcess], 0);
+  EXPECT_GT(counts[OpKind::kTop], 0);
+  EXPECT_GT(counts[OpKind::kProject], 0);
+  // Rare operators are rare but present across a large template population.
+  int rare = counts[OpKind::kWindow] + counts[OpKind::kSample];
+  EXPECT_GT(rare, 0);
+  EXPECT_LT(rare, workload_.num_templates() / 8);
+  // Every job ends in exactly one Output.
+  EXPECT_EQ(counts[OpKind::kOutput], workload_.num_templates());
+}
+
+TEST_F(WorkloadStatsTest, SomeTemplatesCarryCustomerHints) {
+  int with_hints = 0;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    if (!job.customer_hints.empty()) {
+      ++with_hints;
+      for (int id : job.customer_hints) {
+        EXPECT_EQ(CategoryOfRule(id), RuleCategory::kOffByDefault) << id;
+      }
+      // Hints are structural: stable across days.
+      EXPECT_EQ(workload_.MakeJob(t, 5).customer_hints, job.customer_hints);
+    }
+  }
+  EXPECT_GT(with_hints, workload_.num_templates() / 50);
+  EXPECT_LT(with_hints, workload_.num_templates() / 3);
+}
+
+TEST_F(WorkloadStatsTest, DagTemplatesShareSubplans) {
+  // The SharedDag archetype produces genuine DAGs: more node references
+  // than distinct nodes.
+  int dag_templates = 0;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    Job job = workload_.MakeJob(t, 1);
+    int distinct = job.NumOperators();
+    int references = 0;
+    std::function<void(const PlanNodePtr&)> count = [&](const PlanNodePtr& node) {
+      ++references;
+      for (const PlanNodePtr& child : node->children) count(child);
+    };
+    count(job.root);
+    if (references > distinct) ++dag_templates;
+  }
+  EXPECT_GT(dag_templates, workload_.num_templates() / 30);
+}
+
+TEST_F(WorkloadStatsTest, JobsPerDayStableButNotIdentical) {
+  size_t day1 = workload_.JobsForDay(1).size();
+  size_t day2 = workload_.JobsForDay(2).size();
+  EXPECT_GT(day1, static_cast<size_t>(workload_.num_templates()));
+  double ratio = static_cast<double>(day1) / static_cast<double>(day2);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST_F(WorkloadStatsTest, HeavyTemplatesRecurManyTimes) {
+  int max_instances = 0;
+  for (int t = 0; t < workload_.num_templates(); ++t) {
+    max_instances = std::max(max_instances, workload_.InstancesOnDay(t, 1));
+  }
+  EXPECT_GE(max_instances, 5);  // the recurring-template heavy tail
+}
+
+TEST_F(WorkloadStatsTest, WorkloadsAreDistinct) {
+  Workload b(WorkloadSpec::WorkloadB(0.004));
+  std::set<uint64_t> a_templates, b_templates;
+  for (int t = 0; t < 10; ++t) {
+    a_templates.insert(workload_.MakeJob(t, 1).TemplateHash());
+    b_templates.insert(b.MakeJob(t, 1).TemplateHash());
+  }
+  for (uint64_t hash : a_templates) EXPECT_EQ(b_templates.count(hash), 0u);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -1,0 +1,220 @@
+// qsteer — command-line driver for the steering library.
+//
+// Subcommands:
+//   rules [category]                       list the rule registry
+//   workload <A|B|C> [day]                 generated-workload statistics
+//   compile <A|B|C> <template> <day> [hint-string]
+//                                          compile a job (EXPLAIN output)
+//   span <A|B|C> <template> <day>          Algorithm 1 job span
+//   analyze <A|B|C> <template> <day>       full §5-§6 pipeline for one job
+//   serve <A|B|C> <days>                   week-long steering service demo
+//
+// Hint strings use the §3.2 flag syntax, e.g.
+//   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/hints.h"
+#include "core/pipeline.h"
+#include "core/recommender.h"
+#include "core/span.h"
+#include "optimizer/explain.h"
+#include "optimizer/rule_registry.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: qsteer <command> [args]\n"
+               "  rules [Required|Off-by-default|On-by-default|Implementation]\n"
+               "  workload <A|B|C> [day]\n"
+               "  compile <A|B|C> <template> <day> [hint-string]\n"
+               "  span <A|B|C> <template> <day>\n"
+               "  analyze <A|B|C> <template> <day>\n"
+               "  serve <A|B|C> <days>\n");
+  return 2;
+}
+
+WorkloadSpec SpecFor(const std::string& which) {
+  double scale = 0.005;
+  if (const char* env = std::getenv("QSTEER_SCALE")) scale = std::atof(env);
+  if (which == "B") return WorkloadSpec::WorkloadB(scale);
+  if (which == "C") return WorkloadSpec::WorkloadC(scale);
+  return WorkloadSpec::WorkloadA(scale);
+}
+
+int CmdRules(int argc, char** argv) {
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  std::string filter = argc > 0 ? argv[0] : "";
+  for (RuleId id = 0; id < kNumRules; ++id) {
+    const char* category = RuleCategoryName(CategoryOfRule(id));
+    if (!filter.empty() && filter != category) continue;
+    std::printf("%3d  %-16s %s\n", id, category, registry.name(id).c_str());
+  }
+  return 0;
+}
+
+int CmdWorkload(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  Workload workload(SpecFor(argv[0]));
+  int day = argc > 1 ? std::atoi(argv[1]) : 1;
+  std::vector<Job> jobs = workload.JobsForDay(day);
+  std::printf("workload %s day %d: %zu jobs from %d templates over %d stream sets\n",
+              argv[0], day, jobs.size(), workload.num_templates(),
+              workload.catalog().num_stream_sets());
+  double ops = 0;
+  int with_hints = 0;
+  for (const Job& job : jobs) {
+    ops += job.NumOperators();
+    if (!job.customer_hints.empty()) ++with_hints;
+  }
+  if (!jobs.empty()) {
+    std::printf("mean operators/job: %.1f; jobs with customer hints: %d\n",
+                ops / static_cast<double>(jobs.size()), with_hints);
+  }
+  return 0;
+}
+
+int CmdCompile(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Workload workload(SpecFor(argv[0]));
+  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  RuleConfig config = ProductionConfig(job);
+  if (argc > 3) {
+    Result<RuleConfig> parsed = ParseHintString(argv[3]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad hint string: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    config = parsed.value();
+  }
+  Optimizer optimizer(&workload.catalog());
+  Result<CompiledPlan> plan = optimizer.Compile(job, config);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "compilation failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n%s", job.name.c_str(),
+              ExplainPlan(workload.catalog(), job, plan.value()).c_str());
+  return 0;
+}
+
+int CmdSpan(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Workload workload(SpecFor(argv[0]));
+  Optimizer optimizer(&workload.catalog());
+  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  SpanResult span = ComputeJobSpan(optimizer, job);
+  const RuleRegistry& registry = RuleRegistry::Instance();
+  std::printf("%s: span of %d rules (%d iterations%s)\n", job.name.c_str(),
+              span.span.Count(), span.iterations,
+              span.ended_on_compile_failure ? ", ended on compile failure" : "");
+  for (int id : span.span.ToIndices()) {
+    std::printf("  %3d  %-16s %s\n", id, RuleCategoryName(CategoryOfRule(id)),
+                registry.name(id).c_str());
+  }
+  return 0;
+}
+
+int CmdAnalyze(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Workload workload(SpecFor(argv[0]));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  PipelineOptions options;
+  options.max_candidate_configs = 200;
+  SteeringPipeline pipeline(&optimizer, &simulator, options);
+  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  JobAnalysis analysis = pipeline.AnalyzeJob(job);
+  if (analysis.default_plan.root == nullptr) {
+    std::fprintf(stderr, "default compilation failed\n");
+    return 1;
+  }
+  std::printf("%s\n  span: %d rules; candidates: %d (%d compiled, %d cheaper than "
+              "default)\n  default runtime: %.1f s (cost %.2f)\n",
+              job.name.c_str(), analysis.span.span.Count(), analysis.candidates_generated,
+              analysis.recompiled_ok, analysis.cheaper_than_default,
+              analysis.default_metrics.runtime, analysis.default_plan.est_cost);
+  std::printf("  executed alternatives:\n");
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    double change = (outcome.metrics.runtime - analysis.default_metrics.runtime) /
+                    analysis.default_metrics.runtime * 100.0;
+    std::printf("    %+7.1f%%  cost %.2f  hints: %s\n", change, outcome.plan.est_cost,
+                ToHintString(outcome.config).substr(0, 110).c_str());
+  }
+  const ConfigOutcome* best = analysis.BestBy(Metric::kRuntime);
+  if (best != nullptr) {
+    std::printf("  best change: %+.1f%%\n  RuleDiff: %s\n", analysis.BestRuntimeChangePct(),
+                best->diff_vs_default.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Workload workload(SpecFor(argv[0]));
+  int days = std::atoi(argv[1]);
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  SteeringPipeline pipeline(&optimizer, &simulator, {});
+  SteeringRecommender recommender;
+  int adopted = 0, analyzed = 0;
+  for (const Job& job : workload.JobsForDay(1)) {
+    if (analyzed >= 30) break;
+    ++analyzed;
+    if (recommender.LearnFromAnalysis(pipeline.AnalyzeJob(job))) ++adopted;
+  }
+  std::printf("day 1 offline: %d analyzed, %d groups adopted\n", analyzed, adopted);
+  uint64_t nonce = 0;
+  for (int day = 2; day <= days; ++day) {
+    double saved = 0, base = 0;
+    int steered = 0, jobs = 0;
+    for (const Job& job : workload.JobsForDay(day)) {
+      if (jobs >= 60) break;
+      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+      if (!default_plan.ok()) continue;
+      ++jobs;
+      double default_runtime =
+          simulator.Execute(job, default_plan.value().root, ++nonce).runtime;
+      double served = default_runtime;
+      auto rec = recommender.Recommend(default_plan.value().signature);
+      if (!rec.is_default) {
+        Result<CompiledPlan> plan = optimizer.Compile(job, rec.config);
+        if (plan.ok()) {
+          ++steered;
+          served = simulator.Execute(job, plan.value().root, ++nonce).runtime;
+          recommender.ObserveOutcome(default_plan.value().signature,
+                                     (served - default_runtime) / default_runtime * 100.0);
+        }
+      }
+      base += default_runtime;
+      saved += default_runtime - served;
+    }
+    std::printf("day %d: %d jobs, %d steered, %.1f%% runtime saved\n", day, jobs, steered,
+                base > 0 ? saved / base * 100.0 : 0.0);
+  }
+  std::printf("retired recommendations: %d\n", recommender.num_retired());
+  return 0;
+}
+
+}  // namespace
+}  // namespace qsteer
+
+int main(int argc, char** argv) {
+  using namespace qsteer;
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  int rest_argc = argc - 2;
+  char** rest_argv = argv + 2;
+  if (command == "rules") return CmdRules(rest_argc, rest_argv);
+  if (command == "workload") return CmdWorkload(rest_argc, rest_argv);
+  if (command == "compile") return CmdCompile(rest_argc, rest_argv);
+  if (command == "span") return CmdSpan(rest_argc, rest_argv);
+  if (command == "analyze") return CmdAnalyze(rest_argc, rest_argv);
+  if (command == "serve") return CmdServe(rest_argc, rest_argv);
+  return Usage();
+}
