@@ -66,28 +66,62 @@ int main() {
 
   // §6.4: the extrapolation granularity is the rule signature, not the
   // template — jobs from other templates with the same signature share the
-  // optimizer code path and benefit from the same configuration.
+  // optimizer code path and benefit from the same configuration. The week of
+  // (compile default, compile steered, A/B-execute) treatments is
+  // independent per job, so it fans out over a pool; rows are merged in
+  // (day, job) order and are identical for any thread count.
+  struct WeekRow {
+    bool in_group = false;
+    int day = 0;
+    std::string name;
+    int template_index = -1;
+    double default_runtime = 0.0;
+    double steered_runtime = 0.0;
+  };
+  std::vector<Job> week_jobs;
+  std::vector<int> week_days;
+  for (int day = 1; day <= 7; ++day) {
+    for (Job& job : workload.JobsForDay(day)) {
+      week_jobs.push_back(job);
+      week_days.push_back(day);
+    }
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (BenchThreads() != 0) pool = std::make_unique<ThreadPool>(BenchThreads());
+  std::vector<WeekRow> rows = ParallelMap<WeekRow>(
+      pool.get(), static_cast<int64_t>(week_jobs.size()), [&](int64_t i) {
+        const Job& job = week_jobs[static_cast<size_t>(i)];
+        int day = week_days[static_cast<size_t>(i)];
+        WeekRow row;
+        Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+        if (!default_plan.ok() || default_plan.value().signature != group_signature) return row;
+        Result<CompiledPlan> steered_plan = optimizer.Compile(job, best->config);
+        if (!steered_plan.ok()) return row;
+        row.in_group = true;
+        row.day = day;
+        row.name = job.name;
+        row.template_index = job.template_index;
+        row.default_runtime =
+            simulator.Execute(job, default_plan.value().root, static_cast<uint64_t>(day))
+                .runtime;
+        row.steered_runtime =
+            simulator.Execute(job, steered_plan.value().root, static_cast<uint64_t>(day) + 99)
+                .runtime;
+        return row;
+      });
+
   std::vector<double> changes;
   int templates_covered = 0;
   std::set<int> seen_templates;
   std::printf("%4s %-30s %12s %12s %8s\n", "day", "job", "default_s", "steered_s", "change");
-  for (int day = 1; day <= 7; ++day) {
-    for (Job& job : workload.JobsForDay(day)) {
-      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
-      if (!default_plan.ok() || default_plan.value().signature != group_signature) continue;
-      Result<CompiledPlan> steered_plan = optimizer.Compile(job, best->config);
-      if (!steered_plan.ok()) continue;
-      ExecMetrics default_metrics =
-          simulator.Execute(job, default_plan.value().root, static_cast<uint64_t>(day));
-      ExecMetrics steered_metrics =
-          simulator.Execute(job, steered_plan.value().root, static_cast<uint64_t>(day) + 99);
-      double change = (steered_metrics.runtime - default_metrics.runtime) /
-                      default_metrics.runtime * 100.0;
-      changes.push_back(change);
-      if (seen_templates.insert(job.template_index).second) ++templates_covered;
-      std::printf("%4d %-30s %12.1f %12.1f %+7.1f%%\n", day, job.name.c_str(),
-                  default_metrics.runtime, steered_metrics.runtime, change);
-    }
+  for (const WeekRow& row : rows) {
+    if (!row.in_group) continue;
+    double change =
+        (row.steered_runtime - row.default_runtime) / row.default_runtime * 100.0;
+    changes.push_back(change);
+    if (seen_templates.insert(row.template_index).second) ++templates_covered;
+    std::printf("%4d %-30s %12.1f %12.1f %+7.1f%%\n", row.day, row.name.c_str(),
+                row.default_runtime, row.steered_runtime, change);
   }
   std::printf("\n(group spans %d distinct templates)\n", templates_covered);
 

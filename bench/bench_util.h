@@ -3,8 +3,11 @@
 // reported values next to the measured ones.
 //
 // Environment knobs:
-//   QSTEER_BENCH_SCALE  multiplier on workload sizes (default 1.0; >1 makes
-//                       the run bigger and slower, <1 smaller).
+//   QSTEER_BENCH_SCALE    multiplier on workload sizes (default 1.0; >1 makes
+//                         the run bigger and slower, <1 smaller).
+//   QSTEER_BENCH_THREADS  worker threads for the parallel pipeline stages
+//                         (default 0 = serial; -1 = one per hardware thread).
+//                         Results are bit-identical across values.
 #ifndef QSTEER_BENCH_BENCH_UTIL_H_
 #define QSTEER_BENCH_BENCH_UTIL_H_
 
@@ -21,6 +24,11 @@ inline double BenchScale() {
   if (env == nullptr) return 1.0;
   double v = std::atof(env);
   return v > 0.0 ? v : 1.0;
+}
+
+inline int BenchThreads() {
+  const char* env = std::getenv("QSTEER_BENCH_THREADS");
+  return env == nullptr ? 0 : std::atoi(env);
 }
 
 /// Workload specs used by all benches: paper-proportioned, at roughly 1/200
@@ -78,6 +86,7 @@ inline std::vector<JobAnalysis> RunAbAnalysis(const Workload& workload,
   if (options.max_candidate_configs == 200) {
     options.max_candidate_configs = static_cast<int>(150 * BenchScale());
   }
+  if (options.num_threads == 0) options.num_threads = BenchThreads();
   SteeringPipeline pipeline(&optimizer, &simulator, options);
 
   std::vector<Job> jobs = workload.JobsForDay(day);
@@ -91,15 +100,17 @@ inline std::vector<JobAnalysis> RunAbAnalysis(const Workload& workload,
   }
   std::vector<int> window = pipeline.SelectJobsInWindow(runtimes);
 
-  std::vector<JobAnalysis> analyses;
   Pcg32 rng(0x6a0b + static_cast<uint64_t>(day));
   std::vector<int> picks = window;
   rng.Shuffle(&picks);
+  std::vector<Job> selected;
   for (int idx : picks) {
-    if (static_cast<int>(analyses.size()) >= max_jobs) break;
-    analyses.push_back(pipeline.AnalyzeJob(jobs[compiled_idx[static_cast<size_t>(idx)]]));
+    if (static_cast<int>(selected.size()) >= max_jobs) break;
+    selected.push_back(jobs[compiled_idx[static_cast<size_t>(idx)]]);
   }
-  return analyses;
+  // Batch analysis: jobs fan out over the pipeline's pool (and each job's
+  // candidate recompilations run inline on the claiming worker).
+  return pipeline.AnalyzeJobs(selected);
 }
 
 }  // namespace qsteer::bench

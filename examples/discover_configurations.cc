@@ -3,7 +3,10 @@
 // recompilation, cheapest-10 A/B execution — with Table-4-style RuleDiff
 // output for the biggest wins.
 //
-//   $ ./examples/discover_configurations [num_jobs]
+//   $ ./examples/discover_configurations [num_jobs] [num_threads]
+//
+// num_threads: 0 = serial (default), -1 = one worker per hardware thread.
+// The discovered configurations are bit-identical for every thread count.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +18,7 @@ using namespace qsteer;
 
 int main(int argc, char** argv) {
   int num_jobs = argc > 1 ? std::atoi(argv[1]) : 25;
+  int num_threads = argc > 2 ? std::atoi(argv[2]) : 0;
 
   Workload workload(WorkloadSpec::WorkloadB(0.004));
   Optimizer optimizer(&workload.catalog());
@@ -22,10 +26,12 @@ int main(int argc, char** argv) {
   PipelineOptions options;
   options.max_candidate_configs = 150;
   options.configs_to_execute = 10;
+  options.num_threads = num_threads;
   SteeringPipeline pipeline(&optimizer, &simulator, options);
 
-  std::printf("Analyzing %d jobs from workload %s (day 7)...\n\n", num_jobs,
-              workload.spec().name.c_str());
+  std::printf("Analyzing %d jobs from workload %s (day 7) with %d worker thread(s)...\n\n",
+              num_jobs, workload.spec().name.c_str(),
+              pipeline.pool() != nullptr ? pipeline.pool()->num_threads() : 0);
   std::printf("%-26s %5s %5s %8s %9s %10s %8s\n", "job", "ops", "span", "cands",
               "cheaper", "default_s", "best%");
 
@@ -37,9 +43,14 @@ int main(int argc, char** argv) {
   std::vector<Win> wins;
   int improved = 0, analyzed = 0;
 
-  for (int t = 0; t < num_jobs; ++t) {
-    Job job = workload.MakeJob(t, /*day=*/7);
-    JobAnalysis analysis = pipeline.AnalyzeJob(job);
+  // Batch entry point: jobs fan out over the pipeline's pool.
+  std::vector<Job> jobs;
+  for (int t = 0; t < num_jobs; ++t) jobs.push_back(workload.MakeJob(t, /*day=*/7));
+  std::vector<JobAnalysis> analyses = pipeline.AnalyzeJobs(jobs);
+
+  for (size_t t = 0; t < analyses.size(); ++t) {
+    const Job& job = jobs[t];
+    JobAnalysis& analysis = analyses[t];
     if (analysis.default_plan.root == nullptr) continue;
     ++analyzed;
     double change = analysis.BestRuntimeChangePct();

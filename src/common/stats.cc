@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace qsteer {
 
@@ -55,6 +56,23 @@ Summary Summarize(const std::vector<double>& values) {
   s.p90 = Percentile(values, 90.0);
   s.p99 = Percentile(values, 99.0);
   return s;
+}
+
+double ThreadPoolStats::Utilization() const {
+  double capacity = static_cast<double>(num_threads) * wall_seconds;
+  if (capacity <= 0.0) return 0.0;
+  return std::clamp(busy_seconds / capacity, 0.0, 1.0);
+}
+
+std::string ThreadPoolStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "threads=%d tasks=%lld/%lld max_queue=%lld busy=%.3fs wall=%.3fs util=%.0f%%",
+                num_threads, static_cast<long long>(tasks_run),
+                static_cast<long long>(tasks_submitted),
+                static_cast<long long>(max_queue_depth), busy_seconds, wall_seconds,
+                100.0 * Utilization());
+  return buf;
 }
 
 }  // namespace qsteer

@@ -1,8 +1,11 @@
 // Small numeric summaries used by benches and the evaluation pipeline
-// (means, percentiles — Table 5 reports mean / 90P / 99P runtimes).
+// (means, percentiles — Table 5 reports mean / 90P / 99P runtimes), plus
+// the counter snapshot ThreadPool exposes to benches.
 #ifndef QSTEER_COMMON_STATS_H_
 #define QSTEER_COMMON_STATS_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace qsteer {
@@ -30,6 +33,26 @@ struct Summary {
 };
 
 Summary Summarize(const std::vector<double>& values);
+
+/// Counter snapshot of one ThreadPool (common/thread_pool.h). Lives here so
+/// reporting code (benches, perf regressions) can consume pool counters
+/// without pulling in the scheduler itself.
+struct ThreadPoolStats {
+  int num_threads = 0;
+  int64_t tasks_submitted = 0;
+  int64_t tasks_run = 0;
+  /// High-water mark of the task queue (proxy for fan-out pressure; this
+  /// pool has one FIFO queue, so "steal depth" degenerates to queue depth).
+  int64_t max_queue_depth = 0;
+  /// Sum of task-body wall time across workers.
+  double busy_seconds = 0.0;
+  /// Wall time since pool construction.
+  double wall_seconds = 0.0;
+
+  /// busy_seconds / (num_threads * wall_seconds), in [0, 1].
+  double Utilization() const;
+  std::string ToString() const;
+};
 
 }  // namespace qsteer
 

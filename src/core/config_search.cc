@@ -51,6 +51,17 @@ std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
   return out;
 }
 
+std::vector<std::vector<RuleConfig>> GenerateCandidateConfigsBatch(
+    const std::vector<BitVector256>& spans, const std::vector<ConfigSearchOptions>& options,
+    ThreadPool* pool) {
+  size_t n = spans.size() < options.size() ? spans.size() : options.size();
+  return ParallelMap<std::vector<RuleConfig>>(
+      pool, static_cast<int64_t>(n), [&](int64_t i) {
+        return GenerateCandidateConfigs(spans[static_cast<size_t>(i)],
+                                        options[static_cast<size_t>(i)]);
+      });
+}
+
 SearchSpaceSize ComputeSearchSpaceSize(const BitVector256& span) {
   SearchSpaceSize size;
   int per_category[4] = {0, 0, 0, 0};

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "optimizer/rule_config.h"
 
 namespace qsteer {
@@ -31,6 +32,16 @@ struct ConfigSearchOptions {
 /// included.
 std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
                                                  const ConfigSearchOptions& options);
+
+/// Batch variant for workload-scale discovery: generates the candidate set
+/// of every (span, options) pair, fanned out over `pool` (serial when pool
+/// is null). out[i] equals GenerateCandidateConfigs(spans[i], options[i]) —
+/// each pair draws from its own seeded generator, so results do not depend
+/// on batch order or worker count. `spans` and `options` must be the same
+/// length.
+std::vector<std::vector<RuleConfig>> GenerateCandidateConfigsBatch(
+    const std::vector<BitVector256>& spans, const std::vector<ConfigSearchOptions>& options,
+    ThreadPool* pool = nullptr);
 
 /// Size of the naive search space 2^|span| vs the category-factorized
 /// sum of 2^|span ∩ category| (the §5.2 example: 2^5=32 vs 2^2+2^3=12).

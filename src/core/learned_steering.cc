@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.h"
 #include "common/stats.h"
 
 namespace qsteer {
 
 LearnedSteering::LearnedSteering(const Optimizer* optimizer,
                                  const ExecutionSimulator* simulator, const Catalog* catalog,
-                                 FeaturizerOptions featurizer_options)
-    : optimizer_(optimizer), simulator_(simulator), featurizer_(catalog, featurizer_options) {}
+                                 FeaturizerOptions featurizer_options, ThreadPool* pool)
+    : optimizer_(optimizer),
+      simulator_(simulator),
+      featurizer_(catalog, featurizer_options),
+      pool_(pool) {}
 
 GroupDataset LearnedSteering::CollectDataset(const std::vector<Job>& jobs,
                                              const std::vector<RuleConfig>& configs,
@@ -19,43 +23,65 @@ GroupDataset LearnedSteering::CollectDataset(const std::vector<Job>& jobs,
   dataset.configs = configs;
   int k = dataset.k();
 
-  uint64_t nonce = seed;
-  for (const Job& job : jobs) {
-    std::vector<CompiledPlan> plans(static_cast<size_t>(k));
-    std::vector<RuleDiff> diffs(static_cast<size_t>(k));
-    std::vector<const CompiledPlan*> plan_ptrs(static_cast<size_t>(k), nullptr);
-    std::vector<const RuleDiff*> diff_ptrs(static_cast<size_t>(k), nullptr);
-    std::vector<double> runtimes(static_cast<size_t>(k), -1.0);
-    std::vector<double> cpu_times(static_cast<size_t>(k), -1.0);
-    std::vector<double> io_times(static_cast<size_t>(k), -1.0);
+  // One row per job, built independently: the (job, arm) noise nonce is
+  // hash(seed, job index, arm), so rows do not depend on collection order
+  // and the whole loop fans out over the pool. Rows are merged in job order
+  // below — the dataset is bit-identical for any worker count.
+  struct JobRow {
+    bool ok = false;
+    RuleSignature default_signature;
+    std::vector<double> features;
+    std::vector<double> runtimes, cpu_times, io_times;
+  };
+  std::vector<JobRow> rows = ParallelMap<JobRow>(
+      pool_, static_cast<int64_t>(jobs.size()), [&](int64_t j) {
+        const Job& job = jobs[static_cast<size_t>(j)];
+        JobRow row;
+        std::vector<CompiledPlan> plans(static_cast<size_t>(k));
+        std::vector<RuleDiff> diffs(static_cast<size_t>(k));
+        std::vector<const CompiledPlan*> plan_ptrs(static_cast<size_t>(k), nullptr);
+        std::vector<const RuleDiff*> diff_ptrs(static_cast<size_t>(k), nullptr);
+        row.runtimes.assign(static_cast<size_t>(k), -1.0);
+        row.cpu_times.assign(static_cast<size_t>(k), -1.0);
+        row.io_times.assign(static_cast<size_t>(k), -1.0);
 
-    Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
-    if (!default_plan.ok()) continue;
-    if (dataset.features.empty()) {
-      dataset.group_signature = default_plan.value().signature;
-    }
+        Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
+        if (!default_plan.ok()) return row;
+        row.default_signature = default_plan.value().signature;
 
-    for (int c = 0; c < k; ++c) {
-      Result<CompiledPlan> plan = optimizer_->Compile(job, configs[static_cast<size_t>(c)]);
-      if (!plan.ok()) continue;
-      plans[static_cast<size_t>(c)] = std::move(plan.value());
-      diffs[static_cast<size_t>(c)] = ComputeRuleDiff(default_plan.value().signature,
-                                                      plans[static_cast<size_t>(c)].signature);
-      plan_ptrs[static_cast<size_t>(c)] = &plans[static_cast<size_t>(c)];
-      diff_ptrs[static_cast<size_t>(c)] = &diffs[static_cast<size_t>(c)];
-      ExecMetrics metrics =
-          simulator_->Execute(job, plans[static_cast<size_t>(c)].root, ++nonce);
-      runtimes[static_cast<size_t>(c)] = metrics.runtime;
-      cpu_times[static_cast<size_t>(c)] = metrics.cpu_time;
-      io_times[static_cast<size_t>(c)] = metrics.io_time;
-    }
-    if (runtimes[0] < 0.0) continue;  // default must have executed
+        for (int c = 0; c < k; ++c) {
+          Result<CompiledPlan> plan =
+              optimizer_->Compile(job, configs[static_cast<size_t>(c)]);
+          if (!plan.ok()) continue;
+          plans[static_cast<size_t>(c)] = std::move(plan.value());
+          diffs[static_cast<size_t>(c)] = ComputeRuleDiff(
+              default_plan.value().signature, plans[static_cast<size_t>(c)].signature);
+          plan_ptrs[static_cast<size_t>(c)] = &plans[static_cast<size_t>(c)];
+          diff_ptrs[static_cast<size_t>(c)] = &diffs[static_cast<size_t>(c)];
+          uint64_t nonce = HashCombine(HashCombine(seed, static_cast<uint64_t>(j)),
+                                       static_cast<uint64_t>(c));
+          ExecMetrics metrics =
+              simulator_->Execute(job, plans[static_cast<size_t>(c)].root, nonce);
+          row.runtimes[static_cast<size_t>(c)] = metrics.runtime;
+          row.cpu_times[static_cast<size_t>(c)] = metrics.cpu_time;
+          row.io_times[static_cast<size_t>(c)] = metrics.io_time;
+        }
+        if (row.runtimes[0] < 0.0) return row;  // default must have executed
 
-    dataset.features.push_back(featurizer_.Featurize(job, plan_ptrs, diff_ptrs, k));
-    dataset.runtimes.push_back(std::move(runtimes));
-    dataset.cpu_times.push_back(std::move(cpu_times));
-    dataset.io_times.push_back(std::move(io_times));
-    dataset.job_names.push_back(job.name);
+        row.features = featurizer_.Featurize(job, plan_ptrs, diff_ptrs, k);
+        row.ok = true;
+        return row;
+      });
+
+  for (size_t j = 0; j < rows.size(); ++j) {
+    JobRow& row = rows[j];
+    if (!row.ok) continue;
+    if (dataset.features.empty()) dataset.group_signature = row.default_signature;
+    dataset.features.push_back(std::move(row.features));
+    dataset.runtimes.push_back(std::move(row.runtimes));
+    dataset.cpu_times.push_back(std::move(row.cpu_times));
+    dataset.io_times.push_back(std::move(row.io_times));
+    dataset.job_names.push_back(jobs[j].name);
   }
   return dataset;
 }

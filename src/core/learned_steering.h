@@ -62,14 +62,23 @@ struct LearnedEvaluation {
   double train_loss = 0.0;
 };
 
+/// Thread-safety: immutable after construction; all methods are const and
+/// safe to call concurrently. Pass a ThreadPool to parallelize dataset
+/// collection across jobs — per-sample noise nonces are pure functions of
+/// (seed, job index, arm), so the dataset is bit-identical for any worker
+/// count, including the serial pool == nullptr path.
 class LearnedSteering {
  public:
+  /// `pool` (optional, not owned, may outlive-requirement: must stay alive
+  /// for the learner's lifetime) parallelizes CollectDataset over jobs.
   LearnedSteering(const Optimizer* optimizer, const ExecutionSimulator* simulator,
-                  const Catalog* catalog, FeaturizerOptions featurizer_options = {});
+                  const Catalog* catalog, FeaturizerOptions featurizer_options = {},
+                  ThreadPool* pool = nullptr);
 
   /// Executes every configuration for every job, producing the training
   /// dataset (the paper's "execute each of the K configurations for every
-  /// job sampled over two weeks").
+  /// job sampled over two weeks"). Jobs are processed in parallel over the
+  /// pool; rows keep job order.
   GroupDataset CollectDataset(const std::vector<Job>& jobs,
                               const std::vector<RuleConfig>& configs, uint64_t seed) const;
 
@@ -84,6 +93,7 @@ class LearnedSteering {
   const Optimizer* optimizer_;
   const ExecutionSimulator* simulator_;
   JobFeaturizer featurizer_;
+  ThreadPool* pool_ = nullptr;  // not owned
 };
 
 }  // namespace qsteer

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace qsteer {
 
@@ -27,7 +29,21 @@ double JobAnalysis::BestRuntimeChangePct() const {
 SteeringPipeline::SteeringPipeline(const Optimizer* optimizer,
                                    const ExecutionSimulator* simulator,
                                    PipelineOptions options)
-    : optimizer_(optimizer), simulator_(simulator), options_(std::move(options)) {}
+    : optimizer_(optimizer), simulator_(simulator), options_(std::move(options)) {
+  if (options_.num_threads != 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+SteeringPipeline::~SteeringPipeline() = default;
+
+ThreadPoolStats SteeringPipeline::pool_stats() const {
+  return pool_ != nullptr ? pool_->stats() : ThreadPoolStats{};
+}
+
+uint64_t SteeringPipeline::CandidateNonce(const RuleConfig& config) const {
+  return HashCombine(options_.seed, config.Hash());
+}
 
 JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   JobAnalysis analysis;
@@ -48,30 +64,50 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   std::vector<RuleConfig> candidates = GenerateCandidateConfigs(analysis.span.span, search);
   analysis.candidates_generated = static_cast<int>(candidates.size());
 
+  // Fan the candidate recompilations out over the pool: each candidate is
+  // compiled independently (Optimizer::Compile is reentrant), then outcomes
+  // are merged below in candidate order, so the analysis is bit-identical
+  // to the serial path no matter how many workers ran.
+  struct CandidateResult {
+    bool ok = false;
+    CompiledPlan plan;
+    uint64_t plan_hash = 0;
+  };
+  std::vector<CandidateResult> compiled = ParallelMap<CandidateResult>(
+      pool_.get(), static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+        CandidateResult r;
+        Result<CompiledPlan> plan = optimizer_->Compile(job, candidates[static_cast<size_t>(i)]);
+        if (!plan.ok()) return r;
+        r.ok = true;
+        r.plan = std::move(plan.value());
+        r.plan_hash = PlanHash(r.plan.root, /*for_template=*/false);
+        return r;
+      });
+
   uint64_t default_plan_hash = PlanHash(analysis.default_plan.root, /*for_template=*/false);
   std::vector<uint64_t> seen_plans = {default_plan_hash};
 
-  for (const RuleConfig& config : candidates) {
-    Result<CompiledPlan> plan = optimizer_->Compile(job, config);
-    if (!plan.ok()) {
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    CandidateResult& candidate = compiled[i];
+    if (!candidate.ok) {
       ++analysis.compile_failures;
       continue;
     }
     ++analysis.recompiled_ok;
-    analysis.candidate_costs.push_back(plan.value().est_cost);
-    if (plan.value().est_cost < analysis.default_plan.est_cost) {
+    analysis.candidate_costs.push_back(candidate.plan.est_cost);
+    if (candidate.plan.est_cost < analysis.default_plan.est_cost) {
       ++analysis.cheaper_than_default;
     }
     // Keep only configurations that produce genuinely different plans: the
     // rest cannot change any metric.
-    uint64_t plan_hash = PlanHash(plan.value().root, /*for_template=*/false);
-    if (std::find(seen_plans.begin(), seen_plans.end(), plan_hash) != seen_plans.end()) {
+    if (std::find(seen_plans.begin(), seen_plans.end(), candidate.plan_hash) !=
+        seen_plans.end()) {
       continue;
     }
-    seen_plans.push_back(plan_hash);
+    seen_plans.push_back(candidate.plan_hash);
     ConfigOutcome outcome;
-    outcome.config = config;
-    outcome.plan = std::move(plan.value());
+    outcome.config = candidates[i];
+    outcome.plan = std::move(candidate.plan);
     outcome.diff_vs_default =
         ComputeRuleDiff(analysis.default_plan.signature, outcome.plan.signature);
     analysis.executed.push_back(std::move(outcome));
@@ -93,15 +129,28 @@ JobAnalysis SteeringPipeline::AnalyzeJob(const Job& job) const {
   JobAnalysis analysis = Recompile(job);
   if (analysis.default_plan.root == nullptr) return analysis;
   // A/B execution on fixed resources (§3.1.3): one run of the default plan
-  // and one per alternative, with independent noise draws.
+  // and one per alternative, with independent noise draws. Each
+  // alternative's noise nonce is a pure function of (seed, its config), so
+  // executions can run concurrently — and in any order — without changing a
+  // single bit of the result.
   analysis.default_metrics = simulator_->Execute(job, analysis.default_plan.root,
                                                  /*run_nonce=*/options_.seed);
-  uint64_t nonce = options_.seed;
-  for (ConfigOutcome& outcome : analysis.executed) {
-    outcome.metrics = simulator_->Execute(job, outcome.plan.root, ++nonce);
+  ParallelFor(pool_.get(), static_cast<int64_t>(analysis.executed.size()), [&](int64_t i) {
+    ConfigOutcome& outcome = analysis.executed[static_cast<size_t>(i)];
+    outcome.metrics = simulator_->Execute(job, outcome.plan.root, CandidateNonce(outcome.config));
     outcome.executed = true;
-  }
+  });
   return analysis;
+}
+
+std::vector<JobAnalysis> SteeringPipeline::RecompileJobs(const std::vector<Job>& jobs) const {
+  return ParallelMap<JobAnalysis>(pool_.get(), static_cast<int64_t>(jobs.size()),
+                                  [&](int64_t i) { return Recompile(jobs[static_cast<size_t>(i)]); });
+}
+
+std::vector<JobAnalysis> SteeringPipeline::AnalyzeJobs(const std::vector<Job>& jobs) const {
+  return ParallelMap<JobAnalysis>(pool_.get(), static_cast<int64_t>(jobs.size()),
+                                  [&](int64_t i) { return AnalyzeJob(jobs[static_cast<size_t>(i)]); });
 }
 
 std::vector<int> SteeringPipeline::SelectJobsInWindow(

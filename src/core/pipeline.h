@@ -5,9 +5,11 @@
 #ifndef QSTEER_CORE_PIPELINE_H_
 #define QSTEER_CORE_PIPELINE_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/config_search.h"
 #include "core/rule_diff.h"
 #include "core/span.h"
@@ -30,7 +32,15 @@ struct PipelineOptions {
   /// estimated cost below this quantile and runtime above this quantile.
   double low_cost_quantile = 0.4;
   double high_runtime_quantile = 0.7;
+  /// Base seed of the analysis. Per-candidate simulator noise is derived
+  /// from hash(seed, candidate config), never from shared sequential RNG
+  /// state, so results are independent of candidate evaluation order.
   uint64_t seed = 1;
+  /// Worker threads for candidate recompilation, A/B execution, and the
+  /// batch entry points. 0 = fully serial (no pool, today's single-core
+  /// behavior); < 0 = one worker per hardware thread. Results are
+  /// bit-identical for every value (see SteeringPipeline).
+  int num_threads = 0;
   ConfigSearchOptions search;
 };
 
@@ -68,10 +78,17 @@ struct JobAnalysis {
   double BestRuntimeChangePct() const;
 };
 
+/// Thread-safety: a SteeringPipeline is immutable after construction; all
+/// entry points are const and safe to call concurrently. Parallelism is
+/// internal — with options.num_threads != 0, candidate recompilations and
+/// A/B executions fan out over an owned thread pool, and results are merged
+/// in candidate order so every JobAnalysis is bit-identical to the serial
+/// (num_threads = 0) path for a fixed seed, regardless of worker count.
 class SteeringPipeline {
  public:
   SteeringPipeline(const Optimizer* optimizer, const ExecutionSimulator* simulator,
                    PipelineOptions options = {});
+  ~SteeringPipeline();
 
   const PipelineOptions& options() const { return options_; }
 
@@ -82,6 +99,19 @@ class SteeringPipeline {
   /// Full §6 treatment: Recompile, then A/B-execute the cheapest distinct
   /// alternative plans and the default.
   JobAnalysis AnalyzeJob(const Job& job) const;
+
+  /// Batch entry points: analyze a whole selection of jobs, parallelized
+  /// over the pool (jobs outermost; per-job work runs inline on the claiming
+  /// worker). out[i] corresponds to jobs[i].
+  std::vector<JobAnalysis> RecompileJobs(const std::vector<Job>& jobs) const;
+  std::vector<JobAnalysis> AnalyzeJobs(const std::vector<Job>& jobs) const;
+
+  /// The internal pool (nullptr when num_threads == 0). Exposed for benches
+  /// and for sharing with other batch stages (e.g. LearnedSteering).
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Pool counters (zeroed stats when running serial).
+  ThreadPoolStats pool_stats() const;
 
   /// §6.1 job-selection heuristics over a day of (already default-compiled
   /// and default-executed) jobs. Returns indices into `runtimes`/`costs`:
@@ -94,9 +124,14 @@ class SteeringPipeline {
                                             const std::vector<double>& runtimes) const;
 
  private:
+  /// Noise nonce of one candidate's A/B run: derived from the base seed and
+  /// the candidate's configuration only (order- and thread-independent).
+  uint64_t CandidateNonce(const RuleConfig& config) const;
+
   const Optimizer* optimizer_;
   const ExecutionSimulator* simulator_;
   PipelineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace qsteer

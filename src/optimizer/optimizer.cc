@@ -10,17 +10,22 @@ namespace qsteer {
 
 namespace {
 
-/// Per-compilation state.
+/// Per-compilation state (the "optimize context" of the threading model,
+/// DESIGN.md "Threading model"): every mutable structure a compilation
+/// touches — memo, derived statistics, extraction caches, the rule-
+/// provenance log, and the column-universe overlay — lives here, on the
+/// calling thread's stack. Concurrent Optimizer::Compile calls on one
+/// `const Optimizer` therefore never share mutable state.
 class CompileState {
  public:
   CompileState(const Optimizer& optimizer, const Job& job, const RuleConfig& config)
       : options_(optimizer.options()),
         config_(config),
         registry_(RuleRegistry::Instance()),
-        est_view_(optimizer.catalog(), job.columns.get(), job.day),
-        universe_(job.columns.get()) {
+        universe_(job.columns),
+        est_view_(optimizer.catalog(), &universe_, job.day) {
     ctx_.memo = &memo_;
-    ctx_.universe = universe_;
+    ctx_.universe = &universe_;
   }
 
   Result<CompiledPlan> Run(const Job& job) {
@@ -870,8 +875,13 @@ class CompileState {
   const RuleConfig& config_;
   const RuleRegistry& registry_;
   Memo memo_;
+  /// Copy-on-write overlay over the job's (immutable, shared) root universe:
+  /// rule-minted columns land here, so concurrent compilations of the same
+  /// job never write to shared column state and each (job, config) compile
+  /// mints identical ids regardless of what else runs. Declared before
+  /// est_view_, which captures its address.
+  ColumnUniverse universe_;
   EstimatedStatsView est_view_;
-  ColumnUniverse* universe_;
   RuleContext ctx_;
   std::unordered_map<GroupId, LogicalStats> stats_;
   std::unordered_map<uint64_t, PlanNodePtr> extraction_cache_;

@@ -50,6 +50,15 @@ struct CompiledPlan {
 /// customer's rule hints (§3.3).
 RuleConfig ProductionConfig(const Job& job);
 
+/// Thread-safety: an Optimizer is immutable after construction, and Compile
+/// is reentrant — concurrent Compile calls on one `const Optimizer` (same or
+/// different jobs, same or different configs) are data-race-free. All
+/// mutable per-compilation state (memo, derived-stats cache, extraction
+/// cache, rule-provenance log, column-universe overlay) lives in a per-call
+/// context on the calling thread; the Catalog and the job's root
+/// ColumnUniverse are only read. The parallel steering pipeline
+/// (core/pipeline.h) relies on this to fan candidate recompilations out
+/// over a thread pool. See DESIGN.md "Threading model".
 class Optimizer {
  public:
   explicit Optimizer(const Catalog* catalog, OptimizerOptions options = {});
@@ -57,6 +66,14 @@ class Optimizer {
   /// Compiles a job under a rule configuration. Fails with
   /// kCompilationFailed when the enabled implementation rules cannot cover
   /// some operator (the paper's "many configurations do not compile").
+  ///
+  /// Safe to call concurrently from multiple threads (see class comment).
+  /// Deterministic: the same (job, config) yields a bit-identical plan no
+  /// matter which thread runs it or what other compilations run in
+  /// parallel. Rule-minted column ids restart at job.columns->size() for
+  /// every call, so the returned plan must be interpreted against
+  /// job.columns (ids beyond its size resolve to the canonical derived-
+  /// column descriptor — plan/column.h).
   Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config) const;
 
   const OptimizerOptions& options() const { return options_; }

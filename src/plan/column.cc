@@ -2,9 +2,38 @@
 
 namespace qsteer {
 
+namespace {
+
+/// Descriptor returned for ids minted by a different compilation's overlay
+/// (see ColumnUniverse::info). Must match the hints every optimizer mint
+/// site passes to AddDerivedColumn (rules.cc: ndv_hint=1e6, default width),
+/// so estimates and simulation see the same numbers whether a minted id is
+/// resolved through its own overlay or through the root universe.
+const ColumnInfo& ForeignOverlayColumn() {
+  static const ColumnInfo* info = [] {
+    auto* i = new ColumnInfo();
+    i->name = "<overlay-derived>";
+    i->derived = true;
+    i->derived_ndv = 1e6;
+    return i;
+  }();
+  return *info;
+}
+
+}  // namespace
+
+ColumnUniverse::ColumnUniverse(std::shared_ptr<const ColumnUniverse> base)
+    : base_(std::move(base)), base_size_(base_ != nullptr ? base_->size() : 0) {}
+
 ColumnId ColumnUniverse::GetOrAddBaseColumn(int stream_set_id, int column_index,
                                             const std::string& name) {
   auto key = std::make_pair(stream_set_id, column_index);
+  // Base columns registered in the base universe keep their ids: overlays
+  // never shadow or duplicate base identity.
+  for (const ColumnUniverse* u = base_.get(); u != nullptr; u = u->base_.get()) {
+    auto bit = u->base_index_.find(key);
+    if (bit != u->base_index_.end()) return bit->second;
+  }
   auto it = base_index_.find(key);
   if (it != base_index_.end()) return it->second;
   ColumnInfo info;
@@ -12,7 +41,7 @@ ColumnId ColumnUniverse::GetOrAddBaseColumn(int stream_set_id, int column_index,
   info.stream_set_id = stream_set_id;
   info.column_index = column_index;
   info.derived = false;
-  ColumnId id = static_cast<ColumnId>(columns_.size());
+  ColumnId id = static_cast<ColumnId>(base_size_ + static_cast<int>(columns_.size()));
   columns_.push_back(std::move(info));
   base_index_[key] = id;
   return id;
@@ -25,9 +54,17 @@ ColumnId ColumnUniverse::AddDerivedColumn(const std::string& name, double ndv_hi
   info.derived = true;
   info.derived_ndv = ndv_hint;
   info.avg_width = avg_width;
-  ColumnId id = static_cast<ColumnId>(columns_.size());
+  ColumnId id = static_cast<ColumnId>(base_size_ + static_cast<int>(columns_.size()));
   columns_.push_back(std::move(info));
   return id;
+}
+
+const ColumnInfo& ColumnUniverse::info(ColumnId id) const {
+  if (id < 0) return ForeignOverlayColumn();
+  if (id < base_size_) return base_->info(id);
+  size_t local = static_cast<size_t>(id - base_size_);
+  if (local < columns_.size()) return columns_[local];
+  return ForeignOverlayColumn();
 }
 
 }  // namespace qsteer

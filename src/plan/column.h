@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,19 +29,56 @@ struct ColumnInfo {
   double avg_width = 8.0;
 };
 
-/// Per-job registry of columns. Not thread-safe; one universe per job.
+/// Registry of columns.
+///
+/// Two flavours share this type:
+///
+///  * A *root* universe, owned by a workload/job (default constructor). The
+///    workload generator populates it; after generation it is treated as
+///    immutable and read concurrently.
+///
+///  * A *compilation overlay* (the shared_ptr constructor): a copy-on-write
+///    extension of a root universe created per Optimizer::Compile call.
+///    Reads of ids below the base size delegate to the base; columns minted
+///    during that compilation (rewrite rules introduce partial-aggregate
+///    intermediates) land in the overlay with ids starting at base->size().
+///    Because the base never changes during a compilation, every compile of
+///    a given (job, config) allocates the *same* overlay ids regardless of
+///    what other compilations run concurrently — the property that makes
+///    parallel candidate recompilation bit-identical to the serial path.
+///
+/// Thread-safety: a root universe is safe for concurrent reads once
+/// generation finished. An overlay is confined to its compilation (single
+/// thread) and must not be mutated after the resulting CompiledPlan is
+/// shared. Mutating a root universe concurrently with compilations is a
+/// data race — the optimizer never does this.
 class ColumnUniverse {
  public:
+  ColumnUniverse() = default;
+
+  /// Creates a compilation overlay extending `base` (see class comment).
+  explicit ColumnUniverse(std::shared_ptr<const ColumnUniverse> base);
+
   /// Returns the id for a base column, creating it on first use.
   ColumnId GetOrAddBaseColumn(int stream_set_id, int column_index, const std::string& name);
 
   /// Registers a new derived column (always a fresh id).
   ColumnId AddDerivedColumn(const std::string& name, double ndv_hint, double avg_width = 8.0);
 
-  const ColumnInfo& info(ColumnId id) const { return columns_[static_cast<size_t>(id)]; }
-  int size() const { return static_cast<int>(columns_.size()); }
+  /// Metadata of a column. Bounds-safe: an id minted by a *different*
+  /// compilation's overlay resolves to a default derived-column descriptor
+  /// (every optimizer-minted column carries exactly these default hints, so
+  /// estimates and simulation are unaffected — see rules.cc mint sites).
+  const ColumnInfo& info(ColumnId id) const;
+
+  /// Total ids addressable through this universe (base + overlay).
+  int size() const { return base_size_ + static_cast<int>(columns_.size()); }
 
  private:
+  /// Base universe when this is an overlay; null for root universes.
+  std::shared_ptr<const ColumnUniverse> base_;
+  int base_size_ = 0;
+  /// Columns owned by this universe; entry k has id base_size_ + k.
   std::vector<ColumnInfo> columns_;
   std::map<std::pair<int, int>, ColumnId> base_index_;
 };

@@ -1,0 +1,154 @@
+// Serial-vs-parallel equivalence of the steering pipeline: for a fixed
+// seed, JobAnalysis must be bit-identical whether candidates are
+// recompiled/executed serially (num_threads = 0) or over 1, 2 or 8 pool
+// workers. This is the determinism contract documented on SteeringPipeline.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+WorkloadSpec Spec() {
+  WorkloadSpec spec;
+  spec.name = "PP";
+  spec.seed = 4096;
+  spec.num_templates = 16;
+  spec.num_stream_sets = 12;
+  return spec;
+}
+
+PipelineOptions Options(int num_threads) {
+  PipelineOptions options;
+  options.max_candidate_configs = 80;
+  options.configs_to_execute = 8;
+  options.num_threads = num_threads;
+  return options;
+}
+
+void ExpectMetricsEqual(const ExecMetrics& a, const ExecMetrics& b) {
+  // Bitwise: the parallel path must replay the exact serial computation, not
+  // merely an approximation of it.
+  EXPECT_EQ(a.runtime, b.runtime);
+  EXPECT_EQ(a.cpu_time, b.cpu_time);
+  EXPECT_EQ(a.io_time, b.io_time);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.output_rows, b.output_rows);
+}
+
+void ExpectAnalysesEqual(const JobAnalysis& serial, const JobAnalysis& parallel) {
+  // Counters from the recompilation stage.
+  EXPECT_EQ(serial.candidates_generated, parallel.candidates_generated);
+  EXPECT_EQ(serial.recompiled_ok, parallel.recompiled_ok);
+  EXPECT_EQ(serial.compile_failures, parallel.compile_failures);
+  EXPECT_EQ(serial.cheaper_than_default, parallel.cheaper_than_default);
+
+  // Candidate cost vector: same values in the same (candidate) order.
+  ASSERT_EQ(serial.candidate_costs.size(), parallel.candidate_costs.size());
+  for (size_t i = 0; i < serial.candidate_costs.size(); ++i) {
+    EXPECT_EQ(serial.candidate_costs[i], parallel.candidate_costs[i]);
+  }
+
+  // Default treatment.
+  ASSERT_EQ(serial.default_plan.root == nullptr, parallel.default_plan.root == nullptr);
+  if (serial.default_plan.root != nullptr) {
+    EXPECT_EQ(PlanHash(serial.default_plan.root, false),
+              PlanHash(parallel.default_plan.root, false));
+    EXPECT_EQ(serial.default_plan.est_cost, parallel.default_plan.est_cost);
+    ExpectMetricsEqual(serial.default_metrics, parallel.default_metrics);
+  }
+
+  // Executed alternatives: same configs, same plans, same measurements,
+  // same order.
+  ASSERT_EQ(serial.executed.size(), parallel.executed.size());
+  for (size_t i = 0; i < serial.executed.size(); ++i) {
+    const ConfigOutcome& s = serial.executed[i];
+    const ConfigOutcome& p = parallel.executed[i];
+    EXPECT_TRUE(s.config == p.config);
+    EXPECT_EQ(PlanHash(s.plan.root, false), PlanHash(p.plan.root, false));
+    EXPECT_EQ(s.plan.est_cost, p.plan.est_cost);
+    EXPECT_EQ(s.executed, p.executed);
+    ExpectMetricsEqual(s.metrics, p.metrics);
+    EXPECT_EQ(s.diff_vs_default.ToString(), p.diff_vs_default.ToString());
+  }
+  EXPECT_EQ(serial.BestRuntimeChangePct(), parallel.BestRuntimeChangePct());
+}
+
+TEST(PipelineParallel, AnalyzeJobMatchesSerialAcrossWorkerCounts) {
+  Workload workload(Spec());
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+
+  SteeringPipeline serial(&optimizer, &simulator, Options(0));
+  ASSERT_EQ(serial.pool(), nullptr);
+
+  for (int workers : {1, 2, 8}) {
+    SteeringPipeline parallel(&optimizer, &simulator, Options(workers));
+    ASSERT_NE(parallel.pool(), nullptr);
+    EXPECT_EQ(parallel.pool()->num_threads(), workers);
+    for (int t = 0; t < 4; ++t) {
+      Job job = workload.MakeJob(t, /*day=*/1);
+      JobAnalysis a = serial.AnalyzeJob(job);
+      JobAnalysis b = parallel.AnalyzeJob(job);
+      SCOPED_TRACE(testing::Message() << "workers=" << workers << " job=" << job.name);
+      ExpectAnalysesEqual(a, b);
+    }
+  }
+}
+
+TEST(PipelineParallel, BatchEntryPointMatchesPerJobCalls) {
+  Workload workload(Spec());
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+
+  std::vector<Job> jobs;
+  for (int t = 0; t < 6; ++t) jobs.push_back(workload.MakeJob(t, /*day=*/2));
+
+  SteeringPipeline serial(&optimizer, &simulator, Options(0));
+  SteeringPipeline parallel(&optimizer, &simulator, Options(2));
+
+  std::vector<JobAnalysis> batch = parallel.AnalyzeJobs(jobs);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job index " << i);
+    ExpectAnalysesEqual(serial.AnalyzeJob(jobs[i]), batch[i]);
+  }
+
+  // Pool counters observed real fan-out work.
+  ThreadPoolStats stats = parallel.pool_stats();
+  EXPECT_EQ(stats.num_threads, 2);
+  EXPECT_GT(stats.tasks_submitted, 0);
+}
+
+TEST(PipelineParallel, SerialPoolStatsAreZeroed) {
+  Workload workload(Spec());
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  SteeringPipeline serial(&optimizer, &simulator, Options(0));
+  ThreadPoolStats stats = serial.pool_stats();
+  EXPECT_EQ(stats.num_threads, 0);
+  EXPECT_EQ(stats.tasks_submitted, 0);
+}
+
+TEST(PipelineParallel, RecompileJobsMatchesSerial) {
+  Workload workload(Spec());
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+
+  std::vector<Job> jobs;
+  for (int t = 0; t < 5; ++t) jobs.push_back(workload.MakeJob(t, /*day=*/3));
+
+  SteeringPipeline serial(&optimizer, &simulator, Options(0));
+  SteeringPipeline parallel(&optimizer, &simulator, Options(8));
+  std::vector<JobAnalysis> a = serial.RecompileJobs(jobs);
+  std::vector<JobAnalysis> b = parallel.RecompileJobs(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "job index " << i);
+    ExpectAnalysesEqual(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

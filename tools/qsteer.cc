@@ -6,7 +6,10 @@
 //   compile <A|B|C> <template> <day> [hint-string]
 //                                          compile a job (EXPLAIN output)
 //   span <A|B|C> <template> <day>          Algorithm 1 job span
-//   analyze <A|B|C> <template> <day>       full §5-§6 pipeline for one job
+//   analyze <A|B|C> <template> <day> [threads]
+//                                          full §5-§6 pipeline for one job;
+//                                          threads > 0 parallelizes candidate
+//                                          recompilation (same results)
 //   serve <A|B|C> <days>                   week-long steering service demo
 //
 // Hint strings use the §3.2 flag syntax, e.g.
@@ -34,7 +37,7 @@ int Usage() {
                "  workload <A|B|C> [day]\n"
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
-               "  analyze <A|B|C> <template> <day>\n"
+               "  analyze <A|B|C> <template> <day> [threads]\n"
                "  serve <A|B|C> <days>\n");
   return 2;
 }
@@ -127,6 +130,7 @@ int CmdAnalyze(int argc, char** argv) {
   ExecutionSimulator simulator(&workload.catalog());
   PipelineOptions options;
   options.max_candidate_configs = 200;
+  if (argc > 3) options.num_threads = std::atoi(argv[3]);
   SteeringPipeline pipeline(&optimizer, &simulator, options);
   Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
   JobAnalysis analysis = pipeline.AnalyzeJob(job);
