@@ -9,16 +9,24 @@
 // The discovered configurations are bit-identical for every thread count.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/argparse.h"
 #include "core/pipeline.h"
 #include "workload/generator.h"
 
 using namespace qsteer;
 
 int main(int argc, char** argv) {
-  int num_jobs = argc > 1 ? std::atoi(argv[1]) : 25;
-  int num_threads = argc > 2 ? std::atoi(argv[2]) : 0;
+  int num_jobs = 25;
+  int num_threads = 0;
+  if (argc > 3 || (argc > 1 && !ParseIntArg(argv[1], 1, 100000, &num_jobs)) ||
+      (argc > 2 && !ParseIntArg(argv[2], -1, 1024, &num_threads))) {
+    std::fprintf(stderr,
+                 "usage: discover_configurations [num_jobs] [num_threads]\n"
+                 "  num_jobs:    integer >= 1 (default 25)\n"
+                 "  num_threads: -1..1024 (default 0 = serial, -1 = hardware threads)\n");
+    return 2;
+  }
 
   Workload workload(WorkloadSpec::WorkloadB(0.004));
   Optimizer optimizer(&workload.catalog());

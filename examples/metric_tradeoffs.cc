@@ -5,8 +5,8 @@
 //
 //   $ ./examples/metric_tradeoffs [num_jobs]
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/argparse.h"
 #include "core/pipeline.h"
 #include "workload/generator.h"
 
@@ -21,7 +21,11 @@ double PctChange(double alt, double base) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  int num_jobs = argc > 1 ? std::atoi(argv[1]) : 20;
+  int num_jobs = 20;
+  if (argc > 2 || (argc > 1 && !ParseIntArg(argv[1], 1, 100000, &num_jobs))) {
+    std::fprintf(stderr, "usage: metric_tradeoffs [num_jobs >= 1]\n");
+    return 2;
+  }
 
   Workload workload(WorkloadSpec::WorkloadB(0.004));
   Optimizer optimizer(&workload.catalog());

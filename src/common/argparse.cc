@@ -1,0 +1,33 @@
+#include "common/argparse.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace qsteer {
+
+bool ParseIntArg(const char* s, int min_value, int max_value, int* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (value < static_cast<long>(min_value) || value > static_cast<long>(max_value)) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseDoubleArg(const char* s, double min_value, double max_value, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  if (!(value >= min_value && value <= max_value)) return false;  // rejects NaN
+  *out = value;
+  return true;
+}
+
+}  // namespace qsteer

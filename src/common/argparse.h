@@ -1,0 +1,23 @@
+// Validated command-line argument parsing for the CLI tools and examples.
+//
+// std::atoi silently turns garbage and overflow into 0 — a tool invoked as
+// `qsteer analyze B four 7` would analyze template 0 without complaint.
+// These helpers reject anything that is not a fully-consumed number inside
+// the caller's range, so tools can print usage instead of silently running
+// with the wrong inputs.
+#ifndef QSTEER_COMMON_ARGPARSE_H_
+#define QSTEER_COMMON_ARGPARSE_H_
+
+namespace qsteer {
+
+/// Parses `s` as a base-10 integer in [min_value, max_value]. Returns false
+/// (leaving *out untouched) on null/empty input, trailing garbage, overflow,
+/// or an out-of-range value.
+bool ParseIntArg(const char* s, int min_value, int max_value, int* out);
+
+/// Same contract for doubles ("1e3" and "0.25" accepted; "abc"/"3x" not).
+bool ParseDoubleArg(const char* s, double min_value, double max_value, double* out);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_ARGPARSE_H_

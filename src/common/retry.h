@@ -1,0 +1,48 @@
+// Retry policy with capped exponential backoff.
+//
+// Shared by every layer that has to survive transient failures: the
+// execution simulator's per-vertex re-execution, the steering pipeline's
+// transient compile/execute retries, and the service loop's job-level
+// retries. Backoff values are *simulated* seconds — callers account them in
+// metrics (wasted wall-clock) instead of sleeping, which keeps tests fast
+// and the fault layer bit-reproducible.
+#ifndef QSTEER_COMMON_RETRY_H_
+#define QSTEER_COMMON_RETRY_H_
+
+#include <algorithm>
+
+namespace qsteer {
+
+struct RetryPolicy {
+  /// Total tries including the first attempt; <= 1 disables retries.
+  int max_attempts = 3;
+  /// Backoff before the first retry (seconds, simulated).
+  double initial_backoff_s = 2.0;
+  /// Multiplier applied per further retry.
+  double backoff_multiplier = 2.0;
+  /// Per-retry backoff cap.
+  double max_backoff_s = 60.0;
+
+  /// Backoff before retry number `retry` (1-based: retry 1 is the first
+  /// re-attempt). Returns 0 for retry <= 0.
+  double BackoffBeforeRetry(int retry) const {
+    if (retry <= 0) return 0.0;
+    double backoff = initial_backoff_s;
+    for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+    return std::min(backoff, max_backoff_s);
+  }
+
+  /// Total simulated seconds spent backing off across `retries` retries.
+  double TotalBackoff(int retries) const {
+    double total = 0.0;
+    for (int r = 1; r <= retries; ++r) total += BackoffBeforeRetry(r);
+    return total;
+  }
+
+  /// Retries available beyond the first attempt.
+  int max_retries() const { return std::max(0, max_attempts - 1); }
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_RETRY_H_

@@ -75,4 +75,18 @@ std::string ThreadPoolStats::ToString() const {
   return buf;
 }
 
+std::string PipelineFailureStats::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "compile_timeouts=%lld compile_retries=%lld compile_failures=%lld "
+                "exec_retries=%lld exec_failures=%lld fallbacks=%lld",
+                static_cast<long long>(compile_timeouts),
+                static_cast<long long>(compile_retries),
+                static_cast<long long>(compile_failures),
+                static_cast<long long>(exec_retries),
+                static_cast<long long>(exec_failures),
+                static_cast<long long>(fallbacks));
+  return buf;
+}
+
 }  // namespace qsteer

@@ -54,6 +54,30 @@ struct ThreadPoolStats {
   std::string ToString() const;
 };
 
+/// Per-stage failure counters of one SteeringPipeline (core/pipeline.h).
+/// Lives here, next to ThreadPoolStats, so reporting code can consume
+/// resilience counters without pulling in the pipeline itself.
+struct PipelineFailureStats {
+  /// Candidate compilations that hit the compile deadline (transient).
+  int64_t compile_timeouts = 0;
+  /// Candidate compilations re-attempted after a timeout.
+  int64_t compile_retries = 0;
+  /// Candidate compilations that failed permanently (kCompilationFailed).
+  int64_t compile_failures = 0;
+  /// Simulated executions re-attempted after a transient run failure.
+  int64_t exec_retries = 0;
+  /// Executions still failed after exhausting the retry policy.
+  int64_t exec_failures = 0;
+  /// Candidates dropped from an analysis (degraded to the default config)
+  /// because compilation or execution kept failing.
+  int64_t fallbacks = 0;
+
+  int64_t Total() const {
+    return compile_timeouts + compile_failures + exec_failures + fallbacks;
+  }
+  std::string ToString() const;
+};
+
 }  // namespace qsteer
 
 #endif  // QSTEER_COMMON_STATS_H_

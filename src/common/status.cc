@@ -16,6 +16,8 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kCompilationFailed:
       return "CompilationFailed";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

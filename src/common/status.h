@@ -16,6 +16,9 @@ enum class StatusCode {
   // The rule configuration cannot produce a complete physical plan (e.g.,
   // every implementation rule for some operator class is disabled).
   kCompilationFailed,
+  // A compile budget (wall-clock deadline or cancellation token) expired
+  // before optimization finished. Transient: retrying may succeed.
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -36,6 +39,9 @@ class Status {
   }
   static Status CompilationFailed(std::string m) {
     return Status(StatusCode::kCompilationFailed, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
 

@@ -41,15 +41,80 @@ ThreadPoolStats SteeringPipeline::pool_stats() const {
   return pool_ != nullptr ? pool_->stats() : ThreadPoolStats{};
 }
 
+PipelineFailureStats SteeringPipeline::failure_stats() const {
+  PipelineFailureStats stats;
+  stats.compile_timeouts = ctr_compile_timeouts_.load(std::memory_order_relaxed);
+  stats.compile_retries = ctr_compile_retries_.load(std::memory_order_relaxed);
+  stats.compile_failures = ctr_compile_failures_.load(std::memory_order_relaxed);
+  stats.exec_retries = ctr_exec_retries_.load(std::memory_order_relaxed);
+  stats.exec_failures = ctr_exec_failures_.load(std::memory_order_relaxed);
+  stats.fallbacks = ctr_fallbacks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 uint64_t SteeringPipeline::CandidateNonce(const RuleConfig& config) const {
   return HashCombine(options_.seed, config.Hash());
+}
+
+Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job,
+                                                        const RuleConfig& config) const {
+  CompileControl control;
+  control.timeout_s = options_.compile_timeout_s;
+  Result<CompiledPlan> plan = optimizer_->Compile(job, config, control);
+  // Only deadline misses are transient; kCompilationFailed is a property of
+  // the configuration and would fail identically on every attempt.
+  int attempts = 1;
+  while (!plan.ok() && plan.status().code() == StatusCode::kDeadlineExceeded &&
+         attempts < std::max(1, options_.retry.max_attempts)) {
+    ctr_compile_retries_.fetch_add(1, std::memory_order_relaxed);
+    ++attempts;
+    plan = optimizer_->Compile(job, config, control);
+  }
+  if (!plan.ok()) {
+    if (plan.status().code() == StatusCode::kDeadlineExceeded) {
+      ctr_compile_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctr_compile_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return plan;
+}
+
+ExecMetrics SteeringPipeline::ExecuteWithRetry(const Job& job, const PlanNodePtr& root,
+                                               uint64_t nonce) const {
+  int max_attempts = std::max(1, options_.retry.max_attempts);
+  ExecMetrics metrics;
+  int carried_retries = 0;
+  int carried_failed_vertices = 0;
+  double carried_waste = 0.0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    uint64_t attempt_nonce =
+        attempt == 0 ? nonce : HashCombine(nonce, static_cast<uint64_t>(attempt));
+    metrics = simulator_->Execute(job, root, attempt_nonce);
+    if (!metrics.failed) break;
+    if (attempt + 1 < max_attempts) {
+      ctr_exec_retries_.fetch_add(1, std::memory_order_relaxed);
+      // The failed attempt's entire CPU spend is wasted (it produced no
+      // usable result); carry the resilience counters into the final run.
+      carried_retries += metrics.retries + 1;
+      carried_failed_vertices += metrics.failed_vertices;
+      carried_waste += metrics.cpu_time;
+    }
+  }
+  if (metrics.failed) {
+    ctr_exec_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics.retries += carried_retries;
+  metrics.failed_vertices += carried_failed_vertices;
+  metrics.wasted_cpu_time += carried_waste;
+  return metrics;
 }
 
 JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   JobAnalysis analysis;
   analysis.job = job;
 
-  Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
+  Result<CompiledPlan> default_plan = CompileWithRetry(job, RuleConfig::Default());
   if (!default_plan.ok()) {
     // The default configuration always compiles for generated workloads;
     // return an empty analysis defensively.
@@ -70,14 +135,18 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   // to the serial path no matter how many workers ran.
   struct CandidateResult {
     bool ok = false;
+    bool timed_out = false;
     CompiledPlan plan;
     uint64_t plan_hash = 0;
   };
   std::vector<CandidateResult> compiled = ParallelMap<CandidateResult>(
       pool_.get(), static_cast<int64_t>(candidates.size()), [&](int64_t i) {
         CandidateResult r;
-        Result<CompiledPlan> plan = optimizer_->Compile(job, candidates[static_cast<size_t>(i)]);
-        if (!plan.ok()) return r;
+        Result<CompiledPlan> plan = CompileWithRetry(job, candidates[static_cast<size_t>(i)]);
+        if (!plan.ok()) {
+          r.timed_out = plan.status().code() == StatusCode::kDeadlineExceeded;
+          return r;
+        }
         r.ok = true;
         r.plan = std::move(plan.value());
         r.plan_hash = PlanHash(r.plan.root, /*for_template=*/false);
@@ -90,7 +159,11 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   for (size_t i = 0; i < compiled.size(); ++i) {
     CandidateResult& candidate = compiled[i];
     if (!candidate.ok) {
-      ++analysis.compile_failures;
+      if (candidate.timed_out) {
+        ++analysis.compile_timeouts;
+      } else {
+        ++analysis.compile_failures;
+      }
       continue;
     }
     ++analysis.recompiled_ok;
@@ -133,13 +206,21 @@ JobAnalysis SteeringPipeline::AnalyzeJob(const Job& job) const {
   // alternative's noise nonce is a pure function of (seed, its config), so
   // executions can run concurrently — and in any order — without changing a
   // single bit of the result.
-  analysis.default_metrics = simulator_->Execute(job, analysis.default_plan.root,
-                                                 /*run_nonce=*/options_.seed);
+  analysis.default_metrics = ExecuteWithRetry(job, analysis.default_plan.root,
+                                              /*nonce=*/options_.seed);
   ParallelFor(pool_.get(), static_cast<int64_t>(analysis.executed.size()), [&](int64_t i) {
     ConfigOutcome& outcome = analysis.executed[static_cast<size_t>(i)];
-    outcome.metrics = simulator_->Execute(job, outcome.plan.root, CandidateNonce(outcome.config));
-    outcome.executed = true;
+    outcome.metrics = ExecuteWithRetry(job, outcome.plan.root, CandidateNonce(outcome.config));
+    // A run that stayed failed after the retry policy degrades gracefully:
+    // the candidate is excluded from BestBy, so the default plan is kept.
+    outcome.executed = !outcome.metrics.failed;
   });
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    if (!outcome.executed) {
+      ++analysis.exec_failures;
+      ctr_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return analysis;
 }
 

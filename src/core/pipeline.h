@@ -5,10 +5,12 @@
 #ifndef QSTEER_CORE_PIPELINE_H_
 #define QSTEER_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/config_search.h"
 #include "core/rule_diff.h"
@@ -41,6 +43,16 @@ struct PipelineOptions {
   /// behavior); < 0 = one worker per hardware thread. Results are
   /// bit-identical for every value (see SteeringPipeline).
   int num_threads = 0;
+  /// Retry policy for transient failures: compile timeouts and failed
+  /// simulated executions (ExecMetrics::failed under a fault profile).
+  /// Retried executions draw fresh noise/fault nonces derived from
+  /// hash(base nonce, attempt), so retries stay order- and
+  /// thread-independent.
+  RetryPolicy retry;
+  /// Wall-clock budget per candidate compilation; <= 0 = unlimited. A
+  /// compilation that exceeds it returns kDeadlineExceeded and is retried
+  /// under `retry` before the candidate is dropped.
+  double compile_timeout_s = 0.0;
   ConfigSearchOptions search;
 };
 
@@ -62,7 +74,15 @@ struct JobAnalysis {
 
   int candidates_generated = 0;
   int recompiled_ok = 0;
+  /// Candidates that failed to compile permanently (kCompilationFailed).
   int compile_failures = 0;
+  /// Candidates dropped because compilation kept timing out even after the
+  /// retry policy was exhausted (kDeadlineExceeded; disjoint from
+  /// compile_failures).
+  int compile_timeouts = 0;
+  /// Executed alternatives whose runs stayed failed after the retry policy
+  /// (degraded: they are excluded from BestBy and the default is kept).
+  int exec_failures = 0;
   int cheaper_than_default = 0;
   /// Estimated costs of all successfully recompiled candidates (Fig. 4).
   std::vector<double> candidate_costs;
@@ -113,6 +133,18 @@ class SteeringPipeline {
   /// Pool counters (zeroed stats when running serial).
   ThreadPoolStats pool_stats() const;
 
+  /// Cumulative per-stage failure counters (compile timeouts/retries,
+  /// execution retries/failures, fallbacks) across all analyses run through
+  /// this pipeline. Thread-safe snapshot; counters never influence results.
+  PipelineFailureStats failure_stats() const;
+
+  /// Executes `root` under the simulator, retrying transient run failures
+  /// (ExecMetrics::failed) per options().retry with nonces derived from
+  /// hash(nonce, attempt). The returned metrics are the successful run's,
+  /// with retries / failed_vertices / wasted_cpu_time accumulated across
+  /// the failed attempts; `failed` stays set when every attempt failed.
+  ExecMetrics ExecuteWithRetry(const Job& job, const PlanNodePtr& root, uint64_t nonce) const;
+
   /// §6.1 job-selection heuristics over a day of (already default-compiled
   /// and default-executed) jobs. Returns indices into `runtimes`/`costs`:
   /// jobs in the runtime window that either have clearly-cheaper recompiled
@@ -128,10 +160,24 @@ class SteeringPipeline {
   /// the candidate's configuration only (order- and thread-independent).
   uint64_t CandidateNonce(const RuleConfig& config) const;
 
+  /// Compiles under options().compile_timeout_s, retrying transient
+  /// deadline misses per options().retry. Permanent kCompilationFailed
+  /// results are never retried (the same config always fails the same way).
+  Result<CompiledPlan> CompileWithRetry(const Job& job, const RuleConfig& config) const;
+
   const Optimizer* optimizer_;
   const ExecutionSimulator* simulator_;
   PipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+
+  // Failure counters (relaxed atomics: observability only, never part of a
+  // result; safe to bump from pool workers).
+  mutable std::atomic<int64_t> ctr_compile_timeouts_{0};
+  mutable std::atomic<int64_t> ctr_compile_retries_{0};
+  mutable std::atomic<int64_t> ctr_compile_failures_{0};
+  mutable std::atomic<int64_t> ctr_exec_retries_{0};
+  mutable std::atomic<int64_t> ctr_exec_failures_{0};
+  mutable std::atomic<int64_t> ctr_fallbacks_{0};
 };
 
 }  // namespace qsteer

@@ -1,5 +1,6 @@
 #include "core/recommender.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,10 +9,24 @@
 
 namespace qsteer {
 
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
 SteeringRecommender::SteeringRecommender(RecommenderOptions options) : options_(options) {}
 
 bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
   if (analysis.default_plan.root == nullptr) return false;
+  // A failed default run has no trustworthy baseline to learn against.
+  if (analysis.default_metrics.failed) return false;
   const ConfigOutcome* best = analysis.BestBy(Metric::kRuntime);
   if (best == nullptr) return false;
   double change = analysis.BestRuntimeChangePct();
@@ -19,7 +34,14 @@ bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
 
   Entry& entry = store_[analysis.default_plan.signature];
   if (entry.retired) return false;
-  if (entry.support == 0 || change < entry.improvement_pct) {
+  bool fresh = entry.support == 0;
+  if (fresh || change < entry.improvement_pct) {
+    if (fresh || !(entry.config == best->config)) {
+      // A new or replaced configuration must (re-)pass the validation gate
+      // before it serves.
+      entry.adopted = options_.validation_runs <= 0;
+      entry.validation_successes = 0;
+    }
     entry.config = best->config;
     entry.improvement_pct = change;
   }
@@ -27,41 +49,159 @@ bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
   return true;
 }
 
+std::vector<SteeringRecommender::ValidationRequest> SteeringRecommender::PendingValidations()
+    const {
+  std::vector<ValidationRequest> pending;
+  for (const auto& [signature, entry] : store_) {
+    if (entry.retired || entry.adopted) continue;
+    ValidationRequest request;
+    request.signature = signature;
+    request.config = entry.config;
+    request.successes = entry.validation_successes;
+    request.required = options_.validation_runs;
+    pending.push_back(std::move(request));
+  }
+  // unordered_map iteration order is not deterministic; validation drivers
+  // (and their printed output) should be.
+  std::sort(pending.begin(), pending.end(),
+            [](const ValidationRequest& a, const ValidationRequest& b) {
+              return a.signature.ToHexString() < b.signature.ToHexString();
+            });
+  return pending;
+}
+
+void SteeringRecommender::ObserveValidation(const RuleSignature& signature,
+                                            double runtime_change_pct) {
+  auto it = store_.find(signature);
+  if (it == store_.end() || it->second.retired || it->second.adopted) return;
+  Entry& entry = it->second;
+  if (runtime_change_pct > options_.regression_threshold_pct) {
+    // A candidate that regresses under validation never reaches production.
+    ++entry.regressions;
+    Retire(&entry);
+    return;
+  }
+  if (++entry.validation_successes >= options_.validation_runs) {
+    entry.adopted = true;
+  }
+}
+
 SteeringRecommender::Recommendation SteeringRecommender::Recommend(
-    const RuleSignature& default_signature) const {
+    const RuleSignature& default_signature) {
   Recommendation rec;
+  rec.config = RuleConfig::Default();
   auto it = store_.find(default_signature);
-  if (it == store_.end() || it->second.retired) {
-    rec.config = RuleConfig::Default();
+  if (it == store_.end()) return rec;
+  Entry& entry = it->second;
+  if (entry.retired || !entry.adopted) return rec;
+
+  if (entry.breaker == BreakerState::kOpen) {
+    // Rolled back: serve the default while the cooldown clock runs.
+    if (--entry.cooldown_remaining <= 0) {
+      entry.breaker = BreakerState::kHalfOpen;
+      entry.probe_successes = 0;
+    }
     return rec;
   }
+
   rec.is_default = false;
-  rec.config = it->second.config;
-  rec.expected_improvement_pct = it->second.improvement_pct;
-  rec.support = it->second.support;
+  rec.config = entry.config;
+  rec.expected_improvement_pct = entry.improvement_pct;
+  rec.support = entry.support;
+  rec.probing = entry.breaker == BreakerState::kHalfOpen;
   return rec;
 }
 
 void SteeringRecommender::ObserveOutcome(const RuleSignature& default_signature,
                                          double runtime_change_pct) {
   auto it = store_.find(default_signature);
-  if (it == store_.end() || it->second.retired) return;
-  if (runtime_change_pct > options_.regression_threshold_pct) {
-    if (++it->second.regressions >= options_.max_regressions) {
-      it->second.retired = true;
-      ++retired_;
-    }
+  if (it == store_.end() || it->second.retired || !it->second.adopted) return;
+  Entry& entry = it->second;
+  bool regressed = runtime_change_pct > options_.regression_threshold_pct;
+
+  switch (entry.breaker) {
+    case BreakerState::kClosed:
+      if (regressed) {
+        ++entry.regressions;
+        if (++entry.consecutive_failures >= options_.breaker_open_after) {
+          TripBreaker(&entry);
+        }
+      } else {
+        entry.consecutive_failures = 0;
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      if (regressed) {
+        ++entry.regressions;
+        TripBreaker(&entry);
+      } else if (++entry.probe_successes >= options_.breaker_probe_successes) {
+        entry.breaker = BreakerState::kClosed;
+        entry.consecutive_failures = 0;
+        entry.probe_successes = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // Open groups serve the default; a stray outcome report is ignored.
+      break;
   }
 }
+
+void SteeringRecommender::TripBreaker(Entry* entry) {
+  entry->breaker = BreakerState::kOpen;
+  entry->cooldown_remaining = std::max(1, options_.breaker_cooldown);
+  entry->consecutive_failures = 0;
+  entry->probe_successes = 0;
+  ++entry->rollbacks;
+  ++rollbacks_;
+  if (entry->rollbacks >= options_.max_rollbacks) Retire(entry);
+}
+
+void SteeringRecommender::Retire(Entry* entry) {
+  if (entry->retired) return;
+  entry->retired = true;
+  ++retired_;
+}
+
+int SteeringRecommender::num_serving() const {
+  int count = 0;
+  for (const auto& [signature, entry] : store_) {
+    if (!entry.retired && entry.adopted && entry.breaker != BreakerState::kOpen) ++count;
+  }
+  return count;
+}
+
+int SteeringRecommender::num_pending_validation() const {
+  int count = 0;
+  for (const auto& [signature, entry] : store_) {
+    if (!entry.retired && !entry.adopted) ++count;
+  }
+  return count;
+}
+
+int SteeringRecommender::num_open() const {
+  int count = 0;
+  for (const auto& [signature, entry] : store_) {
+    if (!entry.retired && entry.breaker == BreakerState::kOpen) ++count;
+  }
+  return count;
+}
+
+namespace {
+constexpr char kStoreHeaderV2[] = "# qsteer-recommender-store v2";
+}  // namespace
 
 Status SteeringRecommender::SaveToFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out.is_open()) return Status::InvalidArgument("cannot open for write: " + path);
   out.precision(17);  // round-trip doubles exactly
+  out << kStoreHeaderV2 << '\n';
   for (const auto& [signature, entry] : store_) {
     out << signature.ToHexString() << ' ' << entry.improvement_pct << ' ' << entry.support
         << ' ' << entry.regressions << ' ' << (entry.retired ? 1 : 0) << ' '
-        << ToHintString(entry.config) << '\n';
+        << (entry.adopted ? 1 : 0) << ' ' << entry.validation_successes << ' '
+        << static_cast<int>(entry.breaker) << ' ' << entry.consecutive_failures << ' '
+        << entry.cooldown_remaining << ' ' << entry.probe_successes << ' ' << entry.rollbacks
+        << ' ' << ToHintString(entry.config) << '\n';
   }
   return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
 }
@@ -71,11 +211,21 @@ Status SteeringRecommender::LoadFromFile(const std::string& path) {
   if (!in.is_open()) return Status::NotFound("cannot open: " + path);
   std::unordered_map<RuleSignature, Entry, BitVector256Hasher> loaded;
   int retired = 0;
+  int rollbacks = 0;
   std::string line;
   int line_number = 0;
+  bool v2 = false;
+  bool first_line = true;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty()) continue;
+    if (first_line) {
+      first_line = false;
+      if (line == kStoreHeaderV2) {
+        v2 = true;
+        continue;
+      }
+    }
+    if (line.empty() || line.front() == '#') continue;
     std::istringstream fields(line);
     std::string signature_hex, hints;
     Entry entry;
@@ -83,6 +233,25 @@ Status SteeringRecommender::LoadFromFile(const std::string& path) {
     if (!(fields >> signature_hex >> entry.improvement_pct >> entry.support >>
           entry.regressions >> retired_flag)) {
       return Status::InvalidArgument("malformed store line " + std::to_string(line_number));
+    }
+    if (v2) {
+      int adopted_flag = 0, breaker_int = 0;
+      if (!(fields >> adopted_flag >> entry.validation_successes >> breaker_int >>
+            entry.consecutive_failures >> entry.cooldown_remaining >> entry.probe_successes >>
+            entry.rollbacks)) {
+        return Status::InvalidArgument("malformed v2 store line " +
+                                       std::to_string(line_number));
+      }
+      if (breaker_int < 0 || breaker_int > 2) {
+        return Status::InvalidArgument("bad breaker state on line " +
+                                       std::to_string(line_number));
+      }
+      entry.adopted = adopted_flag != 0;
+      entry.breaker = static_cast<BreakerState>(breaker_int);
+    } else {
+      // Legacy (v1) stores predate the validation gate and breaker: their
+      // entries were already serving, so load them adopted and closed.
+      entry.adopted = true;
     }
     std::getline(fields, hints);
     if (!hints.empty() && hints.front() == ' ') hints.erase(0, 1);
@@ -95,10 +264,12 @@ Status SteeringRecommender::LoadFromFile(const std::string& path) {
     entry.config = config.value();
     entry.retired = retired_flag != 0;
     if (entry.retired) ++retired;
+    rollbacks += entry.rollbacks;
     loaded.emplace(signature, std::move(entry));
   }
   store_ = std::move(loaded);
   retired_ = retired;
+  rollbacks_ = rollbacks;
   return Status::OK();
 }
 

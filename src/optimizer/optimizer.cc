@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <unordered_map>
 
@@ -18,14 +19,21 @@ namespace {
 /// `const Optimizer` therefore never share mutable state.
 class CompileState {
  public:
-  CompileState(const Optimizer& optimizer, const Job& job, const RuleConfig& config)
+  CompileState(const Optimizer& optimizer, const Job& job, const RuleConfig& config,
+               const CompileControl& control)
       : options_(optimizer.options()),
         config_(config),
+        control_(control),
         registry_(RuleRegistry::Instance()),
         universe_(job.columns),
         est_view_(optimizer.catalog(), &universe_, job.day) {
     ctx_.memo = &memo_;
     ctx_.universe = &universe_;
+    if (control_.timeout_s > 0.0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(control_.timeout_s));
+    }
   }
 
   Result<CompiledPlan> Run(const Job& job) {
@@ -35,6 +43,12 @@ class CompileState {
     Implement();
     PhysProp any = PhysProp::Any();
     const Winner* winner = OptimizeGroup(root, any);
+    if (aborted_) {
+      return Status::DeadlineExceeded(control_.cancel != nullptr &&
+                                              control_.cancel->cancelled()
+                                          ? "compilation cancelled"
+                                          : "compile deadline exceeded");
+    }
     if (winner == nullptr || !winner->valid) {
       return Status::CompilationFailed(
           "no complete physical plan under this rule configuration");
@@ -51,6 +65,26 @@ class CompileState {
   }
 
  private:
+  // ---------------------------------------------------------------------
+  // Compile budget
+  // ---------------------------------------------------------------------
+
+  /// Polled between memo operations. The cancellation token is a relaxed
+  /// atomic load (checked every call); the wall clock is only consulted
+  /// every 64 polls to keep the unbudgeted hot path unchanged.
+  bool Aborted() {
+    if (aborted_) return true;
+    if (control_.Unbounded()) return false;
+    if (control_.cancel != nullptr && control_.cancel->cancelled()) {
+      return aborted_ = true;
+    }
+    if (control_.timeout_s > 0.0 && (poll_count_++ & 63) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return aborted_ = true;
+    }
+    return false;
+  }
+
   // ---------------------------------------------------------------------
   // Exploration and implementation
   // ---------------------------------------------------------------------
@@ -289,6 +323,7 @@ class CompileState {
     // Iterating by ascending ExprId covers expressions added mid-loop, so a
     // single sweep reaches the rewrite fixpoint up to the budgets.
     for (ExprId id = 0; id < memo_.num_exprs(); ++id) {
+      if (Aborted()) return;
       if (memo_.num_exprs() >= options_.max_total_exprs) break;
       if (!memo_.expr(id).is_logical) continue;
       for (const Rule* rule : registry_.transformation_rules()) {
@@ -313,6 +348,7 @@ class CompileState {
     int logical_count = memo_.num_exprs();  // snapshot: impls add physical only
     std::vector<OpTree> proposals;
     for (ExprId id = 0; id < logical_count; ++id) {
+      if (Aborted()) return;
       if (!memo_.expr(id).is_logical) continue;
       for (const Rule* rule : registry_.implementation_rules()) {
         if (!config_.IsEnabled(rule->id())) continue;
@@ -722,6 +758,7 @@ class CompileState {
   }
 
   const Winner* OptimizeGroup(GroupId gid, const PhysProp& required) {
+    if (Aborted()) return nullptr;
     Group& group = memo_.group(gid);
     uint64_t key = required.Key();
     auto it = group.winners.find(key);
@@ -873,6 +910,10 @@ class CompileState {
 
   const OptimizerOptions& options_;
   const RuleConfig& config_;
+  const CompileControl& control_;
+  std::chrono::steady_clock::time_point deadline_{};
+  uint64_t poll_count_ = 0;
+  bool aborted_ = false;
   const RuleRegistry& registry_;
   Memo memo_;
   /// Copy-on-write overlay over the job's (immutable, shared) root universe:
@@ -903,10 +944,15 @@ Optimizer::Optimizer(const Catalog* catalog, OptimizerOptions options)
     : catalog_(catalog), options_(options) {}
 
 Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config) const {
+  return Compile(job, config, CompileControl{});
+}
+
+Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config,
+                                        const CompileControl& control) const {
   if (job.root == nullptr || job.root->op.kind != OpKind::kOutput) {
     return Status::InvalidArgument("job root must be an Output operator");
   }
-  CompileState state(*this, job, config);
+  CompileState state(*this, job, config, control);
   return state.Run(job);
 }
 

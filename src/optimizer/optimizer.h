@@ -14,6 +14,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/memo.h"
 #include "optimizer/rule_config.h"
@@ -50,6 +51,22 @@ struct CompiledPlan {
 /// customer's rule hints (§3.3).
 RuleConfig ProductionConfig(const Job& job);
 
+/// Compile-time budget: a cooperative cancellation token and/or a wall-clock
+/// deadline. Both are polled between memo operations, so a pathological
+/// exploration (huge DAG under an adversarial configuration) returns
+/// kDeadlineExceeded instead of hanging the caller. Default-constructed
+/// control imposes no budget.
+struct CompileControl {
+  /// Cooperative cancellation (e.g., superseded work in a service loop).
+  const CancellationToken* cancel = nullptr;
+  /// Wall-clock compile budget in seconds; <= 0 means unlimited. Note a
+  /// wall-clock budget is inherently nondeterministic under load — use it in
+  /// services, not in bit-reproducibility tests.
+  double timeout_s = 0.0;
+
+  bool Unbounded() const { return cancel == nullptr && timeout_s <= 0.0; }
+};
+
 /// Thread-safety: an Optimizer is immutable after construction, and Compile
 /// is reentrant — concurrent Compile calls on one `const Optimizer` (same or
 /// different jobs, same or different configs) are data-race-free. All
@@ -75,6 +92,13 @@ class Optimizer {
   /// job.columns (ids beyond its size resolve to the canonical derived-
   /// column descriptor — plan/column.h).
   Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config) const;
+
+  /// As above, under a compile budget: returns kDeadlineExceeded when the
+  /// control's token is cancelled or its wall-clock budget expires before
+  /// optimization finishes (checked between memo operations; a compilation
+  /// never hangs on pathological memo growth).
+  Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config,
+                               const CompileControl& control) const;
 
   const OptimizerOptions& options() const { return options_; }
   const Catalog* catalog() const { return catalog_; }

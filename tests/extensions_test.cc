@@ -124,7 +124,14 @@ TEST_F(ExtensionsTest, RecommenderLearnsRecommendsAndRetires) {
   PipelineOptions options;
   options.max_candidate_configs = 60;
   SteeringPipeline pipeline(&optimizer_, &simulator_, options);
-  SteeringRecommender recommender;
+  // Pre-guardrail behavior: adopt immediately (no validation gate) and
+  // retire on the first breaker trip (two consecutive regressions). The
+  // full gate/breaker state machine is covered by recommender_test.
+  RecommenderOptions rec_options;
+  rec_options.validation_runs = 0;
+  rec_options.breaker_open_after = 2;
+  rec_options.max_rollbacks = 1;
+  SteeringRecommender recommender(rec_options);
 
   // Offline phase over a handful of day-1 jobs.
   std::vector<JobAnalysis> analyses;

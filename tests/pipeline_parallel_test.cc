@@ -35,6 +35,13 @@ void ExpectMetricsEqual(const ExecMetrics& a, const ExecMetrics& b) {
   EXPECT_EQ(a.io_time, b.io_time);
   EXPECT_EQ(a.bytes_moved, b.bytes_moved);
   EXPECT_EQ(a.output_rows, b.output_rows);
+  // Fault-layer counters obey the same contract.
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failed_vertices, b.failed_vertices);
+  EXPECT_EQ(a.speculative_copies, b.speculative_copies);
+  EXPECT_EQ(a.token_revocations, b.token_revocations);
+  EXPECT_EQ(a.wasted_cpu_time, b.wasted_cpu_time);
+  EXPECT_EQ(a.failed, b.failed);
 }
 
 void ExpectAnalysesEqual(const JobAnalysis& serial, const JobAnalysis& parallel) {
@@ -42,6 +49,8 @@ void ExpectAnalysesEqual(const JobAnalysis& serial, const JobAnalysis& parallel)
   EXPECT_EQ(serial.candidates_generated, parallel.candidates_generated);
   EXPECT_EQ(serial.recompiled_ok, parallel.recompiled_ok);
   EXPECT_EQ(serial.compile_failures, parallel.compile_failures);
+  EXPECT_EQ(serial.compile_timeouts, parallel.compile_timeouts);
+  EXPECT_EQ(serial.exec_failures, parallel.exec_failures);
   EXPECT_EQ(serial.cheaper_than_default, parallel.cheaper_than_default);
 
   // Candidate cost vector: same values in the same (candidate) order.
@@ -129,6 +138,53 @@ TEST(PipelineParallel, SerialPoolStatsAreZeroed) {
   ThreadPoolStats stats = serial.pool_stats();
   EXPECT_EQ(stats.num_threads, 0);
   EXPECT_EQ(stats.tasks_submitted, 0);
+}
+
+TEST(PipelineParallel, FaultInjectionMatchesSerialAcrossWorkerCounts) {
+  // The determinism contract extends to fault injection: with a nonzero
+  // fault profile and a retry policy, every injected failure, straggler and
+  // retry must replay identically no matter how many workers executed the
+  // analysis. Fault nonces are pure hashes of (job, plan, run nonce), so
+  // evaluation order cannot leak into the draws.
+  Workload workload(Spec());
+  Optimizer optimizer(&workload.catalog());
+  SimulatorOptions sim_options;
+  sim_options.fault_profile = FaultProfile::Flaky(2.0);
+  ExecutionSimulator simulator(&workload.catalog(), sim_options);
+
+  PipelineOptions options = Options(0);
+  options.retry.max_attempts = 3;
+  SteeringPipeline serial(&optimizer, &simulator, options);
+
+  for (int workers : {1, 2, 8}) {
+    PipelineOptions parallel_options = Options(workers);
+    parallel_options.retry.max_attempts = 3;
+    SteeringPipeline parallel(&optimizer, &simulator, parallel_options);
+    for (int t = 0; t < 4; ++t) {
+      Job job = workload.MakeJob(t, /*day=*/4);
+      JobAnalysis a = serial.AnalyzeJob(job);
+      JobAnalysis b = parallel.AnalyzeJob(job);
+      SCOPED_TRACE(testing::Message() << "workers=" << workers << " job=" << job.name);
+      ExpectAnalysesEqual(a, b);
+    }
+  }
+
+  // The profile actually injected something across these analyses (the
+  // counters above compared more than all-zero fields).
+  PipelineFailureStats stats = serial.failure_stats();
+  Job probe = workload.MakeJob(0, /*day=*/4);
+  JobAnalysis analysis = serial.AnalyzeJob(probe);
+  bool saw_faults = analysis.default_metrics.retries > 0 ||
+                    analysis.default_metrics.failed_vertices > 0 ||
+                    analysis.default_metrics.token_revocations > 0 ||
+                    analysis.default_metrics.wasted_cpu_time > 0.0 ||
+                    stats.exec_retries > 0;
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    saw_faults = saw_faults || outcome.metrics.retries > 0 ||
+                 outcome.metrics.token_revocations > 0 ||
+                 outcome.metrics.wasted_cpu_time > 0.0;
+  }
+  EXPECT_TRUE(saw_faults);
 }
 
 TEST(PipelineParallel, RecompileJobsMatchesSerial) {

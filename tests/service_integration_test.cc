@@ -1,7 +1,11 @@
-// End-to-end integration: offline discovery on day 1, persisted store,
-// online serving with guardrails over subsequent days — asserting the
-// deployment-level properties (net savings, safety, persistence).
+// End-to-end integration: offline discovery on day 1, validation re-runs,
+// persisted store, online serving with guardrails over subsequent days —
+// asserting the deployment-level properties (net savings, safety,
+// persistence).
 #include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
 
 #include "core/hints.h"
 #include "core/recommender.h"
@@ -19,16 +23,44 @@ TEST(ServiceIntegration, WeekOfServingSavesRuntimeSafely) {
   SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
   SteeringRecommender recommender;
 
-  // Day 1: offline discovery.
+  // Day 1: offline discovery. Keep one base job per group to drive the
+  // validation re-runs.
+  std::unordered_map<std::string, Job> reps;
   int analyzed = 0, adopted = 0;
   for (const Job& job : workload.JobsForDay(1)) {
     if (analyzed >= 25) break;
     ++analyzed;
-    if (recommender.LearnFromAnalysis(pipeline.AnalyzeJob(job))) ++adopted;
+    JobAnalysis analysis = pipeline.AnalyzeJob(job);
+    if (recommender.LearnFromAnalysis(analysis)) {
+      ++adopted;
+      reps.emplace(analysis.default_plan.signature.ToHexString(), job);
+    }
   }
   ASSERT_GT(adopted, 2);
 
-  // Persist + restore mid-deployment (operational restart).
+  // Validation gate: nothing serves before its clean re-runs.
+  EXPECT_EQ(recommender.num_serving(), 0);
+  EXPECT_GT(recommender.num_pending_validation(), 0);
+  uint64_t vnonce = 9000;
+  for (int round = 0; round < 6 && !recommender.PendingValidations().empty(); ++round) {
+    for (const SteeringRecommender::ValidationRequest& request :
+         recommender.PendingValidations()) {
+      auto it = reps.find(request.signature.ToHexString());
+      ASSERT_NE(it, reps.end());
+      Result<CompiledPlan> base_plan = optimizer.Compile(it->second, RuleConfig::Default());
+      Result<CompiledPlan> alt_plan = optimizer.Compile(it->second, request.config);
+      ASSERT_TRUE(base_plan.ok());
+      if (!alt_plan.ok()) continue;
+      double base = simulator.Execute(it->second, base_plan.value().root, ++vnonce).runtime;
+      double alt = simulator.Execute(it->second, alt_plan.value().root, ++vnonce).runtime;
+      ASSERT_GT(base, 0.0);
+      recommender.ObserveValidation(request.signature, (alt - base) / base * 100.0);
+    }
+  }
+  ASSERT_GT(recommender.num_serving(), 0);
+
+  // Persist + restore mid-deployment (operational restart). Adoption and
+  // validation state survive the round trip.
   std::string path = ::testing::TempDir() + "/service_store.txt";
   ASSERT_TRUE(recommender.SaveToFile(path).ok());
   SteeringRecommender serving;
@@ -36,6 +68,8 @@ TEST(ServiceIntegration, WeekOfServingSavesRuntimeSafely) {
   // Several analyses can strengthen one group: adoptions >= groups.
   ASSERT_EQ(serving.num_groups(), recommender.num_groups());
   ASSERT_GE(adopted, serving.num_groups());
+  ASSERT_EQ(serving.num_serving(), recommender.num_serving());
+  ASSERT_EQ(serving.num_retired(), recommender.num_retired());
 
   // Days 2-4: online serving.
   double total_default = 0.0, total_served = 0.0;

@@ -10,7 +10,10 @@
 //                                          full §5-§6 pipeline for one job;
 //                                          threads > 0 parallelizes candidate
 //                                          recompilation (same results)
-//   serve <A|B|C> <days>                   week-long steering service demo
+//   serve <A|B|C> <days> [fault_level]     steering service demo with the
+//                                          validation/rollback guardrail;
+//                                          fault_level scales the injected
+//                                          cluster faults (default 0 = off)
 //
 // Hint strings use the §3.2 flag syntax, e.g.
 //   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
@@ -18,7 +21,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_map>
 
+#include "common/argparse.h"
 #include "core/hints.h"
 #include "core/pipeline.h"
 #include "core/recommender.h"
@@ -38,13 +43,28 @@ int Usage() {
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
                "  analyze <A|B|C> <template> <day> [threads]\n"
-               "  serve <A|B|C> <days>\n");
+               "  serve <A|B|C> <days> [fault_level]\n");
   return 2;
+}
+
+/// Validated positional-argument parsing: garbage or out-of-range values
+/// name the offending argument instead of silently becoming 0 (atoi).
+bool ParsePositional(const char* label, const char* arg, int min_value, int max_value,
+                     int* out) {
+  if (ParseIntArg(arg, min_value, max_value, out)) return true;
+  std::fprintf(stderr, "qsteer: bad %s '%s' (expected integer in [%d, %d])\n", label, arg,
+               min_value, max_value);
+  return false;
 }
 
 WorkloadSpec SpecFor(const std::string& which) {
   double scale = 0.005;
-  if (const char* env = std::getenv("QSTEER_SCALE")) scale = std::atof(env);
+  if (const char* env = std::getenv("QSTEER_SCALE")) {
+    if (!ParseDoubleArg(env, 1e-9, 1000.0, &scale)) {
+      std::fprintf(stderr, "qsteer: ignoring bad QSTEER_SCALE '%s' (using %.3f)\n", env,
+                   scale);
+    }
+  }
   if (which == "B") return WorkloadSpec::WorkloadB(scale);
   if (which == "C") return WorkloadSpec::WorkloadC(scale);
   return WorkloadSpec::WorkloadA(scale);
@@ -64,7 +84,8 @@ int CmdRules(int argc, char** argv) {
 int CmdWorkload(int argc, char** argv) {
   if (argc < 1) return Usage();
   Workload workload(SpecFor(argv[0]));
-  int day = argc > 1 ? std::atoi(argv[1]) : 1;
+  int day = 1;
+  if (argc > 1 && !ParsePositional("day", argv[1], 1, 1000000, &day)) return 2;
   std::vector<Job> jobs = workload.JobsForDay(day);
   std::printf("workload %s day %d: %zu jobs from %d templates over %d stream sets\n",
               argv[0], day, jobs.size(), workload.num_templates(),
@@ -85,7 +106,12 @@ int CmdWorkload(int argc, char** argv) {
 int CmdCompile(int argc, char** argv) {
   if (argc < 3) return Usage();
   Workload workload(SpecFor(argv[0]));
-  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  int template_id = 0, day = 0;
+  if (!ParsePositional("template", argv[1], 0, 1000000, &template_id) ||
+      !ParsePositional("day", argv[2], 1, 1000000, &day)) {
+    return 2;
+  }
+  Job job = workload.MakeJob(template_id, day);
   RuleConfig config = ProductionConfig(job);
   if (argc > 3) {
     Result<RuleConfig> parsed = ParseHintString(argv[3]);
@@ -110,7 +136,12 @@ int CmdSpan(int argc, char** argv) {
   if (argc < 3) return Usage();
   Workload workload(SpecFor(argv[0]));
   Optimizer optimizer(&workload.catalog());
-  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  int template_id = 0, day = 0;
+  if (!ParsePositional("template", argv[1], 0, 1000000, &template_id) ||
+      !ParsePositional("day", argv[2], 1, 1000000, &day)) {
+    return 2;
+  }
+  Job job = workload.MakeJob(template_id, day);
   SpanResult span = ComputeJobSpan(optimizer, job);
   const RuleRegistry& registry = RuleRegistry::Instance();
   std::printf("%s: span of %d rules (%d iterations%s)\n", job.name.c_str(),
@@ -130,19 +161,27 @@ int CmdAnalyze(int argc, char** argv) {
   ExecutionSimulator simulator(&workload.catalog());
   PipelineOptions options;
   options.max_candidate_configs = 200;
-  if (argc > 3) options.num_threads = std::atoi(argv[3]);
+  int template_id = 0, day = 0;
+  if (!ParsePositional("template", argv[1], 0, 1000000, &template_id) ||
+      !ParsePositional("day", argv[2], 1, 1000000, &day)) {
+    return 2;
+  }
+  if (argc > 3 && !ParsePositional("threads", argv[3], -1, 1024, &options.num_threads)) {
+    return 2;
+  }
   SteeringPipeline pipeline(&optimizer, &simulator, options);
-  Job job = workload.MakeJob(std::atoi(argv[1]), std::atoi(argv[2]));
+  Job job = workload.MakeJob(template_id, day);
   JobAnalysis analysis = pipeline.AnalyzeJob(job);
   if (analysis.default_plan.root == nullptr) {
     std::fprintf(stderr, "default compilation failed\n");
     return 1;
   }
-  std::printf("%s\n  span: %d rules; candidates: %d (%d compiled, %d cheaper than "
-              "default)\n  default runtime: %.1f s (cost %.2f)\n",
+  std::printf("%s\n  span: %d rules; candidates: %d (%d compiled, %d failed, %d timed "
+              "out, %d cheaper than default)\n  default runtime: %.1f s (cost %.2f)\n",
               job.name.c_str(), analysis.span.span.Count(), analysis.candidates_generated,
-              analysis.recompiled_ok, analysis.cheaper_than_default,
-              analysis.default_metrics.runtime, analysis.default_plan.est_cost);
+              analysis.recompiled_ok, analysis.compile_failures, analysis.compile_timeouts,
+              analysis.cheaper_than_default, analysis.default_metrics.runtime,
+              analysis.default_plan.est_cost);
   std::printf("  executed alternatives:\n");
   for (const ConfigOutcome& outcome : analysis.executed) {
     double change = (outcome.metrics.runtime - analysis.default_metrics.runtime) /
@@ -155,25 +194,69 @@ int CmdAnalyze(int argc, char** argv) {
     std::printf("  best change: %+.1f%%\n  RuleDiff: %s\n", analysis.BestRuntimeChangePct(),
                 best->diff_vs_default.ToString().c_str());
   }
+  if (analysis.exec_failures > 0) {
+    std::printf("  degraded: %d alternative run(s) stayed failed after retries "
+                "(default plan kept)\n",
+                analysis.exec_failures);
+  }
   return 0;
 }
 
 int CmdServe(int argc, char** argv) {
   if (argc < 2) return Usage();
   Workload workload(SpecFor(argv[0]));
-  int days = std::atoi(argv[1]);
+  int days = 0;
+  double fault_level = 0.0;
+  if (!ParsePositional("days", argv[1], 1, 1000000, &days)) return 2;
+  if (argc > 2 && !ParseDoubleArg(argv[2], 0.0, 25.0, &fault_level)) {
+    std::fprintf(stderr, "qsteer: bad fault_level '%s' (expected number in [0, 25])\n",
+                 argv[2]);
+    return 2;
+  }
   Optimizer optimizer(&workload.catalog());
-  ExecutionSimulator simulator(&workload.catalog());
+  SimulatorOptions sim_options;
+  sim_options.fault_profile = FaultProfile::Flaky(fault_level);
+  ExecutionSimulator simulator(&workload.catalog(), sim_options);
   SteeringPipeline pipeline(&optimizer, &simulator, {});
   SteeringRecommender recommender;
-  int adopted = 0, analyzed = 0;
+
+  // Day 1 offline: learn candidates and keep one base job per group for the
+  // validation re-runs.
+  std::unordered_map<std::string, Job> group_rep;
+  int candidates = 0, analyzed = 0;
   for (const Job& job : workload.JobsForDay(1)) {
     if (analyzed >= 30) break;
     ++analyzed;
-    if (recommender.LearnFromAnalysis(pipeline.AnalyzeJob(job))) ++adopted;
+    JobAnalysis analysis = pipeline.AnalyzeJob(job);
+    if (recommender.LearnFromAnalysis(analysis)) {
+      ++candidates;
+      group_rep.emplace(analysis.default_plan.signature.ToHexString(), job);
+    }
   }
-  std::printf("day 1 offline: %d analyzed, %d groups adopted\n", analyzed, adopted);
+  std::printf("day 1 offline: %d analyzed, %d groups with candidates\n", analyzed,
+              candidates);
+
+  // Validation gate: candidates must survive clean re-runs before serving.
   uint64_t nonce = 0;
+  for (int round = 0; round < 8 && !recommender.PendingValidations().empty(); ++round) {
+    for (const SteeringRecommender::ValidationRequest& request :
+         recommender.PendingValidations()) {
+      auto it = group_rep.find(request.signature.ToHexString());
+      if (it == group_rep.end()) continue;
+      Result<CompiledPlan> base_plan = optimizer.Compile(it->second, RuleConfig::Default());
+      Result<CompiledPlan> alt_plan = optimizer.Compile(it->second, request.config);
+      if (!base_plan.ok() || !alt_plan.ok()) continue;
+      ExecMetrics base = pipeline.ExecuteWithRetry(it->second, base_plan.value().root, ++nonce);
+      ExecMetrics alt = pipeline.ExecuteWithRetry(it->second, alt_plan.value().root, ++nonce);
+      if (base.failed || base.runtime <= 0.0) continue;
+      recommender.ObserveValidation(
+          request.signature,
+          alt.failed ? 100.0 : (alt.runtime - base.runtime) / base.runtime * 100.0);
+    }
+  }
+  std::printf("validation: %d groups serving, %d rejected\n", recommender.num_serving(),
+              recommender.num_retired());
+
   for (int day = 2; day <= days; ++day) {
     double saved = 0, base = 0;
     int steered = 0, jobs = 0;
@@ -182,17 +265,25 @@ int CmdServe(int argc, char** argv) {
       Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
       if (!default_plan.ok()) continue;
       ++jobs;
-      double default_runtime =
-          simulator.Execute(job, default_plan.value().root, ++nonce).runtime;
+      ExecMetrics default_run =
+          pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
+      double default_runtime = default_run.runtime;
       double served = default_runtime;
-      auto rec = recommender.Recommend(default_plan.value().signature);
-      if (!rec.is_default) {
+      SteeringRecommender::Recommendation rec =
+          recommender.Recommend(default_plan.value().signature);
+      if (!default_run.failed && !rec.is_default) {
         Result<CompiledPlan> plan = optimizer.Compile(job, rec.config);
         if (plan.ok()) {
           ++steered;
-          served = simulator.Execute(job, plan.value().root, ++nonce).runtime;
-          recommender.ObserveOutcome(default_plan.value().signature,
-                                     (served - default_runtime) / default_runtime * 100.0);
+          ExecMetrics steered_run = pipeline.ExecuteWithRetry(job, plan.value().root, ++nonce);
+          if (steered_run.failed) {
+            // Degrade to the default plan; the breaker hears about it.
+            recommender.ObserveOutcome(default_plan.value().signature, 100.0);
+          } else {
+            served = steered_run.runtime;
+            recommender.ObserveOutcome(default_plan.value().signature,
+                                       (served - default_runtime) / default_runtime * 100.0);
+          }
         }
       }
       base += default_runtime;
@@ -201,7 +292,9 @@ int CmdServe(int argc, char** argv) {
     std::printf("day %d: %d jobs, %d steered, %.1f%% runtime saved\n", day, jobs, steered,
                 base > 0 ? saved / base * 100.0 : 0.0);
   }
-  std::printf("retired recommendations: %d\n", recommender.num_retired());
+  std::printf("guardrail: %d rollbacks, %d retired, %d serving\n%s\n",
+              recommender.num_rollbacks(), recommender.num_retired(),
+              recommender.num_serving(), pipeline.failure_stats().ToString().c_str());
   return 0;
 }
 
