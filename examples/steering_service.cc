@@ -1,36 +1,106 @@
-// End-to-end steering service over a simulated week on an *unreliable*
-// cluster: the deployment story of paper §3.3 ("surface new rule
-// configurations as plan hints") with the §6.4 signature-group
-// extrapolation, hardened with production guardrails — retries with
-// backoff, validation re-runs before adoption, and a per-group circuit
-// breaker that automatically rolls a regressing recommendation back to the
-// default configuration.
+// End-to-end *asynchronous* steering service over a simulated week on an
+// unreliable cluster — including a mid-week process crash.
+//
+// The deployment story of paper §3.3 ("surface new rule configurations as
+// plan hints") with the §6.4 signature-group extrapolation, hardened with
+// the production guardrails (retries, validation gate, circuit breakers)
+// and, new in this example, the crash-safety layer: every recommender
+// mutation is write-ahead logged and periodically snapshotted, so a crash
+// loses no acknowledged learning.
 //
 // Day 1:    the offline pipeline analyzes a sample of jobs under the fault
-//           profile; improving configurations become *candidates*.
+//           profile; improving configurations become *candidates* (each
+//           learn event journaled through the durable store).
 // Validate: every candidate must survive N clean validation re-runs before
 //           it may serve; a candidate that regresses is rejected outright.
-// Days 2-7: incoming jobs compile under the default configuration and are
-//           steered when their signature group has a validated
-//           recommendation. Every execution retries transient failures.
-// Day 6:    a simulated upstream data-distribution shift makes the steered
-//           plans regress; the circuit breakers trip and the service rolls
-//           the affected groups back to the default automatically.
+// Days 2-7: jobs are *submitted* to the service's bounded queue and served
+//           asynchronously by compile workers; admission control sheds
+//           work the service cannot finish in time.
+// Day 5:    the service process "crashes" (Kill: no snapshot, queued
+//           requests fail) mid-day. A new service instance recovers from
+//           the snapshot + WAL tail and the example asserts the recovered
+//           recommendation state is bit-identical before serving resumes.
+// Day 6:    a simulated data-distribution shift makes steered plans
+//           regress; the circuit breakers trip and roll the affected
+//           groups back to the default automatically.
 //
 //   $ ./examples/steering_service [jobs_per_day] [fault_level]
 //
-// fault_level scales FaultProfile::Flaky; 0 disables fault injection and
-// reproduces the fault-free service bit-for-bit.
+// fault_level scales FaultProfile::Flaky; 0 disables fault injection.
 #include <cstdio>
+#include <filesystem>
+#include <future>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/argparse.h"
-#include "core/recommender.h"
+#include "service/steering_service.h"
 #include "workload/generator.h"
 
 using namespace qsteer;
+
+namespace {
+
+ServiceOptions MakeServiceOptions(const std::string& dir) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 128;
+  options.store.dir = dir;
+  options.store.snapshot_interval = 16;
+  options.store.sync = false;  // demo speed; correctness is rename-atomic
+  return options;
+}
+
+struct DayResult {
+  int jobs = 0;
+  int steered = 0;
+  int regressed = 0;
+  double default_s = 0.0;
+  double served_s = 0.0;
+};
+
+/// Serves one day's jobs through the async service: submit everything, then
+/// collect the replies and feed observed regressions back (the shift
+/// penalty models a data-distribution change the simulator cannot see).
+DayResult ServeDay(SteeringService& service, const std::vector<Job>& jobs,
+                   int max_jobs, bool shifted, double shift_penalty) {
+  DayResult day;
+  std::vector<std::future<ServiceReply>> replies;
+  for (const Job& job : jobs) {
+    if (static_cast<int>(replies.size()) >= max_jobs) break;
+    ServiceRequest request;
+    request.job = job;
+    std::future<ServiceReply> reply;
+    if (service.Submit(request, &reply) == AdmitResult::kAccepted) {
+      replies.push_back(std::move(reply));
+    }
+  }
+  for (std::future<ServiceReply>& future : replies) {
+    ServiceReply reply = future.get();
+    if (!reply.status.ok()) continue;
+    ++day.jobs;
+    double served = reply.served_runtime_s;
+    if (reply.steered && shifted) {
+      // The service measured the pre-shift runtime; the shifted cluster
+      // actually delivers a regression. Report it so the breakers hear it.
+      served = reply.default_runtime_s * shift_penalty;
+      double change = reply.default_runtime_s > 0.0
+                          ? (served - reply.default_runtime_s) / reply.default_runtime_s * 100.0
+                          : 0.0;
+      service.store().ObserveOutcome(reply.default_signature, change);
+    }
+    if (reply.steered) ++day.steered;
+    if (served > reply.default_runtime_s * 1.05) ++day.regressed;
+    day.default_s += reply.default_runtime_s;
+    day.served_s += served;
+  }
+  return day;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   int max_jobs_per_day = 60;
@@ -52,12 +122,24 @@ int main(int argc, char** argv) {
   PipelineOptions pipeline_options;
   pipeline_options.max_candidate_configs = 120;
   SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
-  SteeringRecommender recommender;
 
-  std::printf("Cluster fault level %.2f (%s).\n\n", fault_level,
-              sim_options.fault_profile.Active() ? "fault injection active" : "fault-free");
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "qsteer_steering_service_demo";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
 
-  // ---------------- Day 1: offline discovery ----------------
+  auto service = std::make_unique<SteeringService>(&optimizer, &simulator,
+                                                   MakeServiceOptions(dir.string()));
+  Status started = service->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("Cluster fault level %.2f (%s); durable store in %s.\n\n", fault_level,
+              sim_options.fault_profile.Active() ? "fault injection active" : "fault-free",
+              dir.c_str());
+
+  // ---------------- Day 1: offline discovery (journaled) ----------------
   std::unordered_map<std::string, Job> group_rep;  // signature hex -> base job
   int analyzed = 0, candidates = 0, failed_baselines = 0;
   for (const Job& job : workload.JobsForDay(1)) {
@@ -65,25 +147,21 @@ int main(int argc, char** argv) {
     ++analyzed;
     JobAnalysis analysis = pipeline.AnalyzeJob(job);
     if (analysis.default_metrics.failed) ++failed_baselines;
-    if (recommender.LearnFromAnalysis(analysis)) {
+    if (service->store().LearnFromAnalysis(analysis)) {
       ++candidates;
       group_rep.emplace(analysis.default_plan.signature.ToHexString(), job);
     }
   }
   std::printf("Day 1 (offline): analyzed %d jobs (%d baselines lost to faults, "
               "%d learn events); %d signature groups have candidate configurations.\n",
-              analyzed, failed_baselines, candidates, recommender.num_groups());
+              analyzed, failed_baselines, candidates, service->store().num_groups());
 
   // ---------------- Validation gate ----------------
-  // Candidates re-run against the default on their base job, under the same
-  // fault profile, until they collect the required clean runs (or regress
-  // and are rejected). The round cap bounds the work when faults keep
-  // eating baselines.
   uint64_t nonce = 1000;
   int validation_runs = 0;
   for (int round = 0; round < 8; ++round) {
     std::vector<SteeringRecommender::ValidationRequest> pending =
-        recommender.PendingValidations();
+        service->store().PendingValidations();
     if (pending.empty()) break;
     for (const SteeringRecommender::ValidationRequest& request : pending) {
       auto it = group_rep.find(request.signature.ToHexString());
@@ -95,86 +173,85 @@ int main(int argc, char** argv) {
       ExecMetrics base = pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
       ExecMetrics alt = pipeline.ExecuteWithRetry(job, steered_plan.value().root, ++nonce);
       ++validation_runs;
-      if (base.failed || base.runtime <= 0.0) continue;  // no baseline; try next round
-      double change =
-          alt.failed ? 100.0 : (alt.runtime - base.runtime) / base.runtime * 100.0;
-      recommender.ObserveValidation(request.signature, change);
+      if (base.failed || base.runtime <= 0.0) continue;
+      service->store().ObserveValidation(
+          request.signature,
+          alt.failed ? 100.0 : (alt.runtime - base.runtime) / base.runtime * 100.0);
     }
   }
   std::printf("Validation: %d re-runs; %d groups validated for serving, %d rejected.\n\n",
-              validation_runs, recommender.num_serving(), recommender.num_retired());
+              validation_runs, service->store().num_serving(),
+              service->store().num_retired());
 
-  // ---------------- Days 2-7: online serving ----------------
-  // Simulated upstream data-distribution shift: from shift_day on, the
-  // learned plan choices are wrong for the new data and steered runs come
-  // in `shift_penalty` times *slower than the default* — the situation the
-  // circuit breaker exists for.
+  // ---------------- Days 2-7: asynchronous online serving ----------------
+  const int crash_day = 5;
   const int shift_day = 6;
   const double shift_penalty = 1.25;
 
-  std::printf("%4s %6s %8s %10s %8s %10s %12s %12s %8s\n", "day", "jobs", "steered",
-              "regressed", "retries", "rollbacks", "default_s", "served_s", "saved");
+  std::printf("%4s %6s %8s %10s %10s %12s %12s %8s\n", "day", "jobs", "steered",
+              "regressed", "rollbacks", "default_s", "served_s", "saved");
   double total_default = 0.0, total_served = 0.0;
-  int total_steered = 0, exec_fallbacks = 0, lost_jobs = 0;
+  int total_steered = 0;
   for (int day = 2; day <= 7; ++day) {
-    int jobs = 0, steered = 0, regressed = 0;
-    double day_default = 0.0, day_served = 0.0;
-    int rollbacks_before = recommender.num_rollbacks();
-    int64_t retries_before = pipeline.failure_stats().exec_retries;
-    for (const Job& job : workload.JobsForDay(day)) {
-      if (jobs >= max_jobs_per_day) break;
-      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
-      if (!default_plan.ok()) continue;
-      ++jobs;
-      ExecMetrics default_run =
-          pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
-      if (default_run.failed) {
-        // Even the retry budget could not save this run: the job is lost to
-        // the cluster independent of steering. Count it evenly on both sides.
-        ++lost_jobs;
-        day_default += default_run.runtime;
-        day_served += default_run.runtime;
-        continue;
-      }
-      double default_runtime = default_run.runtime;
-      double served_runtime = default_runtime;
+    std::vector<Job> jobs = workload.JobsForDay(day);
+    int rollbacks_before = service->store().num_rollbacks();
 
-      SteeringRecommender::Recommendation rec =
-          recommender.Recommend(default_plan.value().signature);
-      if (!rec.is_default) {
-        Result<CompiledPlan> steered_plan = optimizer.Compile(job, rec.config);
-        if (steered_plan.ok()) {
-          ++steered;
-          ++total_steered;
-          ExecMetrics steered_run =
-              pipeline.ExecuteWithRetry(job, steered_plan.value().root, ++nonce);
-          if (steered_run.failed) {
-            // Degrade gracefully: rerun under the default plan, and report
-            // the failure as a regression so the breaker sees it.
-            ++exec_fallbacks;
-            served_runtime =
-                pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce).runtime;
-            recommender.ObserveOutcome(default_plan.value().signature, 100.0);
-            ++regressed;
-          } else {
-            served_runtime = steered_run.runtime;
-            if (day >= shift_day) served_runtime = default_runtime * shift_penalty;
-            double change = (served_runtime - default_runtime) / default_runtime * 100.0;
-            recommender.ObserveOutcome(default_plan.value().signature, change);
-            if (change > 5.0) ++regressed;
-          }
-        }
+    if (day == crash_day) {
+      // Serve the first half of the day, then crash mid-day.
+      std::vector<Job> first_half(jobs.begin(), jobs.begin() + jobs.size() / 2);
+      DayResult before = ServeDay(*service, first_half, max_jobs_per_day / 2,
+                                  /*shifted=*/false, shift_penalty);
+      service->Kill();  // crash: no snapshot, no drain — the WAL is all we keep
+      std::string pre_crash_state = service->store().SerializeState();
+      service = std::make_unique<SteeringService>(&optimizer, &simulator,
+                                                  MakeServiceOptions(dir.string()));
+      Status restarted = service->Start();
+      if (!restarted.ok()) {
+        std::fprintf(stderr, "recovery failed: %s\n", restarted.ToString().c_str());
+        return 1;
       }
-      day_default += default_runtime;
-      day_served += served_runtime;
+      const DurableRecommenderStore::RecoveryInfo& recovery = service->store().recovery();
+      bool identical = service->store().SerializeState() == pre_crash_state;
+      std::printf("      -- CRASH mid-day %d: recovered from snapshot (seq %llu) + %lld "
+                  "WAL events (%lld skipped); state bit-identical: %s --\n",
+                  day, static_cast<unsigned long long>(recovery.snapshot_seq),
+                  static_cast<long long>(recovery.wal_records_replayed),
+                  static_cast<long long>(recovery.wal_records_skipped),
+                  identical ? "yes" : "NO");
+      if (!identical) return 1;
+      std::vector<Job> second_half(jobs.begin() + jobs.size() / 2, jobs.end());
+      DayResult after = ServeDay(*service, second_half, max_jobs_per_day / 2,
+                                 /*shifted=*/false, shift_penalty);
+      before.jobs += after.jobs;
+      before.steered += after.steered;
+      before.regressed += after.regressed;
+      before.default_s += after.default_s;
+      before.served_s += after.served_s;
+      total_default += before.default_s;
+      total_served += before.served_s;
+      total_steered += before.steered;
+      std::printf("%4d %6d %8d %10d %10d %12.0f %12.0f %7.1f%%\n", day, before.jobs,
+                  before.steered, before.regressed,
+                  service->store().num_rollbacks() - rollbacks_before, before.default_s,
+                  before.served_s,
+                  before.default_s > 0
+                      ? (before.default_s - before.served_s) / before.default_s * 100.0
+                      : 0.0);
+      continue;
     }
-    total_default += day_default;
-    total_served += day_served;
-    std::printf("%4d %6d %8d %10d %8lld %10d %12.0f %12.0f %7.1f%%\n", day, jobs, steered,
-                regressed,
-                static_cast<long long>(pipeline.failure_stats().exec_retries - retries_before),
-                recommender.num_rollbacks() - rollbacks_before, day_default, day_served,
-                day_default > 0 ? (day_default - day_served) / day_default * 100.0 : 0.0);
+
+    DayResult result =
+        ServeDay(*service, jobs, max_jobs_per_day, day >= shift_day, shift_penalty);
+    total_default += result.default_s;
+    total_served += result.served_s;
+    total_steered += result.steered;
+    std::printf("%4d %6d %8d %10d %10d %12.0f %12.0f %7.1f%%\n", day, result.jobs,
+                result.steered, result.regressed,
+                service->store().num_rollbacks() - rollbacks_before, result.default_s,
+                result.served_s,
+                result.default_s > 0
+                    ? (result.default_s - result.served_s) / result.default_s * 100.0
+                    : 0.0);
     if (day == shift_day) {
       std::printf("      -- data-distribution shift: steered plans now run %.0f%% slower "
                   "than the default; breakers trip and groups roll back --\n",
@@ -182,18 +259,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  PipelineFailureStats stats = pipeline.failure_stats();
+  Status stopped = service->Shutdown();
   std::printf("\nWeek total: %.0f s default vs %.0f s served (%.1f%% saved) "
               "across %d steered runs.\n",
               total_default, total_served,
               total_default > 0 ? (total_default - total_served) / total_default * 100.0 : 0.0,
               total_steered);
-  std::printf("Resilience: %s.\n", stats.ToString().c_str());
-  std::printf("Guardrail: %d automatic rollbacks; %d groups retired, %d still serving; "
-              "%d jobs lost to the cluster; %d steered runs degraded to the default plan.\n",
-              recommender.num_rollbacks(), recommender.num_retired(),
-              recommender.num_serving(), lost_jobs, exec_fallbacks);
-  std::printf("Unhandled failures: 0 — every fault was retried, degraded to the default, "
-              "or rolled back.\n");
+  std::printf("Final service status:\n%s", service->status().ToString().c_str());
+  std::printf("Clean shutdown snapshot: %s.\n", stopped.ok() ? "ok" : stopped.ToString().c_str());
   return 0;
 }

@@ -1,0 +1,127 @@
+// Bounded MPMC queue for the steering service's request path.
+//
+// Differs from the ThreadPool's task deque on purpose: admission control
+// needs a *bounded* queue whose producer side never blocks — an overloaded
+// service must reject (shed) a request immediately rather than stall the
+// caller behind an unbounded backlog. Consumers (compile workers) block on
+// Pop until work arrives or the queue is closed.
+//
+// Thread-safety: all members are safe to call concurrently. Closing is
+// idempotent; after Close, TryPush fails and Pop drains the remaining items
+// before returning false.
+#ifndef QSTEER_COMMON_BOUNDED_QUEUE_H_
+#define QSTEER_COMMON_BOUNDED_QUEUE_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace qsteer {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(int capacity) : capacity_(std::max(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  int capacity() const { return capacity_; }
+
+  /// Non-blocking: false when the queue is full or closed (the caller sheds
+  /// or rejects; it never waits).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || static_cast<int>(items_.size()) >= capacity_) return false;
+      items_.push_back(std::move(item));
+      high_water_ = std::max(high_water_, static_cast<int64_t>(items_.size()));
+      ++pushed_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and* empty.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    if (items_.empty()) empty_cv_.notify_all();
+    return true;
+  }
+
+  /// Stops admission and wakes all blocked consumers. Items already queued
+  /// remain poppable (graceful drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    empty_cv_.notify_all();
+  }
+
+  /// Closes and removes every queued item, returning them so the caller can
+  /// fail their completions (crash simulation / hard stop).
+  std::vector<T> CloseAndDrain() {
+    std::vector<T> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      drained.assign(std::make_move_iterator(items_.begin()),
+                     std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    cv_.notify_all();
+    empty_cv_.notify_all();
+    return drained;
+  }
+
+  /// Blocks until the queue is empty (drain barrier; pair with an in-flight
+  /// counter for full quiescence).
+  void WaitUntilEmpty() {
+    std::unique_lock<std::mutex> lock(mu_);
+    empty_cv_.wait(lock, [&] { return items_.empty(); });
+  }
+
+  int size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(items_.size());
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  int64_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  int64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+
+ private:
+  const int capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable empty_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  int64_t high_water_ = 0;
+  int64_t pushed_ = 0;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_BOUNDED_QUEUE_H_

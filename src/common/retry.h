@@ -10,6 +10,7 @@
 #define QSTEER_COMMON_RETRY_H_
 
 #include <algorithm>
+#include <cmath>
 
 namespace qsteer {
 
@@ -24,18 +25,42 @@ struct RetryPolicy {
   double max_backoff_s = 60.0;
 
   /// Backoff before retry number `retry` (1-based: retry 1 is the first
-  /// re-attempt). Returns 0 for retry <= 0.
+  /// re-attempt). Returns 0 for retry <= 0. Saturates at max_backoff_s:
+  /// the exponential stops multiplying once it reaches the cap, so huge
+  /// retry numbers (the service's long-lived loops can pass attempt counts
+  /// well past 32) neither overflow the double to infinity nor spin a
+  /// billion-iteration loop before the cap applies.
   double BackoffBeforeRetry(int retry) const {
     if (retry <= 0) return 0.0;
-    double backoff = initial_backoff_s;
-    for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+    if (retry == 1 || backoff_multiplier == 1.0) {
+      return std::min(initial_backoff_s, max_backoff_s);
+    }
+    // Closed form instead of a multiply loop: a loop both overflows the
+    // accumulator to infinity for large exponents before the cap applies
+    // and costs O(retry) work (retry can be INT_MAX in a long-lived
+    // service loop). std::pow's +inf on overflow is absorbed by the cap.
+    double backoff = initial_backoff_s * std::pow(backoff_multiplier, retry - 1);
     return std::min(backoff, max_backoff_s);
   }
 
   /// Total simulated seconds spent backing off across `retries` retries.
+  /// Once the per-retry backoff saturates at the cap, the remaining retries
+  /// contribute exactly max_backoff_s each (closed form, no O(n) loop).
   double TotalBackoff(int retries) const {
+    if (retries <= 0) return 0.0;
+    if (backoff_multiplier <= 1.0) {
+      // Constant (or decaying-degenerate) backoff: treat as constant.
+      return static_cast<double>(retries) * BackoffBeforeRetry(1);
+    }
     double total = 0.0;
-    for (int r = 1; r <= retries; ++r) total += BackoffBeforeRetry(r);
+    for (int r = 1; r <= retries; ++r) {
+      double backoff = BackoffBeforeRetry(r);
+      if (backoff >= max_backoff_s) {
+        total += max_backoff_s * static_cast<double>(retries - r + 1);
+        break;
+      }
+      total += backoff;
+    }
     return total;
   }
 

@@ -1,0 +1,89 @@
+// Checksummed write-ahead log for the steering service's durable state.
+//
+// Append-only binary record stream. Each record carries the application
+// sequence number of the event it journals plus a CRC32 over the sequence
+// and payload, so recovery can tell three situations apart:
+//
+//  * a complete, intact record           -> replay it;
+//  * a torn tail (crash mid-append:      -> truncate it; every record
+//    short header, short payload, or        before it is intact by the
+//    CRC mismatch on the final record)      append ordering;
+//  * corruption *before* intact records  -> also truncated, by the same
+//    (bit rot, concurrent writer)           rule: replay keeps the longest
+//                                           intact prefix.
+//
+// Record layout (little-endian, fixed 16-byte header):
+//   u32 payload_size | u32 crc32(seq_le || payload) | u64 seq | payload
+//
+// Durability contract: Append() returns only after the record is written
+// (and fsynced when `sync_each_append`); the caller applies the event to
+// in-memory state *after* journaling it, so any state observable by other
+// threads is always recoverable from disk.
+#ifndef QSTEER_COMMON_WAL_H_
+#define QSTEER_COMMON_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace qsteer {
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if missing) for appending. Run Recover() first: Open
+  /// refuses nothing about a torn tail and would append after it, hiding
+  /// the intact prefix behind a corrupt record.
+  Status Open(const std::string& path, bool sync_each_append = true);
+  bool is_open() const { return fd_ >= 0; }
+  void Close();
+
+  /// Journals one record. `seq` must be strictly increasing per log; this
+  /// is the application's event sequence, used by recovery to skip events
+  /// already captured by a snapshot.
+  Status Append(uint64_t seq, std::string_view payload);
+
+  /// Truncates the log to empty (after a successful snapshot made its
+  /// records redundant). The log stays open for appending.
+  Status Reset();
+
+  int64_t appended_records() const { return appended_records_; }
+  int64_t appended_bytes() const { return appended_bytes_; }
+
+  struct RecoveryInfo {
+    int64_t records = 0;         // intact records replayed
+    uint64_t last_seq = 0;       // seq of the last intact record (0 if none)
+    int64_t truncated_bytes = 0; // torn/corrupt tail removed from the file
+  };
+
+  /// Replays every intact record in file order through `fn(seq, payload)`
+  /// and truncates any torn or corrupt tail in place. A missing file is a
+  /// fresh log (zero RecoveryInfo). `fn` returning a non-OK status aborts
+  /// the replay with that status (the tail is left untouched).
+  static Result<RecoveryInfo> Recover(
+      const std::string& path,
+      const std::function<Status(uint64_t seq, std::string_view payload)>& fn);
+
+  /// Records larger than this are treated as corruption by recovery (a
+  /// wildly implausible size is almost certainly a torn length field).
+  static constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  bool sync_each_append_ = true;
+  int64_t appended_records_ = 0;
+  int64_t appended_bytes_ = 0;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_WAL_H_

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "common/file_io.h"
 #include "core/hints.h"
 
 namespace qsteer {
@@ -23,30 +24,43 @@ const char* BreakerStateName(BreakerState state) {
 
 SteeringRecommender::SteeringRecommender(RecommenderOptions options) : options_(options) {}
 
-bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
-  if (analysis.default_plan.root == nullptr) return false;
+std::optional<SteeringRecommender::CandidateObservation> SteeringRecommender::ExtractCandidate(
+    const JobAnalysis& analysis, const RecommenderOptions& options) {
+  if (analysis.default_plan.root == nullptr) return std::nullopt;
   // A failed default run has no trustworthy baseline to learn against.
-  if (analysis.default_metrics.failed) return false;
+  if (analysis.default_metrics.failed) return std::nullopt;
   const ConfigOutcome* best = analysis.BestBy(Metric::kRuntime);
-  if (best == nullptr) return false;
+  if (best == nullptr) return std::nullopt;
   double change = analysis.BestRuntimeChangePct();
-  if (change > options_.min_improvement_pct) return false;
+  if (change > options.min_improvement_pct) return std::nullopt;
+  CandidateObservation observation;
+  observation.signature = analysis.default_plan.signature;
+  observation.config = best->config;
+  observation.improvement_pct = change;
+  return observation;
+}
 
-  Entry& entry = store_[analysis.default_plan.signature];
+bool SteeringRecommender::LearnCandidate(const CandidateObservation& observation) {
+  Entry& entry = store_[observation.signature];
   if (entry.retired) return false;
   bool fresh = entry.support == 0;
-  if (fresh || change < entry.improvement_pct) {
-    if (fresh || !(entry.config == best->config)) {
+  if (fresh || observation.improvement_pct < entry.improvement_pct) {
+    if (fresh || !(entry.config == observation.config)) {
       // A new or replaced configuration must (re-)pass the validation gate
       // before it serves.
       entry.adopted = options_.validation_runs <= 0;
       entry.validation_successes = 0;
     }
-    entry.config = best->config;
-    entry.improvement_pct = change;
+    entry.config = observation.config;
+    entry.improvement_pct = observation.improvement_pct;
   }
   ++entry.support;
   return true;
+}
+
+bool SteeringRecommender::LearnFromAnalysis(const JobAnalysis& analysis) {
+  std::optional<CandidateObservation> observation = ExtractCandidate(analysis, options_);
+  return observation.has_value() && LearnCandidate(*observation);
 }
 
 std::vector<SteeringRecommender::ValidationRequest> SteeringRecommender::PendingValidations()
@@ -110,6 +124,14 @@ SteeringRecommender::Recommendation SteeringRecommender::Recommend(
   rec.support = entry.support;
   rec.probing = entry.breaker == BreakerState::kHalfOpen;
   return rec;
+}
+
+bool SteeringRecommender::WouldMutateOnRecommend(const RuleSignature& default_signature) const {
+  auto it = store_.find(default_signature);
+  if (it == store_.end()) return false;
+  const Entry& entry = it->second;
+  // Mirrors Recommend(): only an open breaker's cooldown tick writes state.
+  return !entry.retired && entry.adopted && entry.breaker == BreakerState::kOpen;
 }
 
 void SteeringRecommender::ObserveOutcome(const RuleSignature& default_signature,
@@ -190,25 +212,36 @@ namespace {
 constexpr char kStoreHeaderV2[] = "# qsteer-recommender-store v2";
 }  // namespace
 
-Status SteeringRecommender::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::InvalidArgument("cannot open for write: " + path);
+std::string SteeringRecommender::Serialize() const {
+  // Deterministic entry order: two equal stores must serialize to equal
+  // bytes (snapshot comparison, chaos bit-identity).
+  std::vector<const decltype(store_)::value_type*> sorted;
+  sorted.reserve(store_.size());
+  for (const auto& kv : store_) sorted.push_back(&kv);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->first.ToHexString() < b->first.ToHexString();
+  });
+  std::ostringstream out;
   out.precision(17);  // round-trip doubles exactly
   out << kStoreHeaderV2 << '\n';
-  for (const auto& [signature, entry] : store_) {
-    out << signature.ToHexString() << ' ' << entry.improvement_pct << ' ' << entry.support
+  for (const auto* kv : sorted) {
+    const Entry& entry = kv->second;
+    out << kv->first.ToHexString() << ' ' << entry.improvement_pct << ' ' << entry.support
         << ' ' << entry.regressions << ' ' << (entry.retired ? 1 : 0) << ' '
         << (entry.adopted ? 1 : 0) << ' ' << entry.validation_successes << ' '
         << static_cast<int>(entry.breaker) << ' ' << entry.consecutive_failures << ' '
         << entry.cooldown_remaining << ' ' << entry.probe_successes << ' ' << entry.rollbacks
         << ' ' << ToHintString(entry.config) << '\n';
   }
-  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+  return out.str();
 }
 
-Status SteeringRecommender::LoadFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open: " + path);
+Status SteeringRecommender::SaveToFile(const std::string& path) const {
+  return WriteFileChecksummed(path, Serialize());
+}
+
+Status SteeringRecommender::Deserialize(const std::string& content) {
+  std::istringstream in(content);
   std::unordered_map<RuleSignature, Entry, BitVector256Hasher> loaded;
   int retired = 0;
   int rollbacks = 0;
@@ -271,6 +304,14 @@ Status SteeringRecommender::LoadFromFile(const std::string& path) {
   retired_ = retired;
   rollbacks_ = rollbacks;
   return Status::OK();
+}
+
+Status SteeringRecommender::LoadFromFile(const std::string& path) {
+  // Verifies the crc32 footer when present; v1 files and pre-checksum v2
+  // files have none and load unchecked.
+  Result<std::string> content = ReadFileChecksummed(path);
+  if (!content.ok()) return content.status();
+  return Deserialize(content.value());
 }
 
 }  // namespace qsteer

@@ -22,6 +22,7 @@
 #ifndef QSTEER_CORE_RECOMMENDER_H_
 #define QSTEER_CORE_RECOMMENDER_H_
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,11 +61,36 @@ class SteeringRecommender {
  public:
   explicit SteeringRecommender(RecommenderOptions options = {});
 
+  /// The journal-able essence of one learn event: everything
+  /// LearnFromAnalysis needs from a JobAnalysis, in a form the steering
+  /// service's write-ahead log can serialize and replay (signature hex +
+  /// hint string + improvement). Extracted *before* the store mutation so
+  /// the WAL can record the event ahead of applying it.
+  struct CandidateObservation {
+    RuleSignature signature;
+    RuleConfig config;
+    double improvement_pct = 0.0;
+  };
+
+  /// Analysis-side half of LearnFromAnalysis: returns the observation a
+  /// trustworthy, sufficiently-improving analysis yields, or nullopt when
+  /// the analysis teaches nothing (failed baseline, no executed
+  /// alternative, improvement above the bar). Pure: no store access.
+  static std::optional<CandidateObservation> ExtractCandidate(
+      const JobAnalysis& analysis, const RecommenderOptions& options);
+
+  /// Store-side half: applies one (possibly replayed) observation.
+  /// Remembers the best configuration for the signature group as a
+  /// validation candidate; keeps the better of two candidates when the
+  /// group already has one. Returns true when the store changed.
+  bool LearnCandidate(const CandidateObservation& observation);
+
   /// Offline: learn from one analyzed job. Remembers the best configuration
   /// for the job's signature group as a validation candidate when it clears
   /// the improvement bar; keeps the better of two candidates when the group
   /// already has one. Analyses whose default run failed are ignored (their
   /// baseline is not trustworthy). Returns true when the store changed.
+  /// Equivalent to ExtractCandidate + LearnCandidate.
   bool LearnFromAnalysis(const JobAnalysis& analysis);
 
   /// Candidates awaiting validation, in deterministic (signature) order.
@@ -100,6 +126,12 @@ class SteeringRecommender {
   /// half-open probing.
   Recommendation Recommend(const RuleSignature& default_signature);
 
+  /// True when a Recommend(default_signature) call would mutate the store
+  /// (the group's breaker is open, so the lookup advances the cooldown
+  /// clock). Journal hook: a durable wrapper must log exactly the lookups
+  /// that change state to replay to an identical store after a crash.
+  bool WouldMutateOnRecommend(const RuleSignature& default_signature) const;
+
   /// Guardrail: report the observed runtime change of a recommended run
   /// (positive = regression). Drives the circuit breaker; tripping it rolls
   /// the group back to the default configuration automatically.
@@ -115,17 +147,29 @@ class SteeringRecommender {
   /// Groups currently rolled back (breaker open).
   int num_open() const;
 
-  /// Persists the store as a line-oriented text file (format v2):
+  /// The store as a line-oriented text blob (format v2):
   ///   # qsteer-recommender-store v2
   ///   <signature-hex> <improvement%> <support> <regressions> <retired>
   ///     <adopted> <validation-successes> <breaker-state> <consecutive-
   ///     failures> <cooldown> <probe-successes> <rollbacks> <hints>
-  /// The hint column uses the §3.2 flag syntax, so a stored recommendation
-  /// is directly usable as a customer plan hint.
+  /// Entries are emitted in signature order, so two stores with identical
+  /// state serialize to identical bytes (the chaos harness's bit-identity
+  /// checks and the service snapshots rely on this). The hint column uses
+  /// the §3.2 flag syntax, so a stored recommendation is directly usable as
+  /// a customer plan hint.
+  std::string Serialize() const;
+  /// Replaces the store with the blob's contents. Blobs without the v2
+  /// header parse in the legacy (v1) format: entries become adopted with a
+  /// closed breaker. Comment lines (leading '#') are ignored.
+  Status Deserialize(const std::string& content);
+
+  /// Serialize() written atomically (temp file + fsync + rename) with a
+  /// trailing `# crc32` footer, so a torn or partial write is detected at
+  /// load instead of silently mis-parsing.
   Status SaveToFile(const std::string& path) const;
-  /// Replaces the store with the file's contents. Files without the v2
-  /// header load in the legacy format (entries become adopted with a closed
-  /// breaker).
+  /// Replaces the store with the file's contents, verifying the checksum
+  /// footer when present. v1 files and v2 files written before the footer
+  /// existed (no checksum) still load.
   Status LoadFromFile(const std::string& path);
 
  private:

@@ -1,0 +1,311 @@
+#include "service/durable_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "common/file_io.h"
+#include "core/hints.h"
+
+namespace qsteer {
+
+namespace {
+
+constexpr char kSnapshotFile[] = "snapshot.qrs";
+constexpr char kWalFile[] = "wal.log";
+constexpr char kSeqCommentPrefix[] = "# seq ";
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+bool ParseDoubleExact(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+DurableRecommenderStore::DurableRecommenderStore(DurableStoreOptions options)
+    : options_(std::move(options)), recommender_(options_.recommender) {}
+
+// No snapshot on destruction on purpose: dropping the object is the chaos
+// harness's crash simulation, and a crash does not get to flush. Clean
+// shutdown paths call Snapshot() explicitly.
+DurableRecommenderStore::~DurableRecommenderStore() = default;
+
+std::string DurableRecommenderStore::snapshot_path() const {
+  return options_.dir + "/" + kSnapshotFile;
+}
+
+std::string DurableRecommenderStore::wal_path() const {
+  return options_.dir + "/" + kWalFile;
+}
+
+Status DurableRecommenderStore::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::FailedPrecondition("store already open");
+  recovery_ = RecoveryInfo{};
+  if (!durable()) {
+    open_ = true;
+    return Status::OK();
+  }
+
+  // 1. Snapshot (atomic write + crc32 footer; a checksum mismatch means
+  //    external corruption and is a hard error).
+  Result<std::string> snapshot = ReadFileChecksummed(snapshot_path());
+  if (snapshot.ok()) {
+    uint64_t seq = 0;
+    std::istringstream lines(snapshot.value());
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind(kSeqCommentPrefix, 0) == 0) {
+        seq = std::strtoull(line.c_str() + std::strlen(kSeqCommentPrefix), nullptr, 10);
+      }
+    }
+    Status status = recommender_.Deserialize(snapshot.value());
+    if (!status.ok()) {
+      return Status::Internal("corrupt snapshot " + snapshot_path() + ": " +
+                              status.message());
+    }
+    recovery_.loaded_snapshot = true;
+    recovery_.snapshot_seq = seq;
+    applied_seq_ = seq;
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  // 2. WAL tail: replay events the snapshot has not captured; skip the ones
+  //    it has (crash between snapshot write and WAL reset). Recover()
+  //    truncates any torn/corrupt suffix in place.
+  Result<WriteAheadLog::RecoveryInfo> wal_info = WriteAheadLog::Recover(
+      wal_path(), [&](uint64_t seq, std::string_view payload) -> Status {
+        if (seq <= recovery_.snapshot_seq) {
+          ++recovery_.wal_records_skipped;
+          return Status::OK();
+        }
+        Status status = ApplyPayload(std::string(payload));
+        if (!status.ok()) return status;
+        applied_seq_ = seq;
+        ++recovery_.wal_records_replayed;
+        return Status::OK();
+      });
+  if (!wal_info.ok()) return wal_info.status();
+  recovery_.wal_truncated_bytes = wal_info.value().truncated_bytes;
+  events_since_snapshot_ = recovery_.wal_records_replayed;
+
+  Status status = wal_.Open(wal_path(), options_.sync);
+  if (!status.ok()) return status;
+  open_ = true;
+  return Status::OK();
+}
+
+Status DurableRecommenderStore::ApplyPayload(const std::string& payload) {
+  // Payloads are single-line text events:
+  //   L <sig-hex> <improvement-pct> <hint-string (may be empty)>
+  //   V <sig-hex> <runtime-change-pct>
+  //   O <sig-hex> <runtime-change-pct>
+  //   R <sig-hex>
+  std::istringstream in(payload);
+  std::string type, sig_hex;
+  if (!(in >> type >> sig_hex)) {
+    return Status::InvalidArgument("malformed wal event: " + payload);
+  }
+  RuleSignature signature = BitVector256::FromHexString(sig_hex);
+  if (signature.None() && sig_hex != std::string(64, '0')) {
+    return Status::InvalidArgument("bad signature in wal event: " + payload);
+  }
+  if (type == "R") {
+    recommender_.Recommend(signature);
+    return Status::OK();
+  }
+  std::string change_text;
+  if (!(in >> change_text)) {
+    return Status::InvalidArgument("missing change in wal event: " + payload);
+  }
+  double change = 0.0;
+  if (!ParseDoubleExact(change_text, &change)) {
+    return Status::InvalidArgument("bad change in wal event: " + payload);
+  }
+  if (type == "V") {
+    recommender_.ObserveValidation(signature, change);
+    return Status::OK();
+  }
+  if (type == "O") {
+    recommender_.ObserveOutcome(signature, change);
+    return Status::OK();
+  }
+  if (type == "L") {
+    std::string hints;
+    std::getline(in, hints);
+    if (!hints.empty() && hints.front() == ' ') hints.erase(0, 1);
+    Result<RuleConfig> config = ParseHintString(hints);
+    if (!config.ok()) return config.status();
+    SteeringRecommender::CandidateObservation observation;
+    observation.signature = signature;
+    observation.config = config.value();
+    observation.improvement_pct = change;
+    recommender_.LearnCandidate(observation);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown wal event type: " + payload);
+}
+
+Status DurableRecommenderStore::JournalAndMark(const std::string& payload) {
+  if (durable()) {
+    Status status = wal_.Append(applied_seq_ + 1, payload);
+    // Fail-stop: an unjournalable event is never applied, preserving the
+    // invariant that in-memory state is always recoverable from disk.
+    if (!status.ok()) return status;
+  }
+  ++applied_seq_;
+  ++events_since_snapshot_;
+  return Status::OK();
+}
+
+Status DurableRecommenderStore::SnapshotLocked() {
+  if (!durable()) return Status::OK();
+  std::string content = recommender_.Serialize();
+  content += kSeqCommentPrefix + std::to_string(applied_seq_) + "\n";
+  Status status = WriteFileChecksummed(snapshot_path(), content, options_.sync);
+  if (!status.ok()) return status;
+  ++snapshots_taken_;
+  events_since_snapshot_ = 0;
+  if (options_.testing_skip_wal_reset_after_snapshot) return Status::OK();
+  return wal_.Reset();
+}
+
+Status DurableRecommenderStore::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+bool DurableRecommenderStore::LearnFromAnalysis(const JobAnalysis& analysis) {
+  std::optional<SteeringRecommender::CandidateObservation> observation =
+      SteeringRecommender::ExtractCandidate(analysis, options_.recommender);
+  if (!observation.has_value()) return false;
+  return LearnCandidate(*observation);
+}
+
+bool DurableRecommenderStore::LearnCandidate(
+    const SteeringRecommender::CandidateObservation& observation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload = "L " + observation.signature.ToHexString() + " " +
+                        FormatDouble(observation.improvement_pct) + " " +
+                        ToHintString(observation.config);
+  if (!JournalAndMark(payload).ok()) return false;
+  bool changed = recommender_.LearnCandidate(observation);
+  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
+    SnapshotLocked();  // best-effort; failures leave the WAL authoritative
+  }
+  return changed;
+}
+
+void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
+                                                double runtime_change_pct) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload =
+      "V " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
+  if (!JournalAndMark(payload).ok()) return;
+  recommender_.ObserveValidation(signature, runtime_change_pct);
+  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
+    SnapshotLocked();
+  }
+}
+
+void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
+                                             double runtime_change_pct) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string payload =
+      "O " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
+  if (!JournalAndMark(payload).ok()) return;
+  recommender_.ObserveOutcome(signature, runtime_change_pct);
+  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
+    SnapshotLocked();
+  }
+}
+
+SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
+    const RuleSignature& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only journal lookups that tick an open breaker's cooldown clock; plain
+  // lookups are pure reads and must not bloat the WAL under serving load.
+  if (recommender_.WouldMutateOnRecommend(signature)) {
+    std::string payload = "R " + signature.ToHexString();
+    if (!JournalAndMark(payload).ok()) {
+      // Unjournalable: serve the default without mutating (fail-stop).
+      SteeringRecommender::Recommendation rec;
+      rec.config = RuleConfig::Default();
+      return rec;
+    }
+    SteeringRecommender::Recommendation rec = recommender_.Recommend(signature);
+    if (events_since_snapshot_ >= options_.snapshot_interval &&
+        options_.snapshot_interval > 0) {
+      SnapshotLocked();
+    }
+    return rec;
+  }
+  return recommender_.Recommend(signature);
+}
+
+std::vector<SteeringRecommender::ValidationRequest>
+DurableRecommenderStore::PendingValidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.PendingValidations();
+}
+
+std::string DurableRecommenderStore::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.Serialize();
+}
+
+int DurableRecommenderStore::num_groups() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_groups();
+}
+
+int DurableRecommenderStore::num_serving() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_serving();
+}
+
+int DurableRecommenderStore::num_pending_validation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_pending_validation();
+}
+
+int DurableRecommenderStore::num_retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_retired();
+}
+
+int DurableRecommenderStore::num_rollbacks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_rollbacks();
+}
+
+int DurableRecommenderStore::num_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recommender_.num_open();
+}
+
+uint64_t DurableRecommenderStore::applied_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return applied_seq_;
+}
+
+int64_t DurableRecommenderStore::wal_lag() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_since_snapshot_;
+}
+
+int64_t DurableRecommenderStore::snapshots_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_taken_;
+}
+
+}  // namespace qsteer

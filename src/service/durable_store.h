@@ -1,0 +1,134 @@
+// Crash-safe wrapper around SteeringRecommender: write-ahead logging of
+// every state-bearing event plus periodic atomic snapshots.
+//
+// Write path (all under one mutex, so WAL order == application order):
+//   1. assign the event the next sequence number;
+//   2. append it to the WAL (fsync per options);
+//   3. apply it to the in-memory recommender;
+//   4. every `snapshot_interval` events: serialize the recommender to
+//      `snapshot.qrs` (atomic temp+fsync+rename write with a crc32 footer
+//      and an embedded `# seq N` watermark), then reset the WAL.
+//
+// Recovery (Open): load the snapshot if present (checksum verified), then
+// replay the WAL tail, *skipping* records with seq <= the snapshot's
+// watermark — a crash between snapshot write and WAL reset must not apply
+// events twice. Torn or corrupt WAL tails are detected by the per-record
+// CRC and truncated; the store resumes from the last intact event.
+//
+// Because every journaled event is deterministic (LearnCandidate /
+// ObserveValidation / ObserveOutcome / the cooldown tick of a Recommend on
+// an open breaker), replaying the log reproduces the pre-crash store
+// bit-for-bit — the property the chaos harness asserts.
+#ifndef QSTEER_SERVICE_DURABLE_STORE_H_
+#define QSTEER_SERVICE_DURABLE_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/wal.h"
+#include "core/recommender.h"
+
+namespace qsteer {
+
+struct DurableStoreOptions {
+  /// Directory for `wal.log` + `snapshot.qrs`. Empty = ephemeral store (no
+  /// files, no durability — the recommender alone). Must already exist.
+  std::string dir;
+  /// Journaled events between automatic snapshots; <= 0 disables automatic
+  /// snapshots (the WAL then grows until Snapshot() is called explicitly).
+  int snapshot_interval = 256;
+  /// fsync the WAL on every append (and snapshots on write). Disabling
+  /// keeps rename-atomicity but loses power-failure durability; crash
+  /// consistency against process death is unaffected on a live kernel.
+  bool sync = true;
+  /// Testing hook (deterministic chaos): snapshots skip the WAL reset,
+  /// simulating a crash in the window between the two — recovery must then
+  /// skip the WAL's already-snapshotted prefix by sequence number.
+  bool testing_skip_wal_reset_after_snapshot = false;
+  RecommenderOptions recommender;
+};
+
+class DurableRecommenderStore {
+ public:
+  explicit DurableRecommenderStore(DurableStoreOptions options = {});
+  ~DurableRecommenderStore();
+
+  DurableRecommenderStore(const DurableRecommenderStore&) = delete;
+  DurableRecommenderStore& operator=(const DurableRecommenderStore&) = delete;
+
+  struct RecoveryInfo {
+    bool loaded_snapshot = false;
+    uint64_t snapshot_seq = 0;
+    int64_t wal_records_replayed = 0;
+    /// Records skipped because the snapshot already contained them (crash
+    /// between snapshot write and WAL reset).
+    int64_t wal_records_skipped = 0;
+    int64_t wal_truncated_bytes = 0;
+  };
+
+  /// Recovers state from disk (no-op for an ephemeral store) and opens the
+  /// WAL for appending. Corrupt snapshots and unreplayable WAL records are
+  /// hard errors — silent partial state is worse than unavailability.
+  Status Open();
+  const RecoveryInfo& recovery() const { return recovery_; }
+
+  // ---- Journaled operations (thread-safe) ----
+
+  /// ExtractCandidate + journal + LearnCandidate.
+  bool LearnFromAnalysis(const JobAnalysis& analysis);
+  bool LearnCandidate(const SteeringRecommender::CandidateObservation& observation);
+  void ObserveValidation(const RuleSignature& signature, double runtime_change_pct);
+  void ObserveOutcome(const RuleSignature& signature, double runtime_change_pct);
+  /// Journals the lookup only when it mutates breaker state (open-breaker
+  /// cooldown tick); plain lookups are reads and cost no WAL record.
+  SteeringRecommender::Recommendation Recommend(const RuleSignature& signature);
+
+  // ---- Reads (thread-safe snapshots) ----
+
+  std::vector<SteeringRecommender::ValidationRequest> PendingValidations() const;
+  /// Canonical serialized state (the recommender's sorted v2 text): equal
+  /// stores yield equal bytes.
+  std::string SerializeState() const;
+  int num_groups() const;
+  int num_serving() const;
+  int num_pending_validation() const;
+  int num_retired() const;
+  int num_rollbacks() const;
+  int num_open() const;
+
+  /// Sequence number of the last applied event (0 = none yet).
+  uint64_t applied_seq() const;
+  /// Events journaled since the last snapshot (WAL replay debt on crash).
+  int64_t wal_lag() const;
+  int64_t snapshots_taken() const;
+  bool durable() const { return !options_.dir.empty(); }
+
+  /// Serializes the store to the snapshot file and resets the WAL. Called
+  /// automatically every snapshot_interval events and on clean shutdown.
+  Status Snapshot();
+
+  std::string snapshot_path() const;
+  std::string wal_path() const;
+
+ private:
+  Status JournalAndMark(const std::string& payload);  // assigns seq, appends
+  Status SnapshotLocked();
+  Status ApplyPayload(const std::string& payload);    // replay dispatcher
+
+  DurableStoreOptions options_;
+  mutable std::mutex mu_;
+  SteeringRecommender recommender_;
+  WriteAheadLog wal_;
+  RecoveryInfo recovery_;
+  uint64_t applied_seq_ = 0;
+  int64_t events_since_snapshot_ = 0;
+  int64_t snapshots_taken_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_SERVICE_DURABLE_STORE_H_

@@ -1,0 +1,327 @@
+#include "service/steering_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+const char* AdmitResultName(AdmitResult result) {
+  switch (result) {
+    case AdmitResult::kAccepted:
+      return "accepted";
+    case AdmitResult::kQueueFull:
+      return "queue-full";
+    case AdmitResult::kShedDeadline:
+      return "shed-deadline";
+    case AdmitResult::kNotRunning:
+      return "not-running";
+  }
+  return "?";
+}
+
+std::string ServiceStatusSnapshot::ToString() const {
+  std::ostringstream out;
+  out << "state: " << (running ? (draining ? "draining" : "running") : "stopped") << '\n'
+      << "queue: depth=" << queue_depth << " high_water=" << queue_high_water << '\n'
+      << "requests: accepted=" << accepted << " completed=" << completed
+      << " failed=" << failed << " shed_deadline=" << shed_deadline
+      << " queue_full=" << rejected_queue_full << " not_running=" << rejected_not_running
+      << '\n'
+      << "service_time_ewma_s: " << service_time_ewma_s << '\n'
+      << "store: applied_seq=" << applied_seq << " wal_lag=" << wal_lag
+      << " snapshots=" << snapshots_taken << '\n'
+      << "recommender: groups=" << groups << " serving=" << serving
+      << " open=" << open_breakers << " retired=" << retired
+      << " pending_validation=" << pending_validation << '\n'
+      << "reanalysis: completed=" << reanalyses_completed
+      << " abandoned=" << reanalyses_abandoned << '\n';
+  return out.str();
+}
+
+SteeringService::SteeringService(const Optimizer* optimizer,
+                                 const ExecutionSimulator* simulator, ServiceOptions options)
+    : optimizer_(optimizer),
+      simulator_(simulator),
+      options_(std::move(options)),
+      pipeline_(optimizer, simulator, options_.pipeline),
+      store_(options_.store),
+      queue_(options_.queue_capacity) {}
+
+SteeringService::~SteeringService() {
+  if (running_) Shutdown();
+}
+
+Status SteeringService::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("service already running");
+  if (queue_.closed()) {
+    return Status::FailedPrecondition(
+        "service cannot restart after Shutdown/Kill; create a new instance");
+  }
+  Status status = store_.Open();
+  if (!status.ok()) return status;
+  running_ = true;
+  draining_ = false;
+  service_time_ewma_s_ = options_.initial_service_time_ewma_s;
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.enable_reanalysis) {
+    reanalysis_stop_ = false;
+    reanalysis_thread_ = std::thread([this] { ReanalysisLoop(); });
+  }
+  return Status::OK();
+}
+
+AdmitResult SteeringService::Submit(const ServiceRequest& request,
+                                    std::future<ServiceReply>* reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_ || draining_) {
+    ++rejected_not_running_;
+    return AdmitResult::kNotRunning;
+  }
+  // Load shedding: estimate how long this request would sit behind the work
+  // already admitted (queued + in flight = accepted - finished). A request
+  // that cannot make its deadline is rejected *now* — queueing it would only
+  // delay requests that still can.
+  int64_t ahead = accepted_ - finished_;
+  double workers = static_cast<double>(std::max(1, options_.num_workers));
+  double estimate = static_cast<double>(ahead) * service_time_ewma_s_ / workers;
+  double deadline = request.deadline_s > 0.0 ? request.deadline_s : options_.default_deadline_s;
+  if (deadline > 0.0 && estimate > deadline) {
+    ++shed_deadline_;
+    return AdmitResult::kShedDeadline;
+  }
+  QueueItem item;
+  item.request = request;
+  item.wait_estimate_s = estimate;
+  std::future<ServiceReply> future = item.promise.get_future();
+  if (!queue_.TryPush(std::move(item))) {
+    ++rejected_queue_full_;
+    return AdmitResult::kQueueFull;
+  }
+  ++accepted_;
+  if (reply != nullptr) *reply = std::move(future);
+  return AdmitResult::kAccepted;
+}
+
+void SteeringService::WorkerLoop() {
+  QueueItem item;
+  while (queue_.Pop(&item)) {
+    ProcessRequest(std::move(item));
+  }
+}
+
+void SteeringService::ProcessRequest(QueueItem item) {
+  auto start = std::chrono::steady_clock::now();
+  ServiceReply reply;
+  reply.wait_estimate_s = item.wait_estimate_s;
+  const Job& job = item.request.job;
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  };
+
+  uint64_t nonce = HashCombine(options_.seed, HashString(job.name));
+  Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
+  if (!default_plan.ok()) {
+    reply.status = default_plan.status();
+    FinishRequest(std::move(item.promise), std::move(reply), elapsed(), /*failed=*/true);
+    return;
+  }
+  reply.default_signature = default_plan.value().signature;
+  ExecMetrics default_metrics =
+      pipeline_.ExecuteWithRetry(job, default_plan.value().root, nonce);
+  reply.default_runtime_s = default_metrics.runtime;
+  reply.served_runtime_s = default_metrics.runtime;
+
+  SteeringRecommender::Recommendation rec =
+      store_.Recommend(default_plan.value().signature);
+  if (!rec.is_default) {
+    Result<CompiledPlan> steered = optimizer_->Compile(job, rec.config);
+    if (steered.ok()) {
+      ExecMetrics steered_metrics = pipeline_.ExecuteWithRetry(
+          job, steered.value().root, HashCombine(nonce, 0x9e3779b97f4a7c15ULL));
+      double change_pct;
+      if (steered_metrics.failed) {
+        // A steered run that stays failed after retries is the worst
+        // regression we can observe; drive the breaker accordingly.
+        change_pct = 100.0;
+      } else if (default_metrics.runtime > 0.0) {
+        change_pct = (steered_metrics.runtime - default_metrics.runtime) /
+                     default_metrics.runtime * 100.0;
+      } else {
+        change_pct = 0.0;
+      }
+      store_.ObserveOutcome(default_plan.value().signature, change_pct);
+      if (!steered_metrics.failed) {
+        reply.steered = true;
+        reply.probing = rec.probing;
+        reply.config = rec.config;
+        reply.served_runtime_s = steered_metrics.runtime;
+      }
+    }
+  }
+  reply.status = Status::OK();
+  FinishRequest(std::move(item.promise), std::move(reply), elapsed(), /*failed=*/false);
+}
+
+void SteeringService::FinishRequest(std::promise<ServiceReply> promise, ServiceReply reply,
+                                    double elapsed_s, bool failed) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (service_time_ewma_s_ <= 0.0) {
+      service_time_ewma_s_ = elapsed_s;
+    } else {
+      service_time_ewma_s_ = options_.ewma_alpha * elapsed_s +
+                             (1.0 - options_.ewma_alpha) * service_time_ewma_s_;
+    }
+    ++finished_;
+    if (failed) {
+      ++failed_;
+    } else {
+      ++completed_;
+    }
+  }
+  drained_cv_.notify_all();
+  promise.set_value(std::move(reply));
+}
+
+void SteeringService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!running_) return;
+  draining_ = true;
+  drained_cv_.wait(lock, [this] { return finished_ == accepted_; });
+}
+
+Status SteeringService::Shutdown() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::OK();
+  }
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    reanalysis_stop_ = true;
+    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
+  }
+  reanalysis_cv_.notify_all();
+  if (reanalysis_thread_.joinable()) reanalysis_thread_.join();
+  Status snapshot_status = store_.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  draining_ = false;
+  return snapshot_status;
+}
+
+void SteeringService::Kill() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    draining_ = true;  // stop admission immediately
+  }
+  std::vector<QueueItem> abandoned = queue_.CloseAndDrain();
+  for (QueueItem& item : abandoned) {
+    ServiceReply reply;
+    reply.status = Status::Internal("service killed");
+    FinishRequest(std::move(item.promise), std::move(reply), /*elapsed_s=*/0.0,
+                  /*failed=*/true);
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    reanalysis_stop_ = true;
+    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
+  }
+  reanalysis_cv_.notify_all();
+  if (reanalysis_thread_.joinable()) reanalysis_thread_.join();
+  // Deliberately no snapshot: recovery must come from the WAL.
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  draining_ = false;
+}
+
+bool SteeringService::RequestReanalysis(const Job& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || draining_ || !options_.enable_reanalysis) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    // Newest request wins: supersede (cancel) whatever is pending/in-flight.
+    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
+    if (reanalysis_pending_.has_value()) ++reanalyses_abandoned_;
+    reanalysis_pending_ = job;
+    reanalysis_token_ = std::make_shared<CancellationToken>();
+  }
+  reanalysis_cv_.notify_all();
+  return true;
+}
+
+void SteeringService::ReanalysisLoop() {
+  for (;;) {
+    Job job;
+    std::shared_ptr<CancellationToken> token;
+    {
+      std::unique_lock<std::mutex> lock(reanalysis_mu_);
+      reanalysis_cv_.wait(lock,
+                          [this] { return reanalysis_stop_ || reanalysis_pending_.has_value(); });
+      if (reanalysis_stop_) return;
+      job = std::move(*reanalysis_pending_);
+      reanalysis_pending_.reset();
+      token = reanalysis_token_;
+    }
+    JobAnalysis analysis = pipeline_.AnalyzeJob(job);
+    {
+      std::lock_guard<std::mutex> lock(reanalysis_mu_);
+      if (token->cancelled()) {
+        // Superseded while analyzing: discard rather than apply stale work.
+        ++reanalyses_abandoned_;
+        continue;
+      }
+      ++reanalyses_completed_;
+    }
+    store_.LearnFromAnalysis(analysis);
+  }
+}
+
+ServiceStatusSnapshot SteeringService::status() const {
+  ServiceStatusSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.running = running_;
+    snapshot.draining = draining_;
+    snapshot.accepted = accepted_;
+    snapshot.completed = completed_;
+    snapshot.failed = failed_;
+    snapshot.shed_deadline = shed_deadline_;
+    snapshot.rejected_queue_full = rejected_queue_full_;
+    snapshot.rejected_not_running = rejected_not_running_;
+    snapshot.service_time_ewma_s = service_time_ewma_s_;
+  }
+  snapshot.queue_depth = static_cast<int>(queue_.size());
+  snapshot.queue_high_water = queue_.high_water();
+  snapshot.applied_seq = store_.applied_seq();
+  snapshot.wal_lag = store_.wal_lag();
+  snapshot.snapshots_taken = store_.snapshots_taken();
+  snapshot.groups = store_.num_groups();
+  snapshot.serving = store_.num_serving();
+  snapshot.open_breakers = store_.num_open();
+  snapshot.retired = store_.num_retired();
+  snapshot.pending_validation = store_.num_pending_validation();
+  {
+    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    snapshot.reanalyses_completed = reanalyses_completed_;
+    snapshot.reanalyses_abandoned = reanalyses_abandoned_;
+  }
+  return snapshot;
+}
+
+}  // namespace qsteer

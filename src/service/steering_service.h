@@ -1,0 +1,230 @@
+// The asynchronous steering service: the online half of the paper's system
+// run as a long-lived process instead of a batch tool.
+//
+// Requests (jobs to compile-and-serve) enter through a bounded queue with
+// admission control in front of it:
+//
+//   Submit ──▶ [deadline shed? queue full?] ──▶ BoundedQueue ──▶ workers
+//                      │                                           │
+//                      ▼                                           ▼
+//               AdmitResult (reject,                    compile default →
+//               caller never blocks)                    recommend (durable
+//                                                       store) → steered
+//                                                       A/B run → outcome
+//
+// Admission control sheds load instead of queueing it: when the estimated
+// wait (queue depth × EWMA service time / workers) already exceeds the
+// request's deadline, the request is rejected with kShedDeadline — a doomed
+// request in the queue only delays the ones behind it. A full queue rejects
+// with kQueueFull. Submit never blocks.
+//
+// All recommender mutations go through a DurableRecommenderStore (WAL +
+// snapshots), so a crash — simulated by Kill() — loses no acknowledged
+// learning; restart recovery replays to a bit-identical store. Clean
+// Shutdown() drains the queue, snapshots, and joins.
+//
+// A background re-analysis worker holds a single pending slot: requesting a
+// re-analysis cancels the previous request's CancellationToken, and a
+// superseded analysis is abandoned (counted, not applied) instead of
+// clobbering fresher learning.
+#ifndef QSTEER_SERVICE_STEERING_SERVICE_H_
+#define QSTEER_SERVICE_STEERING_SERVICE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "service/durable_store.h"
+
+namespace qsteer {
+
+struct ServiceOptions {
+  /// Compile/serve worker threads. 0 is a deterministic testing mode: the
+  /// service accepts requests but never drains them (admission-control
+  /// tests need a queue that stays put).
+  int num_workers = 2;
+  /// Bounded request queue capacity; a full queue rejects (kQueueFull).
+  int queue_capacity = 64;
+  /// Deadline applied to requests that do not carry their own; <= 0 means
+  /// no deadline (no shedding for that request).
+  double default_deadline_s = 0.0;
+  /// Base seed for per-job execution nonces (deterministic simulation).
+  uint64_t seed = 1;
+  /// Seed of the service-time EWMA used by admission control, seconds.
+  /// 0 starts the estimate at the first observed service time.
+  double initial_service_time_ewma_s = 0.0;
+  /// EWMA smoothing factor for observed service times.
+  double ewma_alpha = 0.2;
+  /// Enables the background re-analysis worker.
+  bool enable_reanalysis = true;
+  PipelineOptions pipeline;
+  DurableStoreOptions store;
+};
+
+/// Outcome of Submit: exactly one of these, decided synchronously.
+enum class AdmitResult {
+  kAccepted = 0,
+  /// Bounded queue at capacity.
+  kQueueFull = 1,
+  /// Estimated wait already exceeds the request's deadline: rejected now
+  /// rather than timed out later (load shedding).
+  kShedDeadline = 2,
+  /// Service not started, draining, or shut down.
+  kNotRunning = 3,
+};
+const char* AdmitResultName(AdmitResult result);
+
+struct ServiceRequest {
+  Job job;
+  /// Seconds the caller is willing to wait; <= 0 falls back to
+  /// ServiceOptions::default_deadline_s.
+  double deadline_s = 0.0;
+};
+
+struct ServiceReply {
+  Status status;
+  /// True when a steered (non-default) plan was served.
+  bool steered = false;
+  /// True when the steered plan was a half-open breaker probe.
+  bool probing = false;
+  RuleConfig config;
+  /// Signature of the default-compiled plan (the recommender group key);
+  /// callers use it to report late outcome observations.
+  RuleSignature default_signature;
+  double default_runtime_s = 0.0;
+  double served_runtime_s = 0.0;
+  /// Admission-time wait estimate (what load shedding compared against).
+  double wait_estimate_s = 0.0;
+};
+
+/// Health-endpoint-style status snapshot (internally consistent; fields are
+/// read under the service lock at one instant).
+struct ServiceStatusSnapshot {
+  bool running = false;
+  bool draining = false;
+  int queue_depth = 0;
+  int64_t queue_high_water = 0;
+  int64_t accepted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t shed_deadline = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_not_running = 0;
+  double service_time_ewma_s = 0.0;
+  // Durable-store health.
+  uint64_t applied_seq = 0;
+  int64_t wal_lag = 0;
+  int64_t snapshots_taken = 0;
+  // Recommender health.
+  int groups = 0;
+  int serving = 0;
+  int open_breakers = 0;
+  int retired = 0;
+  int pending_validation = 0;
+  // Re-analysis worker.
+  int64_t reanalyses_completed = 0;
+  int64_t reanalyses_abandoned = 0;
+
+  std::string ToString() const;
+};
+
+class SteeringService {
+ public:
+  SteeringService(const Optimizer* optimizer, const ExecutionSimulator* simulator,
+                  ServiceOptions options = {});
+  /// Best-effort Shutdown() when still running.
+  ~SteeringService();
+
+  SteeringService(const SteeringService&) = delete;
+  SteeringService& operator=(const SteeringService&) = delete;
+
+  /// Recovers the durable store and spawns the workers. Fails (and stays
+  /// stopped) when recovery fails — serving from silently partial state is
+  /// worse than not serving.
+  Status Start();
+
+  /// Non-blocking admission. On kAccepted, `*reply` receives a future that
+  /// the serving worker fulfills; on any rejection `*reply` is untouched
+  /// and the request was not enqueued.
+  AdmitResult Submit(const ServiceRequest& request, std::future<ServiceReply>* reply);
+
+  /// Stops admission and waits until every accepted request has finished.
+  void Drain();
+
+  /// Graceful stop: Drain + final snapshot + join. Returns the snapshot
+  /// status (workers are joined regardless).
+  Status Shutdown();
+
+  /// Crash simulation: close the queue immediately, fail still-queued
+  /// requests with an error reply, join workers. NO snapshot — recovery
+  /// must come from the WAL, exactly like a real crash.
+  void Kill();
+
+  /// Queues a background re-analysis of `job`, superseding (cancelling) any
+  /// previously queued one. Returns false when the service is not running
+  /// or re-analysis is disabled.
+  bool RequestReanalysis(const Job& job);
+
+  ServiceStatusSnapshot status() const;
+
+  DurableRecommenderStore& store() { return store_; }
+  const DurableRecommenderStore& store() const { return store_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct QueueItem {
+    ServiceRequest request;
+    std::promise<ServiceReply> promise;
+    double wait_estimate_s = 0.0;
+  };
+
+  void WorkerLoop();
+  void ProcessRequest(QueueItem item);
+  void FinishRequest(std::promise<ServiceReply> promise, ServiceReply reply,
+                     double elapsed_s, bool failed);
+  void ReanalysisLoop();
+
+  const Optimizer* optimizer_;
+  const ExecutionSimulator* simulator_;
+  ServiceOptions options_;
+  SteeringPipeline pipeline_;
+  DurableRecommenderStore store_;
+  BoundedQueue<QueueItem> queue_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  bool running_ = false;
+  bool draining_ = false;
+  int64_t accepted_ = 0;
+  int64_t finished_ = 0;  // completed_ + failed_; Drain waits for == accepted_
+  int64_t completed_ = 0;
+  int64_t failed_ = 0;
+  int64_t shed_deadline_ = 0;
+  int64_t rejected_queue_full_ = 0;
+  int64_t rejected_not_running_ = 0;
+  double service_time_ewma_s_ = 0.0;
+  std::vector<std::thread> workers_;
+
+  // Re-analysis worker: single pending slot, newest request wins.
+  mutable std::mutex reanalysis_mu_;
+  std::condition_variable reanalysis_cv_;
+  bool reanalysis_stop_ = false;
+  std::optional<Job> reanalysis_pending_;
+  std::shared_ptr<CancellationToken> reanalysis_token_;
+  int64_t reanalyses_completed_ = 0;
+  int64_t reanalyses_abandoned_ = 0;
+  std::thread reanalysis_thread_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_SERVICE_STEERING_SERVICE_H_

@@ -117,6 +117,38 @@ TEST_F(PipelineTest, LowCostHighRuntimeCorner) {
   EXPECT_EQ(corner[0], 1);
 }
 
+TEST_F(PipelineTest, ExhaustedRetryBudgetDegradesToDefaultPlan) {
+  // Every execution fails (job_failure_prob = 1), so the retry budget is
+  // exhausted on the default run and on every executed alternative. The
+  // pipeline must degrade — keep the default plan, report no best outcome —
+  // rather than return an error, and the failure counters must account for
+  // exactly the injected faults.
+  SimulatorOptions sim_options;
+  sim_options.fault_profile.job_failure_prob = 1.0;
+  ExecutionSimulator faulty(&workload_.catalog(), sim_options);
+  PipelineOptions options = Options();
+  options.retry.max_attempts = 3;
+  SteeringPipeline pipeline(&optimizer_, &faulty, options);
+
+  JobAnalysis analysis = pipeline.AnalyzeJob(workload_.MakeJob(0, 1));
+  ASSERT_NE(analysis.default_plan.root, nullptr) << "compilation is unaffected by faults";
+  EXPECT_TRUE(analysis.default_metrics.failed);
+  EXPECT_EQ(analysis.BestBy(Metric::kRuntime), nullptr);
+  EXPECT_DOUBLE_EQ(analysis.BestRuntimeChangePct(), 0.0) << "default plan is kept";
+  EXPECT_GE(analysis.executed.size(), 1u);
+  for (const ConfigOutcome& outcome : analysis.executed) {
+    EXPECT_TRUE(outcome.metrics.failed);
+  }
+  // Counter accounting: the default run + every executed alternative failed
+  // terminally, each after (max_attempts - 1) retries. Nothing else ran.
+  int runs = 1 + static_cast<int>(analysis.executed.size());
+  EXPECT_EQ(analysis.exec_failures, static_cast<int>(analysis.executed.size()));
+  PipelineFailureStats stats = pipeline.failure_stats();
+  EXPECT_EQ(stats.exec_failures, runs);
+  EXPECT_EQ(stats.exec_retries, static_cast<int64_t>(options.retry.max_attempts - 1) * runs);
+  EXPECT_EQ(stats.fallbacks, static_cast<int64_t>(analysis.executed.size()));
+}
+
 TEST_F(PipelineTest, AnalysisIsDeterministic) {
   JobAnalysis a = pipeline_.AnalyzeJob(workload_.MakeJob(3, 2));
   JobAnalysis b = pipeline_.AnalyzeJob(workload_.MakeJob(3, 2));

@@ -1,0 +1,98 @@
+// Unit tests of RetryPolicy's capped exponential backoff — in particular
+// that large retry numbers saturate at the cap instead of overflowing the
+// exponential to infinity (the bug this guards against: the multiply chain
+// overflowed *before* the cap applied, so attempt >= ~1024 returned inf).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/retry.h"
+
+namespace qsteer {
+namespace {
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyUntilCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(1), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(2), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(3), 8.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(5), 32.0);
+  // 2 * 2^5 = 64 > 60: capped from retry 6 on.
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(6), 60.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(7), 60.0);
+}
+
+TEST(RetryPolicyTest, LargeRetryNumbersSaturateInsteadOfOverflowing) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  // 2 * 2^31 overflows int64 semantics and 2 * 2^1074 overflows double;
+  // every one of these must be exactly the cap, finite, not inf/nan.
+  for (int retry : {32, 64, 100, 1024, 1 << 20, std::numeric_limits<int>::max()}) {
+    double backoff = policy.BackoffBeforeRetry(retry);
+    EXPECT_TRUE(std::isfinite(backoff)) << "retry " << retry;
+    EXPECT_DOUBLE_EQ(backoff, 60.0) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicyTest, UnitMultiplierIsConstantBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 5.0;
+  policy.backoff_multiplier = 1.0;
+  policy.max_backoff_s = 60.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(1), 5.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(std::numeric_limits<int>::max()), 5.0);
+  EXPECT_DOUBLE_EQ(policy.TotalBackoff(4), 20.0);
+}
+
+TEST(RetryPolicyTest, InitialAboveCapIsClamped) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 120.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(1), 60.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffBeforeRetry(33), 60.0);
+}
+
+TEST(RetryPolicyTest, TotalBackoffMatchesPerRetrySum) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  for (int retries : {1, 3, 6, 10, 50}) {
+    double expected = 0.0;
+    for (int r = 1; r <= retries; ++r) expected += policy.BackoffBeforeRetry(r);
+    EXPECT_DOUBLE_EQ(policy.TotalBackoff(retries), expected) << "retries " << retries;
+  }
+}
+
+TEST(RetryPolicyTest, TotalBackoffForHugeRetryCountsIsFiniteAndFast) {
+  RetryPolicy policy;
+  policy.initial_backoff_s = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 60.0;
+  // 2+4+8+16+32 = 62 before saturation at retry 6; the rest are 60 each.
+  int retries = 1'000'000;
+  double expected = 62.0 + 60.0 * static_cast<double>(retries - 5);
+  EXPECT_DOUBLE_EQ(policy.TotalBackoff(retries), expected);
+  EXPECT_TRUE(std::isfinite(policy.TotalBackoff(std::numeric_limits<int>::max())));
+}
+
+TEST(RetryPolicyTest, MaxRetriesDerivesFromAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_EQ(policy.max_retries(), 2);
+  policy.max_attempts = 1;
+  EXPECT_EQ(policy.max_retries(), 0);
+  policy.max_attempts = 0;
+  EXPECT_EQ(policy.max_retries(), 0);
+}
+
+}  // namespace
+}  // namespace qsteer

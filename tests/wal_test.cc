@@ -1,0 +1,355 @@
+// Unit tests of the durability primitives under the steering service:
+// CRC32, atomic + checksummed file I/O, the write-ahead log (roundtrip,
+// torn-tail truncation, corrupt-record truncation, snapshot reset), and
+// the bounded MPMC request queue.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/crc32.h"
+#include "common/file_io.h"
+#include "common/wal.h"
+
+namespace qsteer {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qsteer_wal_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+std::string RawRead(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void RawWrite(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32Test, KnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+}
+
+TEST(Crc32Test, EmptyAndIncremental) {
+  EXPECT_EQ(Crc32(""), 0u);
+  std::string data = "the quick brown fox";
+  uint32_t one_shot = Crc32(data);
+  uint32_t incremental = Crc32Update(0, data.data(), 10);
+  incremental = Crc32Update(incremental, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(one_shot, incremental);
+  EXPECT_NE(Crc32("the quick brown fox!"), one_shot);
+}
+
+// -------------------------------------------------------------- file_io
+
+TEST(FileIoTest, ReadMissingFileIsNotFound) {
+  TempDir dir;
+  Result<std::string> result = ReadFileToString(dir.Path("absent"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, AtomicWriteRoundTripsAndReplacesWholly) {
+  TempDir dir;
+  std::string path = dir.Path("state.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "first version", /*sync=*/false).ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "first version");
+  ASSERT_TRUE(AtomicWriteFile(path, "v2", /*sync=*/false).ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "v2");
+  // No temp file left behind.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(FileIoTest, ChecksummedRoundTrip) {
+  TempDir dir;
+  std::string path = dir.Path("store.qrs");
+  std::string content = "line one\nline two\n";
+  ASSERT_TRUE(WriteFileChecksummed(path, content, /*sync=*/false).ok());
+  bool had_checksum = false;
+  Result<std::string> loaded = ReadFileChecksummed(path, &had_checksum);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(had_checksum);
+  EXPECT_EQ(loaded.value(), content);
+}
+
+TEST(FileIoTest, CorruptChecksummedFileIsRejected) {
+  TempDir dir;
+  std::string path = dir.Path("store.qrs");
+  ASSERT_TRUE(WriteFileChecksummed(path, "important state\n", /*sync=*/false).ok());
+  std::string raw = RawRead(path);
+  raw[3] ^= 0x20;  // flip one content bit
+  RawWrite(path, raw);
+  Result<std::string> loaded = ReadFileChecksummed(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FileIoTest, TruncatedChecksummedFileIsRejected) {
+  TempDir dir;
+  std::string path = dir.Path("store.qrs");
+  ASSERT_TRUE(WriteFileChecksummed(path, "0123456789abcdef\nmore\n", /*sync=*/false).ok());
+  std::string raw = RawRead(path);
+  // Simulate a torn non-atomic rewrite that kept the footer but lost middle
+  // content (the checksum no longer matches).
+  RawWrite(path, raw.substr(0, 4) + raw.substr(10));
+  EXPECT_FALSE(ReadFileChecksummed(path).ok());
+}
+
+TEST(FileIoTest, FileWithoutFooterLoadsUnchecked) {
+  TempDir dir;
+  std::string path = dir.Path("legacy.qrs");
+  RawWrite(path, "legacy content, no footer\n");
+  bool had_checksum = true;
+  Result<std::string> loaded = ReadFileChecksummed(path, &had_checksum);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(had_checksum);
+  EXPECT_EQ(loaded.value(), "legacy content, no footer\n");
+}
+
+// ------------------------------------------------------------------ wal
+
+std::vector<std::pair<uint64_t, std::string>> Replay(const std::string& path,
+                                                     WriteAheadLog::RecoveryInfo* info) {
+  std::vector<std::pair<uint64_t, std::string>> records;
+  Result<WriteAheadLog::RecoveryInfo> result =
+      WriteAheadLog::Recover(path, [&](uint64_t seq, std::string_view payload) {
+        records.emplace_back(seq, std::string(payload));
+        return Status::OK();
+      });
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (info != nullptr && result.ok()) *info = result.value();
+  return records;
+}
+
+TEST(WalTest, AppendAndRecoverRoundTrip) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, /*sync_each_append=*/false).ok());
+    ASSERT_TRUE(wal.Append(1, "first").ok());
+    ASSERT_TRUE(wal.Append(2, "").ok());  // empty payloads are legal
+    ASSERT_TRUE(wal.Append(3, std::string(1000, 'x')).ok());
+    EXPECT_EQ(wal.appended_records(), 3);
+  }
+  WriteAheadLog::RecoveryInfo info;
+  auto records = Replay(path, &info);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::pair<uint64_t, std::string>{1, "first"}));
+  EXPECT_EQ(records[1].second, "");
+  EXPECT_EQ(records[2].second, std::string(1000, 'x'));
+  EXPECT_EQ(info.last_seq, 3u);
+  EXPECT_EQ(info.truncated_bytes, 0);
+}
+
+TEST(WalTest, MissingFileIsFreshLog) {
+  TempDir dir;
+  WriteAheadLog::RecoveryInfo info;
+  auto records = Replay(dir.Path("absent.log"), &info);
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(info.records, 0);
+}
+
+TEST(WalTest, TornTailIsTruncatedAndStaysTruncated) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, false).ok());
+    ASSERT_TRUE(wal.Append(1, "intact one").ok());
+    ASSERT_TRUE(wal.Append(2, "intact two").ok());
+  }
+  // Crash mid-append: half a header plus garbage.
+  std::string raw = RawRead(path);
+  std::string torn = raw + std::string("\x07\x00\x00\x00garbage", 11);
+  RawWrite(path, torn);
+
+  WriteAheadLog::RecoveryInfo info;
+  auto records = Replay(path, &info);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(info.truncated_bytes, 11);
+  // The truncation is persisted: the file is back to the intact prefix and
+  // a second recovery finds nothing to remove.
+  EXPECT_EQ(RawRead(path), raw);
+  WriteAheadLog::RecoveryInfo again;
+  Replay(path, &again);
+  EXPECT_EQ(again.truncated_bytes, 0);
+}
+
+TEST(WalTest, CorruptRecordTruncatesFromThatPoint) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, false).ok());
+    ASSERT_TRUE(wal.Append(1, "record aaaaaaaa").ok());
+    ASSERT_TRUE(wal.Append(2, "record bbbbbbbb").ok());
+    ASSERT_TRUE(wal.Append(3, "record cccccccc").ok());
+  }
+  std::string raw = RawRead(path);
+  size_t record_size = raw.size() / 3;
+  // Flip a payload bit inside the second record: records 2 and 3 are lost
+  // (replay keeps the longest intact *prefix*), record 1 survives.
+  std::string corrupt = raw;
+  corrupt[record_size + 20] ^= 0x01;
+  RawWrite(path, corrupt);
+
+  WriteAheadLog::RecoveryInfo info;
+  auto records = Replay(path, &info);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first, 1u);
+  EXPECT_EQ(info.truncated_bytes, static_cast<int64_t>(raw.size() - record_size));
+}
+
+TEST(WalTest, AppendAfterRecoveryContinuesTheLog) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, false).ok());
+    ASSERT_TRUE(wal.Append(1, "one").ok());
+  }
+  RawWrite(path, RawRead(path) + "torn!");
+  Replay(path, nullptr);
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, false).ok());
+    ASSERT_TRUE(wal.Append(2, "two").ok());
+  }
+  auto records = Replay(path, nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].second, "two");
+}
+
+TEST(WalTest, ResetEmptiesTheLog) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  WriteAheadLog wal;
+  ASSERT_TRUE(wal.Open(path, false).ok());
+  ASSERT_TRUE(wal.Append(1, "pre-snapshot").ok());
+  ASSERT_TRUE(wal.Reset().ok());
+  ASSERT_TRUE(wal.Append(2, "post-snapshot").ok());
+  wal.Close();
+  auto records = Replay(path, nullptr);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].first, 2u);
+}
+
+TEST(WalTest, ImplausibleLengthFieldIsTreatedAsTornTail) {
+  TempDir dir;
+  std::string path = dir.Path("wal.log");
+  {
+    WriteAheadLog wal;
+    ASSERT_TRUE(wal.Open(path, false).ok());
+    ASSERT_TRUE(wal.Append(1, "ok").ok());
+  }
+  // A "record" whose length field says 256 MiB: corruption, not a record.
+  std::string huge_header(16, '\0');
+  huge_header[0] = '\0';
+  huge_header[3] = 0x10;  // payload_size = 0x10000000
+  RawWrite(path, RawRead(path) + huge_header);
+  WriteAheadLog::RecoveryInfo info;
+  auto records = Replay(path, &info);
+  EXPECT_EQ(records.size(), 1u);
+  EXPECT_EQ(info.truncated_bytes, 16);
+}
+
+// -------------------------------------------------------- bounded queue
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: shed, don't block
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_EQ(queue.high_water(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenStops) {
+  BoundedQueue<int> queue(8);
+  queue.TryPush(1);
+  queue.TryPush(2);
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(3));
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // closed and empty
+}
+
+TEST(BoundedQueueTest, CloseAndDrainReturnsQueuedItems) {
+  BoundedQueue<int> queue(8);
+  queue.TryPush(7);
+  queue.TryPush(8);
+  std::vector<int> drained = queue.CloseAndDrain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0], 7);
+  int out = 0;
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersAndConsumersLoseNothing) {
+  BoundedQueue<int> queue(64);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      int item = 0;
+      while (queue.Pop(&item)) {
+        sum.fetch_add(item);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  std::atomic<int> produced{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int value = p * kPerProducer + i + 1;
+        while (!queue.TryPush(value)) std::this_thread::yield();
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  long long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -10,24 +10,40 @@
 //                                          full §5-§6 pipeline for one job;
 //                                          threads > 0 parallelizes candidate
 //                                          recompilation (same results)
-//   serve <A|B|C> <days> [fault_level]     steering service demo with the
-//                                          validation/rollback guardrail;
-//                                          fault_level scales the injected
-//                                          cluster faults (default 0 = off)
+//   serve <A|B|C> <days> [fault_level] [flags]
+//                                          asynchronous steering service:
+//                                          day-1 offline learning, then
+//                                          online serving through the
+//                                          bounded-queue service with
+//                                          admission control. Flags:
+//                                            --wal-dir=<dir>  durable store
+//                                              (WAL + snapshots; recovers
+//                                              prior state on start)
+//                                            --snapshot-interval=<n>
+//                                              events between snapshots
+//                                              (requires --wal-dir)
+//                                            --queue-capacity=<n>
+//                                            --workers=<n>
+//                                            --deadline=<seconds> shed
+//                                              requests that would wait
+//                                              longer than this
 //
 // Hint strings use the §3.2 flag syntax, e.g.
 //   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/argparse.h"
 #include "core/hints.h"
 #include "core/pipeline.h"
 #include "core/recommender.h"
 #include "core/span.h"
+#include "service/steering_service.h"
 #include "optimizer/explain.h"
 #include "optimizer/rule_registry.h"
 #include "workload/generator.h"
@@ -43,7 +59,9 @@ int Usage() {
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
                "  analyze <A|B|C> <template> <day> [threads]\n"
-               "  serve <A|B|C> <days> [fault_level]\n");
+               "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
+               "[--snapshot-interval=N]\n"
+               "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n");
   return 2;
 }
 
@@ -202,33 +220,124 @@ int CmdAnalyze(int argc, char** argv) {
   return 0;
 }
 
+struct ServeFlags {
+  std::string wal_dir;
+  int queue_capacity = 64;
+  int snapshot_interval = 0;  // 0 = not set (store default applies)
+  int workers = 2;
+  double deadline_s = 0.0;
+};
+
+/// Parses `--flag=value` arguments for `serve`. Returns false (after
+/// printing a specific message) on unknown flags, missing values, values
+/// outside their range, or conflicting combinations.
+bool ParseServeFlag(const char* arg, ServeFlags* flags) {
+  const char* eq = std::strchr(arg, '=');
+  std::string name = eq != nullptr ? std::string(arg, eq - arg) : std::string(arg);
+  const char* value = eq != nullptr ? eq + 1 : nullptr;
+  if (value == nullptr || *value == '\0') {
+    std::fprintf(stderr, "qsteer serve: flag %s requires a value (%s=...)\n", name.c_str(),
+                 name.c_str());
+    return false;
+  }
+  if (name == "--wal-dir") {
+    flags->wal_dir = value;
+    return true;
+  }
+  if (name == "--queue-capacity") {
+    if (ParseIntArg(value, 1, 1 << 20, &flags->queue_capacity)) return true;
+    std::fprintf(stderr, "qsteer serve: bad --queue-capacity '%s' (integer in [1, %d])\n",
+                 value, 1 << 20);
+    return false;
+  }
+  if (name == "--snapshot-interval") {
+    if (ParseIntArg(value, 1, 1 << 30, &flags->snapshot_interval)) return true;
+    std::fprintf(stderr, "qsteer serve: bad --snapshot-interval '%s' (integer >= 1)\n",
+                 value);
+    return false;
+  }
+  if (name == "--workers") {
+    if (ParseIntArg(value, 1, 256, &flags->workers)) return true;
+    std::fprintf(stderr, "qsteer serve: bad --workers '%s' (integer in [1, 256])\n", value);
+    return false;
+  }
+  if (name == "--deadline") {
+    if (ParseDoubleArg(value, 0.0, 1e9, &flags->deadline_s)) return true;
+    std::fprintf(stderr, "qsteer serve: bad --deadline '%s' (seconds >= 0)\n", value);
+    return false;
+  }
+  std::fprintf(stderr, "qsteer serve: unknown flag '%s'\n", name.c_str());
+  return false;
+}
+
 int CmdServe(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Workload workload(SpecFor(argv[0]));
-  int days = 0;
-  double fault_level = 0.0;
-  if (!ParsePositional("days", argv[1], 1, 1000000, &days)) return 2;
-  if (argc > 2 && !ParseDoubleArg(argv[2], 0.0, 25.0, &fault_level)) {
-    std::fprintf(stderr, "qsteer: bad fault_level '%s' (expected number in [0, 25])\n",
-                 argv[2]);
+  std::vector<const char*> positional;
+  ServeFlags flags;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (!ParseServeFlag(argv[i], &flags)) return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) return Usage();
+  if (flags.snapshot_interval > 0 && flags.wal_dir.empty()) {
+    std::fprintf(stderr,
+                 "qsteer serve: --snapshot-interval requires --wal-dir "
+                 "(without a durable store there is nothing to snapshot)\n");
     return 2;
   }
+  int days = 0;
+  double fault_level = 0.0;
+  if (!ParsePositional("days", positional[1], 1, 1000000, &days)) return 2;
+  if (positional.size() > 2 && !ParseDoubleArg(positional[2], 0.0, 25.0, &fault_level)) {
+    std::fprintf(stderr, "qsteer: bad fault_level '%s' (expected number in [0, 25])\n",
+                 positional[2]);
+    return 2;
+  }
+
+  Workload workload(SpecFor(positional[0]));
   Optimizer optimizer(&workload.catalog());
   SimulatorOptions sim_options;
   sim_options.fault_profile = FaultProfile::Flaky(fault_level);
   ExecutionSimulator simulator(&workload.catalog(), sim_options);
   SteeringPipeline pipeline(&optimizer, &simulator, {});
-  SteeringRecommender recommender;
 
-  // Day 1 offline: learn candidates and keep one base job per group for the
-  // validation re-runs.
+  ServiceOptions service_options;
+  service_options.num_workers = flags.workers;
+  service_options.queue_capacity = flags.queue_capacity;
+  service_options.default_deadline_s = flags.deadline_s;
+  service_options.store.dir = flags.wal_dir;
+  if (flags.snapshot_interval > 0) {
+    service_options.store.snapshot_interval = flags.snapshot_interval;
+  }
+  SteeringService service(&optimizer, &simulator, service_options);
+  Status started = service.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "qsteer serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (service.store().durable()) {
+    const DurableRecommenderStore::RecoveryInfo& recovery = service.store().recovery();
+    std::printf("durable store %s: snapshot %s (seq %llu), %lld WAL events replayed, "
+                "%lld skipped, %lld torn bytes truncated; %d groups recovered\n",
+                flags.wal_dir.c_str(), recovery.loaded_snapshot ? "loaded" : "absent",
+                static_cast<unsigned long long>(recovery.snapshot_seq),
+                static_cast<long long>(recovery.wal_records_replayed),
+                static_cast<long long>(recovery.wal_records_skipped),
+                static_cast<long long>(recovery.wal_truncated_bytes),
+                service.store().num_groups());
+  }
+
+  // Day 1 offline: learn candidates (journaled through the durable store)
+  // and keep one base job per group for the validation re-runs.
   std::unordered_map<std::string, Job> group_rep;
   int candidates = 0, analyzed = 0;
   for (const Job& job : workload.JobsForDay(1)) {
     if (analyzed >= 30) break;
     ++analyzed;
     JobAnalysis analysis = pipeline.AnalyzeJob(job);
-    if (recommender.LearnFromAnalysis(analysis)) {
+    if (service.store().LearnFromAnalysis(analysis)) {
       ++candidates;
       group_rep.emplace(analysis.default_plan.signature.ToHexString(), job);
     }
@@ -238,9 +347,9 @@ int CmdServe(int argc, char** argv) {
 
   // Validation gate: candidates must survive clean re-runs before serving.
   uint64_t nonce = 0;
-  for (int round = 0; round < 8 && !recommender.PendingValidations().empty(); ++round) {
+  for (int round = 0; round < 8 && !service.store().PendingValidations().empty(); ++round) {
     for (const SteeringRecommender::ValidationRequest& request :
-         recommender.PendingValidations()) {
+         service.store().PendingValidations()) {
       auto it = group_rep.find(request.signature.ToHexString());
       if (it == group_rep.end()) continue;
       Result<CompiledPlan> base_plan = optimizer.Compile(it->second, RuleConfig::Default());
@@ -249,52 +358,58 @@ int CmdServe(int argc, char** argv) {
       ExecMetrics base = pipeline.ExecuteWithRetry(it->second, base_plan.value().root, ++nonce);
       ExecMetrics alt = pipeline.ExecuteWithRetry(it->second, alt_plan.value().root, ++nonce);
       if (base.failed || base.runtime <= 0.0) continue;
-      recommender.ObserveValidation(
+      service.store().ObserveValidation(
           request.signature,
           alt.failed ? 100.0 : (alt.runtime - base.runtime) / base.runtime * 100.0);
     }
   }
-  std::printf("validation: %d groups serving, %d rejected\n", recommender.num_serving(),
-              recommender.num_retired());
+  std::printf("validation: %d groups serving, %d rejected\n", service.store().num_serving(),
+              service.store().num_retired());
 
+  // Days 2..N online: submit asynchronously through the bounded queue and
+  // admission control, then collect the day's replies.
   for (int day = 2; day <= days; ++day) {
     double saved = 0, base = 0;
-    int steered = 0, jobs = 0;
+    int submitted = 0, steered = 0, shed = 0, rejected = 0;
+    std::vector<std::future<ServiceReply>> replies;
     for (const Job& job : workload.JobsForDay(day)) {
-      if (jobs >= 60) break;
-      Result<CompiledPlan> default_plan = optimizer.Compile(job, RuleConfig::Default());
-      if (!default_plan.ok()) continue;
-      ++jobs;
-      ExecMetrics default_run =
-          pipeline.ExecuteWithRetry(job, default_plan.value().root, ++nonce);
-      double default_runtime = default_run.runtime;
-      double served = default_runtime;
-      SteeringRecommender::Recommendation rec =
-          recommender.Recommend(default_plan.value().signature);
-      if (!default_run.failed && !rec.is_default) {
-        Result<CompiledPlan> plan = optimizer.Compile(job, rec.config);
-        if (plan.ok()) {
-          ++steered;
-          ExecMetrics steered_run = pipeline.ExecuteWithRetry(job, plan.value().root, ++nonce);
-          if (steered_run.failed) {
-            // Degrade to the default plan; the breaker hears about it.
-            recommender.ObserveOutcome(default_plan.value().signature, 100.0);
-          } else {
-            served = steered_run.runtime;
-            recommender.ObserveOutcome(default_plan.value().signature,
-                                       (served - default_runtime) / default_runtime * 100.0);
-          }
-        }
+      if (submitted >= 60) break;
+      ++submitted;
+      ServiceRequest request;
+      request.job = job;
+      std::future<ServiceReply> reply;
+      switch (service.Submit(request, &reply)) {
+        case AdmitResult::kAccepted:
+          replies.push_back(std::move(reply));
+          break;
+        case AdmitResult::kShedDeadline:
+          ++shed;
+          break;
+        default:
+          ++rejected;
+          break;
       }
-      base += default_runtime;
-      saved += default_runtime - served;
     }
-    std::printf("day %d: %d jobs, %d steered, %.1f%% runtime saved\n", day, jobs, steered,
+    for (std::future<ServiceReply>& reply : replies) {
+      ServiceReply result = reply.get();
+      if (!result.status.ok()) continue;
+      if (result.steered) ++steered;
+      base += result.default_runtime_s;
+      saved += result.default_runtime_s - result.served_runtime_s;
+    }
+    std::printf("day %d: %d submitted (%d shed, %d rejected), %d steered, "
+                "%.1f%% runtime saved\n",
+                day, submitted, shed, rejected, steered,
                 base > 0 ? saved / base * 100.0 : 0.0);
   }
-  std::printf("guardrail: %d rollbacks, %d retired, %d serving\n%s\n",
-              recommender.num_rollbacks(), recommender.num_retired(),
-              recommender.num_serving(), pipeline.failure_stats().ToString().c_str());
+
+  Status stopped = service.Shutdown();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "qsteer serve: final snapshot failed: %s\n",
+                 stopped.ToString().c_str());
+  }
+  std::printf("%s%s\n", service.status().ToString().c_str(),
+              pipeline.failure_stats().ToString().c_str());
   return 0;
 }
 
