@@ -36,6 +36,23 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+/// Position-dependent hash of an integer sequence: every element is pre-mixed
+/// with its index before the order-sensitive combine, and the length is folded
+/// in last. Sequences that are permutations of each other (e.g. the children
+/// of commutative operators) therefore get distinct hashes even when the
+/// elements are small, near-equal integers — the collision family the memo's
+/// expression dedup must never conflate.
+template <typename It>
+inline uint64_t HashRange(It begin, It end, uint64_t seed) {
+  uint64_t h = Mix64(seed);
+  uint64_t index = 0;
+  for (It it = begin; it != end; ++it) {
+    ++index;
+    h = HashCombine(h, Mix64(static_cast<uint64_t>(*it) + (index << 32)));
+  }
+  return HashCombine(h, index);
+}
+
 /// Deterministic hashing-trick encoder: maps a categorical value with a large
 /// alphabet to one of `bins` buckets (paper §7.2 uses 50 bins).
 inline int HashToBin(uint64_t value, int bins) {

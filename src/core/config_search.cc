@@ -8,7 +8,11 @@
 namespace qsteer {
 
 std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
-                                                 const ConfigSearchOptions& options) {
+                                                 const ConfigSearchOptions& options,
+                                                 CandidateGenerationStats* stats) {
+  CandidateGenerationStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = CandidateGenerationStats{};
   std::vector<RuleConfig> out;
   std::vector<int> span_ids = span.ToIndices();
   if (span_ids.empty()) return out;
@@ -20,8 +24,15 @@ std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
   }
 
   Pcg32 rng(options.seed, /*stream=*/211);
-  std::unordered_set<uint64_t> seen;
-  seen.insert(RuleConfig::Default().Hash());  // never emit the default
+  // Uniqueness is decided on the *span projection* (bits ∩ span): two
+  // configurations that agree on every span rule compile to the same plan
+  // (paper §4), so the weaker one is pure recompilation waste. Seeding with
+  // the default's projection also prunes candidates that merely re-derive
+  // the default plan. Full hashes are tracked separately only to tell RNG
+  // re-draws apart from genuine span-equivalence in the stats.
+  std::unordered_set<uint64_t> seen_projected;
+  std::unordered_set<uint64_t> seen_full;
+  seen_projected.insert(RuleConfig::Default().bits().And(span).Hash());
 
   int attempts_budget = options.max_configs * options.max_attempts_factor;
   while (static_cast<int>(out.size()) < options.max_configs && attempts_budget-- > 0) {
@@ -44,10 +55,17 @@ std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
         config.Disable(span_ids[static_cast<size_t>(idx)]);
       }
     }
-    if (seen.insert(config.Hash()).second) {
-      out.push_back(std::move(config));
+    if (!seen_full.insert(config.Hash()).second) {
+      ++stats->repeated_draws;
+      continue;
     }
+    if (!seen_projected.insert(config.bits().And(span).Hash()).second) {
+      ++stats->span_duplicates_pruned;
+      continue;
+    }
+    out.push_back(std::move(config));
   }
+  stats->generated = static_cast<int>(out.size());
   return out;
 }
 

@@ -27,11 +27,27 @@ struct ConfigSearchOptions {
   bool per_category = true;
 };
 
-/// Generates up to `options.max_configs` unique candidate configurations for
-/// a job with the given span. The default configuration itself is never
-/// included.
+/// Where the attempt budget of one GenerateCandidateConfigs call went.
+struct CandidateGenerationStats {
+  /// Configurations emitted.
+  int generated = 0;
+  /// Draws discarded because another emitted configuration (or the default)
+  /// already had the same span projection — span-equivalent candidates would
+  /// compile to the identical plan (paper §4), so they are pruned here and
+  /// never reach the compile cache.
+  int span_duplicates_pruned = 0;
+  /// Draws that repeated an earlier draw bit-for-bit (RNG re-draws).
+  int repeated_draws = 0;
+};
+
+/// Generates up to `options.max_configs` candidate configurations for a job
+/// with the given span, unique *by span projection*: no two emitted
+/// configurations agree on every span rule, and none matches the default's
+/// projection (span-equivalent duplicates would recompile to the default
+/// plan — wasted work). `stats`, when non-null, reports the dedup breakdown.
 std::vector<RuleConfig> GenerateCandidateConfigs(const BitVector256& span,
-                                                 const ConfigSearchOptions& options);
+                                                 const ConfigSearchOptions& options,
+                                                 CandidateGenerationStats* stats = nullptr);
 
 /// Batch variant for workload-scale discovery: generates the candidate set
 /// of every (span, options) pair, fanned out over `pool` (serial when pool

@@ -33,6 +33,11 @@ SteeringPipeline::SteeringPipeline(const Optimizer* optimizer,
   if (options_.num_threads != 0) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
+  if (options_.compile_cache_mb > 0) {
+    CompileCacheOptions cache_options;
+    cache_options.capacity_bytes = static_cast<int64_t>(options_.compile_cache_mb) << 20;
+    cache_ = std::make_unique<CompileCache>(cache_options);
+  }
 }
 
 SteeringPipeline::~SteeringPipeline() = default;
@@ -56,11 +61,11 @@ uint64_t SteeringPipeline::CandidateNonce(const RuleConfig& config) const {
   return HashCombine(options_.seed, config.Hash());
 }
 
-Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job,
-                                                        const RuleConfig& config) const {
+Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job, const RuleConfig& config,
+                                                        CompileSession* session) const {
   CompileControl control;
   control.timeout_s = options_.compile_timeout_s;
-  Result<CompiledPlan> plan = optimizer_->Compile(job, config, control);
+  Result<CompiledPlan> plan = optimizer_->Compile(job, config, control, session);
   // Only deadline misses are transient; kCompilationFailed is a property of
   // the configuration and would fail identically on every attempt.
   int attempts = 1;
@@ -68,7 +73,7 @@ Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job,
          attempts < std::max(1, options_.retry.max_attempts)) {
     ctr_compile_retries_.fetch_add(1, std::memory_order_relaxed);
     ++attempts;
-    plan = optimizer_->Compile(job, config, control);
+    plan = optimizer_->Compile(job, config, control, session);
   }
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kDeadlineExceeded) {
@@ -78,6 +83,30 @@ Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job,
     }
   }
   return plan;
+}
+
+Result<CompiledPlan> SteeringPipeline::CompileViaCache(const Job& job, const RuleConfig& config,
+                                                       const CompileCache::Key& key,
+                                                       CompileSession* session) const {
+  if (cache_ == nullptr) return CompileWithRetry(job, config, session);
+  if (std::optional<Result<CompiledPlan>> cached = cache_->Lookup(key)) {
+    // Cached permanent failures skip the failure counters: those counters
+    // track compilation *work*, and a hit does none.
+    return std::move(*cached);
+  }
+  Result<CompiledPlan> plan = CompileWithRetry(job, config, session);
+  cache_->Insert(key, plan);
+  return plan;
+}
+
+Result<CompiledPlan> SteeringPipeline::CompileCached(const Job& job,
+                                                     const RuleConfig& config) const {
+  return CompileViaCache(job, config, CompileCache::Key{JobFingerprint(job), config.bits()},
+                         /*session=*/nullptr);
+}
+
+CompileCacheStats SteeringPipeline::compile_cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : CompileCacheStats{};
 }
 
 ExecMetrics SteeringPipeline::ExecuteWithRetry(const Job& job, const PlanNodePtr& root,
@@ -114,20 +143,35 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   JobAnalysis analysis;
   analysis.job = job;
 
-  Result<CompiledPlan> default_plan = CompileWithRetry(job, RuleConfig::Default());
+  // All compiles of this job share one session (seed-memo snapshots) and the
+  // pipeline-wide compile cache. Default and span compiles use full-bits
+  // keys (no span known yet — unconditionally sound); candidate compiles
+  // below use span-projected keys, so span-equivalent configurations across
+  // recurring instances of this job collapse to one cache entry.
+  const uint64_t fingerprint = JobFingerprint(job);
+  CompileSession session;
+
+  Result<CompiledPlan> default_plan = CompileViaCache(
+      job, RuleConfig::Default(), CompileCache::Key{fingerprint, RuleConfig::Default().bits()},
+      &session);
   if (!default_plan.ok()) {
     // The default configuration always compiles for generated workloads;
     // return an empty analysis defensively.
     return analysis;
   }
   analysis.default_plan = std::move(default_plan.value());
-  analysis.span = ComputeJobSpan(*optimizer_, job);
+  CachingCompiler span_compiler(optimizer_, cache_.get(), &session, fingerprint);
+  analysis.span = ComputeJobSpan(*optimizer_, job, SpanOptions{}, &span_compiler);
 
   ConfigSearchOptions search = options_.search;
   search.max_configs = options_.max_candidate_configs;
   search.seed = options_.seed ^ job.TemplateHash();
-  std::vector<RuleConfig> candidates = GenerateCandidateConfigs(analysis.span.span, search);
+  CandidateGenerationStats gen_stats;
+  std::vector<RuleConfig> candidates =
+      GenerateCandidateConfigs(analysis.span.span, search, &gen_stats);
   analysis.candidates_generated = static_cast<int>(candidates.size());
+  analysis.span_duplicates_pruned = gen_stats.span_duplicates_pruned;
+  ctr_span_pruned_.fetch_add(gen_stats.span_duplicates_pruned, std::memory_order_relaxed);
 
   // Fan the candidate recompilations out over the pool: each candidate is
   // compiled independently (Optimizer::Compile is reentrant), then outcomes
@@ -142,7 +186,12 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   std::vector<CandidateResult> compiled = ParallelMap<CandidateResult>(
       pool_.get(), static_cast<int64_t>(candidates.size()), [&](int64_t i) {
         CandidateResult r;
-        Result<CompiledPlan> plan = CompileWithRetry(job, candidates[static_cast<size_t>(i)]);
+        const RuleConfig& config = candidates[static_cast<size_t>(i)];
+        // Span-projected key: candidates only differ inside the span, so
+        // the projection is a complete identity for them (paper §4), and
+        // recurring instances of this job hit the same entries.
+        CompileCache::Key key{fingerprint, ProjectConfig(config, analysis.span.span)};
+        Result<CompiledPlan> plan = CompileViaCache(job, config, key, &session);
         if (!plan.ok()) {
           r.timed_out = plan.status().code() == StatusCode::kDeadlineExceeded;
           return r;

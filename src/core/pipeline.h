@@ -16,6 +16,7 @@
 #include "core/rule_diff.h"
 #include "core/span.h"
 #include "exec/simulator.h"
+#include "optimizer/compile_cache.h"
 
 namespace qsteer {
 
@@ -53,6 +54,11 @@ struct PipelineOptions {
   /// compilation that exceeds it returns kDeadlineExceeded and is retried
   /// under `retry` before the candidate is dropped.
   double compile_timeout_s = 0.0;
+  /// Compile-cache budget in MiB (the --compile-cache-mb knob); <= 0
+  /// disables caching entirely. Entries are keyed by hash(job fingerprint,
+  /// config ∩ job span), so recurring jobs and span-equivalent candidates
+  /// reuse compiles; results are bit-identical either way.
+  int compile_cache_mb = 64;
   ConfigSearchOptions search;
 };
 
@@ -73,6 +79,10 @@ struct JobAnalysis {
   SpanResult span;
 
   int candidates_generated = 0;
+  /// Candidate draws pruned before compilation because their span projection
+  /// matched an already-kept candidate or the default (paper §4: such
+  /// configurations compile to the identical plan).
+  int span_duplicates_pruned = 0;
   int recompiled_ok = 0;
   /// Candidates that failed to compile permanently (kCompilationFailed).
   int compile_failures = 0;
@@ -133,6 +143,24 @@ class SteeringPipeline {
   /// Pool counters (zeroed stats when running serial).
   ThreadPoolStats pool_stats() const;
 
+  /// Compiles a job under `config` through the compile cache (full-bits key:
+  /// no span projection, always sound). This is the serving-path entry point
+  /// — SteeringService and the CLI use it so recurring requests skip
+  /// recompilation. Identical to CompileWithRetry when caching is disabled.
+  Result<CompiledPlan> CompileCached(const Job& job, const RuleConfig& config) const;
+
+  /// The compile cache (nullptr when compile_cache_mb <= 0).
+  CompileCache* compile_cache() const { return cache_.get(); }
+
+  /// Cache counters (zeroed stats when caching is disabled).
+  CompileCacheStats compile_cache_stats() const;
+
+  /// Cumulative candidate draws pruned by span projection across all
+  /// analyses run through this pipeline.
+  int64_t span_duplicates_pruned() const {
+    return ctr_span_pruned_.load(std::memory_order_relaxed);
+  }
+
   /// Cumulative per-stage failure counters (compile timeouts/retries,
   /// execution retries/failures, fallbacks) across all analyses run through
   /// this pipeline. Thread-safe snapshot; counters never influence results.
@@ -163,12 +191,24 @@ class SteeringPipeline {
   /// Compiles under options().compile_timeout_s, retrying transient
   /// deadline misses per options().retry. Permanent kCompilationFailed
   /// results are never retried (the same config always fails the same way).
-  Result<CompiledPlan> CompileWithRetry(const Job& job, const RuleConfig& config) const;
+  /// `session` (may be null) shares per-job artifacts across compiles.
+  Result<CompiledPlan> CompileWithRetry(const Job& job, const RuleConfig& config,
+                                        CompileSession* session = nullptr) const;
+
+  /// CompileWithRetry behind a cache lookup/insert on `key`. Cached results
+  /// are bit-identical to fresh compiles; transient timeouts are never
+  /// cached. Equivalent to plain CompileWithRetry when caching is disabled.
+  Result<CompiledPlan> CompileViaCache(const Job& job, const RuleConfig& config,
+                                       const CompileCache::Key& key,
+                                       CompileSession* session) const;
 
   const Optimizer* optimizer_;
   const ExecutionSimulator* simulator_;
   PipelineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Sharded and thread-safe; mutable state internal to the cache. Owned
+  /// here so batch analyses and the serving path share one instance.
+  std::unique_ptr<CompileCache> cache_;
 
   // Failure counters (relaxed atomics: observability only, never part of a
   // result; safe to bump from pool workers).
@@ -178,6 +218,7 @@ class SteeringPipeline {
   mutable std::atomic<int64_t> ctr_exec_retries_{0};
   mutable std::atomic<int64_t> ctr_exec_failures_{0};
   mutable std::atomic<int64_t> ctr_fallbacks_{0};
+  mutable std::atomic<int64_t> ctr_span_pruned_{0};
 };
 
 }  // namespace qsteer

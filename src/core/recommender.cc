@@ -126,6 +126,33 @@ SteeringRecommender::Recommendation SteeringRecommender::Recommend(
   return rec;
 }
 
+std::vector<SteeringRecommender::SnapshotEntry> SteeringRecommender::SnapshotRecommendations()
+    const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(store_.size());
+  for (const auto& [signature, entry] : store_) {
+    SnapshotEntry row;
+    row.signature = signature;
+    row.recommendation.config = RuleConfig::Default();
+    // Mirrors Recommend() without the open-breaker cooldown tick; rows that
+    // would tick are flagged instead, and the snapshot's consumer routes
+    // them to the mutating path.
+    if (!entry.retired && entry.adopted) {
+      if (entry.breaker == BreakerState::kOpen) {
+        row.mutates_on_recommend = true;
+      } else {
+        row.recommendation.is_default = false;
+        row.recommendation.config = entry.config;
+        row.recommendation.expected_improvement_pct = entry.improvement_pct;
+        row.recommendation.support = entry.support;
+        row.recommendation.probing = entry.breaker == BreakerState::kHalfOpen;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
 bool SteeringRecommender::WouldMutateOnRecommend(const RuleSignature& default_signature) const {
   auto it = store_.find(default_signature);
   if (it == store_.end()) return false;

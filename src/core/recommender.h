@@ -132,6 +132,23 @@ class SteeringRecommender {
   /// that change state to replay to an identical store after a crash.
   bool WouldMutateOnRecommend(const RuleSignature& default_signature) const;
 
+  /// One row of a read-only serving snapshot: the recommendation Recommend
+  /// would return for `signature` right now, plus whether that call would
+  /// mutate the store (open-breaker cooldown tick). Rows with
+  /// mutates_on_recommend set cannot be served from a snapshot — the tick
+  /// must reach the real store.
+  struct SnapshotEntry {
+    RuleSignature signature;
+    Recommendation recommendation;
+    bool mutates_on_recommend = false;
+  };
+
+  /// Pure snapshot of every group's current serving decision (signatures
+  /// absent from the store are implicitly "serve the default" and need no
+  /// row). The durable store publishes these as an RCU view so serving-path
+  /// lookups bypass its mutex entirely.
+  std::vector<SnapshotEntry> SnapshotRecommendations() const;
+
   /// Guardrail: report the observed runtime change of a recommended run
   /// (positive = regression). Drives the circuit breaker; tripping it rolls
   /// the group back to the default configuration automatically.

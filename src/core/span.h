@@ -9,6 +9,8 @@
 
 namespace qsteer {
 
+class CachingCompiler;
+
 struct SpanResult {
   /// Non-required rules that can impact the final plan.
   BitVector256 span;
@@ -32,8 +34,13 @@ struct SpanOptions {
 /// enabling all 219 non-required rules ("config <- all rule ids w/o required
 /// rules"), repeatedly removes the signature's on-rules, and recompiles
 /// until no new rules appear or compilation fails.
+///
+/// When `compiler` is non-null, loop compiles go through it — reusing the
+/// job's compile-cache entries and seed memo (the span loop probes full
+/// configurations, so its cache keys are full-bits and always sound).
 SpanResult ComputeJobSpan(const Optimizer& optimizer, const Job& job,
-                          const SpanOptions& options = {});
+                          const SpanOptions& options = {},
+                          const CachingCompiler* compiler = nullptr);
 
 }  // namespace qsteer
 

@@ -1,0 +1,161 @@
+#include "optimizer/compile_cache.h"
+
+#include <sstream>
+#include <utility>
+
+namespace qsteer {
+
+namespace {
+
+int RoundUpPow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Rough resident-size estimate of a cache entry: bookkeeping plus the plan
+// DAG. PlanNode carries an Operator (payload vectors, strings) and a child
+// vector; 384 bytes/node is a deliberate overestimate so the byte budget errs
+// toward evicting early rather than blowing past --compile-cache-mb.
+int64_t EstimateBytes(const Result<CompiledPlan>& result) {
+  int64_t bytes = 512;  // entry bookkeeping, key, LRU node, hash slot
+  if (result.ok()) {
+    int nodes = 0;
+    VisitPlan(result.value().root, [&nodes](const PlanNode&) { ++nodes; });
+    bytes += static_cast<int64_t>(nodes) * 384;
+  } else {
+    bytes += static_cast<int64_t>(result.status().message().size());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::string CompileCacheStats::ToString() const {
+  std::ostringstream os;
+  os << "hits=" << hits << " misses=" << misses << " hit_rate=" << HitRate()
+     << " inserts=" << inserts << " evictions=" << evictions << " entries=" << entries
+     << " bytes=" << bytes << " shard_contention=" << shard_contention;
+  return os.str();
+}
+
+CompileCache::CompileCache(CompileCacheOptions options) : options_(options) {
+  int shards = RoundUpPow2(options_.shards < 1 ? 1 : options_.shards);
+  options_.shards = shards;
+  per_shard_capacity_ =
+      options_.capacity_bytes > 0 ? options_.capacity_bytes / shards : 0;
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+CompileCache::Shard& CompileCache::ShardFor(uint64_t key_hash) const {
+  // Entries map by the raw key hash; pick the shard from independent (high)
+  // bits so one shard's map doesn't see a systematically truncated key space.
+  uint64_t mixed = Mix64(key_hash);
+  return *shards_[static_cast<size_t>(mixed & static_cast<uint64_t>(options_.shards - 1))];
+}
+
+std::unique_lock<std::mutex> CompileCache::LockShard(Shard* shard) const {
+  std::unique_lock<std::mutex> lock(shard->mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    contention_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+std::optional<Result<CompiledPlan>> CompileCache::Lookup(const Key& key) {
+  const uint64_t hash = key.Hash();
+  Shard& shard = ShardFor(hash);
+  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  auto it = shard.entries.find(hash);
+  if (it == shard.entries.end() || !(it->second.key == key)) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  const Entry& entry = it->second;
+  if (entry.ok) return Result<CompiledPlan>(entry.plan);
+  return Result<CompiledPlan>(Status::CompilationFailed(entry.error_message));
+}
+
+void CompileCache::Insert(const Key& key, const Result<CompiledPlan>& result) {
+  if (per_shard_capacity_ <= 0) return;
+  // Only deterministic outcomes are cacheable: a successful plan, or the
+  // permanent "configuration cannot cover some operator" failure. Timeouts
+  // and cancellations depend on load, not on the key.
+  if (!result.ok() && result.status().code() != StatusCode::kCompilationFailed) return;
+
+  const uint64_t hash = key.Hash();
+  Shard& shard = ShardFor(hash);
+  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  if (shard.entries.count(hash) > 0) return;  // first writer wins
+
+  Entry entry;
+  entry.key = key;
+  entry.ok = result.ok();
+  if (result.ok()) {
+    entry.plan = result.value();
+  } else {
+    entry.error_message = result.status().message();
+  }
+  entry.bytes = EstimateBytes(result);
+  if (entry.bytes > per_shard_capacity_) return;  // would evict everything
+
+  shard.lru.push_front(hash);
+  entry.lru_pos = shard.lru.begin();
+  shard.bytes += entry.bytes;
+  shard.entries.emplace(hash, std::move(entry));
+  ++shard.inserts;
+
+  while (shard.bytes > per_shard_capacity_ && !shard.lru.empty()) {
+    uint64_t victim = shard.lru.back();
+    shard.lru.pop_back();
+    auto vit = shard.entries.find(victim);
+    shard.bytes -= vit->second.bytes;
+    shard.entries.erase(vit);
+    ++shard.evictions;
+  }
+}
+
+CompileCacheStats CompileCache::stats() const {
+  CompileCacheStats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::unique_lock<std::mutex> lock = LockShard(shard.get());
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.entries += static_cast<int64_t>(shard->entries.size());
+    stats.bytes += shard->bytes;
+  }
+  stats.shard_contention = contention_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t JobFingerprint(const Job& job) {
+  uint64_t h = PlanHash(job.root, /*for_template=*/false);
+  h = HashCombine(h, static_cast<uint64_t>(job.day));
+  h = HashCombine(h, job.columns != nullptr ? static_cast<uint64_t>(job.columns->size()) : 0);
+  return h;
+}
+
+BitVector256 ProjectConfig(const RuleConfig& config, const BitVector256& span) {
+  return config.bits().And(span);
+}
+
+Result<CompiledPlan> CachingCompiler::Compile(const Job& job, const RuleConfig& config) const {
+  if (cache_ == nullptr) {
+    return optimizer_->Compile(job, config, CompileControl{}, session_);
+  }
+  CompileCache::Key key{fingerprint_, config.bits()};
+  if (std::optional<Result<CompiledPlan>> cached = cache_->Lookup(key)) {
+    return std::move(*cached);
+  }
+  Result<CompiledPlan> result = optimizer_->Compile(job, config, CompileControl{}, session_);
+  cache_->Insert(key, result);
+  return result;
+}
+
+}  // namespace qsteer

@@ -4,14 +4,24 @@
 
 namespace qsteer {
 
-uint64_t Memo::ExprKey(const Operator& op, const std::vector<GroupId>& children) const {
-  uint64_t h = op.Hash(/*for_template=*/false);
-  for (GroupId c : children) h = HashCombine(h, static_cast<uint64_t>(c) + 0x9999);
-  return h;
+uint64_t Memo::ExprKey(uint64_t op_hash, const ChildVec& children) {
+  // Position-dependent mix (common/hash.h): each child id is pre-mixed with
+  // its position before the order-sensitive combine, so permuted children of
+  // commutative operators — join(a,b) vs join(b,a) — can never share a key.
+  return HashRange(children.begin(), children.end(), op_hash);
 }
 
 GroupId Memo::Insert(const PlanNodePtr& root) {
+  if (exprs_.capacity() == 0) {
+    // One up-front reservation replaces the first several vector growths and
+    // dedup-table rehashes of a compile; typical exploration lands in the
+    // low hundreds of expressions.
+    exprs_.reserve(256);
+    groups_.reserve(160);
+    dedup_.reserve(512);
+  }
   std::unordered_map<const PlanNode*, GroupId> visited;
+  visited.reserve(64);
   return InsertNode(root.get(), &visited);
 }
 
@@ -19,7 +29,7 @@ GroupId Memo::InsertNode(const PlanNode* node,
                          std::unordered_map<const PlanNode*, GroupId>* visited) {
   auto it = visited->find(node);
   if (it != visited->end()) return it->second;
-  std::vector<GroupId> children;
+  ChildVec children;
   children.reserve(node->children.size());
   for (const PlanNodePtr& child : node->children) {
     children.push_back(InsertNode(child.get(), visited));
@@ -31,15 +41,16 @@ GroupId Memo::InsertNode(const PlanNode* node,
   return group_id;
 }
 
-ExprId Memo::AddExpr(Operator op, std::vector<GroupId> children, GroupId target_group,
-                     int rule_id, ExprId source_expr) {
-  uint64_t key = ExprKey(op, children);
+ExprId Memo::AddExpr(Operator op, ChildVec children, GroupId target_group, int rule_id,
+                     ExprId source_expr, uint64_t op_hash) {
+  if (op_hash == kNoOpHash) op_hash = op.Hash(/*for_template=*/false);
+  uint64_t key = ExprKey(op_hash, children);
   auto it = dedup_.find(key);
   if (it != dedup_.end()) {
-    // Verify it's a true duplicate, not a hash collision.
+    // Verify it's a true duplicate, not a hash collision. The stored op_hash
+    // makes this probe allocation- and rehash-free.
     const GroupExpr& existing = exprs_[static_cast<size_t>(it->second)];
-    if (existing.children == children &&
-        existing.op.Hash(false) == op.Hash(false)) {
+    if (existing.op_hash == op_hash && existing.children == children) {
       return it->second;
     }
   }
@@ -48,6 +59,7 @@ ExprId Memo::AddExpr(Operator op, std::vector<GroupId> children, GroupId target_
   expr.is_logical = op.IsLogical();
   expr.op = std::move(op);
   expr.children = std::move(children);
+  expr.op_hash = op_hash;
   expr.rule_id = rule_id;
   expr.source_expr = source_expr;
 
@@ -80,6 +92,14 @@ void Memo::CollectProvenance(ExprId id, std::vector<int>* rule_ids) const {
     if (e.rule_id >= 0) rule_ids->push_back(e.rule_id);
     id = e.source_expr;
   }
+}
+
+Memo Memo::Clone() const {
+  Memo copy;
+  copy.groups_ = groups_;
+  copy.exprs_ = exprs_;
+  copy.dedup_ = dedup_;
+  return copy;
 }
 
 }  // namespace qsteer

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "optimizer/properties.h"
 #include "plan/job.h"
 #include "plan/operator.h"
@@ -21,9 +22,22 @@ using ExprId = int32_t;
 constexpr GroupId kInvalidGroup = -1;
 constexpr ExprId kInvalidExpr = -1;
 
+/// Child-group list of a memo expression. Nearly every operator has <= 4
+/// inputs (only wide UnionAll fan-ins spill to the heap), so child lists
+/// stay inline and the AddExpr hot path avoids a heap allocation per
+/// expression.
+using ChildVec = SmallVector<GroupId, 4>;
+
+/// Sentinel for "compute op.Hash(false) yourself" in AddExpr.
+constexpr uint64_t kNoOpHash = ~0ull;
+
 struct GroupExpr {
   Operator op;
-  std::vector<GroupId> children;
+  ChildVec children;
+  /// op.Hash(/*for_template=*/false), computed once at insertion. Dedup
+  /// probes and group-alias copies re-use it instead of re-hashing the
+  /// operator payload (the old hot-path cost of every AddExpr).
+  uint64_t op_hash = 0;
   GroupId group = kInvalidGroup;
   /// Rule that created this expression; -1 for expressions of the initial
   /// (input) plan.
@@ -73,6 +87,8 @@ class Memo {
   Memo() = default;
   Memo(const Memo&) = delete;
   Memo& operator=(const Memo&) = delete;
+  Memo(Memo&&) = default;
+  Memo& operator=(Memo&&) = default;
 
   /// Copies a logical plan DAG into the memo (deduplicating shared
   /// subtrees) and returns the root group.
@@ -82,9 +98,10 @@ class Memo {
   /// exists anywhere, returns it unchanged (its group may differ from
   /// `target_group`; callers must check). Otherwise creates the expression
   /// in `target_group`, or in a fresh group when `target_group` is
-  /// kInvalidGroup.
-  ExprId AddExpr(Operator op, std::vector<GroupId> children, GroupId target_group, int rule_id,
-                 ExprId source_expr);
+  /// kInvalidGroup. `op_hash` may carry a precomputed op.Hash(false) (e.g.
+  /// when aliasing an existing expression); kNoOpHash computes it here.
+  ExprId AddExpr(Operator op, ChildVec children, GroupId target_group, int rule_id,
+                 ExprId source_expr, uint64_t op_hash = kNoOpHash);
 
   const Group& group(GroupId id) const { return groups_[static_cast<size_t>(id)]; }
   Group& group(GroupId id) { return groups_[static_cast<size_t>(id)]; }
@@ -98,8 +115,14 @@ class Memo {
   /// that produced it plus the provenance of everything it was derived from.
   void CollectProvenance(ExprId id, std::vector<int>* rule_ids) const;
 
+  /// Deep copy, preserving every GroupId/ExprId assignment exactly. The
+  /// compile session's "seed memo" snapshot clones the freshly inserted
+  /// logical plan once per normalization projection instead of re-running
+  /// Insert for every candidate compile of a job.
+  Memo Clone() const;
+
  private:
-  uint64_t ExprKey(const Operator& op, const std::vector<GroupId>& children) const;
+  static uint64_t ExprKey(uint64_t op_hash, const ChildVec& children);
   GroupId InsertNode(const PlanNode* node,
                      std::unordered_map<const PlanNode*, GroupId>* visited);
 

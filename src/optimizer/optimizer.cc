@@ -20,10 +20,11 @@ namespace {
 class CompileState {
  public:
   CompileState(const Optimizer& optimizer, const Job& job, const RuleConfig& config,
-               const CompileControl& control)
+               const CompileControl& control, CompileSession* session)
       : options_(optimizer.options()),
         config_(config),
         control_(control),
+        session_(session),
         registry_(RuleRegistry::Instance()),
         universe_(job.columns),
         est_view_(optimizer.catalog(), &universe_, job.day) {
@@ -37,8 +38,7 @@ class CompileState {
   }
 
   Result<CompiledPlan> Run(const Job& job) {
-    PlanNodePtr normalized = NormalizeInputPlan(job.root);
-    GroupId root = memo_.Insert(normalized);
+    GroupId root = SeedMemo(job);
     Explore();
     Implement();
     PhysProp any = PhysProp::Any();
@@ -65,6 +65,28 @@ class CompileState {
   }
 
  private:
+  /// Seeds the memo with the (config-dependently) normalized input plan and
+  /// returns the root group. With a session, configurations that share the
+  /// normalization projection reuse one cloned snapshot instead of redoing
+  /// the normalization walk and memo insertion; results are bit-identical
+  /// because Memo::Clone preserves every id assignment.
+  GroupId SeedMemo(const Job& job) {
+    if (session_ == nullptr) {
+      PlanNodePtr normalized = NormalizeInputPlan(job.root);
+      return memo_.Insert(normalized);
+    }
+    const uint64_t key = CompileSession::NormalizationKey(config_);
+    if (std::shared_ptr<const CompileSession::SeedMemo> seed = session_->Find(key)) {
+      memo_ = seed->memo.Clone();
+      normalization_rules_used_ = seed->normalization_rules;
+      return seed->root;
+    }
+    PlanNodePtr normalized = NormalizeInputPlan(job.root);
+    GroupId root = memo_.Insert(normalized);
+    session_->Store(key, memo_, root, normalization_rules_used_);
+    return root;
+  }
+
   // ---------------------------------------------------------------------
   // Compile budget
   // ---------------------------------------------------------------------
@@ -380,12 +402,12 @@ class CompileState {
             options_.max_exprs_per_group) {
           break;
         }
-        memo_.AddExpr(e.op, e.children, target_group, rule_id, source);
+        memo_.AddExpr(e.op, e.children, target_group, rule_id, source, e.op_hash);
         ++copied;
       }
       return;
     }
-    std::vector<GroupId> children;
+    ChildVec children;
     children.reserve(tree.children.size());
     for (const OpTree& child : tree.children) {
       children.push_back(MaterializeChild(child, rule_id, source));
@@ -402,7 +424,7 @@ class CompileState {
 
   GroupId MaterializeChild(const OpTree& tree, int rule_id, ExprId source) {
     if (tree.is_leaf) return tree.leaf_group;
-    std::vector<GroupId> children;
+    ChildVec children;
     children.reserve(tree.children.size());
     for (const OpTree& child : tree.children) {
       children.push_back(MaterializeChild(child, rule_id, source));
@@ -911,6 +933,7 @@ class CompileState {
   const OptimizerOptions& options_;
   const RuleConfig& config_;
   const CompileControl& control_;
+  CompileSession* session_ = nullptr;
   std::chrono::steady_clock::time_point deadline_{};
   uint64_t poll_count_ = 0;
   bool aborted_ = false;
@@ -934,6 +957,39 @@ class CompileState {
 
 }  // namespace
 
+uint64_t CompileSession::NormalizationKey(const RuleConfig& config) {
+  // Exactly the rules CompileState's input normalization consults
+  // (PushSelectDown / NormalizeNode): select pushdown variants, select
+  // collapsing/true-elimination, predicate normalization, UnionAll
+  // flattening and GroupBy reduce-normalization. Keep in sync.
+  static const BitVector256 kNormalizationRules = BitVector256::FromIndices(
+      {rules::kCollapseSelects, rules::kSelectOnTrue, rules::kSelectPredNormalized,
+       rules::kSelectOnProject, 89, 94, 95, 96, 97, 99, 100, 120, 123});
+  return config.bits().And(kNormalizationRules).Hash();
+}
+
+std::shared_ptr<const CompileSession::SeedMemo> CompileSession::Find(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = seeds_.find(key);
+  if (it == seeds_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void CompileSession::Store(uint64_t key, const Memo& memo, GroupId root,
+                           const std::vector<int>& normalization_rules) {
+  auto seed = std::make_shared<SeedMemo>();
+  seed->memo = memo.Clone();
+  seed->root = root;
+  seed->normalization_rules = normalization_rules;
+  std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins; a concurrent writer computed an identical seed.
+  seeds_.emplace(key, std::move(seed));
+}
+
 RuleConfig ProductionConfig(const Job& job) {
   RuleConfig config = RuleConfig::Default();
   for (int id : job.customer_hints) config.Enable(id);
@@ -949,10 +1005,16 @@ Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config
 
 Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config,
                                         const CompileControl& control) const {
+  return Compile(job, config, control, /*session=*/nullptr);
+}
+
+Result<CompiledPlan> Optimizer::Compile(const Job& job, const RuleConfig& config,
+                                        const CompileControl& control,
+                                        CompileSession* session) const {
   if (job.root == nullptr || job.root->op.kind != OpKind::kOutput) {
     return Status::InvalidArgument("job root must be an Output operator");
   }
-  CompileState state(*this, job, config, control);
+  CompileState state(*this, job, config, control, session);
   return state.Run(job);
 }
 

@@ -9,7 +9,11 @@
 #ifndef QSTEER_OPTIMIZER_OPTIMIZER_H_
 #define QSTEER_OPTIMIZER_OPTIMIZER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -67,6 +71,44 @@ struct CompileControl {
   bool Unbounded() const { return cancel == nullptr && timeout_s <= 0.0; }
 };
 
+/// Shares per-job compile artifacts across the many compiles of one job
+/// (span probes, the default compile, candidate recompiles). Today it holds
+/// the "seed memo": the memo contents right after the normalized input plan
+/// was inserted. Normalization depends only on the configuration's
+/// normalization-rule bits, so configurations sharing that projection reuse
+/// one snapshot (Memo::Clone preserves every GroupId/ExprId, keeping results
+/// bit-identical to a from-scratch compile).
+///
+/// Thread-safe: pipeline workers compiling candidates of the same job share
+/// one session. First writer per key wins; concurrent writers compute
+/// identical seeds by construction. A session must only ever see one job.
+class CompileSession {
+ public:
+  struct SeedMemo {
+    Memo memo;
+    GroupId root = kInvalidGroup;
+    std::vector<int> normalization_rules;
+  };
+
+  /// The seed a configuration maps to: a hash of the configuration's bits
+  /// restricted to the rules input normalization consults (kept in sync with
+  /// CompileState::NormalizeNode/PushSelectDown).
+  static uint64_t NormalizationKey(const RuleConfig& config);
+
+  std::shared_ptr<const SeedMemo> Find(uint64_t key) const;
+  void Store(uint64_t key, const Memo& memo, GroupId root,
+             const std::vector<int>& normalization_rules);
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const SeedMemo>> seeds_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+};
+
 /// Thread-safety: an Optimizer is immutable after construction, and Compile
 /// is reentrant — concurrent Compile calls on one `const Optimizer` (same or
 /// different jobs, same or different configs) are data-race-free. All
@@ -99,6 +141,14 @@ class Optimizer {
   /// never hangs on pathological memo growth).
   Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config,
                                const CompileControl& control) const;
+
+  /// As above, sharing per-job artifacts through `session` (may be null).
+  /// The session's seed memo skips re-normalizing and re-inserting the
+  /// input plan when another compile of the same job already did so under
+  /// the same normalization projection; the result is bit-identical to a
+  /// sessionless compile.
+  Result<CompiledPlan> Compile(const Job& job, const RuleConfig& config,
+                               const CompileControl& control, CompileSession* session) const;
 
   const OptimizerOptions& options() const { return options_; }
   const Catalog* catalog() const { return catalog_; }

@@ -52,6 +52,7 @@ Status DurableRecommenderStore::Open() {
   recovery_ = RecoveryInfo{};
   if (!durable()) {
     open_ = true;
+    PublishViewLocked();
     return Status::OK();
   }
 
@@ -101,7 +102,41 @@ Status DurableRecommenderStore::Open() {
   Status status = wal_.Open(wal_path(), options_.sync);
   if (!status.ok()) return status;
   open_ = true;
+  PublishViewLocked();
   return Status::OK();
+}
+
+void DurableRecommenderStore::PublishViewLocked() {
+  auto view = std::make_shared<RecommendationView>();
+  for (SteeringRecommender::SnapshotEntry& row : recommender_.SnapshotRecommendations()) {
+    RuleSignature signature = row.signature;
+    view->rows.emplace(signature, std::move(row));
+  }
+  view_.store(std::move(view), std::memory_order_release);
+}
+
+SteeringRecommender::Recommendation DurableRecommenderStore::RecommendFast(
+    const RuleSignature& signature) {
+  std::shared_ptr<const RecommendationView> view = view_.load(std::memory_order_acquire);
+  if (view != nullptr) {
+    auto it = view->rows.find(signature);
+    if (it == view->rows.end()) {
+      // Unknown group: Recommend() would return the pure default without
+      // touching state — serve it straight from the view.
+      fast_recommends_.fetch_add(1, std::memory_order_relaxed);
+      SteeringRecommender::Recommendation rec;
+      rec.config = RuleConfig::Default();
+      return rec;
+    }
+    if (!it->second.mutates_on_recommend) {
+      fast_recommends_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.recommendation;
+    }
+  }
+  // Open breaker (cooldown must tick and be journaled) or pre-Open call:
+  // take the slow, locked path.
+  locked_recommends_.fetch_add(1, std::memory_order_relaxed);
+  return Recommend(signature);
 }
 
 Status DurableRecommenderStore::ApplyPayload(const std::string& payload) {
@@ -199,6 +234,7 @@ bool DurableRecommenderStore::LearnCandidate(
                         ToHintString(observation.config);
   if (!JournalAndMark(payload).ok()) return false;
   bool changed = recommender_.LearnCandidate(observation);
+  if (changed) PublishViewLocked();
   if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
     SnapshotLocked();  // best-effort; failures leave the WAL authoritative
   }
@@ -212,6 +248,7 @@ void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
       "V " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveValidation(signature, runtime_change_pct);
+  PublishViewLocked();
   if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
     SnapshotLocked();
   }
@@ -224,6 +261,7 @@ void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
       "O " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveOutcome(signature, runtime_change_pct);
+  PublishViewLocked();
   if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
     SnapshotLocked();
   }
@@ -243,6 +281,7 @@ SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
       return rec;
     }
     SteeringRecommender::Recommendation rec = recommender_.Recommend(signature);
+    PublishViewLocked();
     if (events_since_snapshot_ >= options_.snapshot_interval &&
         options_.snapshot_interval > 0) {
       SnapshotLocked();

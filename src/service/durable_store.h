@@ -22,9 +22,12 @@
 #ifndef QSTEER_SERVICE_DURABLE_STORE_H_
 #define QSTEER_SERVICE_DURABLE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -86,6 +89,22 @@ class DurableRecommenderStore {
   /// cooldown tick); plain lookups are reads and cost no WAL record.
   SteeringRecommender::Recommendation Recommend(const RuleSignature& signature);
 
+  /// Serving-path Recommend: consults a read-mostly snapshot of the
+  /// recommendation table (an immutable view republished after every store
+  /// mutation and swapped in with one atomic shared_ptr exchange), so the
+  /// overwhelmingly common pure lookups — unknown signatures and closed/
+  /// half-open groups — never touch mu_. Lookups that must mutate (an open
+  /// breaker's cooldown tick) fall through to the journaled Recommend().
+  /// Returns exactly what Recommend(signature) would.
+  SteeringRecommender::Recommendation RecommendFast(const RuleSignature& signature);
+
+  /// How many RecommendFast calls were served lock-free from the snapshot
+  /// vs. routed to the locked, journaled path.
+  int64_t fast_recommends() const { return fast_recommends_.load(std::memory_order_relaxed); }
+  int64_t locked_recommends() const {
+    return locked_recommends_.load(std::memory_order_relaxed);
+  }
+
   // ---- Reads (thread-safe snapshots) ----
 
   std::vector<SteeringRecommender::ValidationRequest> PendingValidations() const;
@@ -114,13 +133,27 @@ class DurableRecommenderStore {
   std::string wal_path() const;
 
  private:
+  /// Immutable serving view: every store group's current recommendation.
+  /// Published with an atomic shared_ptr swap (RCU: readers pin the old view
+  /// with a refcount; no reader ever blocks a writer or vice versa).
+  struct RecommendationView {
+    std::unordered_map<RuleSignature, SteeringRecommender::SnapshotEntry, BitVector256Hasher>
+        rows;
+  };
+
   Status JournalAndMark(const std::string& payload);  // assigns seq, appends
   Status SnapshotLocked();
   Status ApplyPayload(const std::string& payload);    // replay dispatcher
+  /// Rebuilds and publishes the serving view; call under mu_ after any
+  /// recommender mutation.
+  void PublishViewLocked();
 
   DurableStoreOptions options_;
   mutable std::mutex mu_;
   SteeringRecommender recommender_;
+  std::atomic<std::shared_ptr<const RecommendationView>> view_;
+  mutable std::atomic<int64_t> fast_recommends_{0};
+  mutable std::atomic<int64_t> locked_recommends_{0};
   WriteAheadLog wal_;
   RecoveryInfo recovery_;
   uint64_t applied_seq_ = 0;

@@ -38,7 +38,12 @@ std::string ServiceStatusSnapshot::ToString() const {
       << " open=" << open_breakers << " retired=" << retired
       << " pending_validation=" << pending_validation << '\n'
       << "reanalysis: completed=" << reanalyses_completed
-      << " abandoned=" << reanalyses_abandoned << '\n';
+      << " abandoned=" << reanalyses_abandoned << '\n'
+      << "compile_cache: hits=" << cache_hits << " misses=" << cache_misses
+      << " evictions=" << cache_evictions << " entries=" << cache_entries
+      << " bytes=" << cache_bytes << " span_pruned=" << span_duplicates_pruned << '\n'
+      << "recommend_serves: snapshot=" << rec_snapshot_serves
+      << " locked=" << rec_locked_serves << '\n';
   return out.str();
 }
 
@@ -126,7 +131,9 @@ void SteeringService::ProcessRequest(QueueItem item) {
   };
 
   uint64_t nonce = HashCombine(options_.seed, HashString(job.name));
-  Result<CompiledPlan> default_plan = optimizer_->Compile(job, RuleConfig::Default());
+  // Serving hot path: compile through the pipeline's compile cache
+  // (recurring jobs hit; results are bit-identical to a fresh compile).
+  Result<CompiledPlan> default_plan = pipeline_.CompileCached(job, RuleConfig::Default());
   if (!default_plan.ok()) {
     reply.status = default_plan.status();
     FinishRequest(std::move(item.promise), std::move(reply), elapsed(), /*failed=*/true);
@@ -138,10 +145,11 @@ void SteeringService::ProcessRequest(QueueItem item) {
   reply.default_runtime_s = default_metrics.runtime;
   reply.served_runtime_s = default_metrics.runtime;
 
+  // Lock-free for the common pure lookups; open-breaker ticks still journal.
   SteeringRecommender::Recommendation rec =
-      store_.Recommend(default_plan.value().signature);
+      store_.RecommendFast(default_plan.value().signature);
   if (!rec.is_default) {
-    Result<CompiledPlan> steered = optimizer_->Compile(job, rec.config);
+    Result<CompiledPlan> steered = pipeline_.CompileCached(job, rec.config);
     if (steered.ok()) {
       ExecMetrics steered_metrics = pipeline_.ExecuteWithRetry(
           job, steered.value().root, HashCombine(nonce, 0x9e3779b97f4a7c15ULL));
@@ -316,6 +324,15 @@ ServiceStatusSnapshot SteeringService::status() const {
   snapshot.open_breakers = store_.num_open();
   snapshot.retired = store_.num_retired();
   snapshot.pending_validation = store_.num_pending_validation();
+  CompileCacheStats cache_stats = pipeline_.compile_cache_stats();
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_evictions = cache_stats.evictions;
+  snapshot.cache_entries = cache_stats.entries;
+  snapshot.cache_bytes = cache_stats.bytes;
+  snapshot.span_duplicates_pruned = pipeline_.span_duplicates_pruned();
+  snapshot.rec_snapshot_serves = store_.fast_recommends();
+  snapshot.rec_locked_serves = store_.locked_recommends();
   {
     std::lock_guard<std::mutex> lock(reanalysis_mu_);
     snapshot.reanalyses_completed = reanalyses_completed_;

@@ -133,6 +133,17 @@ struct ServiceStatusSnapshot {
   // Re-analysis worker.
   int64_t reanalyses_completed = 0;
   int64_t reanalyses_abandoned = 0;
+  // Compile-cache health (the serving path compiles through the pipeline's
+  // cache, so recurring requests skip recompilation).
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_entries = 0;
+  int64_t cache_bytes = 0;
+  int64_t span_duplicates_pruned = 0;
+  // Recommendation-table serving split: snapshot (lock-free) vs locked.
+  int64_t rec_snapshot_serves = 0;
+  int64_t rec_locked_serves = 0;
 
   std::string ToString() const;
 };
@@ -179,6 +190,10 @@ class SteeringService {
   DurableRecommenderStore& store() { return store_; }
   const DurableRecommenderStore& store() const { return store_; }
   const ServiceOptions& options() const { return options_; }
+  /// The service's pipeline (and thus its compile cache). Exposed so
+  /// validation loops and tooling compile through the same cache the
+  /// serving path populates.
+  const SteeringPipeline& pipeline() const { return pipeline_; }
 
  private:
   struct QueueItem {

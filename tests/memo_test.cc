@@ -1,6 +1,11 @@
 #include "optimizer/memo.h"
 
+#include <unordered_set>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "common/hash.h"
 
 namespace qsteer {
 namespace {
@@ -101,6 +106,80 @@ TEST(Memo, ProvenanceChainsThroughRewrites) {
   std::vector<int> rule_ids;
   memo.CollectProvenance(impl, &rule_ids);
   EXPECT_EQ(rule_ids, (std::vector<int>{2, 90}));
+}
+
+TEST(Memo, PermutedChildrenAreDistinctExpressions) {
+  // Regression: the old ExprKey mixed children with a plain order-sensitive
+  // combine whose weakness could collide op(a, b) with op(b, a) for
+  // commutative-looking child swaps. Swapped children must never dedup.
+  Memo memo;
+  ExprId s0 = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  ExprId s1 = memo.AddExpr(Scan(1), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId g0 = memo.expr(s0).group;
+  GroupId g1 = memo.expr(s1).group;
+
+  Operator u;
+  u.kind = OpKind::kUnionAll;
+  ExprId ab = memo.AddExpr(u, {g0, g1}, kInvalidGroup, -1, kInvalidExpr);
+  ExprId ba = memo.AddExpr(u, {g1, g0}, kInvalidGroup, -1, kInvalidExpr);
+  EXPECT_NE(ab, ba);
+  EXPECT_NE(memo.expr(ab).group, memo.expr(ba).group);
+  ASSERT_EQ(memo.expr(ab).children.size(), 2u);
+  EXPECT_EQ(memo.expr(ab).children[0], g0);
+  EXPECT_EQ(memo.expr(ba).children[0], g1);
+}
+
+TEST(Memo, PrecomputedOpHashMatchesComputed) {
+  // AddExpr with an explicit op_hash (the group-alias fast path) must land
+  // in the same dedup slot as the compute-it-yourself path.
+  Memo memo;
+  ExprId scan = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId scan_group = memo.expr(scan).group;
+  Operator sel = Select(9);
+  uint64_t op_hash = sel.Hash(/*for_template=*/false);
+  ExprId a = memo.AddExpr(sel, {scan_group}, kInvalidGroup, -1, kInvalidExpr);
+  ExprId b = memo.AddExpr(Select(9), {scan_group}, kInvalidGroup, -1, kInvalidExpr, op_hash);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(memo.expr(a).op_hash, op_hash);
+}
+
+TEST(HashRange, PermutationsAndPrefixesStayDistinct) {
+  // The position-dependent mix must separate every permutation of a small
+  // child set, every prefix, and the empty list, across several seeds.
+  std::unordered_set<uint64_t> keys;
+  int inserted = 0;
+  std::vector<std::vector<int>> child_lists = {
+      {},     {1},       {2},       {1, 2},    {2, 1},    {1, 2, 3},
+      {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}, {1, 1},
+      {1, 1, 1}, {0},       {0, 0},    {1, 2, 3, 4}, {4, 3, 2, 1}};
+  for (uint64_t seed : {0ull, 1ull, 0x123456789abcdefull}) {
+    for (const std::vector<int>& children : child_lists) {
+      keys.insert(HashRange(children.begin(), children.end(), seed));
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(keys.size()), inserted);
+}
+
+TEST(Memo, CloneReproducesEveryIdAssignment) {
+  Memo memo;
+  ExprId s0 = memo.AddExpr(Scan(0), {}, kInvalidGroup, -1, kInvalidExpr);
+  GroupId g0 = memo.expr(s0).group;
+  ExprId sel = memo.AddExpr(Select(5), {g0}, kInvalidGroup, 10, s0);
+  GroupId gsel = memo.expr(sel).group;
+
+  Memo copy = memo.Clone();
+  ASSERT_EQ(copy.num_groups(), memo.num_groups());
+  ASSERT_EQ(copy.num_exprs(), memo.num_exprs());
+  EXPECT_EQ(copy.expr(sel).group, gsel);
+  EXPECT_EQ(copy.expr(sel).rule_id, 10);
+  EXPECT_EQ(copy.expr(sel).op_hash, memo.expr(sel).op_hash);
+  // The clone's dedup table must be live: re-adding dedups, new exprs get
+  // the same ids the original would assign.
+  EXPECT_EQ(copy.AddExpr(Select(5), {g0}, kInvalidGroup, -1, kInvalidExpr), sel);
+  ExprId in_copy = copy.AddExpr(Select(6), {g0}, gsel, 11, sel);
+  ExprId in_orig = memo.AddExpr(Select(6), {g0}, gsel, 11, sel);
+  EXPECT_EQ(in_copy, in_orig);
 }
 
 TEST(Memo, RepresentativeIsFirstLogicalExpr) {

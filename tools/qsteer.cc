@@ -27,6 +27,9 @@
 //                                            --deadline=<seconds> shed
 //                                              requests that would wait
 //                                              longer than this
+//                                            --compile-cache-mb=<MiB>
+//                                              compile-cache budget
+//                                              (0 disables)
 //
 // Hint strings use the §3.2 flag syntax, e.g.
 //   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
@@ -61,7 +64,8 @@ int Usage() {
                "  analyze <A|B|C> <template> <day> [threads]\n"
                "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
                "[--snapshot-interval=N]\n"
-               "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n");
+               "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n"
+               "        [--compile-cache-mb=N]\n");
   return 2;
 }
 
@@ -217,6 +221,9 @@ int CmdAnalyze(int argc, char** argv) {
                 "(default plan kept)\n",
                 analysis.exec_failures);
   }
+  std::printf("  compile cache: %s\n  span-equivalent candidates pruned: %d\n",
+              pipeline.compile_cache_stats().ToString().c_str(),
+              analysis.span_duplicates_pruned);
   return 0;
 }
 
@@ -226,6 +233,7 @@ struct ServeFlags {
   int snapshot_interval = 0;  // 0 = not set (store default applies)
   int workers = 2;
   double deadline_s = 0.0;
+  int compile_cache_mb = 64;  // 0 disables the compile cache
 };
 
 /// Parses `--flag=value` arguments for `serve`. Returns false (after
@@ -264,6 +272,13 @@ bool ParseServeFlag(const char* arg, ServeFlags* flags) {
   if (name == "--deadline") {
     if (ParseDoubleArg(value, 0.0, 1e9, &flags->deadline_s)) return true;
     std::fprintf(stderr, "qsteer serve: bad --deadline '%s' (seconds >= 0)\n", value);
+    return false;
+  }
+  if (name == "--compile-cache-mb") {
+    if (ParseIntArg(value, 0, 1 << 20, &flags->compile_cache_mb)) return true;
+    std::fprintf(stderr,
+                 "qsteer serve: bad --compile-cache-mb '%s' (MiB in [0, %d]; 0 disables)\n",
+                 value, 1 << 20);
     return false;
   }
   std::fprintf(stderr, "qsteer serve: unknown flag '%s'\n", name.c_str());
@@ -307,6 +322,7 @@ int CmdServe(int argc, char** argv) {
   service_options.num_workers = flags.workers;
   service_options.queue_capacity = flags.queue_capacity;
   service_options.default_deadline_s = flags.deadline_s;
+  service_options.pipeline.compile_cache_mb = flags.compile_cache_mb;
   service_options.store.dir = flags.wal_dir;
   if (flags.snapshot_interval > 0) {
     service_options.store.snapshot_interval = flags.snapshot_interval;
@@ -352,8 +368,12 @@ int CmdServe(int argc, char** argv) {
          service.store().PendingValidations()) {
       auto it = group_rep.find(request.signature.ToHexString());
       if (it == group_rep.end()) continue;
-      Result<CompiledPlan> base_plan = optimizer.Compile(it->second, RuleConfig::Default());
-      Result<CompiledPlan> alt_plan = optimizer.Compile(it->second, request.config);
+      // Compile through the service's cache: the serving path will request
+      // these same (job, config) pairs, so validation warms it for free.
+      Result<CompiledPlan> base_plan =
+          service.pipeline().CompileCached(it->second, RuleConfig::Default());
+      Result<CompiledPlan> alt_plan =
+          service.pipeline().CompileCached(it->second, request.config);
       if (!base_plan.ok() || !alt_plan.ok()) continue;
       ExecMetrics base = pipeline.ExecuteWithRetry(it->second, base_plan.value().root, ++nonce);
       ExecMetrics alt = pipeline.ExecuteWithRetry(it->second, alt_plan.value().root, ++nonce);
