@@ -13,12 +13,13 @@
 #define QSTEER_COMMON_BOUNDED_QUEUE_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace qsteer {
 
@@ -36,24 +37,24 @@ class BoundedQueue {
   /// or rejects; it never waits).
   bool TryPush(T item) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || static_cast<int>(items_.size()) >= capacity_) return false;
       items_.push_back(std::move(item));
       high_water_ = std::max(high_water_, static_cast<int64_t>(items_.size()));
       ++pushed_;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed *and* empty.
   bool Pop(T* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) cv_.Wait(mu_);
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
-    if (items_.empty()) empty_cv_.notify_all();
+    if (items_.empty()) empty_cv_.NotifyAll();
     return true;
   }
 
@@ -61,11 +62,11 @@ class BoundedQueue {
   /// remain poppable (graceful drain).
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
-    empty_cv_.notify_all();
+    cv_.NotifyAll();
+    empty_cv_.NotifyAll();
   }
 
   /// Closes and removes every queued item, returning them so the caller can
@@ -73,53 +74,53 @@ class BoundedQueue {
   std::vector<T> CloseAndDrain() {
     std::vector<T> drained;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
       drained.assign(std::make_move_iterator(items_.begin()),
                      std::make_move_iterator(items_.end()));
       items_.clear();
     }
-    cv_.notify_all();
-    empty_cv_.notify_all();
+    cv_.NotifyAll();
+    empty_cv_.NotifyAll();
     return drained;
   }
 
   /// Blocks until the queue is empty (drain barrier; pair with an in-flight
   /// counter for full quiescence).
   void WaitUntilEmpty() {
-    std::unique_lock<std::mutex> lock(mu_);
-    empty_cv_.wait(lock, [&] { return items_.empty(); });
+    MutexLock lock(mu_);
+    while (!items_.empty()) empty_cv_.Wait(mu_);
   }
 
   int size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<int>(items_.size());
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   int64_t high_water() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return high_water_;
   }
 
   int64_t pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return pushed_;
   }
 
  private:
   const int capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable empty_cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  int64_t high_water_ = 0;
-  int64_t pushed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  CondVar empty_cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+  int64_t high_water_ GUARDED_BY(mu_) = 0;
+  int64_t pushed_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace qsteer

@@ -1,0 +1,68 @@
+// Clang thread-safety annotation macros (-Wthread-safety).
+//
+// These macros attach Clang's static lock-discipline attributes to mutexes,
+// guarded members and locking functions; under any other compiler (the
+// default g++ build) every macro expands to nothing, so the annotations are
+// a zero-cost contract. CI builds the tree with clang++ and
+// -Wthread-safety -Werror (the `static-analysis` job), turning a member
+// read outside its mutex — today a flaky TSan repro at best — into a
+// compile error on the PR that introduces it.
+//
+// Annotate with the types in common/mutex.h (qsteer::Mutex / MutexLock /
+// CondVar): std::mutex and std::lock_guard carry no capability attributes
+// in libstdc++, so the analysis cannot see them being locked.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#ifndef QSTEER_COMMON_THREAD_ANNOTATIONS_H_
+#define QSTEER_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QSTEER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define QSTEER_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names the capability kind
+/// in diagnostics).
+#define CAPABILITY(x) QSTEER_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (MutexLock).
+#define SCOPED_CAPABILITY QSTEER_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member data that may only be read or written while holding `x`.
+#define GUARDED_BY(x) QSTEER_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself is
+/// not).
+#define PT_GUARDED_BY(x) QSTEER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the listed capabilities (and
+/// they stay held across the call).
+#define REQUIRES(...) QSTEER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the caller must NOT hold the listed capabilities
+/// (deadlock guard for functions that acquire them internally).
+#define EXCLUDES(...) QSTEER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) QSTEER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held.
+#define RELEASE(...) QSTEER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function tries to acquire the capability and returns `b` on success.
+#define TRY_ACQUIRE(b, ...) QSTEER_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Runtime assertion that the capability is held (informs the analysis
+/// without acquiring).
+#define ASSERT_CAPABILITY(x) QSTEER_THREAD_ANNOTATION(assert_capability(x))
+
+/// The function returns a reference to the given capability (lock accessor).
+#define RETURN_CAPABILITY(x) QSTEER_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis inside one function. Every use needs
+/// a comment explaining why the discipline cannot be expressed statically.
+#define NO_THREAD_SAFETY_ANALYSIS QSTEER_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // QSTEER_COMMON_THREAD_ANNOTATIONS_H_

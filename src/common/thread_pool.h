@@ -28,15 +28,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace qsteer {
 
@@ -65,9 +65,9 @@ class Latch {
   void Wait();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int count_;
+  Mutex mu_;
+  CondVar cv_;
+  int count_ GUARDED_BY(mu_);
 };
 
 /// Fixed-size worker pool over a single FIFO queue.
@@ -104,15 +104,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  /// Written only by the constructor, joined only by the destructor; never
+  /// touched while workers run, so it needs no guard.
   std::vector<std::thread> workers_;
-  bool shutting_down_ = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 
   // Counters (guarded by mu_ except the atomics).
-  int64_t tasks_submitted_ = 0;
-  int64_t max_queue_depth_ = 0;
+  int64_t tasks_submitted_ GUARDED_BY(mu_) = 0;
+  int64_t max_queue_depth_ GUARDED_BY(mu_) = 0;
   std::atomic<int64_t> tasks_run_{0};
   std::atomic<int64_t> busy_micros_{0};
   std::chrono::steady_clock::time_point created_at_;

@@ -19,6 +19,14 @@
 // (and fsynced when `sync_each_append`); the caller applies the event to
 // in-memory state *after* journaling it, so any state observable by other
 // threads is always recoverable from disk.
+//
+// Thread-safety: NONE. WriteAheadLog carries no internal mutex by design —
+// its one production owner (DurableRecommenderStore) already serializes
+// every append under the store mutex (the member is declared
+// `wal_ GUARDED_BY(mu_)`, so Clang's thread-safety analysis enforces the
+// discipline there). Adding a second lock here would only hide ordering
+// bugs: WAL order must equal application order, which a per-call lock
+// cannot guarantee.
 #ifndef QSTEER_COMMON_WAL_H_
 #define QSTEER_COMMON_WAL_H_
 

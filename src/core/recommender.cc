@@ -130,6 +130,7 @@ std::vector<SteeringRecommender::SnapshotEntry> SteeringRecommender::SnapshotRec
     const {
   std::vector<SnapshotEntry> out;
   out.reserve(store_.size());
+  // qsteer-lint: sorted consumer rebuilds an unordered map from these rows; order never reaches bytes
   for (const auto& [signature, entry] : store_) {
     SnapshotEntry row;
     row.signature = signature;
@@ -213,6 +214,7 @@ void SteeringRecommender::Retire(Entry* entry) {
 
 int SteeringRecommender::num_serving() const {
   int count = 0;
+  // qsteer-lint: sorted integer count; commutative over iteration order
   for (const auto& [signature, entry] : store_) {
     if (!entry.retired && entry.adopted && entry.breaker != BreakerState::kOpen) ++count;
   }
@@ -221,6 +223,7 @@ int SteeringRecommender::num_serving() const {
 
 int SteeringRecommender::num_pending_validation() const {
   int count = 0;
+  // qsteer-lint: sorted integer count; commutative over iteration order
   for (const auto& [signature, entry] : store_) {
     if (!entry.retired && !entry.adopted) ++count;
   }
@@ -229,6 +232,7 @@ int SteeringRecommender::num_pending_validation() const {
 
 int SteeringRecommender::num_open() const {
   int count = 0;
+  // qsteer-lint: sorted integer count; commutative over iteration order
   for (const auto& [signature, entry] : store_) {
     if (!entry.retired && entry.breaker == BreakerState::kOpen) ++count;
   }

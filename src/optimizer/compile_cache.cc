@@ -55,19 +55,18 @@ CompileCache::Shard& CompileCache::ShardFor(uint64_t key_hash) const {
   return *shards_[static_cast<size_t>(mixed & static_cast<uint64_t>(options_.shards - 1))];
 }
 
-std::unique_lock<std::mutex> CompileCache::LockShard(Shard* shard) const {
-  std::unique_lock<std::mutex> lock(shard->mu, std::try_to_lock);
-  if (!lock.owns_lock()) {
+void CompileCache::AcquireShard(Shard& shard) const {
+  if (!shard.mu.TryLock()) {
     contention_.fetch_add(1, std::memory_order_relaxed);
-    lock.lock();
+    shard.mu.Lock();
   }
-  return lock;
 }
 
 std::optional<Result<CompiledPlan>> CompileCache::Lookup(const Key& key) {
   const uint64_t hash = key.Hash();
   Shard& shard = ShardFor(hash);
-  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  AcquireShard(shard);
+  MutexLock lock(shard.mu, kAdoptLock);
   auto it = shard.entries.find(hash);
   if (it == shard.entries.end() || !(it->second.key == key)) {
     ++shard.misses;
@@ -89,7 +88,8 @@ void CompileCache::Insert(const Key& key, const Result<CompiledPlan>& result) {
 
   const uint64_t hash = key.Hash();
   Shard& shard = ShardFor(hash);
-  std::unique_lock<std::mutex> lock = LockShard(&shard);
+  AcquireShard(shard);
+  MutexLock lock(shard.mu, kAdoptLock);
   if (shard.entries.count(hash) > 0) return;  // first writer wins
 
   Entry entry;
@@ -121,14 +121,16 @@ void CompileCache::Insert(const Key& key, const Result<CompiledPlan>& result) {
 
 CompileCacheStats CompileCache::stats() const {
   CompileCacheStats stats;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::unique_lock<std::mutex> lock = LockShard(shard.get());
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.inserts += shard->inserts;
-    stats.evictions += shard->evictions;
-    stats.entries += static_cast<int64_t>(shard->entries.size());
-    stats.bytes += shard->bytes;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    AcquireShard(shard);
+    MutexLock lock(shard.mu, kAdoptLock);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.inserts += shard.inserts;
+    stats.evictions += shard.evictions;
+    stats.entries += static_cast<int64_t>(shard.entries.size());
+    stats.bytes += shard.bytes;
   }
   stats.shard_contention = contention_.load(std::memory_order_relaxed);
   return stats;

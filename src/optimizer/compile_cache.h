@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -28,6 +27,8 @@
 
 #include "common/bitvector.h"
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "optimizer/optimizer.h"
 
 namespace qsteer {
@@ -98,19 +99,20 @@ class CompileCache {
     std::list<uint64_t>::iterator lru_pos;
   };
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, Entry> entries;  // by Key::Hash()
-    std::list<uint64_t> lru;                      // front = most recent
-    int64_t bytes = 0;
-    int64_t hits = 0;
-    int64_t misses = 0;
-    int64_t inserts = 0;
-    int64_t evictions = 0;
+    Mutex mu;
+    std::unordered_map<uint64_t, Entry> entries GUARDED_BY(mu);  // by Key::Hash()
+    std::list<uint64_t> lru GUARDED_BY(mu);                      // front = most recent
+    int64_t bytes GUARDED_BY(mu) = 0;
+    int64_t hits GUARDED_BY(mu) = 0;
+    int64_t misses GUARDED_BY(mu) = 0;
+    int64_t inserts GUARDED_BY(mu) = 0;
+    int64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(uint64_t key_hash) const;
-  /// Locks a shard, counting failed first tries as contention.
-  std::unique_lock<std::mutex> LockShard(Shard* shard) const;
+  /// Locks a shard, counting failed first tries as contention. Pair with
+  /// `MutexLock lock(shard.mu, kAdoptLock)` for scoped release.
+  void AcquireShard(Shard& shard) const ACQUIRE(shard.mu);
 
   CompileCacheOptions options_;
   int64_t per_shard_capacity_ = 0;

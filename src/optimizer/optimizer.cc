@@ -31,6 +31,7 @@ class CompileState {
     ctx_.memo = &memo_;
     ctx_.universe = &universe_;
     if (control_.timeout_s > 0.0) {
+      // qsteer-lint: allow(wall-clock) compile deadline; CompileControl documents timeouts as nondeterministic
       deadline_ = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(control_.timeout_s));
@@ -101,6 +102,7 @@ class CompileState {
       return aborted_ = true;
     }
     if (control_.timeout_s > 0.0 && (poll_count_++ & 63) == 0 &&
+        // qsteer-lint: allow(wall-clock) deadline poll; only reached when the caller opted into a timeout
         std::chrono::steady_clock::now() >= deadline_) {
       return aborted_ = true;
     }
@@ -969,7 +971,7 @@ uint64_t CompileSession::NormalizationKey(const RuleConfig& config) {
 }
 
 std::shared_ptr<const CompileSession::SeedMemo> CompileSession::Find(uint64_t key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = seeds_.find(key);
   if (it == seeds_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -985,7 +987,7 @@ void CompileSession::Store(uint64_t key, const Memo& memo, GroupId root,
   seed->memo = memo.Clone();
   seed->root = root;
   seed->normalization_rules = normalization_rules;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // First writer wins; a concurrent writer computed an identical seed.
   seeds_.emplace(key, std::move(seed));
 }

@@ -12,12 +12,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "optimizer/cost_model.h"
 #include "optimizer/memo.h"
@@ -103,8 +104,8 @@ class CompileSession {
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<const SeedMemo>> seeds_;
+  mutable Mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const SeedMemo>> seeds_ GUARDED_BY(mu_);
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
 };

@@ -46,8 +46,13 @@ std::string DurableRecommenderStore::wal_path() const {
   return options_.dir + "/" + kWalFile;
 }
 
+DurableRecommenderStore::RecoveryInfo DurableRecommenderStore::recovery() const {
+  MutexLock lock(mu_);
+  return recovery_;
+}
+
 Status DurableRecommenderStore::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (open_) return Status::FailedPrecondition("store already open");
   recovery_ = RecoveryInfo{};
   if (!durable()) {
@@ -215,7 +220,7 @@ Status DurableRecommenderStore::SnapshotLocked() {
 }
 
 Status DurableRecommenderStore::Snapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return SnapshotLocked();
 }
 
@@ -228,7 +233,7 @@ bool DurableRecommenderStore::LearnFromAnalysis(const JobAnalysis& analysis) {
 
 bool DurableRecommenderStore::LearnCandidate(
     const SteeringRecommender::CandidateObservation& observation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string payload = "L " + observation.signature.ToHexString() + " " +
                         FormatDouble(observation.improvement_pct) + " " +
                         ToHintString(observation.config);
@@ -243,7 +248,7 @@ bool DurableRecommenderStore::LearnCandidate(
 
 void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
                                                 double runtime_change_pct) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string payload =
       "V " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
   if (!JournalAndMark(payload).ok()) return;
@@ -256,7 +261,7 @@ void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
 
 void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
                                              double runtime_change_pct) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string payload =
       "O " + signature.ToHexString() + " " + FormatDouble(runtime_change_pct);
   if (!JournalAndMark(payload).ok()) return;
@@ -269,7 +274,7 @@ void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
 
 SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
     const RuleSignature& signature) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Only journal lookups that tick an open breaker's cooldown clock; plain
   // lookups are pure reads and must not bloat the WAL under serving load.
   if (recommender_.WouldMutateOnRecommend(signature)) {
@@ -293,57 +298,57 @@ SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
 
 std::vector<SteeringRecommender::ValidationRequest>
 DurableRecommenderStore::PendingValidations() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.PendingValidations();
 }
 
 std::string DurableRecommenderStore::SerializeState() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.Serialize();
 }
 
 int DurableRecommenderStore::num_groups() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_groups();
 }
 
 int DurableRecommenderStore::num_serving() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_serving();
 }
 
 int DurableRecommenderStore::num_pending_validation() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_pending_validation();
 }
 
 int DurableRecommenderStore::num_retired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_retired();
 }
 
 int DurableRecommenderStore::num_rollbacks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_rollbacks();
 }
 
 int DurableRecommenderStore::num_open() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return recommender_.num_open();
 }
 
 uint64_t DurableRecommenderStore::applied_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return applied_seq_;
 }
 
 int64_t DurableRecommenderStore::wal_lag() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_since_snapshot_;
 }
 
 int64_t DurableRecommenderStore::snapshots_taken() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshots_taken_;
 }
 

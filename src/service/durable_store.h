@@ -25,12 +25,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/wal.h"
 #include "core/recommender.h"
 
@@ -75,19 +76,24 @@ class DurableRecommenderStore {
   /// Recovers state from disk (no-op for an ephemeral store) and opens the
   /// WAL for appending. Corrupt snapshots and unreplayable WAL records are
   /// hard errors — silent partial state is worse than unavailability.
-  Status Open();
-  const RecoveryInfo& recovery() const { return recovery_; }
+  Status Open() EXCLUDES(mu_);
+  /// Snapshot of the last Open()'s recovery outcome (by value: the stored
+  /// struct is guarded by the store mutex).
+  RecoveryInfo recovery() const EXCLUDES(mu_);
 
   // ---- Journaled operations (thread-safe) ----
 
   /// ExtractCandidate + journal + LearnCandidate.
-  bool LearnFromAnalysis(const JobAnalysis& analysis);
-  bool LearnCandidate(const SteeringRecommender::CandidateObservation& observation);
-  void ObserveValidation(const RuleSignature& signature, double runtime_change_pct);
-  void ObserveOutcome(const RuleSignature& signature, double runtime_change_pct);
+  bool LearnFromAnalysis(const JobAnalysis& analysis) EXCLUDES(mu_);
+  bool LearnCandidate(const SteeringRecommender::CandidateObservation& observation)
+      EXCLUDES(mu_);
+  void ObserveValidation(const RuleSignature& signature, double runtime_change_pct)
+      EXCLUDES(mu_);
+  void ObserveOutcome(const RuleSignature& signature, double runtime_change_pct)
+      EXCLUDES(mu_);
   /// Journals the lookup only when it mutates breaker state (open-breaker
   /// cooldown tick); plain lookups are reads and cost no WAL record.
-  SteeringRecommender::Recommendation Recommend(const RuleSignature& signature);
+  SteeringRecommender::Recommendation Recommend(const RuleSignature& signature) EXCLUDES(mu_);
 
   /// Serving-path Recommend: consults a read-mostly snapshot of the
   /// recommendation table (an immutable view republished after every store
@@ -107,10 +113,11 @@ class DurableRecommenderStore {
 
   // ---- Reads (thread-safe snapshots) ----
 
-  std::vector<SteeringRecommender::ValidationRequest> PendingValidations() const;
+  std::vector<SteeringRecommender::ValidationRequest> PendingValidations() const
+      EXCLUDES(mu_);
   /// Canonical serialized state (the recommender's sorted v2 text): equal
   /// stores yield equal bytes.
-  std::string SerializeState() const;
+  std::string SerializeState() const EXCLUDES(mu_);
   int num_groups() const;
   int num_serving() const;
   int num_pending_validation() const;
@@ -127,7 +134,7 @@ class DurableRecommenderStore {
 
   /// Serializes the store to the snapshot file and resets the WAL. Called
   /// automatically every snapshot_interval events and on clean shutdown.
-  Status Snapshot();
+  Status Snapshot() EXCLUDES(mu_);
 
   std::string snapshot_path() const;
   std::string wal_path() const;
@@ -141,25 +148,29 @@ class DurableRecommenderStore {
         rows;
   };
 
-  Status JournalAndMark(const std::string& payload);  // assigns seq, appends
-  Status SnapshotLocked();
-  Status ApplyPayload(const std::string& payload);    // replay dispatcher
-  /// Rebuilds and publishes the serving view; call under mu_ after any
-  /// recommender mutation.
-  void PublishViewLocked();
+  Status JournalAndMark(const std::string& payload) REQUIRES(mu_);  // assigns seq, appends
+  Status SnapshotLocked() REQUIRES(mu_);
+  Status ApplyPayload(const std::string& payload) REQUIRES(mu_);  // replay dispatcher
+  /// Rebuilds and publishes the serving view after any recommender mutation.
+  void PublishViewLocked() REQUIRES(mu_);
 
   DurableStoreOptions options_;
-  mutable std::mutex mu_;
-  SteeringRecommender recommender_;
+  mutable Mutex mu_;
+  SteeringRecommender recommender_ GUARDED_BY(mu_);
+  /// Lock-free serving view (RCU). Published only under mu_ but read without
+  /// it: the shared_ptr swap is the release point, and views are immutable.
   std::atomic<std::shared_ptr<const RecommendationView>> view_;
   mutable std::atomic<int64_t> fast_recommends_{0};
   mutable std::atomic<int64_t> locked_recommends_{0};
-  WriteAheadLog wal_;
-  RecoveryInfo recovery_;
-  uint64_t applied_seq_ = 0;
-  int64_t events_since_snapshot_ = 0;
-  int64_t snapshots_taken_ = 0;
-  bool open_ = false;
+  /// Journal-then-apply: every append happens under the same critical
+  /// section as the recommender mutation it logs, so WAL order is exactly
+  /// application order.
+  WriteAheadLog wal_ GUARDED_BY(mu_);
+  RecoveryInfo recovery_ GUARDED_BY(mu_);
+  uint64_t applied_seq_ GUARDED_BY(mu_) = 0;
+  int64_t events_since_snapshot_ GUARDED_BY(mu_) = 0;
+  int64_t snapshots_taken_ GUARDED_BY(mu_) = 0;
+  bool open_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace qsteer

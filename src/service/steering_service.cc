@@ -57,11 +57,13 @@ SteeringService::SteeringService(const Optimizer* optimizer,
       queue_(options_.queue_capacity) {}
 
 SteeringService::~SteeringService() {
-  if (running_) Shutdown();
+  // Unconditional: Shutdown() itself checks running_ under the lock (the
+  // old `if (running_)` here read the flag without it).
+  Shutdown();
 }
 
 Status SteeringService::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) return Status::FailedPrecondition("service already running");
   if (queue_.closed()) {
     return Status::FailedPrecondition(
@@ -71,11 +73,15 @@ Status SteeringService::Start() {
   if (!status.ok()) return status;
   running_ = true;
   draining_ = false;
+  stopping_ = false;
   service_time_ewma_s_ = options_.initial_service_time_ewma_s;
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   if (options_.enable_reanalysis) {
+    // mu_ -> reanalysis_mu_ is the only place both are held; nothing nests
+    // the other way, so the ordering is acyclic.
+    MutexLock reanalysis_lock(reanalysis_mu_);
     reanalysis_stop_ = false;
     reanalysis_thread_ = std::thread([this] { ReanalysisLoop(); });
   }
@@ -84,7 +90,7 @@ Status SteeringService::Start() {
 
 AdmitResult SteeringService::Submit(const ServiceRequest& request,
                                     std::future<ServiceReply>* reply) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!running_ || draining_) {
     ++rejected_not_running_;
     return AdmitResult::kNotRunning;
@@ -122,11 +128,13 @@ void SteeringService::WorkerLoop() {
 }
 
 void SteeringService::ProcessRequest(QueueItem item) {
+  // qsteer-lint: allow(wall-clock) measures real service time for the admission-control EWMA
   auto start = std::chrono::steady_clock::now();
   ServiceReply reply;
   reply.wait_estimate_s = item.wait_estimate_s;
   const Job& job = item.request.job;
   auto elapsed = [&start] {
+    // qsteer-lint: allow(wall-clock) same EWMA measurement as `start` above
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   };
 
@@ -180,7 +188,7 @@ void SteeringService::ProcessRequest(QueueItem item) {
 void SteeringService::FinishRequest(std::promise<ServiceReply> promise, ServiceReply reply,
                                     double elapsed_s, bool failed) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (service_time_ewma_s_ <= 0.0) {
       service_time_ewma_s_ = elapsed_s;
     } else {
@@ -194,46 +202,68 @@ void SteeringService::FinishRequest(std::promise<ServiceReply> promise, ServiceR
       ++completed_;
     }
   }
-  drained_cv_.notify_all();
+  drained_cv_.NotifyAll();
   promise.set_value(std::move(reply));
 }
 
 void SteeringService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!running_) return;
   draining_ = true;
-  drained_cv_.wait(lock, [this] { return finished_ == accepted_; });
+  while (finished_ != accepted_) drained_cv_.Wait(mu_);
+}
+
+bool SteeringService::BeginStop() {
+  MutexLock lock(mu_);
+  if (!running_ || stopping_) return false;
+  stopping_ = true;
+  draining_ = true;  // stop admission immediately
+  return true;
+}
+
+void SteeringService::JoinWorkers() {
+  std::vector<std::thread> workers;
+  {
+    MutexLock lock(mu_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+void SteeringService::StopReanalysisWorker() {
+  std::thread worker;
+  {
+    MutexLock lock(reanalysis_mu_);
+    reanalysis_stop_ = true;
+    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
+    worker = std::move(reanalysis_thread_);
+  }
+  reanalysis_cv_.NotifyAll();
+  if (worker.joinable()) worker.join();
+}
+
+void SteeringService::MarkStopped() {
+  MutexLock lock(mu_);
+  running_ = false;
+  draining_ = false;
+  stopping_ = false;
 }
 
 Status SteeringService::Shutdown() {
   Drain();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return Status::OK();
-  }
+  // First stopper wins; a concurrent Shutdown/Kill already owns the join
+  // (the old code let both paths join workers_ — a double-join race).
+  if (!BeginStop()) return Status::OK();
   queue_.Close();
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
-  {
-    std::lock_guard<std::mutex> lock(reanalysis_mu_);
-    reanalysis_stop_ = true;
-    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
-  }
-  reanalysis_cv_.notify_all();
-  if (reanalysis_thread_.joinable()) reanalysis_thread_.join();
+  JoinWorkers();
+  StopReanalysisWorker();
   Status snapshot_status = store_.Snapshot();
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
-  draining_ = false;
+  MarkStopped();
   return snapshot_status;
 }
 
 void SteeringService::Kill() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    draining_ = true;  // stop admission immediately
-  }
+  if (!BeginStop()) return;
   std::vector<QueueItem> abandoned = queue_.CloseAndDrain();
   for (QueueItem& item : abandoned) {
     ServiceReply reply;
@@ -241,35 +271,26 @@ void SteeringService::Kill() {
     FinishRequest(std::move(item.promise), std::move(reply), /*elapsed_s=*/0.0,
                   /*failed=*/true);
   }
-  for (std::thread& worker : workers_) worker.join();
-  workers_.clear();
-  {
-    std::lock_guard<std::mutex> lock(reanalysis_mu_);
-    reanalysis_stop_ = true;
-    if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
-  }
-  reanalysis_cv_.notify_all();
-  if (reanalysis_thread_.joinable()) reanalysis_thread_.join();
+  JoinWorkers();
+  StopReanalysisWorker();
   // Deliberately no snapshot: recovery must come from the WAL.
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
-  draining_ = false;
+  MarkStopped();
 }
 
 bool SteeringService::RequestReanalysis(const Job& job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_ || draining_ || !options_.enable_reanalysis) return false;
   }
   {
-    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    MutexLock lock(reanalysis_mu_);
     // Newest request wins: supersede (cancel) whatever is pending/in-flight.
     if (reanalysis_token_ != nullptr) reanalysis_token_->RequestCancel();
     if (reanalysis_pending_.has_value()) ++reanalyses_abandoned_;
     reanalysis_pending_ = job;
     reanalysis_token_ = std::make_shared<CancellationToken>();
   }
-  reanalysis_cv_.notify_all();
+  reanalysis_cv_.NotifyAll();
   return true;
 }
 
@@ -278,9 +299,10 @@ void SteeringService::ReanalysisLoop() {
     Job job;
     std::shared_ptr<CancellationToken> token;
     {
-      std::unique_lock<std::mutex> lock(reanalysis_mu_);
-      reanalysis_cv_.wait(lock,
-                          [this] { return reanalysis_stop_ || reanalysis_pending_.has_value(); });
+      MutexLock lock(reanalysis_mu_);
+      while (!reanalysis_stop_ && !reanalysis_pending_.has_value()) {
+        reanalysis_cv_.Wait(reanalysis_mu_);
+      }
       if (reanalysis_stop_) return;
       job = std::move(*reanalysis_pending_);
       reanalysis_pending_.reset();
@@ -288,7 +310,7 @@ void SteeringService::ReanalysisLoop() {
     }
     JobAnalysis analysis = pipeline_.AnalyzeJob(job);
     {
-      std::lock_guard<std::mutex> lock(reanalysis_mu_);
+      MutexLock lock(reanalysis_mu_);
       if (token->cancelled()) {
         // Superseded while analyzing: discard rather than apply stale work.
         ++reanalyses_abandoned_;
@@ -303,7 +325,7 @@ void SteeringService::ReanalysisLoop() {
 ServiceStatusSnapshot SteeringService::status() const {
   ServiceStatusSnapshot snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.running = running_;
     snapshot.draining = draining_;
     snapshot.accepted = accepted_;
@@ -334,7 +356,7 @@ ServiceStatusSnapshot SteeringService::status() const {
   snapshot.rec_snapshot_serves = store_.fast_recommends();
   snapshot.rec_locked_serves = store_.locked_recommends();
   {
-    std::lock_guard<std::mutex> lock(reanalysis_mu_);
+    MutexLock lock(reanalysis_mu_);
     snapshot.reanalyses_completed = reanalyses_completed_;
     snapshot.reanalyses_abandoned = reanalyses_abandoned_;
   }

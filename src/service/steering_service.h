@@ -33,14 +33,15 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "service/durable_store.h"
@@ -161,31 +162,33 @@ class SteeringService {
   /// Recovers the durable store and spawns the workers. Fails (and stays
   /// stopped) when recovery fails — serving from silently partial state is
   /// worse than not serving.
-  Status Start();
+  Status Start() EXCLUDES(mu_);
 
   /// Non-blocking admission. On kAccepted, `*reply` receives a future that
   /// the serving worker fulfills; on any rejection `*reply` is untouched
   /// and the request was not enqueued.
-  AdmitResult Submit(const ServiceRequest& request, std::future<ServiceReply>* reply);
+  AdmitResult Submit(const ServiceRequest& request, std::future<ServiceReply>* reply)
+      EXCLUDES(mu_);
 
   /// Stops admission and waits until every accepted request has finished.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Graceful stop: Drain + final snapshot + join. Returns the snapshot
-  /// status (workers are joined regardless).
-  Status Shutdown();
+  /// status (workers are joined regardless). Exactly one concurrent
+  /// Shutdown/Kill performs the stop; latecomers return immediately.
+  Status Shutdown() EXCLUDES(mu_);
 
   /// Crash simulation: close the queue immediately, fail still-queued
   /// requests with an error reply, join workers. NO snapshot — recovery
   /// must come from the WAL, exactly like a real crash.
-  void Kill();
+  void Kill() EXCLUDES(mu_);
 
   /// Queues a background re-analysis of `job`, superseding (cancelling) any
   /// previously queued one. Returns false when the service is not running
   /// or re-analysis is disabled.
-  bool RequestReanalysis(const Job& job);
+  bool RequestReanalysis(const Job& job) EXCLUDES(mu_, reanalysis_mu_);
 
-  ServiceStatusSnapshot status() const;
+  ServiceStatusSnapshot status() const EXCLUDES(mu_, reanalysis_mu_);
 
   DurableRecommenderStore& store() { return store_; }
   const DurableRecommenderStore& store() const { return store_; }
@@ -205,8 +208,19 @@ class SteeringService {
   void WorkerLoop();
   void ProcessRequest(QueueItem item);
   void FinishRequest(std::promise<ServiceReply> promise, ServiceReply reply,
-                     double elapsed_s, bool failed);
-  void ReanalysisLoop();
+                     double elapsed_s, bool failed) EXCLUDES(mu_);
+  void ReanalysisLoop() EXCLUDES(reanalysis_mu_);
+
+  /// Claims the exclusive right to stop the service and halts admission.
+  /// Returns false when the service is not running or another Shutdown/Kill
+  /// already claimed the stop (they join; the claimant cleans up).
+  bool BeginStop() EXCLUDES(mu_);
+  /// Moves the compile workers out under the lock and joins them lock-free
+  /// (they take mu_ in FinishRequest, so joining under it would deadlock).
+  void JoinWorkers() EXCLUDES(mu_);
+  /// Signals and joins the re-analysis worker (idempotent).
+  void StopReanalysisWorker() EXCLUDES(reanalysis_mu_);
+  void MarkStopped() EXCLUDES(mu_);
 
   const Optimizer* optimizer_;
   const ExecutionSimulator* simulator_;
@@ -215,29 +229,35 @@ class SteeringService {
   DurableRecommenderStore store_;
   BoundedQueue<QueueItem> queue_;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  bool running_ = false;
-  bool draining_ = false;
-  int64_t accepted_ = 0;
-  int64_t finished_ = 0;  // completed_ + failed_; Drain waits for == accepted_
-  int64_t completed_ = 0;
-  int64_t failed_ = 0;
-  int64_t shed_deadline_ = 0;
-  int64_t rejected_queue_full_ = 0;
-  int64_t rejected_not_running_ = 0;
-  double service_time_ewma_s_ = 0.0;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar drained_cv_;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool draining_ GUARDED_BY(mu_) = false;
+  /// Set by the one Shutdown/Kill that wins the stop race; concurrent
+  /// stoppers bail out instead of double-joining the workers.
+  bool stopping_ GUARDED_BY(mu_) = false;
+  int64_t accepted_ GUARDED_BY(mu_) = 0;
+  /// completed_ + failed_; Drain waits for == accepted_.
+  int64_t finished_ GUARDED_BY(mu_) = 0;
+  int64_t completed_ GUARDED_BY(mu_) = 0;
+  int64_t failed_ GUARDED_BY(mu_) = 0;
+  int64_t shed_deadline_ GUARDED_BY(mu_) = 0;
+  int64_t rejected_queue_full_ GUARDED_BY(mu_) = 0;
+  int64_t rejected_not_running_ GUARDED_BY(mu_) = 0;
+  double service_time_ewma_s_ GUARDED_BY(mu_) = 0.0;
+  /// Spawned by Start, moved out (under mu_) and joined lock-free by the
+  /// stop path.
+  std::vector<std::thread> workers_ GUARDED_BY(mu_);
 
   // Re-analysis worker: single pending slot, newest request wins.
-  mutable std::mutex reanalysis_mu_;
-  std::condition_variable reanalysis_cv_;
-  bool reanalysis_stop_ = false;
-  std::optional<Job> reanalysis_pending_;
-  std::shared_ptr<CancellationToken> reanalysis_token_;
-  int64_t reanalyses_completed_ = 0;
-  int64_t reanalyses_abandoned_ = 0;
-  std::thread reanalysis_thread_;
+  mutable Mutex reanalysis_mu_;
+  CondVar reanalysis_cv_;
+  bool reanalysis_stop_ GUARDED_BY(reanalysis_mu_) = false;
+  std::optional<Job> reanalysis_pending_ GUARDED_BY(reanalysis_mu_);
+  std::shared_ptr<CancellationToken> reanalysis_token_ GUARDED_BY(reanalysis_mu_);
+  int64_t reanalyses_completed_ GUARDED_BY(reanalysis_mu_) = 0;
+  int64_t reanalyses_abandoned_ GUARDED_BY(reanalysis_mu_) = 0;
+  std::thread reanalysis_thread_ GUARDED_BY(reanalysis_mu_);
 };
 
 }  // namespace qsteer

@@ -1,0 +1,14 @@
+// Fixture: nothing here may fire QL001 — seeded PRNG use, the banned names
+// inside identifiers, strings, and comments only.
+#include "common/random.h"
+
+int Operand(int x);
+
+int SeededDraw() {
+  // rand() and srand() in a comment are prose, not code.
+  const char* text = "calls rand() and std::random_device";
+  int operand_count = Operand(3);
+  qsteer::Pcg32 rng(7);
+  (void)text;
+  return static_cast<int>(rng.NextU32()) + operand_count;
+}

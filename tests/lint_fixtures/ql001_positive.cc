@@ -1,0 +1,10 @@
+// Fixture: QL001 (random-source) must fire once per line marked below.
+// Not compiled — linted by tests/lint_test.cc.
+#include <cstdlib>
+#include <random>
+
+int AmbientSeed() {
+  std::random_device dev;  // line 7: QL001
+  srand(42);               // line 8: QL001
+  return rand() + static_cast<int>(dev());  // line 9: QL001
+}

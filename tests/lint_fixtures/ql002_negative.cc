@@ -1,0 +1,13 @@
+// Fixture: nothing here may fire QL002 — justified suppressions in both
+// the name form and the id form, plus `time(` lookalikes.
+#include <chrono>
+
+double Runtime(double base);
+
+double Measured() {
+  // qsteer-lint: allow(wall-clock) fixture: observability-only timing
+  auto start = std::chrono::steady_clock::now();
+  double runtime = Runtime(1.0);
+  auto end = std::chrono::steady_clock::now();  // qsteer-lint: allow(QL002) fixture: id-form suppression
+  return std::chrono::duration<double>(end - start).count() + runtime;
+}

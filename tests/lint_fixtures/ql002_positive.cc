@@ -1,0 +1,17 @@
+// Fixture: QL002 (wall-clock) must fire once per line marked below.
+// Not compiled — linted by tests/lint_test.cc.
+#include <chrono>
+#include <ctime>
+
+double Now() {
+  auto a = std::chrono::steady_clock::now();           // line 7: QL002
+  auto b = std::chrono::system_clock::now();           // line 8: QL002
+  auto c = std::chrono::high_resolution_clock::now();  // line 9: QL002
+  long d = time(nullptr);                              // line 10: QL002
+  struct timespec ts;
+  clock_gettime(0, &ts);  // line 12: QL002
+  (void)a;
+  (void)b;
+  (void)c;
+  return static_cast<double>(d) + static_cast<double>(ts.tv_sec);
+}

@@ -1,0 +1,33 @@
+// Fixture: nothing here may fire QL003 — one loop with a visible sort in
+// the window, one with a justified `sorted` marker, one over an ordered
+// vector.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Table {
+  std::unordered_map<int, std::string> rows_;
+  std::string Serialize() const;
+  int Count() const;
+};
+
+std::string Table::Serialize() const {
+  std::vector<std::string> values;
+  for (const auto& [key, value] : rows_) {
+    values.push_back(value);
+  }
+  std::sort(values.begin(), values.end());
+  std::string out;
+  for (const std::string& value : values) out += value;
+  return out;
+}
+
+int Table::Count() const {
+  int count = 0;
+  // qsteer-lint: sorted integer count; commutative over iteration order
+  for (const auto& [key, value] : rows_) {
+    if (!value.empty()) ++count;
+  }
+  return count;
+}

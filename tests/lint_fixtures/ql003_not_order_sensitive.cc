@@ -1,0 +1,14 @@
+// Fixture: unordered iteration in a file with no serialization markers —
+// QL003 is scoped to files that emit ordered bytes, so nothing fires.
+#include <unordered_map>
+
+struct Counters {
+  std::unordered_map<int, int> counts_;
+  int Total() const;
+};
+
+int Counters::Total() const {
+  int total = 0;
+  for (const auto& [key, value] : counts_) total += value;
+  return total;
+}

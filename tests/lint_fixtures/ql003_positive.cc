@@ -1,0 +1,17 @@
+// Fixture: a file that serializes state and iterates an unordered
+// container with no sort in sight — QL003 must fire on the loop line.
+#include <string>
+#include <unordered_map>
+
+struct Table {
+  std::unordered_map<int, std::string> rows_;
+  std::string Serialize() const;
+};
+
+std::string Table::Serialize() const {
+  std::string out;
+  for (const auto& [key, value] : rows_) {  // line 13: QL003
+    out += value;
+  }
+  return out;
+}

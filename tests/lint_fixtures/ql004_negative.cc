@@ -1,0 +1,13 @@
+// Fixture: nothing here may fire QL004 — value-keyed containers and
+// non-ordering smart-pointer use.
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+std::set<int> ids;
+std::map<std::string, int> names;
+std::map<int, const char*> labels;  // pointer *value*, not pointer *key*
+
+bool IsNull(const std::shared_ptr<int>& p) { return p.get() != nullptr; }
+bool Smaller(const std::shared_ptr<int>& p, int limit) { return *p.get() < limit; }

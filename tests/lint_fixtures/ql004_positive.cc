@@ -1,0 +1,15 @@
+// Fixture: QL004 (pointer-ordering) must fire once per line marked below.
+// Not compiled — linted by tests/lint_test.cc.
+#include <map>
+#include <memory>
+#include <set>
+
+struct Node {};
+
+std::set<Node*> live_nodes;       // line 9: QL004
+std::map<Node*, int> ref_counts;  // line 10: QL004
+using NodeOrder = std::less<Node*>;  // line 11: QL004
+
+bool Before(const std::unique_ptr<Node>& a, const std::unique_ptr<Node>& b) {
+  return a.get() < b.get();  // line 14: QL004
+}

@@ -1,0 +1,4 @@
+// Fixture: the same includes are allowed outside src/core, src/optimizer,
+// and src/service (this path contains none of them) — QL005 stays quiet.
+#include <ctime>
+#include <random>

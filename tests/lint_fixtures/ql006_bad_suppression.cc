@@ -1,0 +1,11 @@
+// Fixture: directives without justifications or naming unknown rules fire
+// QL006 and suppress nothing — the underlying QL002 still fires too.
+#include <chrono>
+
+double Now() {
+  // qsteer-lint: allow(wall-clock)
+  auto now = std::chrono::steady_clock::now();  // line 7: QL002 (not suppressed)
+  // qsteer-lint: allow(QL999) no such rule
+  // qsteer-lint: frobnicate everything
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

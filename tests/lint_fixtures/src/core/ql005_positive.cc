@@ -1,0 +1,6 @@
+// Fixture: banned includes inside a deterministic layer (the fixture path
+// contains "src/core/", which is what QL005 keys on). One finding per line.
+#include <ctime>       // line 3: QL005
+#include <random>      // line 4: QL005
+#include <sys/time.h>  // line 5: QL005
+#include <time.h>      // line 6: QL005

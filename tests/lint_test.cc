@@ -1,0 +1,184 @@
+// Golden tests for qsteer-lint (tools/qsteer_lint_lib.h): every rule has a
+// positive fixture asserting the exact rule ids and line anchors, a
+// negative fixture asserting silence, and the CLI's exit-code contract is
+// pinned (0 clean / 1 findings / 2 usage-or-IO error). The last test lints
+// the repo's own src/ tools/ bench/ examples/ — the tree must stay clean,
+// so a determinism regression fails ctest, not just CI.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qsteer_lint_lib.h"
+
+namespace qsteer {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(QSTEER_LINT_FIXTURES_DIR) + "/" + name;
+}
+
+/// Lints one fixture and returns (rule_id, line) pairs in report order.
+std::vector<std::pair<std::string, int>> LintFixture(const std::string& name) {
+  std::vector<Finding> findings;
+  std::string error;
+  bool ok = LintPaths({FixturePath(name)}, LintOptions{}, &findings, &error);
+  EXPECT_TRUE(ok) << error;
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(findings.size());
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.path, FixturePath(name));
+    EXPECT_FALSE(finding.message.empty());
+    out.emplace_back(finding.rule_id, finding.line);
+  }
+  return out;
+}
+
+using Anchors = std::vector<std::pair<std::string, int>>;
+
+TEST(LintTest, RandomSourcePositive) {
+  EXPECT_EQ(LintFixture("ql001_positive.cc"),
+            (Anchors{{"QL001", 7}, {"QL001", 8}, {"QL001", 9}}));
+}
+
+TEST(LintTest, RandomSourceNegative) { EXPECT_EQ(LintFixture("ql001_negative.cc"), Anchors{}); }
+
+TEST(LintTest, WallClockPositive) {
+  EXPECT_EQ(LintFixture("ql002_positive.cc"),
+            (Anchors{{"QL002", 7}, {"QL002", 8}, {"QL002", 9}, {"QL002", 10}, {"QL002", 12}}));
+}
+
+TEST(LintTest, WallClockNegativeJustifiedSuppressions) {
+  EXPECT_EQ(LintFixture("ql002_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, UnorderedIterationPositive) {
+  EXPECT_EQ(LintFixture("ql003_positive.cc"), (Anchors{{"QL003", 13}}));
+}
+
+TEST(LintTest, UnorderedIterationNegativeSortAndMarker) {
+  EXPECT_EQ(LintFixture("ql003_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, UnorderedIterationSkipsOrderInsensitiveFiles) {
+  EXPECT_EQ(LintFixture("ql003_not_order_sensitive.cc"), Anchors{});
+}
+
+TEST(LintTest, PointerOrderingPositive) {
+  EXPECT_EQ(LintFixture("ql004_positive.cc"),
+            (Anchors{{"QL004", 9}, {"QL004", 10}, {"QL004", 11}, {"QL004", 14}}));
+}
+
+TEST(LintTest, PointerOrderingNegative) {
+  EXPECT_EQ(LintFixture("ql004_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, BannedIncludePositiveInsideCoreLayer) {
+  EXPECT_EQ(LintFixture("src/core/ql005_positive.cc"),
+            (Anchors{{"QL005", 3}, {"QL005", 4}, {"QL005", 5}, {"QL005", 6}}));
+}
+
+TEST(LintTest, BannedIncludeNegativeOutsideLayers) {
+  EXPECT_EQ(LintFixture("ql005_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, BadSuppressionsFireQL006AndSuppressNothing) {
+  EXPECT_EQ(LintFixture("ql006_bad_suppression.cc"),
+            (Anchors{{"QL006", 6}, {"QL002", 7}, {"QL006", 8}, {"QL006", 9}}));
+}
+
+TEST(LintTest, CompanionHeaderDeclarationsAreVisibleFromCc) {
+  // recommender.cc-style split: the container member lives in the header,
+  // the serializing loop in the .cc. LintContent's companion parameter is
+  // what LintPaths feeds from the sibling header.
+  const std::string header = "struct S { std::unordered_map<int, int> store_; };\n";
+  const std::string source =
+      "std::string S::Serialize() const {\n"
+      "  std::string out;\n"
+      "  for (const auto& kv : store_) out += 'x';\n"
+      "  return out;\n"
+      "}\n";
+  std::vector<Finding> without = LintContent("s.cc", source, LintOptions{});
+  EXPECT_TRUE(without.empty());
+  std::vector<Finding> with = LintContent("s.cc", source, LintOptions{}, header);
+  ASSERT_EQ(with.size(), 1u);
+  EXPECT_EQ(with[0].rule_id, "QL003");
+  EXPECT_EQ(with[0].line, 3);
+}
+
+TEST(LintTest, SelfExemption) {
+  std::vector<Finding> findings =
+      LintContent("tools/qsteer_lint_lib.cc", "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---- CLI exit-code contract ----
+
+int RunCli(std::vector<const char*> args, std::string* out_text = nullptr) {
+  args.insert(args.begin(), "qsteer_lint");
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunLintMain(static_cast<int>(args.size()), args.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str() + err.str();
+  return code;
+}
+
+TEST(LintCliTest, CleanFileExitsZero) {
+  std::string path = FixturePath("ql001_negative.cc");
+  EXPECT_EQ(RunCli({path.c_str()}), 0);
+}
+
+TEST(LintCliTest, FindingsExitOneAndNameTheRule) {
+  std::string path = FixturePath("ql001_positive.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({path.c_str()}, &output), 1);
+  EXPECT_NE(output.find("QL001"), std::string::npos);
+  EXPECT_NE(output.find("ql001_positive.cc:7"), std::string::npos);
+}
+
+TEST(LintCliTest, JsonFormatIsMachineReadable) {
+  std::string path = FixturePath("ql002_positive.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({"--format=json", path.c_str()}, &output), 1);
+  EXPECT_NE(output.find("\"rule\": \"QL002\""), std::string::npos);
+  EXPECT_NE(output.find("\"line\": 7"), std::string::npos);
+}
+
+TEST(LintCliTest, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(RunCli({}), 2);                                   // no paths
+  EXPECT_EQ(RunCli({"--bogus-flag"}), 2);                     // unknown flag
+  std::string missing = FixturePath("does_not_exist.cc");
+  EXPECT_EQ(RunCli({missing.c_str()}), 2);                    // unreadable path
+}
+
+TEST(LintCliTest, ListRulesExitsZero) {
+  std::string output;
+  EXPECT_EQ(RunCli({"--list-rules"}, &output), 0);
+  for (const char* id : {"QL001", "QL002", "QL003", "QL004", "QL005", "QL006"}) {
+    EXPECT_NE(output.find(id), std::string::npos) << id;
+  }
+}
+
+// ---- The repo itself must lint clean ----
+
+TEST(LintRepoTest, SourceTreeIsClean) {
+  std::vector<std::string> roots;
+  for (const char* dir : {"src", "tools", "bench", "examples"}) {
+    roots.push_back(std::string(QSTEER_SOURCE_DIR) + "/" + dir);
+  }
+  std::vector<Finding> findings;
+  std::string error;
+  ASSERT_TRUE(LintPaths(roots, LintOptions{}, &findings, &error)) << error;
+  for (const Finding& finding : findings) {
+    ADD_FAILURE() << finding.path << ":" << finding.line << ": " << finding.rule_id << " "
+                  << finding.message;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace qsteer

@@ -1,0 +1,10 @@
+// Command-line entry point for the determinism linter. All logic lives in
+// qsteer_lint_lib.{h,cc} so tests/lint_test.cc can drive the engine (and
+// the exit-code contract) in-process.
+#include <iostream>
+
+#include "qsteer_lint_lib.h"
+
+int main(int argc, char** argv) {
+  return qsteer::lint::RunLintMain(argc, argv, std::cout, std::cerr);
+}

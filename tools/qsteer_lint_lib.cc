@@ -1,0 +1,688 @@
+#include "qsteer_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace qsteer {
+namespace lint {
+namespace {
+
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// True when `text[pos..]` starts with `word` at a word boundary on both
+/// sides.
+bool MatchWord(std::string_view text, size_t pos, std::string_view word) {
+  if (text.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  size_t end = pos + word.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+/// Finds `word` at a word boundary anywhere in `text`, optionally requiring
+/// an open paren (after whitespace) right behind it.
+bool ContainsWordCall(std::string_view text, std::string_view word, bool require_paren) {
+  for (size_t pos = text.find(word); pos != std::string_view::npos;
+       pos = text.find(word, pos + 1)) {
+    if (!MatchWord(text, pos, word)) continue;
+    if (!require_paren) return true;
+    size_t after = pos + word.size();
+    while (after < text.size() && (text[after] == ' ' || text[after] == '\t')) ++after;
+    if (after < text.size() && text[after] == '(') return true;
+  }
+  return false;
+}
+
+/// Replaces comments and string/char-literal *contents* with spaces,
+/// preserving newlines and column positions, so pattern matching never
+/// fires on prose and directives can still be read from the raw text.
+std::string StripCommentsAndStrings(std::string_view content) {
+  std::string out(content);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim(...)delim"
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          size_t paren = content.find('(', i + 2);
+          if (paren != std::string_view::npos) {
+            raw_delim = ")" + std::string(content.substr(i + 2, paren - i - 2)) + "\"";
+            state = State::kRawString;
+            for (size_t j = i; j <= paren; ++j) out[j] = ' ';
+            i = paren;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // The ident-char guard keeps digit separators (1'000'000) intact.
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < content.size() && next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < content.size() && next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool IsBlank(std::string_view line) {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return "";
+  size_t end = text.find_last_not_of(" \t\r");
+  return std::string(text.substr(begin, end - begin + 1));
+}
+
+const std::map<std::string, std::string>& RuleNamesById() {
+  static const std::map<std::string, std::string> kNames = {
+      {"QL001", "random-source"},     {"QL002", "wall-clock"},
+      {"QL003", "unordered-iteration"}, {"QL004", "pointer-ordering"},
+      {"QL005", "banned-include"},    {"QL006", "bad-suppression"},
+  };
+  return kNames;
+}
+
+/// Accepts a rule id ("QL002") or name ("wall-clock"); returns the id, or
+/// "" when unrecognized.
+std::string NormalizeRule(const std::string& rule) {
+  for (const auto& [id, name] : RuleNamesById()) {
+    if (rule == id || rule == name) return id;
+  }
+  return "";
+}
+
+struct Directives {
+  /// line (1-based) -> rule ids suppressed on that line.
+  std::map<int, std::set<std::string>> allow;
+  /// Directive problems (QL006) found while parsing.
+  std::vector<Finding> findings;
+};
+
+/// Parses `// qsteer-lint: allow(<rule>) <justification>` and
+/// `// qsteer-lint: sorted <justification>` directives. A directive on a
+/// standalone comment line applies to the next line; otherwise to its own.
+Directives ParseDirectives(const std::string& path,
+                           const std::vector<std::string_view>& raw_lines,
+                           const std::vector<std::string_view>& stripped_lines) {
+  static constexpr std::string_view kMarker = "qsteer-lint:";
+  Directives result;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    size_t marker = raw_lines[i].find(kMarker);
+    if (marker == std::string_view::npos) continue;
+    int line = static_cast<int>(i) + 1;
+    std::string rest = Trim(raw_lines[i].substr(marker + kMarker.size()));
+    if (size_t close = rest.find("*/"); close != std::string::npos) {
+      rest = Trim(rest.substr(0, close));
+    }
+    std::string rule_id;
+    std::string justification;
+    if (rest.rfind("allow(", 0) == 0) {
+      size_t close = rest.find(')');
+      if (close == std::string::npos) {
+        result.findings.push_back({path, line, "QL006", "bad-suppression",
+                                   "malformed allow(...) directive: missing ')'"});
+        continue;
+      }
+      rule_id = NormalizeRule(Trim(rest.substr(6, close - 6)));
+      if (rule_id.empty()) {
+        result.findings.push_back({path, line, "QL006", "bad-suppression",
+                                   "allow(...) names an unknown rule"});
+        continue;
+      }
+      justification = Trim(rest.substr(close + 1));
+    } else if (rest.rfind("sorted", 0) == 0 &&
+               (rest.size() == 6 || !IsIdentChar(rest[6]))) {
+      rule_id = "QL003";
+      justification = Trim(rest.substr(6));
+    } else {
+      result.findings.push_back({path, line, "QL006", "bad-suppression",
+                                 "unknown qsteer-lint directive (expected allow(<rule>) "
+                                 "or sorted)"});
+      continue;
+    }
+    if (justification.empty()) {
+      result.findings.push_back(
+          {path, line, "QL006", "bad-suppression",
+           "suppression without a justification has no effect; explain why the "
+           "pattern is safe"});
+      continue;
+    }
+    // A standalone comment line shields the next line; an end-of-line
+    // directive shields its own.
+    int target = IsBlank(stripped_lines[i]) ? line + 1 : line;
+    result.allow[target].insert(rule_id);
+  }
+  return result;
+}
+
+bool PathContains(const std::string& path, std::string_view needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// ---- QL003 support: unordered-container declarations and range-fors ----
+
+/// Names declared in this file as std::unordered_map/std::unordered_set
+/// variables or members (template arguments balanced by hand; regex cannot
+/// nest). `decl_lines` receives the declaration line of each name.
+std::set<std::string> UnorderedContainerNames(std::string_view stripped,
+                                              std::map<std::string, int>* decl_lines) {
+  std::set<std::string> names;
+  for (std::string_view keyword : {"unordered_map", "unordered_set"}) {
+    for (size_t pos = stripped.find(keyword); pos != std::string_view::npos;
+         pos = stripped.find(keyword, pos + 1)) {
+      if (!MatchWord(stripped, pos, keyword)) continue;
+      size_t cursor = pos + keyword.size();
+      while (cursor < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[cursor])))
+        ++cursor;
+      if (cursor >= stripped.size() || stripped[cursor] != '<') continue;
+      int depth = 1;
+      ++cursor;
+      while (cursor < stripped.size() && depth > 0) {
+        if (stripped[cursor] == '<') ++depth;
+        if (stripped[cursor] == '>') --depth;
+        ++cursor;
+      }
+      if (depth != 0) continue;
+      // Skip whitespace and declarator decorations to the declared name.
+      while (cursor < stripped.size() &&
+             (std::isspace(static_cast<unsigned char>(stripped[cursor])) ||
+              stripped[cursor] == '&' || stripped[cursor] == '*')) {
+        ++cursor;
+      }
+      size_t name_begin = cursor;
+      while (cursor < stripped.size() && IsIdentChar(stripped[cursor])) ++cursor;
+      if (cursor == name_begin) continue;  // e.g. `unordered_map<...>::iterator` or `>;`
+      std::string name(stripped.substr(name_begin, cursor - name_begin));
+      while (cursor < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[cursor])))
+        ++cursor;
+      if (cursor < stripped.size() && stripped[cursor] == '(') continue;  // function decl
+      if (name == "const" || name == "final") continue;
+      names.insert(name);
+      if (decl_lines->find(name) == decl_lines->end()) {
+        int line = 1 + static_cast<int>(std::count(stripped.begin(),
+                                                   stripped.begin() + static_cast<long>(pos), '\n'));
+        (*decl_lines)[name] = line;
+      }
+    }
+  }
+  return names;
+}
+
+struct RangeFor {
+  int line = 0;             // 1-based line of the `for`
+  std::string range_ident;  // last identifier of the range expression
+};
+
+/// Finds range-based for statements and the final identifier of each range
+/// expression (`store_` in `for (auto& kv : store_)`, `rows` in
+/// `for (const auto& r : view->rows)`).
+std::vector<RangeFor> FindRangeFors(std::string_view stripped) {
+  std::vector<RangeFor> fors;
+  for (size_t pos = stripped.find("for"); pos != std::string_view::npos;
+       pos = stripped.find("for", pos + 1)) {
+    if (!MatchWord(stripped, pos, "for")) continue;
+    size_t open = pos + 3;
+    while (open < stripped.size() && std::isspace(static_cast<unsigned char>(stripped[open])))
+      ++open;
+    if (open >= stripped.size() || stripped[open] != '(') continue;
+    int depth = 0;
+    size_t cursor = open;
+    size_t colon = std::string_view::npos;
+    bool has_semicolon = false;
+    for (; cursor < stripped.size(); ++cursor) {
+      char c = stripped[cursor];
+      if (c == '(') ++depth;
+      if (c == ')' && --depth == 0) break;
+      if (depth == 1 && c == ';') has_semicolon = true;
+      if (depth == 1 && c == ':' && colon == std::string_view::npos) {
+        bool double_colon = (cursor + 1 < stripped.size() && stripped[cursor + 1] == ':') ||
+                            (cursor > 0 && stripped[cursor - 1] == ':');
+        if (!double_colon) colon = cursor;
+      }
+    }
+    if (cursor >= stripped.size() || has_semicolon || colon == std::string_view::npos) continue;
+    std::string_view range = stripped.substr(colon + 1, cursor - colon - 1);
+    // Last identifier in the range expression.
+    size_t end = range.find_last_not_of(" \t\r\n");
+    if (end == std::string_view::npos) continue;
+    while (end != std::string_view::npos && !IsIdentChar(range[end])) {
+      if (end == 0) break;
+      --end;
+    }
+    if (!IsIdentChar(range[end])) continue;
+    size_t begin = end;
+    while (begin > 0 && IsIdentChar(range[begin - 1])) --begin;
+    RangeFor entry;
+    entry.range_ident = std::string(range.substr(begin, end - begin + 1));
+    entry.line = 1 + static_cast<int>(std::count(stripped.begin(),
+                                                 stripped.begin() + static_cast<long>(pos), '\n'));
+    fors.push_back(entry);
+  }
+  return fors;
+}
+
+/// A file is order-sensitive (QL003 applies) when it emits bytes whose
+/// order a reader could depend on: serialization, text output, hashing of
+/// aggregated state.
+bool IsOrderSensitive(std::string_view stripped) {
+  for (std::string_view marker :
+       {"Serialize", "ToString", "ostream", "ostringstream", "AtomicWriteFile",
+        "WriteFileChecksummed", "fprintf", "printf"}) {
+    if (stripped.find(marker) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> LintContent(const std::string& path, std::string_view content,
+                                 const LintOptions& options,
+                                 std::string_view companion_decls) {
+  // The linter's own sources (and its fixtures' golden copies) spell the
+  // banned patterns out; self-exemption keeps it from eating itself.
+  if (Basename(path).rfind("qsteer_lint", 0) == 0) return {};
+
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string_view> raw_lines = SplitLines(content);
+  const std::vector<std::string_view> stripped_lines = SplitLines(stripped);
+  Directives directives = ParseDirectives(path, raw_lines, stripped_lines);
+
+  std::vector<Finding> findings = std::move(directives.findings);
+  auto Suppressed = [&directives](int line, const std::string& rule_id) {
+    auto it = directives.allow.find(line);
+    return it != directives.allow.end() && it->second.count(rule_id) > 0;
+  };
+  auto Emit = [&](int line, const char* id, const std::string& message) {
+    if (Suppressed(line, id)) return;
+    findings.push_back({path, line, id, RuleNamesById().at(id), message});
+  };
+
+  const bool ql001_allowlisted =
+      options.builtin_allowlists &&
+      (PathContains(path, "common/random.") || PathContains(path, "bench/"));
+  const bool ql002_allowlisted = options.builtin_allowlists && PathContains(path, "bench/");
+  const bool ql005_applies = PathContains(path, "src/core/") ||
+                             PathContains(path, "src/optimizer/") ||
+                             PathContains(path, "src/service/");
+
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::string_view line = stripped_lines[i];
+    int lineno = static_cast<int>(i) + 1;
+
+    // QL001: ambient randomness. Every random draw must flow from a seeded
+    // Pcg32 (common/random.h) so runs are reproducible bit-for-bit.
+    if (!ql001_allowlisted) {
+      if (line.find("std::random_device") != std::string_view::npos) {
+        Emit(lineno, "QL001",
+             "std::random_device is ambient entropy; derive seeds from the "
+             "experiment seed (common/random.h)");
+      } else if (ContainsWordCall(line, "rand", /*require_paren=*/true) ||
+                 ContainsWordCall(line, "srand", /*require_paren=*/true)) {
+        Emit(lineno, "QL001",
+             "rand()/srand() draw from hidden global state; use a seeded Pcg32 "
+             "(common/random.h)");
+      }
+    }
+
+    // QL002: wall clocks. Time-dependent control flow diverges run to run;
+    // simulated time and seeded costs keep experiments reproducible.
+    if (!ql002_allowlisted) {
+      if (line.find("_clock::now") != std::string_view::npos ||
+          ContainsWordCall(line, "gettimeofday", /*require_paren=*/true) ||
+          ContainsWordCall(line, "clock_gettime", /*require_paren=*/true) ||
+          ContainsWordCall(line, "time", /*require_paren=*/true)) {
+        Emit(lineno, "QL002",
+             "wall-clock read in library code; gate behavior on simulated time "
+             "or suppress with a justification if this is observability-only");
+      }
+    }
+
+    // QL004: raw-pointer ordering. Addresses differ across runs, so any
+    // pointer-keyed ordered container iterates in a nondeterministic order.
+    {
+      static const struct {
+        const char* needle;
+        const char* what;
+      } kPointerPatterns[] = {
+          {"std::set<", "std::set keyed by pointer"},
+          {"std::map<", "std::map keyed by pointer"},
+          {"std::less<", "std::less over pointers"},
+      };
+      for (const auto& pattern : kPointerPatterns) {
+        size_t pos = line.find(pattern.needle);
+        if (pos == std::string_view::npos) continue;
+        // First template argument only: scan to the first ',' or matching
+        // '>' and look for a '*' (pointer key).
+        size_t cursor = pos + std::char_traits<char>::length(pattern.needle);
+        int depth = 1;
+        bool pointer_key = false;
+        for (; cursor < line.size() && depth > 0; ++cursor) {
+          char c = line[cursor];
+          if (c == '<') ++depth;
+          if (c == '>') --depth;
+          if (depth == 1 && c == ',') break;
+          if (depth == 1 && c == '*') pointer_key = true;
+        }
+        if (pointer_key) {
+          Emit(lineno, "QL004",
+               std::string(pattern.what) +
+                   ": iteration order follows allocation addresses, which differ "
+                   "every run; key by a stable id instead");
+          break;
+        }
+      }
+      if (line.find(".get()") != std::string_view::npos) {
+        size_t first = line.find(".get()");
+        size_t lt = line.find('<', first + 6);
+        if (lt != std::string_view::npos && lt + 1 < line.size() && line[lt + 1] != '<' &&
+            line[lt - 1] != '<' && line.find(".get()", lt) != std::string_view::npos) {
+          Emit(lineno, "QL004",
+               "comparing smart-pointer addresses orders by allocation, which "
+               "differs every run; compare a stable id instead");
+        }
+      }
+    }
+
+    // QL005: the deterministic layers must not even include entropy/clock
+    // headers — a banned include is a banned dependency, used or not.
+    if (ql005_applies) {
+      size_t hash = line.find('#');
+      if (hash != std::string_view::npos &&
+          line.find("include", hash) != std::string_view::npos) {
+        for (std::string_view banned : {"<random>", "<ctime>", "<time.h>", "<sys/time.h>"}) {
+          if (line.find(banned) != std::string_view::npos) {
+            Emit(lineno, "QL005",
+                 "#include " + std::string(banned) +
+                     " is banned in src/core, src/optimizer, and src/service; "
+                     "these layers must stay deterministic");
+          }
+        }
+      }
+    }
+  }
+
+  // QL003: iterating an unordered container feeds implementation-defined
+  // order into whatever the loop body does. In files that serialize, that
+  // order can leak into bytes; require either a visible sort in the
+  // neighborhood or a `sorted` marker explaining why order cannot matter.
+  if (IsOrderSensitive(stripped)) {
+    std::map<std::string, int> decl_lines;
+    std::set<std::string> container_names = UnorderedContainerNames(stripped, &decl_lines);
+    if (!companion_decls.empty()) {
+      const std::string companion_stripped = StripCommentsAndStrings(companion_decls);
+      std::map<std::string, int> companion_lines;
+      std::set<std::string> companion_names =
+          UnorderedContainerNames(companion_stripped, &companion_lines);
+      container_names.insert(companion_names.begin(), companion_names.end());
+    }
+    if (!container_names.empty()) {
+      for (const RangeFor& range_for : FindRangeFors(stripped)) {
+        if (container_names.count(range_for.range_ident) == 0) continue;
+        bool sorted_nearby = false;
+        int window_begin = std::max(0, range_for.line - 4);
+        int window_end =
+            std::min(static_cast<int>(stripped_lines.size()), range_for.line + 15);
+        for (int j = window_begin; j < window_end; ++j) {
+          std::string_view nearby = stripped_lines[static_cast<size_t>(j)];
+          if (nearby.find("std::sort") != std::string_view::npos ||
+              nearby.find("std::stable_sort") != std::string_view::npos) {
+            sorted_nearby = true;
+            break;
+          }
+        }
+        if (sorted_nearby) continue;
+        Emit(range_for.line, "QL003",
+             "iterates unordered container '" + range_for.range_ident +
+                 "' in a file that serializes state; sort before emitting, or mark "
+                 "`// qsteer-lint: sorted <why order cannot matter>`");
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule_id < b.rule_id;
+  });
+  return findings;
+}
+
+namespace {
+
+bool HasLintableExtension(const std::filesystem::path& path) {
+  std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" || ext == ".cxx";
+}
+
+bool ReadFile(const std::string& path, std::string* content, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *content = buffer.str();
+  return true;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool LintPaths(const std::vector<std::string>& paths, const LintOptions& options,
+               std::vector<Finding>* findings, std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        *error = "cannot walk " + path + ": " + ec.message();
+        return false;
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      *error = "no such file or directory: " + path;
+      return false;
+    }
+  }
+  // Directory iteration order is platform-defined; findings must not be.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  for (const std::string& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content, error)) return false;
+    // Sibling header (foo.h next to foo.cc) contributes container
+    // declarations so member iteration is visible from the .cc (QL003).
+    std::string companion;
+    std::filesystem::path as_path(file);
+    std::string ext = as_path.extension().string();
+    if (ext == ".cc" || ext == ".cpp" || ext == ".cxx") {
+      std::filesystem::path header = as_path;
+      header.replace_extension(".h");
+      std::error_code ec;
+      if (std::filesystem::is_regular_file(header, ec)) {
+        std::string ignored_error;
+        ReadFile(header.string(), &companion, &ignored_error);
+      }
+    }
+    std::vector<Finding> file_findings = LintContent(file, content, options, companion);
+    findings->insert(findings->end(), file_findings.begin(), file_findings.end());
+  }
+  return true;
+}
+
+int RunLintMain(int argc, const char* const* argv, std::ostream& out, std::ostream& err) {
+  LintOptions options;
+  bool json = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--format=text") {
+      json = false;
+    } else if (arg == "--format=json") {
+      json = true;
+    } else if (arg == "--no-builtin-allowlist") {
+      options.builtin_allowlists = false;
+    } else if (arg == "--list-rules") {
+      for (const auto& [id, name] : RuleNamesById()) out << id << "  " << name << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      out << "usage: qsteer_lint [--format=text|json] [--no-builtin-allowlist] "
+             "[--list-rules] <path>...\n"
+             "Lints C++ sources for determinism hazards. Exit 0 = clean, 1 = "
+             "findings, 2 = usage/IO error.\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "qsteer_lint: unknown flag: " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    err << "qsteer_lint: no paths given (try --help)\n";
+    return 2;
+  }
+  std::vector<Finding> findings;
+  std::string error;
+  if (!LintPaths(paths, options, &findings, &error)) {
+    err << "qsteer_lint: " << error << "\n";
+    return 2;
+  }
+  if (json) {
+    out << "[";
+    for (size_t i = 0; i < findings.size(); ++i) {
+      const Finding& f = findings[i];
+      out << (i == 0 ? "" : ",") << "\n  {\"path\": \"" << JsonEscape(f.path)
+          << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule_id
+          << "\", \"name\": \"" << f.rule_name << "\", \"message\": \""
+          << JsonEscape(f.message) << "\"}";
+    }
+    out << (findings.empty() ? "]\n" : "\n]\n");
+  } else {
+    for (const Finding& f : findings) {
+      out << f.path << ":" << f.line << ": " << f.rule_id << " [" << f.rule_name
+          << "] " << f.message << "\n";
+    }
+    if (!findings.empty()) {
+      out << findings.size() << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace lint
+}  // namespace qsteer

@@ -1,0 +1,100 @@
+// qsteer-lint: the determinism linter.
+//
+// The repo's core invariant is bit-reproducibility: the same (job, config,
+// seed) must produce identical bytes on every run, thread count, and
+// machine — WAL replay, the chaos harness, and the A/B experiment design
+// all depend on it. Clang's -Wthread-safety enforces the *locking* half of
+// that contract (see common/thread_annotations.h); this linter enforces the
+// *determinism* half, catching the sources of nondeterminism that type
+// systems cannot:
+//
+//   QL001 random-source       std::random_device / rand() / srand() outside
+//                             the seeded-PRNG module (common/random.*).
+//   QL002 wall-clock          *_clock::now(), time(), gettimeofday(),
+//                             clock_gettime() outside bench drivers.
+//   QL003 unordered-iteration range-for over a std::unordered_{map,set}
+//                             declared in the same file, in a file that
+//                             serializes state — iteration order is
+//                             implementation-defined, so anything emitted
+//                             from such a loop must be sorted first.
+//   QL004 pointer-ordering    containers ordered by raw pointer value
+//                             (std::set<T*>, std::map<T*, ...>,
+//                             std::less<T*>) — addresses differ run to run.
+//   QL005 banned-include      <random>/<ctime>/<time.h>/<sys/time.h> in
+//                             src/core, src/optimizer, src/service: the
+//                             deterministic layers must not even link
+//                             against ambient entropy or clocks.
+//   QL006 bad-suppression     a qsteer-lint directive without a
+//                             justification (it suppresses nothing).
+//
+// Suppressions are line-scoped and must carry a justification:
+//
+//   // qsteer-lint: allow(wall-clock) measures real latency for the EWMA
+//   // qsteer-lint: sorted keys are sorted two lines above
+//
+// `allow(<rule>)` accepts a rule id (QL002) or name (wall-clock) and
+// applies to its own line, or to the next line when the comment stands
+// alone. `sorted` is QL003's specific form. A bare directive without a
+// justification does NOT suppress — it raises QL006 instead, so the
+// reasoning is always in the diff.
+//
+// Deliberately not a libclang plugin: a token-level scanner over
+// comment/string-stripped source keeps the linter dependency-free, fast
+// enough for a pre-commit hook, and trivially testable against fixture
+// files (tests/lint_test.cc).
+#ifndef QSTEER_TOOLS_QSTEER_LINT_LIB_H_
+#define QSTEER_TOOLS_QSTEER_LINT_LIB_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsteer {
+namespace lint {
+
+struct Finding {
+  std::string path;
+  int line = 0;  // 1-based
+  std::string rule_id;    // "QL002"
+  std::string rule_name;  // "wall-clock"
+  std::string message;
+};
+
+struct LintOptions {
+  /// Apply the built-in path allowlists (common/random.* for QL001, bench/
+  /// for QL002). Fixture tests disable this to exercise rules in isolation.
+  bool builtin_allowlists = true;
+};
+
+/// Lints one file's content. `path` is used for reporting and for the
+/// path-scoped rules (allowlists, QL005's banned-include directories).
+/// Findings are ordered by line. Files whose basename starts with
+/// "qsteer_lint" are self-exempt (the linter's own sources spell out the
+/// banned patterns) and yield no findings.
+///
+/// `companion_decls` is extra source scanned for unordered-container
+/// *declarations* only (QL003): LintPaths passes the sibling header of a
+/// .cc file here, so `for (auto& kv : store_)` in recommender.cc is checked
+/// against the `std::unordered_map<...> store_` member in recommender.h.
+std::vector<Finding> LintContent(const std::string& path, std::string_view content,
+                                 const LintOptions& options = {},
+                                 std::string_view companion_decls = {});
+
+/// Expands paths (directories recurse over .h/.hpp/.cc/.cpp/.cxx), lints
+/// every file, and returns all findings sorted by (path, line). On an
+/// unreadable path, returns false and sets *error.
+bool LintPaths(const std::vector<std::string>& paths, const LintOptions& options,
+               std::vector<Finding>* findings, std::string* error);
+
+/// Full CLI: `qsteer_lint [--format=text|json] [--no-builtin-allowlist]
+/// [--list-rules] <path>...`. Returns the process exit code:
+///   0  no findings;
+///   1  findings reported (on `out`, one per line or as a JSON array);
+///   2  usage error or unreadable input (message on `err`).
+int RunLintMain(int argc, const char* const* argv, std::ostream& out, std::ostream& err);
+
+}  // namespace lint
+}  // namespace qsteer
+
+#endif  // QSTEER_TOOLS_QSTEER_LINT_LIB_H_
