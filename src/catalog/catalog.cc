@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "catalog/stats_model.h"
 #include "common/hash.h"
 
 namespace qsteer {
@@ -67,6 +68,26 @@ int64_t Catalog::TrueRowCount(int stream_id, int day) const {
   Pcg32 rng(HashCombine(HashString(s.name), static_cast<uint64_t>(day)), /*stream=*/17);
   rows *= std::exp(0.08 * rng.NextGaussian());
   return std::max<int64_t>(1, static_cast<int64_t>(rows));
+}
+
+int64_t Catalog::TrueDistinctCount(int stream_set_id, int column_index, int day) const {
+  const StreamSet& set = *sets_[static_cast<size_t>(stream_set_id)];
+  const ColumnDef& col = set.columns[static_cast<size_t>(column_index)];
+  if (col.domain_growth <= 0.0 || day <= 0) return col.distinct_count;
+  double grown = static_cast<double>(col.distinct_count) * std::pow(1.0 + col.domain_growth, day);
+  return std::max<int64_t>(1, static_cast<int64_t>(grown));
+}
+
+double Catalog::TrueZipfSkew(int stream_set_id, int column_index, int day) const {
+  const StreamSet& set = *sets_[static_cast<size_t>(stream_set_id)];
+  const ColumnDef& col = set.columns[static_cast<size_t>(column_index)];
+  if (col.skew_drift == 0.0 || day <= 0) return col.zipf_skew;
+  return std::max(0.0, col.zipf_skew + col.skew_drift * day);
+}
+
+const StatsModel& Catalog::stats_model() const {
+  static const ScalarStatsModel kScalar;
+  return stats_model_ != nullptr ? *stats_model_ : kScalar;
 }
 
 OptimizerStreamStats Catalog::GetOptimizerStats(int stream_id, int day) const {

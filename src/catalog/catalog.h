@@ -31,6 +31,8 @@
 
 namespace qsteer {
 
+class StatsModel;
+
 enum class ColumnType { kInt64, kDouble, kString };
 
 /// True generative description of one column of a stream set.
@@ -44,6 +46,14 @@ struct ColumnDef {
   double null_fraction = 0.0;
   /// Average width in bytes (for IO estimates).
   double avg_width = 8.0;
+  /// Per-day fractional growth of the true value domain: on day d the column
+  /// really holds distinct_count * (1 + domain_growth)^d values. New values
+  /// are invisible to statistics built before they were born (the
+  /// stale-histogram cliff). 0 = static domain.
+  double domain_growth = 0.0;
+  /// Per-day additive drift of the true Zipf exponent (hot keys get hotter
+  /// over time). 0 = stationary skew.
+  double skew_drift = 0.0;
 };
 
 /// True pairwise correlation between two columns of the same set.
@@ -126,6 +136,14 @@ class Catalog {
   /// True row count of a stream on the given day (deterministic).
   int64_t TrueRowCount(int stream_id, int day) const;
 
+  /// True distinct-value count of a set's column on the given day
+  /// (distinct_count grown by ColumnDef::domain_growth).
+  int64_t TrueDistinctCount(int stream_set_id, int column_index, int day) const;
+
+  /// True Zipf exponent of a set's column on the given day
+  /// (zipf_skew shifted by ColumnDef::skew_drift, floored at 0).
+  double TrueZipfSkew(int stream_set_id, int column_index, int day) const;
+
   /// The stale, error-injected statistics the optimizer sees for a stream on
   /// the given day. Deterministic in (stream, day).
   OptimizerStreamStats GetOptimizerStats(int stream_id, int day) const;
@@ -136,12 +154,20 @@ class Catalog {
   void set_stats_error_model(const StatsErrorModel& model) { stats_error_ = model; }
   const StatsErrorModel& stats_error_model() const { return stats_error_; }
 
+  /// The statistics model serving the optimizer's estimated view. Defaults
+  /// to the scalar stale-stats model; never null.
+  const StatsModel& stats_model() const;
+  void set_stats_model(std::shared_ptr<const StatsModel> model) {
+    stats_model_ = std::move(model);
+  }
+
  private:
   std::vector<std::unique_ptr<StreamSet>> sets_;
   std::vector<Stream> streams_;
   std::map<std::string, int> set_by_name_;
   std::map<std::string, int> stream_by_name_;
   StatsErrorModel stats_error_;
+  std::shared_ptr<const StatsModel> stats_model_;
 };
 
 }  // namespace qsteer

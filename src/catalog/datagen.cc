@@ -30,13 +30,17 @@ RowBatch MaterializeStream(const Catalog& catalog, int stream_id, int day, int64
   Pcg32 rng(HashCombine(HashString(stream.name), static_cast<uint64_t>(day) * 977),
             /*stream=*/41);
 
-  // Per-column samplers. Zipf skew 0 degenerates to uniform via UniformInt.
+  // Per-column samplers over the *day's* true domain and skew (domain growth
+  // and skew drift are part of the generative truth). Zipf skew 0
+  // degenerates to uniform via UniformInt.
+  std::vector<int64_t> true_ndv(set.columns.size(), 1);
   std::vector<std::unique_ptr<ZipfSampler>> samplers(set.columns.size());
   for (size_t c = 0; c < set.columns.size(); ++c) {
-    const ColumnDef& def = set.columns[c];
-    if (def.zipf_skew > 0.0) {
+    true_ndv[c] = catalog.TrueDistinctCount(stream.stream_set_id, static_cast<int>(c), day);
+    double skew = catalog.TrueZipfSkew(stream.stream_set_id, static_cast<int>(c), day);
+    if (skew > 0.0) {
       samplers[c] = std::make_unique<ZipfSampler>(
-          static_cast<int>(std::min<int64_t>(def.distinct_count, 2'000'000)), def.zipf_skew);
+          static_cast<int>(std::min<int64_t>(true_ndv[c], 2'000'000)), skew);
     }
   }
 
@@ -64,13 +68,13 @@ RowBatch MaterializeStream(const Catalog& catalog, int stream_id, int day, int64
       if (corr != nullptr && static_cast<size_t>(corr->column_a) < c &&
           row[static_cast<size_t>(corr->column_a)] != kNullValue &&
           rng.NextBool(corr->strength)) {
-        row[c] = DerivedValue(row[static_cast<size_t>(corr->column_a)], def.distinct_count);
+        row[c] = DerivedValue(row[static_cast<size_t>(corr->column_a)], true_ndv[c]);
         continue;
       }
       if (samplers[c] != nullptr) {
         row[c] = samplers[c]->Sample(&rng);
       } else {
-        row[c] = rng.UniformInt(1, std::max<int64_t>(1, def.distinct_count));
+        row[c] = rng.UniformInt(1, std::max<int64_t>(1, true_ndv[c]));
       }
     }
     for (size_t c = 0; c < set.columns.size(); ++c) {

@@ -1,0 +1,210 @@
+#include "catalog/stats_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/zipf.h"
+
+namespace qsteer {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram Histogram::BuildEquiDepth(int64_t domain, double skew, int num_buckets) {
+  Histogram h;
+  h.domain_ = std::max<int64_t>(1, domain);
+  h.skew_ = std::max(0.0, skew);
+  h.top_value_share_ = ZipfPmf(1.0, static_cast<double>(h.domain_), h.skew_);
+  int buckets = std::max(1, num_buckets);
+  if (static_cast<int64_t>(buckets) > h.domain_) buckets = static_cast<int>(h.domain_);
+
+  double n = static_cast<double>(h.domain_);
+  int64_t lo = 1;
+  double cdf_before = 0.0;
+  for (int b = 0; b < buckets && lo <= h.domain_; ++b) {
+    int64_t hi;
+    if (b + 1 == buckets) {
+      hi = h.domain_;
+    } else {
+      // Smallest value whose CDF reaches the next equi-depth boundary; never
+      // below `lo`, so every bucket holds at least one value.
+      double target = static_cast<double>(b + 1) / buckets;
+      int64_t search_lo = lo;
+      int64_t search_hi = h.domain_;
+      while (search_lo < search_hi) {
+        int64_t mid = search_lo + (search_hi - search_lo) / 2;
+        if (ZipfCdf(static_cast<double>(mid), n, h.skew_) >= target) {
+          search_hi = mid;
+        } else {
+          search_lo = mid + 1;
+        }
+      }
+      hi = search_lo;
+    }
+    HistogramBucket bucket;
+    bucket.lo = lo;
+    bucket.hi = hi;
+    double cdf_hi = ZipfCdf(static_cast<double>(hi), n, h.skew_);
+    bucket.row_fraction = std::max(0.0, cdf_hi - cdf_before);
+    bucket.ndv = static_cast<double>(hi - lo + 1);
+    h.buckets_.push_back(bucket);
+    cdf_before = cdf_hi;
+    lo = hi + 1;
+  }
+  return h;
+}
+
+double Histogram::CdfLe(double v) const {
+  if (buckets_.empty() || v < 1.0) return 0.0;
+  if (v >= static_cast<double>(domain_)) return 1.0;
+  double cum = 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > static_cast<double>(b.hi)) {
+      cum += b.row_fraction;
+      continue;
+    }
+    // Linear interpolation inside the covering bucket: value counts are
+    // assumed uniform among the bucket's distinct values.
+    double inside = (std::floor(v) - static_cast<double>(b.lo) + 1.0) /
+                    static_cast<double>(b.hi - b.lo + 1);
+    return std::clamp(cum + b.row_fraction * std::clamp(inside, 0.0, 1.0), 0.0, 1.0);
+  }
+  return 1.0;
+}
+
+double Histogram::EqSelectivity(double v) const {
+  if (buckets_.empty() || v < 1.0 || v > static_cast<double>(domain_)) return 0.0;
+  for (const HistogramBucket& b : buckets_) {
+    if (v > static_cast<double>(b.hi)) continue;
+    return b.row_fraction / std::max(1.0, b.ndv);
+  }
+  return 0.0;
+}
+
+std::string Histogram::Serialize() const {
+  std::ostringstream out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "qsteer-histogram v1 domain=%lld skew=%.17g top=%.17g n=%d\n",
+                static_cast<long long>(domain_), skew_, top_value_share_, num_buckets());
+  out << buf;
+  // buckets_ is an ordered vector; emission order is construction order.
+  for (const HistogramBucket& b : buckets_) {
+    std::snprintf(buf, sizeof(buf), "%lld %lld %.17g %.17g\n", static_cast<long long>(b.lo),
+                  static_cast<long long>(b.hi), b.row_fraction, b.ndv);
+    out << buf;
+  }
+  return out.str();
+}
+
+bool Histogram::Deserialize(std::string_view text, Histogram* out) {
+  if (out == nullptr) return false;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  long long domain = 0;
+  double skew = 0.0;
+  double top = 0.0;
+  int n = 0;
+  if (std::sscanf(line.c_str(), "qsteer-histogram v1 domain=%lld skew=%lg top=%lg n=%d", &domain,
+                  &skew, &top, &n) != 4) {
+    return false;
+  }
+  if (domain < 1 || n < 0) return false;
+  Histogram h;
+  h.domain_ = domain;
+  h.skew_ = skew;
+  h.top_value_share_ = top;
+  h.buckets_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!std::getline(in, line)) return false;
+    long long lo = 0;
+    long long hi = 0;
+    HistogramBucket b;
+    if (std::sscanf(line.c_str(), "%lld %lld %lg %lg", &lo, &hi, &b.row_fraction, &b.ndv) != 4) {
+      return false;
+    }
+    b.lo = lo;
+    b.hi = hi;
+    h.buckets_.push_back(b);
+  }
+  *out = std::move(h);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ScalarStatsModel
+// ---------------------------------------------------------------------------
+
+OptimizerStreamStats ScalarStatsModel::StreamStats(const Catalog& catalog, int stream_id,
+                                                   int day) const {
+  return catalog.GetOptimizerStats(stream_id, day);
+}
+
+ColumnSummary ScalarStatsModel::Summarize(const Catalog& catalog, int set_id, int column_index,
+                                          int day) const {
+  const StreamSet& set = catalog.stream_set(set_id);
+  const ColumnDef& def = set.columns[static_cast<size_t>(column_index)];
+  ColumnSummary summary;
+  // Believed NDV comes from the set's first stream, exactly as the
+  // estimator's per-stream cache always served it.
+  OptimizerStreamStats stats = StreamStats(catalog, set.stream_ids.front(), day);
+  summary.ndv = std::max(1.0, stats.distinct_counts[static_cast<size_t>(column_index)]);
+  summary.domain = std::max(1.0, static_cast<double>(def.distinct_count));
+  summary.null_fraction = def.null_fraction;
+  summary.avg_width = def.avg_width;
+  return summary;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramStatsModel
+// ---------------------------------------------------------------------------
+
+OptimizerStreamStats HistogramStatsModel::StreamStats(const Catalog& catalog, int stream_id,
+                                                      int day) const {
+  // Row-count beliefs stay scalar: histograms refine *distributions*.
+  return catalog.GetOptimizerStats(stream_id, day);
+}
+
+std::shared_ptr<const Histogram> HistogramStatsModel::ColumnHistogram(const Catalog& catalog,
+                                                                      int set_id, int column_index,
+                                                                      int day) const {
+  int build_day = std::max(0, day - options_.staleness_days);
+  uint64_t key = HashCombine(static_cast<uint64_t>(set_id),
+                             HashCombine(static_cast<uint64_t>(column_index),
+                                         static_cast<uint64_t>(build_day)));
+  {
+    MutexLock lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Build outside the lock: construction is pure, so a racing double-build
+  // produces identical histograms and the first insert wins.
+  int64_t domain = catalog.TrueDistinctCount(set_id, column_index, build_day);
+  double skew = catalog.TrueZipfSkew(set_id, column_index, build_day);
+  auto built = std::make_shared<const Histogram>(
+      Histogram::BuildEquiDepth(domain, skew, options_.num_buckets));
+  MutexLock lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, std::move(built));
+  return it->second;
+}
+
+ColumnSummary HistogramStatsModel::Summarize(const Catalog& catalog, int set_id, int column_index,
+                                             int day) const {
+  const StreamSet& set = catalog.stream_set(set_id);
+  const ColumnDef& def = set.columns[static_cast<size_t>(column_index)];
+  ColumnSummary summary;
+  summary.histogram = ColumnHistogram(catalog, set_id, column_index, day);
+  // Histogram-grade NDV/domain are exact as of the build day; staleness is
+  // the only error source.
+  summary.ndv = static_cast<double>(summary.histogram->domain());
+  summary.domain = static_cast<double>(summary.histogram->domain());
+  summary.null_fraction = def.null_fraction;
+  summary.avg_width = def.avg_width;
+  return summary;
+}
+
+}  // namespace qsteer

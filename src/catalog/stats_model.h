@@ -1,0 +1,179 @@
+// Pluggable statistics models: the seam between the catalog's generative
+// truth and the optimizer's believed statistics.
+//
+// A StatsModel answers two questions for the estimator on a given day:
+//   * StreamStats — per-stream row count / NDV / width beliefs,
+//   * Summarize   — a per-column distribution summary (ColumnSummary).
+//
+// Two implementations coexist:
+//   * ScalarStatsModel    — the original stale scalar beliefs (sampled NDVs,
+//     uniformity, stale row counts). Behavior-preserving default: every
+//     number it serves is bit-identical to the pre-seam code path.
+//   * HistogramStatsModel — equi-depth histograms built analytically from
+//     the generative ColumnDef truth on day d-k (the staleness knob k) and
+//     served on day d. Accurate but stale: when a column's true domain
+//     grows or its skew drifts between build and serve day, the histogram
+//     confidently mis-estimates — the "stale histogram cliff".
+//
+// Histogram construction is a pure function of (catalog, set, column, day):
+// no global state, no wall clock, no unseeded randomness — shard/parallel
+// runs stay bit-identical.
+#ifndef QSTEER_CATALOG_STATS_MODEL_H_
+#define QSTEER_CATALOG_STATS_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace qsteer {
+
+/// One equi-depth bucket over the integer value domain [lo, hi].
+struct HistogramBucket {
+  int64_t lo = 1;
+  int64_t hi = 1;
+  /// Fraction of (non-null) rows whose value falls in [lo, hi].
+  double row_fraction = 0.0;
+  /// Distinct values inside the bucket (equal-distinct-count bookkeeping).
+  double ndv = 1.0;
+};
+
+/// Deterministic equi-depth histogram over a Zipf(s) value distribution on
+/// ranks [1, domain]. Built analytically by inverting the Zipf CDF — no row
+/// materialization — so construction cost is O(buckets * log(domain)) and
+/// the result is a pure function of (domain, skew, num_buckets).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// Builds `num_buckets` buckets each holding ~1/num_buckets of the row
+  /// mass. Buckets never split a value; with heavy skew the first buckets
+  /// degenerate to singletons, capturing hot values exactly.
+  static Histogram BuildEquiDepth(int64_t domain, double skew, int num_buckets);
+
+  /// P(value <= v) with linear interpolation inside the covering bucket.
+  /// Values beyond the histogram's domain saturate at 1 — the histogram has
+  /// no evidence mass out there.
+  double CdfLe(double v) const;
+
+  /// P(value == v): covering bucket's row_fraction / ndv. Returns 0 for
+  /// values outside [1, domain] — a stale histogram is *confidently* wrong
+  /// about values born after its build day.
+  double EqSelectivity(double v) const;
+
+  /// Mass of the most frequent value (rank 1).
+  double TopValueShare() const { return top_value_share_; }
+
+  int64_t domain() const { return domain_; }
+  double skew() const { return skew_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  const std::vector<HistogramBucket>& buckets() const { return buckets_; }
+
+  /// Deterministic text form (round-trips via Deserialize; byte-stable
+  /// across platforms for a given build).
+  std::string Serialize() const;
+  static bool Deserialize(std::string_view text, Histogram* out);
+
+ private:
+  int64_t domain_ = 0;
+  double skew_ = 0.0;
+  double top_value_share_ = 0.0;
+  std::vector<HistogramBucket> buckets_;
+};
+
+/// Per-column distribution summary as a StatsModel believes it on one day.
+struct ColumnSummary {
+  double ndv = 1.0;
+  double domain = 1.0;
+  double null_fraction = 0.0;
+  double avg_width = 8.0;
+  /// Present only for histogram-grade models; null under scalar beliefs.
+  std::shared_ptr<const Histogram> histogram;
+};
+
+/// Abstract statistics model serving the optimizer's estimated view.
+/// Implementations must be deterministic in (catalog, day) and safe to call
+/// from concurrent pipeline workers.
+class StatsModel {
+ public:
+  virtual ~StatsModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// True for models that attach histograms to ColumnSummary. Gates
+  /// histogram-aware selectivity math and histogram-derived features.
+  virtual bool histogram_grade() const { return false; }
+
+  /// How many days behind the truth this model's summaries run.
+  virtual int staleness_days() const { return 0; }
+
+  /// Per-stream beliefs (row count, per-column NDVs, width) on `day`.
+  virtual OptimizerStreamStats StreamStats(const Catalog& catalog, int stream_id,
+                                           int day) const = 0;
+
+  /// Per-column distribution summary on `day`.
+  virtual ColumnSummary Summarize(const Catalog& catalog, int set_id, int column_index,
+                                  int day) const = 0;
+};
+
+/// The original scalar stale-stats beliefs, now behind the seam. Serves
+/// exactly the numbers Catalog::GetOptimizerStats always produced.
+class ScalarStatsModel : public StatsModel {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  OptimizerStreamStats StreamStats(const Catalog& catalog, int stream_id,
+                                   int day) const override;
+
+  ColumnSummary Summarize(const Catalog& catalog, int set_id, int column_index,
+                          int day) const override;
+};
+
+/// Histogram-grade beliefs: per-column equi-depth histograms built from the
+/// generative truth as of day max(0, d - staleness_days) and served on day
+/// d. Row-count beliefs stay scalar (histograms describe distributions, not
+/// stream volumes), so switching models never perturbs input-size features.
+class HistogramStatsModel : public StatsModel {
+ public:
+  struct Options {
+    int num_buckets = 32;
+    /// The staleness knob: histograms are built on day d-k, served on day d.
+    int staleness_days = 3;
+  };
+
+  HistogramStatsModel() = default;
+  explicit HistogramStatsModel(Options options) : options_(options) {}
+
+  const char* name() const override { return "histogram"; }
+  bool histogram_grade() const override { return true; }
+  int staleness_days() const override { return options_.staleness_days; }
+  const Options& options() const { return options_; }
+
+  OptimizerStreamStats StreamStats(const Catalog& catalog, int stream_id,
+                                   int day) const override;
+
+  ColumnSummary Summarize(const Catalog& catalog, int set_id, int column_index,
+                          int day) const override;
+
+  /// The histogram served for (set, column) on `day` — built from the truth
+  /// at day - staleness_days. Cached; pure in (catalog, day).
+  std::shared_ptr<const Histogram> ColumnHistogram(const Catalog& catalog, int set_id,
+                                                   int column_index, int day) const;
+
+ private:
+  Options options_;
+  // Built histograms are immutable and keyed by (set, column, build day);
+  // concurrent pipeline workers share one model instance.
+  mutable Mutex mu_;
+  mutable std::map<uint64_t, std::shared_ptr<const Histogram>> cache_ GUARDED_BY(mu_);
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_CATALOG_STATS_MODEL_H_

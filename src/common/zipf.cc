@@ -1,0 +1,47 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsteer {
+
+double GenHarmonic(double k, double s) {
+  if (k < 1.0) return 0.0;
+  constexpr int kExactTerms = 64;
+  double kf = std::floor(k);
+  int exact_upto = static_cast<int>(std::min(kf, static_cast<double>(kExactTerms)));
+  double h = 0.0;
+  for (int i = 1; i <= exact_upto; ++i) h += std::pow(static_cast<double>(i), -s);
+  if (kf <= kExactTerms) return h;
+  // Euler–Maclaurin tail from kExactTerms to k.
+  if (std::abs(s - 1.0) < 1e-9) {
+    return h + std::log(kf / kExactTerms);
+  }
+  return h + (std::pow(kf, 1.0 - s) - std::pow(static_cast<double>(kExactTerms), 1.0 - s)) /
+                 (1.0 - s);
+}
+
+double ZipfCdf(double k, double n, double s) {
+  if (n < 1.0) return 1.0;
+  k = std::clamp(k, 0.0, n);
+  if (k <= 0.0) return 0.0;
+  if (s <= 0.0) return k / n;
+  return GenHarmonic(k, s) / GenHarmonic(n, s);
+}
+
+double ZipfPmf(double k, double n, double s) {
+  if (n < 1.0 || k < 1.0 || k > n) return 0.0;
+  if (s <= 0.0) return 1.0 / n;
+  return std::pow(k, -s) / GenHarmonic(n, s);
+}
+
+double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2) {
+  n1 = std::max(1.0, n1);
+  n2 = std::max(1.0, n2);
+  if (s1 <= 0.0 && s2 <= 0.0) return 1.0 / std::max(n1, n2);
+  double numer = GenHarmonic(std::min(n1, n2), s1 + s2);
+  double denom = GenHarmonic(n1, s1) * GenHarmonic(n2, s2);
+  return std::clamp(numer / denom, 1e-12, 1.0);
+}
+
+}  // namespace qsteer

@@ -1,0 +1,26 @@
+// Analytic Zipf distribution math shared by the statistics stack.
+//
+// The generative truth models value frequencies as Zipf(s) over ranks
+// {1..n}; both the optimizer's estimators (src/optimizer/stats.cc) and the
+// catalog's histogram builder (src/catalog/stats_model.cc) need the same
+// closed-form CDF/PMF so estimate-vs-truth gaps come from *modeling*
+// choices (uniformity, staleness), never from divergent Zipf arithmetic.
+#ifndef QSTEER_COMMON_ZIPF_H_
+#define QSTEER_COMMON_ZIPF_H_
+
+namespace qsteer {
+
+/// Generalized harmonic number H(k, s) with Euler–Maclaurin approximation
+/// for large k. Exposed for tests.
+double GenHarmonic(double k, double s);
+/// P(value <= k) under Zipf(s) on [1, n]; uniform when s == 0.
+double ZipfCdf(double k, double n, double s);
+/// P(value == k) under Zipf(s) on [1, n].
+double ZipfPmf(double k, double n, double s);
+/// Expected per-pair match probability of joining two aligned Zipf
+/// distributions (the uniform/uniform case reduces to 1/max(n1, n2)).
+double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2);
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_ZIPF_H_

@@ -27,13 +27,22 @@ int GraphSlot(OpKind kind) {
 
 double Log1p(double v) { return std::log1p(std::max(0.0, v)); }
 
+/// Histogram-gated feature slots (appended only when the catalog's active
+/// StatsModel is histogram-grade, so scalar feature vectors keep their
+/// historical width): staleness age, max/mean hottest-bucket share of the
+/// scanned columns, and mean log q-error of yesterday's row-count
+/// estimates (past estimates are observable feedback in production).
+constexpr int kNumHistogramFeatures = 4;
+
 }  // namespace
 
 JobFeaturizer::JobFeaturizer(const Catalog* catalog, FeaturizerOptions options)
     : catalog_(catalog), options_(options) {}
 
 int JobFeaturizer::JobFeatureWidth() const {
-  return 1 + 2 * options_.hash_bins + 2 * kNumGraphKinds;
+  int width = 1 + 2 * options_.hash_bins + 2 * kNumGraphKinds;
+  if (catalog_->stats_model().histogram_grade()) width += kNumHistogramFeatures;
+  return width;
 }
 
 int JobFeaturizer::ConfigFeatureWidth() const { return 1 + options_.diff_bins; }
@@ -88,6 +97,43 @@ std::vector<double> JobFeaturizer::JobFeatures(const Job& job) const {
                       ? log_cards[static_cast<size_t>(i)] / counts[static_cast<size_t>(i)]
                       : 0.0;
     out.push_back(mean);
+  }
+
+  // (2b) Histogram-derived features, gated on the active model so scalar
+  // vectors keep their historical width.
+  const StatsModel& model = catalog_->stats_model();
+  if (model.histogram_grade()) {
+    out.push_back(static_cast<double>(model.staleness_days()));
+    double max_top_share = 0.0;
+    double sum_top_share = 0.0;
+    double num_cols = 0.0;
+    VisitPlan(job.root, [&](const PlanNode& node) {
+      // Job roots are logical plans; scans are kGet nodes.
+      if (node.op.kind != OpKind::kGet) return;
+      for (ColumnId c : node.op.scan_columns) {
+        ColumnDistribution dist = est.ColumnDist(c);
+        if (dist.histogram == nullptr) continue;
+        double share = dist.histogram->TopValueShare();
+        max_top_share = std::max(max_top_share, share);
+        sum_top_share += share;
+        num_cols += 1.0;
+      }
+    });
+    out.push_back(max_top_share);
+    out.push_back(num_cols > 0.0 ? sum_top_share / num_cols : 0.0);
+    // Mean log q-error of yesterday's per-stream row-count estimates.
+    double sum_log_q = 0.0;
+    double num_streams = 0.0;
+    int yesterday = std::max(0, job.day - 1);
+    for (int stream : job.InputStreams()) {
+      double believed =
+          static_cast<double>(model.StreamStats(*catalog_, stream, yesterday).row_count);
+      double actual = static_cast<double>(catalog_->TrueRowCount(stream, yesterday));
+      double q = std::max(believed / std::max(1.0, actual), actual / std::max(1.0, believed));
+      sum_log_q += std::log(std::max(1.0, q));
+      num_streams += 1.0;
+    }
+    out.push_back(num_streams > 0.0 ? sum_log_q / num_streams : 0.0);
   }
   return out;
 }

@@ -59,7 +59,8 @@ struct NodeResult {
 }  // namespace
 
 ExecMetrics ExecutionSimulator::Execute(const Job& job, const PlanNodePtr& physical_root,
-                                        uint64_t run_nonce) const {
+                                        uint64_t run_nonce,
+                                        std::vector<NodeTrueCardinality>* node_cards) const {
   ExecMetrics metrics;
   if (physical_root == nullptr) return metrics;
   TrueStatsView truth(catalog_, &job);
@@ -174,6 +175,7 @@ ExecMetrics ExecutionSimulator::Execute(const Job& job, const PlanNodePtr& physi
     }
 
     result.finish = children_finish + latency;
+    if (node_cards != nullptr) node_cards->push_back({node, result.stats.rows});
     total_cpu += cost.cpu;
     total_io += cost.io;
     total_bytes += cost.bytes_moved;

@@ -10,6 +10,7 @@
 #define QSTEER_EXEC_SIMULATOR_H_
 
 #include <unordered_map>
+#include <vector>
 
 #include "common/retry.h"
 #include "optimizer/cost_model.h"
@@ -112,15 +113,25 @@ struct SimulatorOptions {
   FaultProfile fault_profile;
 };
 
+/// True output cardinality of one plan node, recorded in the simulator's
+/// deterministic bottom-up evaluation order (shared fragments appear once).
+/// Pairs with an estimator-side DeriveStats walk to form the (estimated,
+/// true) samples the calibration harness fits against.
+struct NodeTrueCardinality {
+  const PlanNode* node = nullptr;
+  double rows = 0.0;
+};
+
 class ExecutionSimulator {
  public:
   ExecutionSimulator(const Catalog* catalog, SimulatorOptions options = {});
 
   /// Simulates one execution of a compiled plan for `job`. `run_nonce`
   /// selects the noise draw: re-executions with different nonces model the
-  /// run-to-run variance of the cluster.
-  ExecMetrics Execute(const Job& job, const PlanNodePtr& physical_root,
-                      uint64_t run_nonce = 0) const;
+  /// run-to-run variance of the cluster. When `node_cards` is non-null the
+  /// true per-node cardinalities of this run are appended to it.
+  ExecMetrics Execute(const Job& job, const PlanNodePtr& physical_root, uint64_t run_nonce = 0,
+                      std::vector<NodeTrueCardinality>* node_cards = nullptr) const;
 
   const SimulatorOptions& options() const { return options_; }
 

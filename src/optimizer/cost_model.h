@@ -45,6 +45,12 @@ struct CostParams {
   static CostParams OptimizerBeliefs();
   /// The parameters the simulated cluster actually exhibits.
   static CostParams ClusterTruth();
+  /// OptimizerBeliefs with work rates rescaled by calibration-fitted
+  /// weights (catalog/calibration.h): `cpu_scale` multiplies per-row
+  /// compute rates, `io_scale` per-byte rates, `startup_scale` the stage
+  /// startup and coordination overheads the optimizer systematically
+  /// under-costs.
+  static CostParams Calibrated(double cpu_scale, double io_scale, double startup_scale);
 };
 
 /// Local (per-operator) cost decomposition.

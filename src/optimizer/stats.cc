@@ -14,46 +14,38 @@ double LogicalStats::NdvOf(ColumnId col) const {
 }
 
 // ---------------------------------------------------------------------------
-// Zipf helpers
+// Histogram join math
 // ---------------------------------------------------------------------------
 
-double GenHarmonic(double k, double s) {
-  if (k < 1.0) return 0.0;
-  constexpr int kExactTerms = 64;
-  double kf = std::floor(k);
-  int exact_upto = static_cast<int>(std::min(kf, static_cast<double>(kExactTerms)));
-  double h = 0.0;
-  for (int i = 1; i <= exact_upto; ++i) h += std::pow(static_cast<double>(i), -s);
-  if (kf <= kExactTerms) return h;
-  // Euler–Maclaurin tail from kExactTerms to k.
-  if (std::abs(s - 1.0) < 1e-9) {
-    return h + std::log(kf / kExactTerms);
+double HistogramJoinMatchProbability(const Histogram& left, const Histogram& right) {
+  const std::vector<HistogramBucket>& a = left.buckets();
+  const std::vector<HistogramBucket>& b = right.buckets();
+  if (a.empty() || b.empty()) {
+    return 1.0 / std::max({static_cast<double>(left.domain()),
+                           static_cast<double>(right.domain()), 1.0});
   }
-  return h + (std::pow(kf, 1.0 - s) - std::pow(static_cast<double>(kExactTerms), 1.0 - s)) /
-                 (1.0 - s);
-}
-
-double ZipfCdf(double k, double n, double s) {
-  if (n < 1.0) return 1.0;
-  k = std::clamp(k, 0.0, n);
-  if (k <= 0.0) return 0.0;
-  if (s <= 0.0) return k / n;
-  return GenHarmonic(k, s) / GenHarmonic(n, s);
-}
-
-double ZipfPmf(double k, double n, double s) {
-  if (n < 1.0 || k < 1.0 || k > n) return 0.0;
-  if (s <= 0.0) return 1.0 / n;
-  return std::pow(k, -s) / GenHarmonic(n, s);
-}
-
-double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2) {
-  n1 = std::max(1.0, n1);
-  n2 = std::max(1.0, n2);
-  if (s1 <= 0.0 && s2 <= 0.0) return 1.0 / std::max(n1, n2);
-  double numer = GenHarmonic(std::min(n1, n2), s1 + s2);
-  double denom = GenHarmonic(n1, s1) * GenHarmonic(n2, s2);
-  return std::clamp(numer / denom, 1e-12, 1.0);
+  size_t i = 0;
+  size_t j = 0;
+  double p = 0.0;
+  while (i < a.size() && j < b.size()) {
+    int64_t lo = std::max(a[i].lo, b[j].lo);
+    int64_t hi = std::min(a[i].hi, b[j].hi);
+    if (lo <= hi) {
+      // Per-value mass within each bucket (uniform among its values).
+      double per_a = a[i].row_fraction / static_cast<double>(a[i].hi - a[i].lo + 1);
+      double per_b = b[j].row_fraction / static_cast<double>(b[j].hi - b[j].lo + 1);
+      p += static_cast<double>(hi - lo + 1) * per_a * per_b;
+    }
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else if (b[j].hi < a[i].hi) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return std::clamp(p, 1e-12, 1.0);
 }
 
 double UdfTrueSelectivity(const std::string& name) {
@@ -72,12 +64,20 @@ double UdoTrueSelectivity(const std::string& name) {
 
 EstimatedStatsView::EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe,
                                        int day)
-    : StatsView(universe), catalog_(catalog), day_(day) {}
+    : EstimatedStatsView(catalog, universe, day, nullptr) {}
+
+EstimatedStatsView::EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe,
+                                       int day, const StatsModel* model)
+    : StatsView(universe),
+      catalog_(catalog),
+      day_(day),
+      model_(model != nullptr ? model : &catalog->stats_model()) {}
 
 const OptimizerStreamStats& EstimatedStatsView::StatsFor(int stream_id) const {
+  MutexLock lock(mu_);
   auto it = cache_.find(stream_id);
   if (it == cache_.end()) {
-    it = cache_.emplace(stream_id, catalog_->GetOptimizerStats(stream_id, day_)).first;
+    it = cache_.emplace(stream_id, model_->StreamStats(*catalog_, stream_id, day_)).first;
   }
   return it->second;
 }
@@ -103,7 +103,23 @@ ColumnDistribution EstimatedStatsView::ColumnDist(ColumnId col) const {
   dist.zipf_skew = 0.0;
   dist.null_fraction = def.null_fraction;
   dist.avg_width = def.avg_width;
+  if (model_->histogram_grade()) {
+    // Histogram-grade beliefs: NDV/domain exact as of the build day, plus
+    // the histogram itself for bucket-level selectivity.
+    ColumnSummary summary =
+        model_->Summarize(*catalog_, info.stream_set_id, info.column_index, day_);
+    dist.ndv = std::max(1.0, summary.ndv);
+    dist.domain = std::max(1.0, summary.domain);
+    dist.histogram = summary.histogram;
+  }
   return dist;
+}
+
+double EstimatedStatsView::TopValueShare(ColumnId col) const {
+  if (!model_->histogram_grade()) return 0.0;
+  ColumnDistribution dist = ColumnDist(col);
+  if (dist.histogram == nullptr) return 0.0;
+  return dist.histogram->TopValueShare();
 }
 
 double EstimatedStatsView::StreamRows(int stream_id) const {
@@ -144,9 +160,13 @@ ColumnDistribution TrueStatsView::ColumnDist(ColumnId col) const {
   }
   const StreamSet& set = catalog_->stream_set(info.stream_set_id);
   const ColumnDef& def = set.columns[static_cast<size_t>(info.column_index)];
-  dist.ndv = std::max(1.0, static_cast<double>(def.distinct_count));
+  // Truth is generative *on the job's day*: domains grow and skew drifts,
+  // which is exactly what statistics built on an earlier day cannot see.
+  dist.ndv = std::max(
+      1.0, static_cast<double>(
+               catalog_->TrueDistinctCount(info.stream_set_id, info.column_index, job_->day)));
   dist.domain = dist.ndv;
-  dist.zipf_skew = def.zipf_skew;
+  dist.zipf_skew = catalog_->TrueZipfSkew(info.stream_set_id, info.column_index, job_->day);
   dist.null_fraction = def.null_fraction;
   dist.avg_width = def.avg_width;
   return dist;
@@ -211,6 +231,29 @@ double AtomSelectivity(const Expr& atom, const StatsView& view) {
         ColumnDistribution dist = view.ColumnDist(lhs.column());
         double not_null = 1.0 - dist.null_fraction;
         double v = static_cast<double>(rhs.literal());
+        if (dist.histogram != nullptr) {
+          // Histogram-grade beliefs: bucket interpolation for ranges,
+          // per-bucket NDV for equality. Values beyond the histogram's
+          // domain get a floor, not a uniform guess — a stale histogram is
+          // confidently (and possibly wrongly) certain they are rare.
+          const Histogram& h = *dist.histogram;
+          constexpr double kUnseenValueFloor = 1e-9;
+          switch (atom.cmp()) {
+            case CmpOp::kEq:
+              return not_null * std::max(h.EqSelectivity(v), kUnseenValueFloor);
+            case CmpOp::kNe:
+              return not_null * (1.0 - h.EqSelectivity(v));
+            case CmpOp::kLt:
+              return not_null * h.CdfLe(v - 1.0);
+            case CmpOp::kLe:
+              return not_null * h.CdfLe(v);
+            case CmpOp::kGt:
+              return not_null * (1.0 - h.CdfLe(v));
+            case CmpOp::kGe:
+              return not_null * (1.0 - h.CdfLe(v - 1.0));
+          }
+          return 0.3;
+        }
         switch (atom.cmp()) {
           case CmpOp::kEq:
             return not_null * ZipfPmf(v, dist.domain, dist.zipf_skew) *
@@ -232,6 +275,9 @@ double AtomSelectivity(const Expr& atom, const StatsView& view) {
         ColumnDistribution dl = view.ColumnDist(lhs.column());
         ColumnDistribution dr = view.ColumnDist(rhs.column());
         if (atom.cmp() == CmpOp::kEq) {
+          if (dl.histogram != nullptr && dr.histogram != nullptr) {
+            return HistogramJoinMatchProbability(*dl.histogram, *dr.histogram);
+          }
           return 1.0 / std::max({dl.ndv, dr.ndv, 1.0});
         }
         return 0.3;
@@ -421,6 +467,12 @@ LogicalStats DeriveStats(const Operator& op, const std::vector<const LogicalStat
       for (size_t i = 0; i < op.left_keys.size(); ++i) {
         ColumnDistribution dl = view.ColumnDist(op.left_keys[i]);
         ColumnDistribution dr = view.ColumnDist(op.right_keys[i]);
+        if (dl.histogram != nullptr && dr.histogram != nullptr) {
+          // Bucket-level match probability captures skew the scalar NDV
+          // formula cannot (hot keys matching hot keys dominate join size).
+          match_p *= HistogramJoinMatchProbability(*dl.histogram, *dr.histogram);
+          continue;
+        }
         double ndv_l = std::min(left.NdvOf(op.left_keys[i]), dl.ndv);
         double ndv_r = std::min(right.NdvOf(op.right_keys[i]), dr.ndv);
         match_p *= ZipfJoinMatchProbability(ndv_l, dl.zipf_skew, ndv_r, dr.zipf_skew);

@@ -18,10 +18,15 @@
 #ifndef QSTEER_OPTIMIZER_STATS_H_
 #define QSTEER_OPTIMIZER_STATS_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/stats_model.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "common/zipf.h"
 #include "plan/job.h"
 
 namespace qsteer {
@@ -31,10 +36,14 @@ struct ColumnDistribution {
   double ndv = 1000.0;
   /// Values live in [1, domain]; literals are drawn from the true domain.
   double domain = 1000.0;
-  /// Zipf exponent; 0 = uniform (the optimizer always believes 0).
+  /// Zipf exponent; 0 = uniform (the scalar estimator always believes 0).
   double zipf_skew = 0.0;
   double null_fraction = 0.0;
   double avg_width = 8.0;
+  /// Equi-depth summary when a histogram-grade StatsModel is active; null
+  /// under scalar beliefs. Selectivity math prefers this over the
+  /// uniformity fields above when present.
+  std::shared_ptr<const Histogram> histogram;
 };
 
 /// Derived statistics of one plan fragment.
@@ -77,10 +86,17 @@ class StatsView {
   const ColumnUniverse* universe_;
 };
 
-/// The optimizer's view (stale + simplified).
+/// The optimizer's view (stale + simplified). Beliefs are served by the
+/// catalog's active StatsModel (or an explicitly supplied one): scalar
+/// beliefs reproduce the historical estimator bit-for-bit, histogram-grade
+/// beliefs attach per-column histograms to ColumnDist.
 class EstimatedStatsView : public StatsView {
  public:
   EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe, int day);
+  /// Overrides the catalog's active model (calibration compares models on
+  /// one catalog without mutating it). `model` must outlive the view.
+  EstimatedStatsView(const Catalog* catalog, const ColumnUniverse* universe, int day,
+                     const StatsModel* model);
 
   ColumnDistribution ColumnDist(ColumnId col) const override;
   double Correlation(ColumnId /*a*/, ColumnId /*b*/) const override { return 0.0; }
@@ -90,14 +106,22 @@ class EstimatedStatsView : public StatsView {
   double ProcessSelectivity(const Operator& op) const override;
   double ProcessCostPerRow(const Operator& op) const override;
   bool UseExponentialBackoff() const override { return true; }
-  double TopValueShare(ColumnId) const override { return 0.0; }
+  /// 0 under scalar beliefs (uniformity); the histogram's hottest-value
+  /// mass when a histogram-grade model is active.
+  double TopValueShare(ColumnId col) const override;
+
+  const StatsModel& model() const { return *model_; }
 
  private:
   const Catalog* catalog_;
   int day_;
+  const StatsModel* model_;
   // Per-stream optimizer stats are cached; repeated Compile calls on one job
-  // hit the same few streams.
-  mutable std::unordered_map<int, OptimizerStreamStats> cache_;
+  // hit the same few streams. Views are shared across pipeline workers, so
+  // the lazily filled cache is mutex-guarded; values are immutable once
+  // inserted and node-stable, so returned references stay valid unlocked.
+  mutable Mutex mu_;
+  mutable std::unordered_map<int, OptimizerStreamStats> cache_ GUARDED_BY(mu_);
   const OptimizerStreamStats& StatsFor(int stream_id) const;
 };
 
@@ -138,16 +162,13 @@ double UdfTrueSelectivity(const std::string& name);
 /// latent (keyed by UDO name).
 double UdoTrueSelectivity(const std::string& name);
 
-/// Generalized harmonic number H(k, s) with Euler–Maclaurin approximation
-/// for large k. Exposed for tests.
-double GenHarmonic(double k, double s);
-/// P(value <= k) under Zipf(s) on [1, n]; uniform when s == 0.
-double ZipfCdf(double k, double n, double s);
-/// P(value == k) under Zipf(s) on [1, n].
-double ZipfPmf(double k, double n, double s);
-/// Expected per-pair match probability of joining two aligned Zipf
-/// distributions (the uniform/uniform case reduces to 1/max(n1, n2)).
-double ZipfJoinMatchProbability(double n1, double s1, double n2, double s2);
+// Zipf math (GenHarmonic / ZipfCdf / ZipfPmf / ZipfJoinMatchProbability)
+// lives in common/zipf.h, shared with the catalog's histogram builder.
+
+/// Expected per-pair match probability of joining two histogram-summarized
+/// columns: the merged-boundary walk sums per-value mass products over each
+/// overlapping bucket range.
+double HistogramJoinMatchProbability(const Histogram& left, const Histogram& right);
 
 }  // namespace qsteer
 

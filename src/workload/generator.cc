@@ -44,6 +44,35 @@ WorkloadSpec WorkloadSpec::WorkloadC(double scale) {
   return spec;
 }
 
+WorkloadSpec WorkloadSpec::CorrelatedSkew(double scale) {
+  WorkloadSpec spec;
+  spec.name = "S";
+  spec.seed = 0x5C01;
+  spec.num_templates = std::max(16, static_cast<int>(22000 * scale));
+  spec.jobs_per_day = static_cast<int>(40000 * scale);
+  spec.num_stream_sets = std::max(20, static_cast<int>(1400 * scale));
+  spec.log_set_fraction = 0.45;
+  spec.data_scale = 1.0;
+  spec.min_skew = 0.8;
+  spec.min_correlation = 0.7;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::StaleHistogramCliff(double scale) {
+  WorkloadSpec spec;
+  spec.name = "K";
+  spec.seed = 0xC11F;
+  spec.num_templates = std::max(16, static_cast<int>(22000 * scale));
+  spec.jobs_per_day = static_cast<int>(40000 * scale);
+  spec.num_stream_sets = std::max(20, static_cast<int>(1400 * scale));
+  spec.log_set_fraction = 0.45;
+  spec.data_scale = 1.0;
+  spec.min_skew = 0.6;
+  spec.domain_growth = 0.25;
+  spec.skew_drift = 0.15;
+  return spec;
+}
+
 namespace {
 
 const char* kColumnNames[] = {"key",  "uid",   "ts",    "region", "status",
@@ -91,6 +120,13 @@ Workload::Workload(WorkloadSpec spec) : spec_(std::move(spec)) {
       }
       if (rng.NextBool(0.3)) col.null_fraction = rng.UniformDouble(0.01, 0.08);
       col.avg_width = rng.UniformDouble(6.0, 36.0);
+      // Scenario dials are applied after all draws so they consume no RNG
+      // state: with every dial at its default 0, A/B/C stay bit-identical.
+      if (spec_.min_skew > 0.0 && !(c == 0 && !is_log)) {
+        col.zipf_skew = std::max(col.zipf_skew, spec_.min_skew);
+      }
+      if (spec_.domain_growth > 0.0) col.domain_growth = spec_.domain_growth;
+      if (spec_.skew_drift > 0.0 && col.zipf_skew > 0.0) col.skew_drift = spec_.skew_drift;
       set.columns.push_back(std::move(col));
     }
     int num_corr = static_cast<int>(rng.UniformInt(1, 3));
@@ -99,6 +135,9 @@ Workload::Workload(WorkloadSpec spec) : spec_(std::move(spec)) {
       corr.column_a = static_cast<int>(rng.UniformInt(0, num_cols - 2));
       corr.column_b = static_cast<int>(rng.UniformInt(corr.column_a + 1, num_cols - 1));
       corr.strength = rng.UniformDouble(0.3, 0.95);
+      if (spec_.min_correlation > 0.0) {
+        corr.strength = std::max(corr.strength, spec_.min_correlation);
+      }
       set.correlations.push_back(corr);
     }
     set.daily_growth = rng.UniformDouble(0.0, 0.04);
@@ -304,9 +343,14 @@ class TemplateBuilder {
     }
     int64_t domain = 1000;
     if (!info.derived) {
-      domain = catalog_.stream_set(info.stream_set_id)
-                   .columns[static_cast<size_t>(info.column_index)]
-                   .distinct_count;
+      const ColumnDef& def = catalog_.stream_set(info.stream_set_id)
+                                 .columns[static_cast<size_t>(info.column_index)];
+      domain = def.distinct_count;
+      if (def.domain_growth > 0.0) {
+        // Growing domains: literals probe today's full value range, including
+        // values born after any stale histogram's build day.
+        domain = catalog_.TrueDistinctCount(info.stream_set_id, info.column_index, day_);
+      }
     }
     // The literal varies per instance (recurring template, new constants).
     int64_t value = inst_rng_.UniformInt(1, std::max<int64_t>(1, domain));

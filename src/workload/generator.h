@@ -30,11 +30,34 @@ struct WorkloadSpec {
   /// Scales all stream row counts (and so job runtimes).
   double data_scale = 1.0;
 
+  // --- scenario dials (all default 0 = off; A/B/C stay bit-identical) ---
+
+  /// Floor applied to every drawn zipf_skew (except unique dimension keys):
+  /// > 0 forces a heavy-tailed workload where uniformity assumptions break.
+  double min_skew = 0.0;
+  /// Floor applied to every drawn CorrelationSpec strength.
+  double min_correlation = 0.0;
+  /// Per-day multiplicative domain growth applied to every column: a
+  /// histogram built on day d-k misses the values born since. Feeds
+  /// ColumnDef::domain_growth.
+  double domain_growth = 0.0;
+  /// Per-day additive skew drift applied to every skewed column. Feeds
+  /// ColumnDef::skew_drift.
+  double skew_drift = 0.0;
+
   /// Paper-proportioned specs (Table 1 ratios) at `scale` of production
   /// volume. scale = 0.1 gives 9.5K/1.5K/4K daily jobs for A/B/C.
   static WorkloadSpec WorkloadA(double scale = 0.02);
   static WorkloadSpec WorkloadB(double scale = 0.02);
   static WorkloadSpec WorkloadC(double scale = 0.02);
+
+  /// Scenario family "S": heavily skewed, strongly correlated columns — the
+  /// regime where histogram-grade estimates beat scalar uniformity hardest.
+  static WorkloadSpec CorrelatedSkew(double scale = 0.02);
+  /// Scenario family "K": domains grow and skew drifts day over day, so a
+  /// histogram built on day d-k is confidently wrong about day d — the
+  /// stale-histogram cliff.
+  static WorkloadSpec StaleHistogramCliff(double scale = 0.02);
 };
 
 /// A generated workload: its private catalog plus deterministic per-day job
@@ -47,6 +70,9 @@ class Workload {
 
   const WorkloadSpec& spec() const { return spec_; }
   const Catalog& catalog() const { return *catalog_; }
+  /// Mutable catalog access, for installing a non-default stats model
+  /// (Catalog::set_stats_model) before compiling the workload's jobs.
+  Catalog& mutable_catalog() { return *catalog_; }
 
   int num_templates() const { return spec_.num_templates; }
 

@@ -1,0 +1,229 @@
+// Histogram and HistogramStatsModel invariants: deterministic construction,
+// equi-depth mass, the staleness knob, serialization round-trips, and the
+// out-of-domain cliff.
+#include "catalog/stats_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/zipf.h"
+
+namespace qsteer {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ConstructionIsDeterministic) {
+  for (double skew : {0.0, 0.6, 1.3}) {
+    Histogram a = Histogram::BuildEquiDepth(100000, skew, 32);
+    Histogram b = Histogram::BuildEquiDepth(100000, skew, 32);
+    EXPECT_EQ(a.Serialize(), b.Serialize()) << "skew " << skew;
+  }
+}
+
+TEST(Histogram, BucketsPartitionTheDomain) {
+  Histogram h = Histogram::BuildEquiDepth(5000, 1.0, 32);
+  int64_t expected_lo = 1;
+  double total_mass = 0.0;
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_EQ(b.lo, expected_lo);
+    EXPECT_GE(b.hi, b.lo);
+    EXPECT_DOUBLE_EQ(b.ndv, static_cast<double>(b.hi - b.lo + 1));
+    total_mass += b.row_fraction;
+    expected_lo = b.hi + 1;
+  }
+  EXPECT_EQ(expected_lo, 5001);  // last bucket ends at the domain edge
+  EXPECT_NEAR(total_mass, 1.0, 1e-9);
+}
+
+TEST(Histogram, EquiDepthMassPerBucket) {
+  // With mild skew every bucket spans several values, so the per-bucket mass
+  // lands close to the 1/B ideal (bucket edges round to whole values).
+  const int kBuckets = 16;
+  Histogram h = Histogram::BuildEquiDepth(1000000, 0.4, kBuckets);
+  ASSERT_EQ(h.num_buckets(), kBuckets);
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_GT(b.row_fraction, 0.5 / kBuckets);
+    EXPECT_LT(b.row_fraction, 2.0 / kBuckets);
+  }
+}
+
+TEST(Histogram, HeavySkewIsolatesHotValues) {
+  // Under zipf(1.2), rank 1 alone carries more than 1/32 of the mass, so the
+  // first equi-depth bucket must degenerate to the singleton [1, 1] — the
+  // hot value is captured exactly.
+  Histogram h = Histogram::BuildEquiDepth(100000, 1.2, 32);
+  ASSERT_GE(h.num_buckets(), 1);
+  EXPECT_EQ(h.buckets()[0].lo, 1);
+  EXPECT_EQ(h.buckets()[0].hi, 1);
+  EXPECT_NEAR(h.buckets()[0].row_fraction, ZipfPmf(1, 100000, 1.2), 1e-9);
+  EXPECT_NEAR(h.TopValueShare(), ZipfPmf(1, 100000, 1.2), 1e-12);
+}
+
+TEST(Histogram, TinyDomainClampsBucketCount) {
+  Histogram h = Histogram::BuildEquiDepth(5, 0.9, 32);
+  EXPECT_LE(h.num_buckets(), 5);
+  double mass = 0.0;
+  for (const HistogramBucket& b : h.buckets()) mass += b.row_fraction;
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Selectivity math
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, CdfMatchesZipfAtBucketBoundaries) {
+  const int64_t kDomain = 200000;
+  const double kSkew = 0.9;
+  Histogram h = Histogram::BuildEquiDepth(kDomain, kSkew, 32);
+  for (const HistogramBucket& b : h.buckets()) {
+    EXPECT_NEAR(h.CdfLe(static_cast<double>(b.hi)),
+                ZipfCdf(static_cast<double>(b.hi), static_cast<double>(kDomain), kSkew), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(h.CdfLe(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfLe(static_cast<double>(kDomain)), 1.0);
+}
+
+TEST(Histogram, CdfIsMonotone) {
+  Histogram h = Histogram::BuildEquiDepth(10000, 1.1, 24);
+  double prev = 0.0;
+  for (int64_t v = 1; v <= 10000; v += 37) {
+    double cur = h.CdfLe(static_cast<double>(v));
+    EXPECT_GE(cur, prev) << "at " << v;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, OutOfDomainEqualitySelectivityIsZero) {
+  // The cliff: a histogram has no mass beyond its build-day domain and is
+  // *confidently* wrong about values born later.
+  Histogram h = Histogram::BuildEquiDepth(1000, 0.8, 16);
+  EXPECT_GT(h.EqSelectivity(1.0), 0.0);
+  EXPECT_GT(h.EqSelectivity(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EqSelectivity(1001.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EqSelectivity(5000.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.EqSelectivity(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.CdfLe(5000.0), 1.0);  // ranges saturate instead
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, SerializationRoundTrips) {
+  Histogram h = Histogram::BuildEquiDepth(123456, 0.77, 32);
+  std::string text = h.Serialize();
+  Histogram back;
+  ASSERT_TRUE(Histogram::Deserialize(text, &back));
+  EXPECT_EQ(back.domain(), h.domain());
+  EXPECT_DOUBLE_EQ(back.skew(), h.skew());
+  EXPECT_DOUBLE_EQ(back.TopValueShare(), h.TopValueShare());
+  ASSERT_EQ(back.num_buckets(), h.num_buckets());
+  for (int i = 0; i < h.num_buckets(); ++i) {
+    const HistogramBucket& a = h.buckets()[static_cast<size_t>(i)];
+    const HistogramBucket& b = back.buckets()[static_cast<size_t>(i)];
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+    EXPECT_DOUBLE_EQ(a.row_fraction, b.row_fraction);
+    EXPECT_DOUBLE_EQ(a.ndv, b.ndv);
+  }
+  // Byte-stable: re-serializing the round-tripped histogram reproduces the
+  // original text exactly (%.17g keeps doubles lossless).
+  EXPECT_EQ(back.Serialize(), text);
+}
+
+TEST(Histogram, DeserializeRejectsGarbage) {
+  Histogram out;
+  EXPECT_FALSE(Histogram::Deserialize("", &out));
+  EXPECT_FALSE(Histogram::Deserialize("not a histogram", &out));
+  EXPECT_FALSE(Histogram::Deserialize("qsteer-histogram v1 domain=10 skew=0 top=0 n=3\n1 5 0.5 5\n",
+                                      &out));  // truncated bucket list
+  EXPECT_FALSE(Histogram::Deserialize("qsteer-histogram v1 domain=-4 skew=0 top=0 n=0\n", &out));
+}
+
+// ---------------------------------------------------------------------------
+// HistogramStatsModel: the staleness knob
+// ---------------------------------------------------------------------------
+
+class HistogramModelTest : public ::testing::Test {
+ protected:
+  HistogramModelTest() {
+    StreamSet set;
+    set.name = "g";
+    set.columns = {
+        {.name = "key", .distinct_count = 10000, .zipf_skew = 0.8, .domain_growth = 0.2},
+    };
+    int id = catalog_.AddStreamSet(std::move(set));
+    catalog_.AddStream(id, "g_d0", 100000, 8);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(HistogramModelTest, SameBuildDayServesIdenticalHistograms) {
+  HistogramStatsModel::Options options;
+  options.staleness_days = 3;
+  HistogramStatsModel model_a(options);
+  HistogramStatsModel model_b(options);
+  // Independent model instances (separate caches) and any serve day mapping
+  // to the same build day must produce byte-identical histograms.
+  std::string day5 = model_a.ColumnHistogram(catalog_, 0, 0, 5)->Serialize();
+  EXPECT_EQ(day5, model_b.ColumnHistogram(catalog_, 0, 0, 5)->Serialize());
+  // Serve days 3 and 0 both clamp/build at days 0 and 0 respectively.
+  EXPECT_EQ(model_a.ColumnHistogram(catalog_, 0, 0, 3)->Serialize(),
+            model_a.ColumnHistogram(catalog_, 0, 0, 0)->Serialize());
+}
+
+TEST_F(HistogramModelTest, StalenessKnobIsMonotone) {
+  // The true domain grows every day, so a staler model (larger k) sees an
+  // older, smaller domain: served-domain must be non-increasing in k.
+  const int kServeDay = 8;
+  int64_t prev_domain = std::numeric_limits<int64_t>::max();
+  for (int k : {0, 2, 4, 8}) {
+    HistogramStatsModel::Options options;
+    options.staleness_days = k;
+    HistogramStatsModel model(options);
+    int64_t domain = model.ColumnHistogram(catalog_, 0, 0, kServeDay)->domain();
+    EXPECT_LE(domain, prev_domain) << "staleness " << k;
+    prev_domain = domain;
+  }
+  // And strictly: a fresh model sees day 8's grown domain, a fully stale one
+  // the day-0 domain.
+  HistogramStatsModel fresh;  // default staleness 3 < 8
+  HistogramStatsModel::Options stale_options;
+  stale_options.staleness_days = 8;
+  HistogramStatsModel stale(stale_options);
+  EXPECT_GT(fresh.ColumnHistogram(catalog_, 0, 0, kServeDay)->domain(),
+            stale.ColumnHistogram(catalog_, 0, 0, kServeDay)->domain());
+  EXPECT_EQ(stale.ColumnHistogram(catalog_, 0, 0, kServeDay)->domain(),
+            catalog_.TrueDistinctCount(0, 0, 0));
+}
+
+TEST_F(HistogramModelTest, StaleHistogramMissesNewValues) {
+  HistogramStatsModel::Options options;
+  options.staleness_days = 4;
+  HistogramStatsModel model(options);
+  const int kServeDay = 4;  // built at day 0
+  std::shared_ptr<const Histogram> h = model.ColumnHistogram(catalog_, 0, 0, kServeDay);
+  int64_t stale_domain = h->domain();
+  int64_t true_domain = catalog_.TrueDistinctCount(0, 0, kServeDay);
+  ASSERT_GT(true_domain, stale_domain);
+  // A literal probing today's newest values falls off the cliff.
+  EXPECT_DOUBLE_EQ(h->EqSelectivity(static_cast<double>(true_domain)), 0.0);
+}
+
+TEST_F(HistogramModelTest, SummaryCarriesHistogram) {
+  HistogramStatsModel model;
+  ColumnSummary summary = model.Summarize(catalog_, 0, 0, 5);
+  ASSERT_NE(summary.histogram, nullptr);
+  EXPECT_DOUBLE_EQ(summary.ndv, static_cast<double>(summary.histogram->domain()));
+  ScalarStatsModel scalar;
+  EXPECT_EQ(scalar.Summarize(catalog_, 0, 0, 5).histogram, nullptr);
+}
+
+}  // namespace
+}  // namespace qsteer

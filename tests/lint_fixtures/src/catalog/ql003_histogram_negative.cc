@@ -1,0 +1,39 @@
+// Fixture: the shape the real src/catalog/stats_model.cc uses — an ordered
+// std::map cache plus a construction-ordered bucket vector — must stay
+// silent under QL003 even though the file serializes.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct Bucket {
+  long long lo = 0;
+  long long hi = 0;
+};
+
+struct Histogram {
+  std::vector<Bucket> buckets_;
+  std::string Serialize() const;
+};
+
+struct StatsCache {
+  std::map<unsigned long long, std::shared_ptr<Histogram>> cache_;
+  std::string Serialize() const;
+};
+
+std::string Histogram::Serialize() const {
+  std::string out;
+  // buckets_ is an ordered vector; emission order is construction order.
+  for (const Bucket& bucket : buckets_) {
+    out += std::to_string(bucket.lo) + " " + std::to_string(bucket.hi) + "\n";
+  }
+  return out;
+}
+
+std::string StatsCache::Serialize() const {
+  std::string out;
+  for (const auto& [key, histogram] : cache_) {  // std::map: key-ordered
+    out += histogram->Serialize();
+  }
+  return out;
+}

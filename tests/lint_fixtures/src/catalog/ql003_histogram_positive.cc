@@ -1,0 +1,24 @@
+// Fixture: a catalog-layer statistics file that serializes a histogram
+// cache straight out of an unordered container — QL003 must fire even
+// though src/catalog is outside the QL005 layer gate (QL003 is
+// content-triggered by the Serialize marker, not path-gated).
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+struct Histogram {
+  std::string text;
+};
+
+struct StatsCache {
+  std::unordered_map<unsigned long long, std::shared_ptr<Histogram>> cache_;
+  std::string Serialize() const;
+};
+
+std::string StatsCache::Serialize() const {
+  std::string out;
+  for (const auto& [key, histogram] : cache_) {  // line 20: QL003
+    out += histogram->text;
+  }
+  return out;
+}

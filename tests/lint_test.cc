@@ -68,6 +68,19 @@ TEST(LintTest, UnorderedIterationSkipsOrderInsensitiveFiles) {
   EXPECT_EQ(LintFixture("ql003_not_order_sensitive.cc"), Anchors{});
 }
 
+TEST(LintTest, SerializingCatalogStatsFilesAreCovered) {
+  // QL003 is content-triggered: serializing statistics code under
+  // src/catalog (outside the QL005 layer gate) is still linted.
+  EXPECT_EQ(LintFixture("src/catalog/ql003_histogram_positive.cc"),
+            (Anchors{{"QL003", 20}}));
+}
+
+TEST(LintTest, OrderedHistogramCachesStaySilent) {
+  // The real stats_model.cc shape: std::map cache + construction-ordered
+  // bucket vector — deterministic, so no findings.
+  EXPECT_EQ(LintFixture("src/catalog/ql003_histogram_negative.cc"), Anchors{});
+}
+
 TEST(LintTest, PointerOrderingPositive) {
   EXPECT_EQ(LintFixture("ql004_positive.cc"),
             (Anchors{{"QL004", 9}, {"QL004", 10}, {"QL004", 11}, {"QL004", 14}}));

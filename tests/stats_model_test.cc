@@ -259,5 +259,93 @@ TEST_F(StatsViewTest, UnionAndTopAndProcess) {
   EXPECT_GT(processed.rows, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// StatsModel seam: scalar parity and histogram-grade refinement
+// ---------------------------------------------------------------------------
+
+TEST_F(StatsViewTest, ScalarModelIsBitIdenticalToDefaultView) {
+  // The estimator parity contract: an explicit ScalarStatsModel, the
+  // catalog's default model, and the pre-seam formulas all serve the same
+  // bits for every estimate the optimizer consumes.
+  ScalarStatsModel scalar;
+  EstimatedStatsView with_model(&catalog_, job_.columns.get(), 0, &scalar);
+  EstimatedStatsView default_view(&catalog_, job_.columns.get(), 0);
+
+  EXPECT_DOUBLE_EQ(with_model.StreamRows(0), default_view.StreamRows(0));
+  EXPECT_DOUBLE_EQ(with_model.StreamWidth(0), default_view.StreamWidth(0));
+  for (ColumnId col : {key_, uid_, flag_}) {
+    ColumnDistribution a = with_model.ColumnDist(col);
+    ColumnDistribution b = default_view.ColumnDist(col);
+    EXPECT_DOUBLE_EQ(a.ndv, b.ndv);
+    EXPECT_DOUBLE_EQ(a.domain, b.domain);
+    EXPECT_DOUBLE_EQ(a.null_fraction, b.null_fraction);
+    EXPECT_EQ(a.histogram, nullptr);
+    EXPECT_DOUBLE_EQ(with_model.TopValueShare(col), 0.0);
+  }
+  // The pre-seam closed forms, reproduced literally: NDV from the first
+  // stream's sampled stats, range selectivity from uniformity.
+  OptimizerStreamStats raw = catalog_.GetOptimizerStats(0, 0);
+  EXPECT_DOUBLE_EQ(with_model.ColumnDist(key_).ndv, std::max(1.0, raw.distinct_counts[0]));
+  ExprPtr range = Expr::Cmp(key_, CmpOp::kLe, 5);
+  EXPECT_DOUBLE_EQ(PredicateSelectivity(range, with_model),
+                   PredicateSelectivity(range, default_view));
+  ExprPtr eq = Expr::Cmp(uid_, CmpOp::kEq, 7);
+  EXPECT_DOUBLE_EQ(PredicateSelectivity(eq, with_model),
+                   PredicateSelectivity(eq, default_view));
+}
+
+TEST_F(StatsViewTest, HistogramModelBeatsScalarOnSkewedRange) {
+  // key is zipf(1.0) over 200 values: truth for key <= 5 is ~40%, scalar
+  // uniformity says 2.5%. The histogram view must land far closer.
+  HistogramStatsModel histogram_model;
+  EstimatedStatsView histogram_view(&catalog_, job_.columns.get(), 0, &histogram_model);
+  EstimatedStatsView scalar_view(&catalog_, job_.columns.get(), 0);
+  TrueStatsView truth(&catalog_, &job_);
+
+  ExprPtr pred = Expr::Cmp(key_, CmpOp::kLe, 5);
+  double true_sel = PredicateSelectivity(pred, truth);
+  double scalar_sel = PredicateSelectivity(pred, scalar_view);
+  double histogram_sel = PredicateSelectivity(pred, histogram_view);
+  auto q_error = [](double est, double tru) {
+    return std::max(est / tru, tru / est);
+  };
+  EXPECT_LT(q_error(histogram_sel, true_sel), q_error(scalar_sel, true_sel) / 2.0);
+  EXPECT_NEAR(histogram_sel, true_sel, 0.05);
+
+  // Hot-value equality: the histogram knows value 1 is hot; scalar says
+  // 1/ndv for every value.
+  ExprPtr hot = Expr::Cmp(key_, CmpOp::kEq, 1);
+  double true_hot = PredicateSelectivity(hot, truth);
+  EXPECT_LT(q_error(PredicateSelectivity(hot, histogram_view), true_hot),
+            q_error(PredicateSelectivity(hot, scalar_view), true_hot));
+  EXPECT_GT(histogram_view.TopValueShare(key_), 0.05);
+}
+
+TEST_F(StatsViewTest, CatalogActiveModelFlowsIntoDefaultViewCtor) {
+  // Installing a model on the catalog changes what the 3-arg view serves;
+  // the explicit 4-arg override still wins.
+  catalog_.set_stats_model(std::make_shared<HistogramStatsModel>());
+  EstimatedStatsView view(&catalog_, job_.columns.get(), 0);
+  EXPECT_NE(view.ColumnDist(key_).histogram, nullptr);
+  ScalarStatsModel scalar;
+  EstimatedStatsView overridden(&catalog_, job_.columns.get(), 0, &scalar);
+  EXPECT_EQ(overridden.ColumnDist(key_).histogram, nullptr);
+  catalog_.set_stats_model(nullptr);  // restore the default for other tests
+}
+
+TEST_F(StatsViewTest, HistogramJoinMatchProbabilityMatchesZipfForm) {
+  // Two uniform histograms reduce to the 1/max(ndv) containment bound, like
+  // the scalar Zipf formula at skew 0.
+  Histogram a = Histogram::BuildEquiDepth(100, 0.0, 16);
+  Histogram b = Histogram::BuildEquiDepth(1000, 0.0, 16);
+  EXPECT_NEAR(HistogramJoinMatchProbability(a, b), 1.0 / 1000.0, 1e-6);
+  // Skewed sides: hot values align, matches inflate beyond uniform.
+  Histogram sa = Histogram::BuildEquiDepth(1000, 1.0, 32);
+  double skewed = HistogramJoinMatchProbability(sa, sa);
+  double uniform = HistogramJoinMatchProbability(
+      Histogram::BuildEquiDepth(1000, 0.0, 32), Histogram::BuildEquiDepth(1000, 0.0, 32));
+  EXPECT_GT(skewed, uniform * 5);
+}
+
 }  // namespace
 }  // namespace qsteer

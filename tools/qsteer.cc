@@ -9,7 +9,18 @@
 //   analyze <A|B|C> <template> <day> [threads]
 //                                          full §5-§6 pipeline for one job;
 //                                          threads > 0 parallelizes candidate
-//                                          recompilation (same results)
+//                                          recompilation (same results); also
+//                                          reports the default plan's
+//                                          per-node estimate-vs-truth
+//                                          cardinality q-error summary
+//   calibrate <A|B|C|S|K> [day] [flags]    cost-model calibration harness:
+//                                          deterministic probe queries,
+//                                          selectivity q-error percentiles
+//                                          and fitted cost weights per
+//                                          stats model. Flags:
+//                                            --stats-model=scalar|histogram|both
+//                                            --smoke  small probe budget plus
+//                                              a run-twice determinism check
 //   serve <A|B|C> <days> [fault_level] [flags]
 //                                          asynchronous steering service:
 //                                          day-1 offline learning, then
@@ -41,6 +52,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "catalog/calibration.h"
+#include "catalog/stats_model.h"
 #include "common/argparse.h"
 #include "core/hints.h"
 #include "core/pipeline.h"
@@ -62,6 +75,8 @@ int Usage() {
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
                "  analyze <A|B|C> <template> <day> [threads]\n"
+               "  calibrate <A|B|C|S|K> [day] [--stats-model=scalar|histogram|both] "
+               "[--smoke]\n"
                "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
                "[--snapshot-interval=N]\n"
                "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n"
@@ -89,6 +104,8 @@ WorkloadSpec SpecFor(const std::string& which) {
   }
   if (which == "B") return WorkloadSpec::WorkloadB(scale);
   if (which == "C") return WorkloadSpec::WorkloadC(scale);
+  if (which == "S") return WorkloadSpec::CorrelatedSkew(scale);
+  if (which == "K") return WorkloadSpec::StaleHistogramCliff(scale);
   return WorkloadSpec::WorkloadA(scale);
 }
 
@@ -224,6 +241,73 @@ int CmdAnalyze(int argc, char** argv) {
   std::printf("  compile cache: %s\n  span-equivalent candidates pruned: %d\n",
               pipeline.compile_cache_stats().ToString().c_str(),
               analysis.span_duplicates_pruned);
+  // How wrong the optimizer's beliefs were for this job: per-node
+  // estimate-vs-truth cardinality q-error over the default plan, under the
+  // catalog's active stats model.
+  QErrorSummary gap =
+      PlanCardinalityQError(workload.catalog(), job, analysis.default_plan.root);
+  std::printf("  estimate-vs-truth cardinality q-error (%s model, %d plan nodes): "
+              "p50 %.2f  p95 %.2f  max %.2f\n",
+              workload.catalog().stats_model().name(), gap.count, gap.p50, gap.p95, gap.max);
+  return 0;
+}
+
+int CmdCalibrate(int argc, char** argv) {
+  std::vector<const char*> positional;
+  std::string model_sel = "both";
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--stats-model=", 14) == 0) {
+      model_sel = argv[i] + 14;
+      if (model_sel != "scalar" && model_sel != "histogram" && model_sel != "both") {
+        std::fprintf(stderr,
+                     "qsteer calibrate: bad --stats-model '%s' "
+                     "(scalar|histogram|both)\n",
+                     model_sel.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "qsteer calibrate: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty()) return Usage();
+  CalibrationOptions options;
+  if (positional.size() > 1 &&
+      !ParsePositional("day", positional[1], 0, 1000000, &options.day)) {
+    return 2;
+  }
+  if (smoke) {
+    options.probes_per_set = 2;
+    options.max_sets = 6;
+  }
+  Workload workload(SpecFor(positional[0]));
+
+  std::vector<std::shared_ptr<const StatsModel>> models;
+  if (model_sel == "scalar" || model_sel == "both") {
+    models.push_back(std::make_shared<ScalarStatsModel>());
+  }
+  if (model_sel == "histogram" || model_sel == "both") {
+    models.push_back(std::make_shared<HistogramStatsModel>());
+  }
+  for (const std::shared_ptr<const StatsModel>& model : models) {
+    CalibrationReport report = RunCalibration(workload.catalog(), *model, options);
+    std::fputs(report.Serialize().c_str(), stdout);
+    if (smoke) {
+      // Purity check: the harness must be a function of (seed, catalog, day).
+      CalibrationReport again = RunCalibration(workload.catalog(), *model, options);
+      if (again.Serialize() != report.Serialize()) {
+        std::fprintf(stderr, "qsteer calibrate: NON-DETERMINISTIC report for model %s\n",
+                     model->name());
+        return 1;
+      }
+    }
+  }
+  if (smoke) std::printf("smoke: reports deterministic across repeated runs\n");
   return 0;
 }
 
@@ -447,6 +531,7 @@ int main(int argc, char** argv) {
   if (command == "compile") return CmdCompile(rest_argc, rest_argv);
   if (command == "span") return CmdSpan(rest_argc, rest_argv);
   if (command == "analyze") return CmdAnalyze(rest_argc, rest_argv);
+  if (command == "calibrate") return CmdCalibrate(rest_argc, rest_argv);
   if (command == "serve") return CmdServe(rest_argc, rest_argv);
   return Usage();
 }
