@@ -1,0 +1,82 @@
+#include "common/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace qsteer {
+
+namespace {
+
+/// Ring point for (replica, vnode): mixes both through SplitMix so nearby
+/// ids land far apart. Stable across processes by construction.
+uint64_t RingPoint(uint32_t replica_id, int vnode) {
+  return HashCombine(Mix64(static_cast<uint64_t>(replica_id) + 1),
+                     Mix64(static_cast<uint64_t>(vnode) + 1));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(int vnodes) : vnodes_(vnodes < 1 ? 1 : vnodes) {}
+
+void ConsistentHashRing::AddReplica(uint32_t replica_id) {
+  if (replica_id == kNoReplica || Contains(replica_id)) return;
+  points_.reserve(points_.size() + static_cast<size_t>(vnodes_));
+  for (int v = 0; v < vnodes_; ++v) {
+    points_.emplace_back(RingPoint(replica_id, v), replica_id);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+void ConsistentHashRing::RemoveReplica(uint32_t replica_id) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [replica_id](const std::pair<uint64_t, uint32_t>& p) {
+                                 return p.second == replica_id;
+                               }),
+                points_.end());
+}
+
+bool ConsistentHashRing::Contains(uint32_t replica_id) const {
+  for (const auto& point : points_) {
+    if (point.second == replica_id) return true;
+  }
+  return false;
+}
+
+int ConsistentHashRing::num_replicas() const {
+  std::vector<uint32_t> ids;
+  for (const auto& point : points_) ids.push_back(point.second);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return static_cast<int>(ids.size());
+}
+
+uint32_t ConsistentHashRing::RouteFor(uint64_t key_hash) const {
+  if (points_.empty()) return kNoReplica;
+  // Finalize the caller's hash before the ring lookup: weakly-avalanched
+  // hashes (FNV over short, similar keys differs mostly in low bits) would
+  // otherwise cluster on one arc and defeat the vnode spread.
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(Mix64(key_hash), uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<uint32_t> ConsistentHashRing::PreferenceFor(uint64_t key_hash,
+                                                        int count) const {
+  std::vector<uint32_t> order;
+  if (points_.empty() || count <= 0) return order;
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(Mix64(key_hash), uint32_t{0}));
+  for (size_t walked = 0; walked < points_.size(); ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    if (std::find(order.begin(), order.end(), it->second) == order.end()) {
+      order.push_back(it->second);
+      if (static_cast<int>(order.size()) >= count) break;
+    }
+    ++it;
+  }
+  return order;
+}
+
+}  // namespace qsteer

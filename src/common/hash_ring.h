@@ -1,0 +1,58 @@
+// Consistent-hash ring for routing serving traffic across a replica fleet.
+//
+// Each replica id is projected onto the ring at `vnodes` deterministic
+// points (a hash of the id and the virtual-node index — never a pointer or
+// any per-process value, so placement is identical across processes and
+// runs; see the determinism linter's QL004 rule). A key routes to the
+// first point clockwise from its own hash. Virtual nodes smooth the load:
+// with the default 64 points per replica the spread across a small fleet
+// stays within a few percent of uniform, and adding or removing a replica
+// moves only the keys whose closest point belonged to it (~1/N of the
+// keyspace), never reshuffling the rest.
+//
+// Thread-safety: NONE — the owner (ReplicationFleet) guards the ring with
+// its topology mutex, exactly like WriteAheadLog under the durable store.
+#ifndef QSTEER_COMMON_HASH_RING_H_
+#define QSTEER_COMMON_HASH_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace qsteer {
+
+class ConsistentHashRing {
+ public:
+  /// `vnodes` = ring points per replica; more points, smoother spread.
+  explicit ConsistentHashRing(int vnodes = 64);
+
+  /// Idempotent: re-adding a present replica is a no-op.
+  void AddReplica(uint32_t replica_id);
+  /// Idempotent: removing an absent replica is a no-op.
+  void RemoveReplica(uint32_t replica_id);
+  bool Contains(uint32_t replica_id) const;
+  /// Distinct replicas on the ring.
+  int num_replicas() const;
+  bool empty() const { return points_.empty(); }
+
+  /// Invalid-route sentinel (the ring never hosts this id).
+  static constexpr uint32_t kNoReplica = 0xffffffffu;
+
+  /// Primary owner of `key_hash`: the first ring point clockwise from it.
+  /// kNoReplica on an empty ring.
+  uint32_t RouteFor(uint64_t key_hash) const;
+
+  /// Up to `count` distinct replicas in preference order (primary first,
+  /// then successors clockwise). Re-routing walks this list when the
+  /// primary is down or over its admission budget.
+  std::vector<uint32_t> PreferenceFor(uint64_t key_hash, int count) const;
+
+ private:
+  int vnodes_;
+  /// Sorted (point, replica_id); binary-searched on route. Points are a
+  /// pure function of (replica_id, vnode_index).
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_COMMON_HASH_RING_H_

@@ -20,6 +20,9 @@ enum class StatusCode {
   // before optimization finished. Transient: retrying may succeed.
   kDeadlineExceeded,
   kInternal,
+  // The target endpoint is down, partitioned, or over capacity. Transient:
+  // the replication layer retries or re-routes around it.
+  kUnavailable,
 };
 
 /// Lightweight status object; OK is the zero-cost common case.
@@ -44,6 +47,9 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

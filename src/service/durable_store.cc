@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -204,6 +205,14 @@ Status DurableRecommenderStore::JournalAndMark(const std::string& payload) {
   }
   ++applied_seq_;
   ++events_since_snapshot_;
+  if (mutation_listener_) mutation_listener_(applied_seq_, payload);
+  return Status::OK();
+}
+
+Status DurableRecommenderStore::MaybeSnapshotLocked() {
+  if (options_.snapshot_interval > 0 && events_since_snapshot_ >= options_.snapshot_interval) {
+    return SnapshotLocked();
+  }
   return Status::OK();
 }
 
@@ -240,9 +249,7 @@ bool DurableRecommenderStore::LearnCandidate(
   if (!JournalAndMark(payload).ok()) return false;
   bool changed = recommender_.LearnCandidate(observation);
   if (changed) PublishViewLocked();
-  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
-    SnapshotLocked();  // best-effort; failures leave the WAL authoritative
-  }
+  MaybeSnapshotLocked();  // best-effort; failures leave the WAL authoritative
   return changed;
 }
 
@@ -254,9 +261,7 @@ void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveValidation(signature, runtime_change_pct);
   PublishViewLocked();
-  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
-    SnapshotLocked();
-  }
+  MaybeSnapshotLocked();
 }
 
 void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
@@ -267,9 +272,7 @@ void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveOutcome(signature, runtime_change_pct);
   PublishViewLocked();
-  if (events_since_snapshot_ >= options_.snapshot_interval && options_.snapshot_interval > 0) {
-    SnapshotLocked();
-  }
+  MaybeSnapshotLocked();
 }
 
 SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
@@ -287,13 +290,122 @@ SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
     }
     SteeringRecommender::Recommendation rec = recommender_.Recommend(signature);
     PublishViewLocked();
-    if (events_since_snapshot_ >= options_.snapshot_interval &&
-        options_.snapshot_interval > 0) {
-      SnapshotLocked();
-    }
+    MaybeSnapshotLocked();
     return rec;
   }
   return recommender_.Recommend(signature);
+}
+
+bool DurableRecommenderStore::TryRecommendPure(
+    const RuleSignature& signature, SteeringRecommender::Recommendation* out) const {
+  std::shared_ptr<const RecommendationView> view = view_.load(std::memory_order_acquire);
+  if (view == nullptr) return false;
+  auto it = view->rows.find(signature);
+  if (it == view->rows.end()) {
+    fast_recommends_.fetch_add(1, std::memory_order_relaxed);
+    *out = SteeringRecommender::Recommendation{};
+    out->config = RuleConfig::Default();
+    return true;
+  }
+  if (it->second.mutates_on_recommend) return false;
+  fast_recommends_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second.recommendation;
+  return true;
+}
+
+void DurableRecommenderStore::SetMutationListener(MutationListener listener) {
+  MutexLock lock(mu_);
+  mutation_listener_ = std::move(listener);
+}
+
+Status DurableRecommenderStore::ApplyReplicated(uint64_t seq, const std::string& payload) {
+  MutexLock lock(mu_);
+  if (!open_) return Status::FailedPrecondition("store not open");
+  if (seq <= applied_seq_) {
+    // Idempotent skip: this entry is already part of the local state
+    // (overlapping tail segment, duplicate shipment after a retry).
+    ++replicated_skipped_;
+    return Status::OK();
+  }
+  if (seq != applied_seq_ + 1) {
+    return Status::FailedPrecondition(
+        "replication gap: local watermark " + std::to_string(applied_seq_) +
+        ", shipped seq " + std::to_string(seq) + " (snapshot install required)");
+  }
+  Status status = JournalAndMark(payload);
+  if (!status.ok()) return status;
+  status = ApplyPayload(payload);
+  if (!status.ok()) return status;
+  ++replicated_applied_;
+  PublishViewLocked();
+  MaybeSnapshotLocked();
+  return Status::OK();
+}
+
+std::string DurableRecommenderStore::SerializeForReplication() const {
+  MutexLock lock(mu_);
+  return recommender_.Serialize() + kSeqCommentPrefix + std::to_string(applied_seq_) + "\n";
+}
+
+Status DurableRecommenderStore::InstallSnapshot(const std::string& content) {
+  MutexLock lock(mu_);
+  if (!open_) return Status::FailedPrecondition("store not open");
+  uint64_t seq = 0;
+  {
+    std::istringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.rfind(kSeqCommentPrefix, 0) == 0) {
+        seq = std::strtoull(line.c_str() + std::strlen(kSeqCommentPrefix), nullptr, 10);
+      }
+    }
+  }
+  // Validate into the live recommender only after parsing succeeds; a
+  // corrupt install must leave the current state untouched.
+  SteeringRecommender incoming(options_.recommender);
+  Status status = incoming.Deserialize(content);
+  if (!status.ok()) {
+    return Status::InvalidArgument("corrupt snapshot install: " + status.message());
+  }
+  if (durable()) {
+    // WAL first, snapshot second — deliberately the inverse of the
+    // periodic SnapshotLocked() ordering. An install may REWIND the local
+    // watermark (a rejoining ex-leader discards its unacknowledged
+    // suffix), so the local WAL can hold entries with seq beyond the
+    // incoming snapshot's that must never replay on top of it. Resetting
+    // the WAL first means a crash in the window leaves the old on-disk
+    // snapshot + empty WAL: a consistent, merely stale state that the next
+    // catch-up repairs. Snapshot-first would leave installed-state +
+    // divergent-tail — silently wrong after recovery.
+    status = wal_.Reset();
+    if (!status.ok()) return status;
+    if (!options_.testing_skip_snapshot_write_after_install_reset) {
+      status = WriteFileChecksummed(snapshot_path(), content, options_.sync);
+      if (!status.ok()) return status;
+      ++snapshots_taken_;
+    }
+  }
+  recommender_ = std::move(incoming);
+  applied_seq_ = seq;
+  events_since_snapshot_ = 0;
+  ++snapshot_installs_;
+  PublishViewLocked();
+  return Status::OK();
+}
+
+int64_t DurableRecommenderStore::replicated_applied() const {
+  MutexLock lock(mu_);
+  return replicated_applied_;
+}
+
+int64_t DurableRecommenderStore::replicated_skipped() const {
+  MutexLock lock(mu_);
+  return replicated_skipped_;
+}
+
+int64_t DurableRecommenderStore::snapshot_installs() const {
+  MutexLock lock(mu_);
+  return snapshot_installs_;
 }
 
 std::vector<SteeringRecommender::ValidationRequest>

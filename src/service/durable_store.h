@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -52,6 +53,12 @@ struct DurableStoreOptions {
   /// simulating a crash in the window between the two — recovery must then
   /// skip the WAL's already-snapshotted prefix by sequence number.
   bool testing_skip_wal_reset_after_snapshot = false;
+  /// Testing hook for the inverse window in InstallSnapshot (which resets
+  /// the WAL *first*, then writes the installed snapshot — see the method
+  /// comment): the install skips the snapshot write after the WAL reset,
+  /// simulating a crash between the two. Recovery must come back to a
+  /// consistent pre-install state, never a mix.
+  bool testing_skip_snapshot_write_after_install_reset = false;
   RecommenderOptions recommender;
 };
 
@@ -111,6 +118,52 @@ class DurableRecommenderStore {
     return locked_recommends_.load(std::memory_order_relaxed);
   }
 
+  // ---- Replication seam (leader/follower fleet, src/service/replication.h) ----
+
+  /// Pure lookup off the lock-free serving view: succeeds (and fills *out)
+  /// for unknown signatures and non-mutating rows; returns false when the
+  /// lookup would have to mutate the store (open-breaker cooldown tick) or
+  /// the view is unpublished. Followers serve reads through this — a tick
+  /// is a mutation and belongs on the leader, where it is journaled and
+  /// replicated like any other event.
+  bool TryRecommendPure(const RuleSignature& signature,
+                        SteeringRecommender::Recommendation* out) const;
+
+  /// Observer called (under the store mutex) with every journaled event,
+  /// in exactly journal order — which is application order, because both
+  /// happen under the same critical section. The replication layer buffers
+  /// these as the WAL tail it ships to followers. Pass nullptr to detach.
+  using MutationListener = std::function<void(uint64_t seq, const std::string& payload)>;
+  void SetMutationListener(MutationListener listener) EXCLUDES(mu_);
+
+  /// Follower apply path: journals `payload` into this store's own WAL at
+  /// the leader's sequence number and applies it. Idempotent — seq <= the
+  /// local watermark is skipped (OK) so overlapping tail segments are
+  /// harmless; a gap (seq > watermark + 1) is a kFailedPrecondition, the
+  /// signal to fall back to a snapshot install.
+  Status ApplyReplicated(uint64_t seq, const std::string& payload) EXCLUDES(mu_);
+
+  /// The store serialized exactly as a disk snapshot (state + `# seq N`
+  /// watermark line): what the leader ships for a snapshot install.
+  std::string SerializeForReplication() const EXCLUDES(mu_);
+
+  /// Replaces this store's entire state with a shipped snapshot (the
+  /// payload of SerializeForReplication), adopting its watermark — which
+  /// may *rewind* applied_seq: a rejoining ex-leader's unacknowledged
+  /// suffix is deliberately discarded. Durability ordering is the inverse
+  /// of the periodic snapshot: the WAL is reset FIRST, then the installed
+  /// snapshot is written. The local WAL can hold entries the incoming
+  /// snapshot does not subsume (the divergent suffix), so snapshot-first
+  /// would let a crash in the window replay them on top of the installed
+  /// state. Reset-first degrades a crash to "still on the old snapshot,
+  /// catch up again" — behind, never wrong.
+  Status InstallSnapshot(const std::string& content) EXCLUDES(mu_);
+
+  /// Replicated-apply counters (fleet catch-up accounting).
+  int64_t replicated_applied() const EXCLUDES(mu_);
+  int64_t replicated_skipped() const EXCLUDES(mu_);
+  int64_t snapshot_installs() const EXCLUDES(mu_);
+
   // ---- Reads (thread-safe snapshots) ----
 
   std::vector<SteeringRecommender::ValidationRequest> PendingValidations() const
@@ -150,6 +203,7 @@ class DurableRecommenderStore {
 
   Status JournalAndMark(const std::string& payload) REQUIRES(mu_);  // assigns seq, appends
   Status SnapshotLocked() REQUIRES(mu_);
+  Status MaybeSnapshotLocked() REQUIRES(mu_);  // interval-triggered, best-effort
   Status ApplyPayload(const std::string& payload) REQUIRES(mu_);  // replay dispatcher
   /// Rebuilds and publishes the serving view after any recommender mutation.
   void PublishViewLocked() REQUIRES(mu_);
@@ -167,9 +221,13 @@ class DurableRecommenderStore {
   /// application order.
   WriteAheadLog wal_ GUARDED_BY(mu_);
   RecoveryInfo recovery_ GUARDED_BY(mu_);
+  MutationListener mutation_listener_ GUARDED_BY(mu_);
   uint64_t applied_seq_ GUARDED_BY(mu_) = 0;
   int64_t events_since_snapshot_ GUARDED_BY(mu_) = 0;
   int64_t snapshots_taken_ GUARDED_BY(mu_) = 0;
+  int64_t replicated_applied_ GUARDED_BY(mu_) = 0;
+  int64_t replicated_skipped_ GUARDED_BY(mu_) = 0;
+  int64_t snapshot_installs_ GUARDED_BY(mu_) = 0;
   bool open_ GUARDED_BY(mu_) = false;
 };
 

@@ -34,6 +34,11 @@ std::string ServiceStatusSnapshot::ToString() const {
       << "service_time_ewma_s: " << service_time_ewma_s << '\n'
       << "store: applied_seq=" << applied_seq << " wal_lag=" << wal_lag
       << " snapshots=" << snapshots_taken << '\n'
+      << "recovery: snapshot=" << (recovered_snapshot ? "loaded" : "none")
+      << " snapshot_seq=" << recovery_snapshot_seq
+      << " wal_replayed=" << recovery_wal_replayed
+      << " wal_skipped=" << recovery_wal_skipped
+      << " wal_truncated_bytes=" << recovery_wal_truncated_bytes << '\n'
       << "recommender: groups=" << groups << " serving=" << serving
       << " open=" << open_breakers << " retired=" << retired
       << " pending_validation=" << pending_validation << '\n'
@@ -341,6 +346,12 @@ ServiceStatusSnapshot SteeringService::status() const {
   snapshot.applied_seq = store_.applied_seq();
   snapshot.wal_lag = store_.wal_lag();
   snapshot.snapshots_taken = store_.snapshots_taken();
+  DurableRecommenderStore::RecoveryInfo recovery = store_.recovery();
+  snapshot.recovered_snapshot = recovery.loaded_snapshot;
+  snapshot.recovery_snapshot_seq = recovery.snapshot_seq;
+  snapshot.recovery_wal_replayed = recovery.wal_records_replayed;
+  snapshot.recovery_wal_skipped = recovery.wal_records_skipped;
+  snapshot.recovery_wal_truncated_bytes = recovery.wal_truncated_bytes;
   snapshot.groups = store_.num_groups();
   snapshot.serving = store_.num_serving();
   snapshot.open_breakers = store_.num_open();

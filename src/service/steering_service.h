@@ -125,6 +125,14 @@ struct ServiceStatusSnapshot {
   uint64_t applied_seq = 0;
   int64_t wal_lag = 0;
   int64_t snapshots_taken = 0;
+  // Last recovery (what Start() found on disk): did a snapshot load, at
+  // which watermark, how much WAL replayed/skipped, and how many torn
+  // bytes were truncated. Zeroes for a fresh or ephemeral store.
+  bool recovered_snapshot = false;
+  uint64_t recovery_snapshot_seq = 0;
+  int64_t recovery_wal_replayed = 0;
+  int64_t recovery_wal_skipped = 0;
+  int64_t recovery_wal_truncated_bytes = 0;
   // Recommender health.
   int groups = 0;
   int serving = 0;

@@ -1,0 +1,392 @@
+// Chaos tests of the replicated serving tier: kill/restart churn,
+// deterministic failover, tail vs. snapshot catch-up, staleness shedding,
+// wire corruption, and concurrent serving during churn (TSan coverage).
+#include "service/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/hash_ring.h"
+
+namespace qsteer {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qsteer_fleet_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+RuleSignature Sig(int bit) {
+  RuleSignature s;
+  s.Set(bit);
+  return s;
+}
+
+RuleConfig AltConfig(int n) {
+  RuleConfig def = RuleConfig::Default();
+  std::vector<int> toggleable;
+  for (int id = 0; id < 256; ++id) {
+    RuleConfig config = def;
+    if (config.IsEnabled(id)) {
+      config.Disable(id);
+    } else {
+      config.Enable(id);
+    }
+    if (config != def) toggleable.push_back(id);
+  }
+  RuleConfig config = def;
+  int id = toggleable[static_cast<size_t>(n) % toggleable.size()];
+  if (config.IsEnabled(id)) {
+    config.Disable(id);
+  } else {
+    config.Enable(id);
+  }
+  return config;
+}
+
+SteeringRecommender::CandidateObservation Candidate(int sig_bit, int config_n,
+                                                    double improvement) {
+  SteeringRecommender::CandidateObservation observation;
+  observation.signature = Sig(sig_bit);
+  observation.config = AltConfig(config_n);
+  observation.improvement_pct = improvement;
+  return observation;
+}
+
+FleetOptions Options(const std::string& dir, int replicas = 3) {
+  FleetOptions options;
+  options.dir = dir;
+  options.num_replicas = replicas;
+  options.snapshot_interval = 16;
+  options.sync = false;
+  options.staleness_bound = 8;
+  return options;
+}
+
+/// Acked-mutation journal: what golden replay reconstructs from.
+struct AckedOp {
+  int sig_bit;
+  int config_n;
+  double value;
+  char type;  // 'L' learn, 'O' outcome, 'V' validation
+};
+
+void ApplyAcked(DurableRecommenderStore& store, const AckedOp& op) {
+  switch (op.type) {
+    case 'L':
+      store.LearnCandidate(Candidate(op.sig_bit, op.config_n, op.value));
+      break;
+    case 'V':
+      store.ObserveValidation(Sig(op.sig_bit), op.value);
+      break;
+    default:
+      store.ObserveOutcome(Sig(op.sig_bit), op.value);
+      break;
+  }
+}
+
+/// Replays the acked-op journal into a fresh ephemeral store: the ground
+/// truth every surviving replica must match bit-for-bit.
+std::string GoldenState(const std::vector<AckedOp>& acked) {
+  DurableRecommenderStore store;
+  EXPECT_TRUE(store.Open().ok());
+  for (const AckedOp& op : acked) ApplyAcked(store, op);
+  return store.SerializeState();
+}
+
+TEST(FleetTest, MutationsReplicateToAllFollowers) {
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  EXPECT_EQ(fleet.leader_id(), 0u);
+  EXPECT_EQ(fleet.epoch(), 1u);
+  bool learned = false;
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0), &learned).ok());
+  EXPECT_TRUE(learned);
+  ASSERT_TRUE(fleet.ObserveValidation(Sig(1), -9.0).ok());
+  for (int i = 0; i < fleet.num_replicas(); ++i) {
+    EXPECT_EQ(fleet.replica_store(static_cast<uint32_t>(i))->applied_seq(), 2u)
+        << "replica " << i;
+  }
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+TEST(FleetTest, ServingRoutesMatchAStandaloneRing) {
+  // The fleet's routing must be exactly the documented consistent-hash
+  // placement — a test ring built independently predicts which replica
+  // serves each signature.
+  TempDir dir;
+  FleetOptions options = Options(dir.path());
+  ReplicationFleet fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(3, 0, -10.0)).ok());
+  ConsistentHashRing ring(options.ring_vnodes);
+  for (uint32_t r = 0; r < 3; ++r) ring.AddReplica(r);
+  for (int bit = 0; bit < 64; ++bit) {
+    ReplicationFleet::ServeResult result;
+    ASSERT_TRUE(fleet.Serve(Sig(bit), &result).ok());
+    EXPECT_EQ(result.replica, ring.RouteFor(ReplicationFleet::RouteKey(Sig(bit))))
+        << "bit " << bit;
+    EXPECT_FALSE(result.rerouted);
+  }
+}
+
+TEST(FleetTest, FollowerKillRestartCatchesUpByTail) {
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  ASSERT_TRUE(fleet.Kill(2).ok());
+  // Mutations continue while replica 2 is down (still acked: 2 is dead,
+  // not reachable).
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(fleet.ObserveOutcome(Sig(1), -8.0).ok());
+  uint64_t leader_mark = fleet.replica_store(fleet.leader_id())->applied_seq();
+  ASSERT_TRUE(fleet.Restart(2).ok());
+  std::shared_ptr<DurableRecommenderStore> follower = fleet.replica_store(2);
+  // Disk recovery + tail catch-up from the `# seq N` watermark — no
+  // snapshot install needed for a clean follower restart.
+  EXPECT_EQ(follower->snapshot_installs(), 0);
+  EXPECT_GT(follower->replicated_applied(), 0);
+  EXPECT_EQ(follower->applied_seq(), leader_mark);
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+  EXPECT_EQ(fleet.epoch(), 1u);  // no election happened
+}
+
+TEST(FleetTest, LeaderKillElectsDeterministicallyAndLosesNothing) {
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  std::vector<AckedOp> acked;
+  auto learn = [&](int bit, int cfg, double v) {
+    ASSERT_TRUE(fleet.LearnCandidate(Candidate(bit, cfg, v)).ok());
+    acked.push_back({bit, cfg, v, 'L'});
+  };
+  auto outcome = [&](int bit, double v) {
+    ASSERT_TRUE(fleet.ObserveOutcome(Sig(bit), v).ok());
+    acked.push_back({bit, 0, v, 'O'});
+  };
+  learn(1, 0, -10.0);
+  learn(2, 1, -12.0);
+  outcome(1, -9.0);
+  ASSERT_EQ(fleet.leader_id(), 0u);
+  ASSERT_TRUE(fleet.Kill(0).ok());
+  // All survivors share the max watermark; the tie breaks to the lowest
+  // id — replica 1, on any machine, every run.
+  EXPECT_EQ(fleet.leader_id(), 1u);
+  EXPECT_EQ(fleet.epoch(), 2u);
+  // Every acked mutation survived the failover.
+  std::string golden = GoldenState(acked);
+  EXPECT_EQ(fleet.replica_store(1)->SerializeState(), golden);
+  EXPECT_EQ(fleet.replica_store(2)->SerializeState(), golden);
+  // The fleet keeps accepting mutations under the new leader.
+  outcome(2, -11.0);
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+  EXPECT_EQ(fleet.replica_store(2)->SerializeState(), GoldenState(acked));
+}
+
+TEST(FleetTest, RejoiningExLeaderDiscardsDivergentSuffixViaInstall) {
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  std::vector<AckedOp> acked;
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  acked.push_back({1, 0, -10.0, 'L'});
+  ASSERT_TRUE(fleet.Kill(0).ok());
+  ASSERT_EQ(fleet.leader_id(), 1u);
+  // History moves on without replica 0; the new leader reuses sequence
+  // numbers replica 0 may have journaled differently.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fleet.ObserveOutcome(Sig(1), -7.0).ok());
+    acked.push_back({1, 0, -7.0, 'O'});
+  }
+  ASSERT_TRUE(fleet.Restart(0).ok());
+  // An ex-leader always snapshot-installs on rejoin: its unacknowledged
+  // suffix (if any) must never be tailed on top of the new history.
+  EXPECT_GE(fleet.replica_store(0)->snapshot_installs(), 1);
+  EXPECT_EQ(fleet.replica_store(0)->SerializeState(), GoldenState(acked));
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+  // Replica 0 rejoined as a follower; leadership did not revert.
+  EXPECT_EQ(fleet.leader_id(), 1u);
+}
+
+TEST(FleetTest, PartitionedFollowerShedsStaleReadsThenHeals) {
+  TempDir dir;
+  FleetOptions options = Options(dir.path());
+  options.staleness_bound = 4;
+  ReplicationFleet fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+
+  // Find a signature whose primary is a follower (not the leader).
+  ConsistentHashRing ring(options.ring_vnodes);
+  for (uint32_t r = 0; r < 3; ++r) ring.AddReplica(r);
+  int follower_bit = -1;
+  uint32_t follower_id = 0;
+  for (int bit = 0; bit < 256; ++bit) {
+    uint32_t primary = ring.RouteFor(ReplicationFleet::RouteKey(Sig(bit)));
+    if (primary != fleet.leader_id()) {
+      follower_bit = bit;
+      follower_id = primary;
+      break;
+    }
+  }
+  ASSERT_GE(follower_bit, 0);
+
+  // Partition that follower and push the leader past the staleness bound.
+  fleet.SetPartitioned(follower_id, true);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(fleet.ObserveOutcome(Sig(1), -6.0).ok());
+
+  ReplicationFleet::ServeResult result;
+  ASSERT_TRUE(fleet.Serve(Sig(follower_bit), &result).ok());
+  EXPECT_TRUE(result.shed_stale);
+  EXPECT_EQ(result.replica, fleet.leader_id());
+
+  // Heal: the follower catches up and serves its keys again.
+  fleet.SetPartitioned(follower_id, false);
+  ASSERT_TRUE(fleet.CatchUpAll().ok());
+  ASSERT_TRUE(fleet.Serve(Sig(follower_bit), &result).ok());
+  EXPECT_FALSE(result.shed_stale);
+  EXPECT_EQ(result.replica, follower_id);
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+TEST(FleetTest, DeadPrimaryReroutesDownPreferenceList) {
+  TempDir dir;
+  FleetOptions options = Options(dir.path());
+  ReplicationFleet fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  ConsistentHashRing ring(options.ring_vnodes);
+  for (uint32_t r = 0; r < 3; ++r) ring.AddReplica(r);
+  // A signature primarily owned by follower 2 (kill target).
+  int bit = -1;
+  for (int b = 0; b < 256; ++b) {
+    if (ring.RouteFor(ReplicationFleet::RouteKey(Sig(b))) == 2u && fleet.leader_id() != 2u) {
+      bit = b;
+      break;
+    }
+  }
+  ASSERT_GE(bit, 0);
+  ASSERT_TRUE(fleet.Kill(2).ok());
+  ReplicationFleet::ServeResult result;
+  ASSERT_TRUE(fleet.Serve(Sig(bit), &result).ok());
+  EXPECT_TRUE(result.rerouted);
+  EXPECT_NE(result.replica, 2u);
+  ASSERT_TRUE(fleet.Restart(2).ok());
+  ASSERT_TRUE(fleet.Serve(Sig(bit), &result).ok());
+  EXPECT_EQ(result.replica, 2u);  // ownership returns with the replica
+}
+
+TEST(FleetTest, CorruptedFrameIsDetectedAndConvergesAnyway) {
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  int64_t before = fleet.transport().checksum_failures();
+  fleet.transport().CorruptNextDelivery(1);
+  // The corrupted shipment is rejected by the receiver-side crc; the
+  // leader immediately re-derives the catch-up, so the mutation still
+  // lands everywhere before the call returns.
+  ASSERT_TRUE(fleet.ObserveOutcome(Sig(1), -5.0).ok());
+  EXPECT_EQ(fleet.transport().checksum_failures(), before + 1);
+  EXPECT_EQ(fleet.replica_store(1)->applied_seq(),
+            fleet.replica_store(fleet.leader_id())->applied_seq());
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+TEST(FleetTest, EphemeralFleetRestartInstallsSnapshot) {
+  // Without a durable dir a restarted replica recovers nothing from disk:
+  // catch-up must fall back to a snapshot install (watermark 0 is outside
+  // any bounded tail buffer once history is long enough).
+  FleetOptions options = Options("");
+  options.replication_log_cap = 4;
+  ReplicationFleet fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  ASSERT_TRUE(fleet.Kill(2).ok());
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(fleet.ObserveOutcome(Sig(1), -5.0).ok());
+  ASSERT_TRUE(fleet.Restart(2).ok());
+  EXPECT_GE(fleet.replica_store(2)->snapshot_installs(), 1);
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+TEST(FleetTest, WholeFleetRestartRecoversFromDisk) {
+  TempDir dir;
+  std::vector<AckedOp> acked;
+  {
+    ReplicationFleet fleet(Options(dir.path()));
+    ASSERT_TRUE(fleet.Start().ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(fleet.LearnCandidate(Candidate(i, i, -10.0 - i)).ok());
+      acked.push_back({i, i, -10.0 - i, 'L'});
+    }
+  }  // every replica "crashes" (no clean shutdown snapshot beyond interval)
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  std::string golden = GoldenState(acked);
+  for (int i = 0; i < fleet.num_replicas(); ++i) {
+    EXPECT_EQ(fleet.replica_store(static_cast<uint32_t>(i))->SerializeState(), golden)
+        << "replica " << i;
+  }
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+TEST(FleetTest, ConcurrentServesSurviveChurn) {
+  // Serving threads hammer the fleet while the main thread kills and
+  // restarts replicas — the lock-free read path and the topology mutex
+  // must coexist without races (this is the TSan target).
+  TempDir dir;
+  ReplicationFleet fleet(Options(dir.path()));
+  ASSERT_TRUE(fleet.Start().ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fleet.LearnCandidate(Candidate(i, i, -12.0)).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t state = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        state = Mix64(state);
+        ReplicationFleet::ServeResult result;
+        if (fleet.Serve(Sig(static_cast<int>(state % 256)), &result).ok()) {
+          served.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 6; ++round) {
+    uint32_t victim = static_cast<uint32_t>(Mix64(round) % 3);
+    if (fleet.Kill(victim).ok()) {
+      (void)fleet.ObserveOutcome(Sig(0), -5.0);
+      ASSERT_TRUE(fleet.Restart(victim).ok());
+    }
+    (void)fleet.ObserveOutcome(Sig(1), -4.0);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(served.load(), 0);
+  ASSERT_TRUE(fleet.CatchUpAll().ok());
+  EXPECT_TRUE(fleet.CheckConvergence().ok());
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -16,6 +16,7 @@
 #include "common/crc32.h"
 #include "common/file_io.h"
 #include "common/wal.h"
+#include "service/durable_store.h"
 
 namespace qsteer {
 namespace {
@@ -275,6 +276,211 @@ TEST(WalTest, ImplausibleLengthFieldIsTreatedAsTornTail) {
   auto records = Replay(path, &info);
   EXPECT_EQ(records.size(), 1u);
   EXPECT_EQ(info.truncated_bytes, 16);
+}
+
+// ------------------------------------------- snapshot install crash windows
+//
+// Store-level regressions for the replication seam: InstallSnapshot's
+// durability ordering is the *inverse* of the periodic snapshot path (WAL
+// reset first, snapshot write second), because the local WAL can hold a
+// suffix the incoming snapshot does not subsume. These tests pin both
+// crash windows.
+
+RuleSignature InstallSig(int bit) {
+  RuleSignature s;
+  s.Set(bit);
+  return s;
+}
+
+RuleConfig InstallAltConfig(int n) {
+  RuleConfig def = RuleConfig::Default();
+  std::vector<int> toggleable;
+  for (int id = 0; id < 256; ++id) {
+    RuleConfig config = def;
+    if (config.IsEnabled(id)) {
+      config.Disable(id);
+    } else {
+      config.Enable(id);
+    }
+    if (config != def) toggleable.push_back(id);
+  }
+  RuleConfig config = def;
+  int id = toggleable[static_cast<size_t>(n) % toggleable.size()];
+  if (config.IsEnabled(id)) {
+    config.Disable(id);
+  } else {
+    config.Enable(id);
+  }
+  return config;
+}
+
+void Learn(DurableRecommenderStore& store, int sig_bit, int config_n,
+           double improvement) {
+  SteeringRecommender::CandidateObservation observation;
+  observation.signature = InstallSig(sig_bit);
+  observation.config = InstallAltConfig(config_n);
+  observation.improvement_pct = improvement;
+  ASSERT_TRUE(store.LearnCandidate(observation));
+}
+
+DurableStoreOptions InstallStoreOptions(const std::string& dir) {
+  DurableStoreOptions options;
+  options.dir = dir;
+  options.snapshot_interval = 1000;  // no automatic snapshots mid-test
+  options.sync = false;
+  return options;
+}
+
+TEST(DurableStoreInstallTest, InstallReplacesStateAndSurvivesReopen) {
+  TempDir dir;
+  std::string content;
+  uint64_t leader_seq = 0;
+  {
+    DurableRecommenderStore leader;  // ephemeral
+    ASSERT_TRUE(leader.Open().ok());
+    Learn(leader, 1, 0, -12.0);
+    Learn(leader, 2, 1, -8.0);
+    content = leader.SerializeForReplication();
+    leader_seq = leader.applied_seq();
+  }
+  DurableStoreOptions options = InstallStoreOptions(dir.Path("follower"));
+  std::filesystem::create_directories(options.dir);
+  std::string expected;
+  {
+    DurableRecommenderStore follower(options);
+    ASSERT_TRUE(follower.Open().ok());
+    Learn(follower, 7, 2, -5.0);  // local state the install must replace
+    ASSERT_TRUE(follower.InstallSnapshot(content).ok());
+    EXPECT_EQ(follower.applied_seq(), leader_seq);
+    EXPECT_EQ(follower.snapshot_installs(), 1);
+    expected = follower.SerializeState();
+  }
+  // Crash after a completed install: reopen recovers the installed state
+  // (the install wrote the snapshot and the reset WAL holds nothing).
+  DurableRecommenderStore reopened(options);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.SerializeState(), expected);
+  EXPECT_EQ(reopened.applied_seq(), leader_seq);
+  EXPECT_EQ(reopened.recovery().wal_records_replayed, 0);
+}
+
+TEST(DurableStoreInstallTest, CrashInInstallWindowNeverYieldsMixedState) {
+  // The follower's WAL holds a *divergent* suffix: entries with sequence
+  // numbers at/beyond the incoming snapshot's watermark but different
+  // content (it was a leader whose tail nobody acknowledged). A crash
+  // between InstallSnapshot's two durable steps must leave a consistent
+  // pre-install state — never installed-state-plus-replayed-suffix, which
+  // is the corruption the reset-first ordering exists to prevent.
+  TempDir dir;
+  std::string installed;
+  {
+    DurableRecommenderStore leader;
+    ASSERT_TRUE(leader.Open().ok());
+    Learn(leader, 1, 0, -12.0);  // seq 1 on the leader's history
+    installed = leader.SerializeForReplication();
+  }
+  DurableStoreOptions options = InstallStoreOptions(dir.Path("follower"));
+  std::filesystem::create_directories(options.dir);
+  options.testing_skip_snapshot_write_after_install_reset = true;  // crash window
+  {
+    DurableRecommenderStore follower(options);
+    ASSERT_TRUE(follower.Open().ok());
+    // Divergent local history: same seq numbers, different payloads.
+    Learn(follower, 9, 3, -20.0);  // seq 1, diverges from leader's seq 1
+    Learn(follower, 5, 4, -15.0);  // seq 2, beyond the install watermark
+    ASSERT_TRUE(follower.InstallSnapshot(installed).ok());
+    // In-memory the install completed...
+    EXPECT_EQ(follower.applied_seq(), 1u);
+  }  // ...but the process dies before the snapshot write (hook): the WAL
+     // was reset and no snapshot exists on disk.
+  options.testing_skip_snapshot_write_after_install_reset = false;
+  DurableRecommenderStore reopened(options);
+  ASSERT_TRUE(reopened.Open().ok());
+  // "Behind, never wrong": the store recovered to its pre-install durable
+  // base (here: empty — no snapshot had ever been written) with ZERO
+  // divergent-suffix replay. Snapshot-first ordering would instead have
+  // recovered the installed state with the divergent seq-2 event on top.
+  EXPECT_EQ(reopened.applied_seq(), 0u);
+  EXPECT_EQ(reopened.recovery().wal_records_replayed, 0);
+  EXPECT_FALSE(reopened.recovery().loaded_snapshot);
+  DurableRecommenderStore empty;
+  ASSERT_TRUE(empty.Open().ok());
+  EXPECT_EQ(reopened.SerializeState(), empty.SerializeState());
+  // The node is merely behind: a fresh install catches it up fully.
+  ASSERT_TRUE(reopened.InstallSnapshot(installed).ok());
+  EXPECT_EQ(reopened.applied_seq(), 1u);
+}
+
+TEST(DurableStoreInstallTest, FollowerOfLeaderDeadMidSnapshotDoesNotDoubleApply) {
+  // The leader crashed in ITS snapshot window (snapshot written, WAL not
+  // yet reset — testing_skip_wal_reset_after_snapshot), so its recovered
+  // WAL still holds every record at/below the snapshot watermark. A
+  // follower that installs the snapshot and is then caught up from that
+  // overlapping WAL must skip the already-installed window idempotently —
+  // applying it twice would double-count observations.
+  TempDir dir;
+  std::string leader_dir = dir.Path("leader");
+  std::filesystem::create_directories(leader_dir);
+  DurableStoreOptions leader_options = InstallStoreOptions(leader_dir);
+  leader_options.testing_skip_wal_reset_after_snapshot = true;
+
+  std::vector<std::pair<uint64_t, std::string>> shipped;
+  std::string leader_state;
+  uint64_t watermark = 0;
+  std::string snapshot_content;
+  {
+    DurableRecommenderStore leader(leader_options);
+    ASSERT_TRUE(leader.Open().ok());
+    leader.SetMutationListener([&](uint64_t seq, const std::string& payload) {
+      shipped.emplace_back(seq, payload);
+    });
+    Learn(leader, 1, 0, -12.0);
+    Learn(leader, 2, 1, -9.0);
+    ASSERT_TRUE(leader.Snapshot().ok());  // crash window: WAL keeps seq 1-2
+    watermark = leader.applied_seq();
+    snapshot_content = leader.SerializeForReplication();
+    Learn(leader, 3, 2, -7.0);  // post-snapshot tail
+    leader_state = leader.SerializeState();
+  }
+  ASSERT_EQ(watermark, 2u);
+  ASSERT_EQ(shipped.size(), 3u);
+
+  // Follower: install the snapshot, then receive the leader's ENTIRE
+  // journal as catch-up (the overlap is exactly what a recovered
+  // crashed-mid-snapshot leader would ship).
+  DurableRecommenderStore follower;
+  ASSERT_TRUE(follower.Open().ok());
+  ASSERT_TRUE(follower.InstallSnapshot(snapshot_content).ok());
+  for (const auto& [seq, payload] : shipped) {
+    ASSERT_TRUE(follower.ApplyReplicated(seq, payload).ok()) << "seq " << seq;
+  }
+  EXPECT_EQ(follower.replicated_skipped(), 2);  // the snapshot window
+  EXPECT_EQ(follower.replicated_applied(), 1);  // the genuine tail
+  EXPECT_EQ(follower.SerializeState(), leader_state);
+  EXPECT_EQ(follower.applied_seq(), 3u);
+}
+
+TEST(DurableStoreInstallTest, ApplyReplicatedRejectsGaps) {
+  DurableRecommenderStore store;
+  ASSERT_TRUE(store.Open().ok());
+  std::vector<std::pair<uint64_t, std::string>> events;
+  {
+    DurableRecommenderStore source;
+    ASSERT_TRUE(source.Open().ok());
+    source.SetMutationListener([&](uint64_t seq, const std::string& payload) {
+      events.emplace_back(seq, payload);
+    });
+    Learn(source, 1, 0, -10.0);
+    Learn(source, 2, 1, -10.0);
+  }
+  ASSERT_EQ(events.size(), 2u);
+  // Shipping seq 2 to a store at watermark 0 is a gap: the follower must
+  // refuse (the leader's cue to send a snapshot), not apply out of order.
+  Status status = store.ApplyReplicated(events[1].first, events[1].second);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(store.ApplyReplicated(events[0].first, events[0].second).ok());
+  EXPECT_TRUE(store.ApplyReplicated(events[1].first, events[1].second).ok());
+  EXPECT_EQ(store.applied_seq(), 2u);
 }
 
 // -------------------------------------------------------- bounded queue

@@ -41,6 +41,25 @@
 //                                            --compile-cache-mb=<MiB>
 //                                              compile-cache budget
 //                                              (0 disables)
+//   serve-fleet <A|B|C> <days> [flags]     replicated serving tier: N
+//                                          replica stores behind a
+//                                          consistent-hash router, leader
+//                                          mutations shipped to followers,
+//                                          deterministic failover. Flags:
+//                                            --dir=<dir>  root directory
+//                                              (replica_<i> subdirs; empty
+//                                              = ephemeral replicas)
+//                                            --replicas=<n> fleet size
+//                                            --snapshot-interval=<n>
+//                                            --staleness-bound=<n> events a
+//                                              follower may trail before
+//                                              shedding reads to the leader
+//                                            --kill-every=<days> scripted
+//                                              churn: kill a hashed replica
+//                                              every N days, restart it the
+//                                              next day
+//                                            --vnodes=<n> ring points per
+//                                              replica
 //
 // Hint strings use the §3.2 flag syntax, e.g.
 //   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
@@ -55,6 +74,8 @@
 #include "catalog/calibration.h"
 #include "catalog/stats_model.h"
 #include "common/argparse.h"
+#include "common/hash.h"
+#include "service/replication.h"
 #include "core/hints.h"
 #include "core/pipeline.h"
 #include "core/recommender.h"
@@ -80,7 +101,11 @@ int Usage() {
                "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
                "[--snapshot-interval=N]\n"
                "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n"
-               "        [--compile-cache-mb=N]\n");
+               "        [--compile-cache-mb=N]\n"
+               "  serve-fleet <A|B|C> <days> [--dir=DIR] [--replicas=N]\n"
+               "        [--snapshot-interval=N] [--staleness-bound=N] "
+               "[--kill-every=DAYS]\n"
+               "        [--vnodes=N]\n");
   return 2;
 }
 
@@ -194,18 +219,35 @@ int CmdSpan(int argc, char** argv) {
 }
 
 int CmdAnalyze(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  Workload workload(SpecFor(argv[0]));
+  std::vector<const char*> positional;
+  std::string wal_dir;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--wal-dir=", 10) == 0) {
+      wal_dir = argv[i] + 10;
+      if (wal_dir.empty()) {
+        std::fprintf(stderr, "qsteer analyze: --wal-dir requires a value\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "qsteer analyze: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3) return Usage();
+  Workload workload(SpecFor(positional[0]));
   Optimizer optimizer(&workload.catalog());
   ExecutionSimulator simulator(&workload.catalog());
   PipelineOptions options;
   options.max_candidate_configs = 200;
   int template_id = 0, day = 0;
-  if (!ParsePositional("template", argv[1], 0, 1000000, &template_id) ||
-      !ParsePositional("day", argv[2], 1, 1000000, &day)) {
+  if (!ParsePositional("template", positional[1], 0, 1000000, &template_id) ||
+      !ParsePositional("day", positional[2], 1, 1000000, &day)) {
     return 2;
   }
-  if (argc > 3 && !ParsePositional("threads", argv[3], -1, 1024, &options.num_threads)) {
+  if (positional.size() > 3 &&
+      !ParsePositional("threads", positional[3], -1, 1024, &options.num_threads)) {
     return 2;
   }
   SteeringPipeline pipeline(&optimizer, &simulator, options);
@@ -249,6 +291,42 @@ int CmdAnalyze(int argc, char** argv) {
   std::printf("  estimate-vs-truth cardinality q-error (%s model, %d plan nodes): "
               "p50 %.2f  p95 %.2f  max %.2f\n",
               workload.catalog().stats_model().name(), gap.count, gap.p50, gap.p95, gap.max);
+  if (!wal_dir.empty()) {
+    // Durable mode: recover the store, report what recovery found (the
+    // same RecoveryInfo the service status exposes), learn this analysis
+    // into it, and say where the job's group stands.
+    DurableStoreOptions store_options;
+    store_options.dir = wal_dir;
+    DurableRecommenderStore store(store_options);
+    Status status = store.Open();
+    if (!status.ok()) {
+      std::fprintf(stderr, "qsteer analyze: store recovery failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    DurableRecommenderStore::RecoveryInfo recovery = store.recovery();
+    std::printf("  durable store %s: snapshot %s (seq %llu), %lld WAL events replayed, "
+                "%lld skipped, %lld torn bytes truncated; %d groups\n",
+                wal_dir.c_str(), recovery.loaded_snapshot ? "loaded" : "absent",
+                static_cast<unsigned long long>(recovery.snapshot_seq),
+                static_cast<long long>(recovery.wal_records_replayed),
+                static_cast<long long>(recovery.wal_records_skipped),
+                static_cast<long long>(recovery.wal_truncated_bytes), store.num_groups());
+    bool learned = store.LearnFromAnalysis(analysis);
+    SteeringRecommender::Recommendation recommendation =
+        store.Recommend(analysis.default_plan.signature);
+    std::printf("  group %s: %s%s\n",
+                analysis.default_plan.signature.ToHexString().substr(0, 16).c_str(),
+                recommendation.is_default ? "serving default"
+                                          : "steered recommendation available",
+                learned ? " (this analysis learned as a candidate)" : "");
+    status = store.Snapshot();
+    if (!status.ok()) {
+      std::fprintf(stderr, "qsteer analyze: final snapshot failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -517,6 +595,200 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+struct ServeFleetFlags {
+  std::string dir;
+  int replicas = 3;
+  int snapshot_interval = 32;
+  int staleness_bound = 128;
+  int kill_every = 0;  // kill one replica every N days (0 = no churn)
+  int vnodes = 64;
+};
+
+bool ParseServeFleetFlag(const char* arg, ServeFleetFlags* flags) {
+  const char* eq = std::strchr(arg, '=');
+  std::string name = eq != nullptr ? std::string(arg, eq - arg) : std::string(arg);
+  const char* value = eq != nullptr ? eq + 1 : nullptr;
+  if (value == nullptr || *value == '\0') {
+    std::fprintf(stderr, "qsteer serve-fleet: flag %s requires a value (%s=...)\n",
+                 name.c_str(), name.c_str());
+    return false;
+  }
+  if (name == "--dir") {
+    flags->dir = value;
+    return true;
+  }
+  if (name == "--replicas") {
+    if (ParseIntArg(value, 1, 64, &flags->replicas)) return true;
+    std::fprintf(stderr, "qsteer serve-fleet: bad --replicas '%s' (integer in [1, 64])\n",
+                 value);
+    return false;
+  }
+  if (name == "--snapshot-interval") {
+    if (ParseIntArg(value, 1, 1 << 30, &flags->snapshot_interval)) return true;
+    std::fprintf(stderr, "qsteer serve-fleet: bad --snapshot-interval '%s' (integer >= 1)\n",
+                 value);
+    return false;
+  }
+  if (name == "--staleness-bound") {
+    if (ParseIntArg(value, 0, 1 << 30, &flags->staleness_bound)) return true;
+    std::fprintf(stderr, "qsteer serve-fleet: bad --staleness-bound '%s' (integer >= 0)\n",
+                 value);
+    return false;
+  }
+  if (name == "--kill-every") {
+    if (ParseIntArg(value, 0, 1 << 20, &flags->kill_every)) return true;
+    std::fprintf(stderr,
+                 "qsteer serve-fleet: bad --kill-every '%s' (days between kills; 0 off)\n",
+                 value);
+    return false;
+  }
+  if (name == "--vnodes") {
+    if (ParseIntArg(value, 1, 4096, &flags->vnodes)) return true;
+    std::fprintf(stderr, "qsteer serve-fleet: bad --vnodes '%s' (integer in [1, 4096])\n",
+                 value);
+    return false;
+  }
+  std::fprintf(stderr, "qsteer serve-fleet: unknown flag '%s'\n", name.c_str());
+  return false;
+}
+
+/// Replicated serving: day-1 learning through the leader, days 2..N served
+/// across the fleet by consistent-hashed routing, with optional scripted
+/// kill/restart churn (the killed replica id is a hash of the day, so runs
+/// are reproducible). Exits non-zero when the survivors' final states
+/// diverge — the invariant the replication layer exists to keep.
+int CmdServeFleet(int argc, char** argv) {
+  std::vector<const char*> positional;
+  ServeFleetFlags flags;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      if (!ParseServeFleetFlag(argv[i], &flags)) return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return Usage();
+  int days = 0;
+  if (!ParsePositional("days", positional[1], 1, 1000000, &days)) return 2;
+
+  Workload workload(SpecFor(positional[0]));
+  Optimizer optimizer(&workload.catalog());
+  ExecutionSimulator simulator(&workload.catalog());
+  PipelineOptions pipeline_options;
+  pipeline_options.max_candidate_configs = 60;
+  SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
+
+  FleetOptions fleet_options;
+  fleet_options.dir = flags.dir;
+  fleet_options.num_replicas = flags.replicas;
+  fleet_options.snapshot_interval = flags.snapshot_interval;
+  fleet_options.staleness_bound = static_cast<uint64_t>(flags.staleness_bound);
+  fleet_options.ring_vnodes = flags.vnodes;
+  ReplicationFleet fleet(fleet_options);
+  Status status = fleet.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "qsteer serve-fleet: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < fleet.num_replicas(); ++i) {
+    std::shared_ptr<DurableRecommenderStore> store =
+        fleet.replica_store(static_cast<uint32_t>(i));
+    DurableRecommenderStore::RecoveryInfo recovery = store->recovery();
+    std::printf("replica %d: snapshot %s (seq %llu), %lld WAL events replayed, "
+                "%lld skipped, %lld torn bytes truncated\n",
+                i, recovery.loaded_snapshot ? "loaded" : "absent",
+                static_cast<unsigned long long>(recovery.snapshot_seq),
+                static_cast<long long>(recovery.wal_records_replayed),
+                static_cast<long long>(recovery.wal_records_skipped),
+                static_cast<long long>(recovery.wal_truncated_bytes));
+  }
+
+  // Day 1 offline: analyze on this process, learn through the leader (the
+  // mutations replicate synchronously to every follower).
+  int analyzed = 0, learned_groups = 0;
+  std::vector<RuleSignature> signatures;
+  for (const Job& job : workload.JobsForDay(1)) {
+    if (analyzed >= 20) break;
+    ++analyzed;
+    JobAnalysis analysis = pipeline.AnalyzeJob(job);
+    if (analysis.default_plan.root == nullptr) continue;
+    bool learned = false;
+    status = fleet.LearnFromAnalysis(analysis, &learned);
+    if (!status.ok()) {
+      std::fprintf(stderr, "qsteer serve-fleet: learn failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    if (learned) ++learned_groups;
+    signatures.push_back(analysis.default_plan.signature);
+  }
+  // Validation through the leader so candidates can reach serving state.
+  std::shared_ptr<DurableRecommenderStore> leader =
+      fleet.replica_store(fleet.leader_id());
+  for (int round = 0; round < 4 && !leader->PendingValidations().empty(); ++round) {
+    for (const SteeringRecommender::ValidationRequest& request :
+         leader->PendingValidations()) {
+      // The candidate already beat the default in analysis; revalidate with
+      // its recorded improvement (the simulator is deterministic here).
+      fleet.ObserveValidation(request.signature, -5.0);
+    }
+    leader = fleet.replica_store(fleet.leader_id());
+  }
+  std::printf("day 1 offline: %d analyzed, %d groups learned, %d serving\n", analyzed,
+              learned_groups, leader->num_serving());
+
+  // Days 2..N online: serve every job's signature through the fleet, with
+  // hashed kill/restart churn at day boundaries.
+  uint32_t killed = ConsistentHashRing::kNoReplica;
+  for (int day = 2; day <= days; ++day) {
+    if (flags.kill_every > 0 && fleet.num_replicas() > 1) {
+      if (killed != ConsistentHashRing::kNoReplica) {
+        fleet.Restart(killed);
+        killed = ConsistentHashRing::kNoReplica;
+      }
+      if (day % flags.kill_every == 0) {
+        killed = static_cast<uint32_t>(Mix64(0x9e3779b97f4a7c15ull ^ day) %
+                                       fleet.num_replicas());
+        fleet.Kill(killed);
+      }
+    }
+    int served = 0, steered = 0, ticks = 0, rerouted = 0;
+    for (const Job& job : workload.JobsForDay(day)) {
+      if (served >= 60) break;
+      Result<CompiledPlan> plan = pipeline.CompileCached(job, RuleConfig::Default());
+      if (!plan.ok()) continue;
+      ReplicationFleet::ServeResult result;
+      status = fleet.Serve(plan.value().signature, &result);
+      if (!status.ok()) continue;
+      ++served;
+      if (!result.recommendation.is_default) ++steered;
+      if (result.ticked) ++ticks;
+      if (result.rerouted) ++rerouted;
+    }
+    std::printf("day %d: %d served, %d steered, %d ticks, %d rerouted%s\n", day, served,
+                steered, ticks, rerouted,
+                killed != ConsistentHashRing::kNoReplica ? " [one replica down]" : "");
+  }
+  if (killed != ConsistentHashRing::kNoReplica) fleet.Restart(killed);
+
+  status = fleet.CatchUpAll();
+  if (!status.ok()) {
+    std::fprintf(stderr, "qsteer serve-fleet: catch-up failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::string divergence;
+  status = fleet.CheckConvergence(&divergence);
+  std::printf("%s", fleet.status().ToString().c_str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "qsteer serve-fleet: DIVERGED: %s\n", divergence.c_str());
+    return 1;
+  }
+  std::printf("convergence: all %d replicas bit-identical (epoch %llu)\n",
+              fleet.num_replicas(), static_cast<unsigned long long>(fleet.epoch()));
+  return 0;
+}
+
 }  // namespace
 }  // namespace qsteer
 
@@ -533,5 +805,6 @@ int main(int argc, char** argv) {
   if (command == "analyze") return CmdAnalyze(rest_argc, rest_argv);
   if (command == "calibrate") return CmdCalibrate(rest_argc, rest_argv);
   if (command == "serve") return CmdServe(rest_argc, rest_argv);
+  if (command == "serve-fleet") return CmdServeFleet(rest_argc, rest_argv);
   return Usage();
 }
