@@ -76,16 +76,18 @@ std::string ThreadPoolStats::ToString() const {
 }
 
 std::string PipelineFailureStats::ToString() const {
-  char buf[200];
+  char buf[280];
   std::snprintf(buf, sizeof(buf),
-                "compile_timeouts=%lld compile_retries=%lld compile_failures=%lld "
-                "exec_retries=%lld exec_failures=%lld fallbacks=%lld",
+                "compile_timeouts=%lld compile_unavailable=%lld compile_retries=%lld "
+                "compile_failures=%lld exec_retries=%lld exec_failures=%lld "
+                "fallbacks=%lld retry_backoff=%.1fs",
                 static_cast<long long>(compile_timeouts),
+                static_cast<long long>(compile_unavailable),
                 static_cast<long long>(compile_retries),
                 static_cast<long long>(compile_failures),
                 static_cast<long long>(exec_retries),
                 static_cast<long long>(exec_failures),
-                static_cast<long long>(fallbacks));
+                static_cast<long long>(fallbacks), retry_backoff_s);
   return buf;
 }
 

@@ -60,7 +60,12 @@ struct ThreadPoolStats {
 struct PipelineFailureStats {
   /// Candidate compilations that hit the compile deadline (transient).
   int64_t compile_timeouts = 0;
-  /// Candidate compilations re-attempted after a timeout.
+  /// Candidate compilations that stayed kUnavailable (a remote compile tier
+  /// down/over capacity) after the retry policy. Disjoint from
+  /// compile_timeouts; both codes are transient (common/status.h
+  /// IsTransient) and retried with backoff before the candidate is dropped.
+  int64_t compile_unavailable = 0;
+  /// Candidate compilations re-attempted after a transient failure.
   int64_t compile_retries = 0;
   /// Candidate compilations that failed permanently (kCompilationFailed).
   int64_t compile_failures = 0;
@@ -71,9 +76,13 @@ struct PipelineFailureStats {
   /// Candidates dropped from an analysis (degraded to the default config)
   /// because compilation or execution kept failing.
   int64_t fallbacks = 0;
+  /// Simulated seconds spent backing off before transient-compile retries
+  /// (RetryPolicy::BackoffBeforeRetry; accounted, never slept).
+  double retry_backoff_s = 0.0;
 
   int64_t Total() const {
-    return compile_timeouts + compile_failures + exec_failures + fallbacks;
+    return compile_timeouts + compile_unavailable + compile_failures + exec_failures +
+           fallbacks;
   }
   std::string ToString() const;
 };

@@ -62,6 +62,15 @@ class Status {
   std::string message_;
 };
 
+/// True for codes that describe a transient condition (a budget expired, an
+/// endpoint was down) where the identical request may succeed if retried.
+/// Retry loops across the stack — the pipeline's compile retries, the
+/// fleet's serve path — key off this one predicate so a new transient code
+/// is classified once, not per call site.
+inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded || code == StatusCode::kUnavailable;
+}
+
 /// Result<T>: either a value or a Status explaining why there is none.
 template <typename T>
 class Result {

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <vector>
@@ -93,6 +94,16 @@ Status WriteAheadLog::Append(uint64_t seq, std::string_view payload) {
   PutU32(record.data() + 4, RecordCrc(seq, payload));
   PutU64(record.data() + 8, seq);
   std::memcpy(record.data() + kHeaderBytes, payload.data(), payload.size());
+  if (short_write_armed_) {
+    // Injected ENOSPC / crash-mid-write: persist only a prefix of the frame,
+    // then fail. The torn frame is exactly what Recover() must truncate.
+    short_write_armed_ = false;
+    size_t prefix = std::min(short_write_max_bytes_, record.size());
+    Status partial = WriteAll(fd_, record.data(), prefix, path_);
+    if (!partial.ok()) return partial;
+    if (sync_each_append_) ::fsync(fd_);
+    return Status::Internal("injected short write (ENOSPC): " + path_);
+  }
   Status status = WriteAll(fd_, record.data(), record.size(), path_);
   if (!status.ok()) return status;
   if (sync_each_append_ && ::fsync(fd_) != 0) return Errno("wal fsync failed", path_);

@@ -84,12 +84,24 @@ class WriteAheadLog {
   /// wildly implausible size is almost certainly a torn length field).
   static constexpr uint32_t kMaxPayloadBytes = 1u << 20;
 
+  /// Fault injection: the NEXT Append() writes only the first `max_bytes`
+  /// of its record to disk, then fails with kInternal as a full device
+  /// (ENOSPC) or kill-mid-write would. One-shot — the hook disarms itself.
+  /// The fail-stop contract under test: a short-written frame must never be
+  /// replayed by Recover(), and the log must keep working after reopening.
+  void SetShortWriteForTesting(size_t max_bytes) {
+    short_write_armed_ = true;
+    short_write_max_bytes_ = max_bytes;
+  }
+
  private:
   int fd_ = -1;
   std::string path_;
   bool sync_each_append_ = true;
   int64_t appended_records_ = 0;
   int64_t appended_bytes_ = 0;
+  bool short_write_armed_ = false;
+  size_t short_write_max_bytes_ = 0;
 };
 
 }  // namespace qsteer

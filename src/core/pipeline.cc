@@ -49,6 +49,9 @@ ThreadPoolStats SteeringPipeline::pool_stats() const {
 PipelineFailureStats SteeringPipeline::failure_stats() const {
   PipelineFailureStats stats;
   stats.compile_timeouts = ctr_compile_timeouts_.load(std::memory_order_relaxed);
+  stats.compile_unavailable = ctr_compile_unavailable_.load(std::memory_order_relaxed);
+  stats.retry_backoff_s =
+      static_cast<double>(ctr_retry_backoff_ms_.load(std::memory_order_relaxed)) / 1000.0;
   stats.compile_retries = ctr_compile_retries_.load(std::memory_order_relaxed);
   stats.compile_failures = ctr_compile_failures_.load(std::memory_order_relaxed);
   stats.exec_retries = ctr_exec_retries_.load(std::memory_order_relaxed);
@@ -65,19 +68,33 @@ Result<CompiledPlan> SteeringPipeline::CompileWithRetry(const Job& job, const Ru
                                                         CompileSession* session) const {
   CompileControl control;
   control.timeout_s = options_.compile_timeout_s;
-  Result<CompiledPlan> plan = optimizer_->Compile(job, config, control, session);
-  // Only deadline misses are transient; kCompilationFailed is a property of
-  // the configuration and would fail identically on every attempt.
+  auto attempt_compile = [&](int attempt) -> Result<CompiledPlan> {
+    if (options_.compile_fault_for_testing != nullptr) {
+      Status injected = options_.compile_fault_for_testing(job, attempt);
+      if (!injected.ok()) return injected;
+    }
+    return optimizer_->Compile(job, config, control, session);
+  };
+  Result<CompiledPlan> plan = attempt_compile(1);
+  // Only transient codes (deadline misses, an unavailable compile endpoint)
+  // are retried; kCompilationFailed is a property of the configuration and
+  // would fail identically on every attempt. Backoff is simulated seconds:
+  // accounted in the failure stats, never slept (bit-reproducible tests).
   int attempts = 1;
-  while (!plan.ok() && plan.status().code() == StatusCode::kDeadlineExceeded &&
+  while (!plan.ok() && IsTransient(plan.status().code()) &&
          attempts < std::max(1, options_.retry.max_attempts)) {
     ctr_compile_retries_.fetch_add(1, std::memory_order_relaxed);
+    ctr_retry_backoff_ms_.fetch_add(
+        static_cast<int64_t>(options_.retry.BackoffBeforeRetry(attempts) * 1000.0),
+        std::memory_order_relaxed);
     ++attempts;
-    plan = optimizer_->Compile(job, config, control, session);
+    plan = attempt_compile(attempts);
   }
   if (!plan.ok()) {
     if (plan.status().code() == StatusCode::kDeadlineExceeded) {
       ctr_compile_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    } else if (plan.status().code() == StatusCode::kUnavailable) {
+      ctr_compile_unavailable_.fetch_add(1, std::memory_order_relaxed);
     } else {
       ctr_compile_failures_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -107,6 +124,21 @@ Result<CompiledPlan> SteeringPipeline::CompileCached(const Job& job,
 
 CompileCacheStats SteeringPipeline::compile_cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : CompileCacheStats{};
+}
+
+Status SteeringPipeline::SaveCompileCache(const std::string& path, int day, bool sync) const {
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition("compile cache disabled (compile_cache_mb <= 0)");
+  }
+  return cache_->SaveToFile(path, day, sync);
+}
+
+Status SteeringPipeline::WarmCompileCache(const std::string& path, int expected_day,
+                                          int64_t* loaded) const {
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition("compile cache disabled (compile_cache_mb <= 0)");
+  }
+  return cache_->WarmFromFile(path, expected_day, loaded);
 }
 
 ExecMetrics SteeringPipeline::ExecuteWithRetry(const Job& job, const PlanNodePtr& root,
@@ -193,7 +225,9 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
         CompileCache::Key key{fingerprint, ProjectConfig(config, analysis.span.span)};
         Result<CompiledPlan> plan = CompileViaCache(job, config, key, &session);
         if (!plan.ok()) {
-          r.timed_out = plan.status().code() == StatusCode::kDeadlineExceeded;
+          // Transient exhaustion (deadline or unavailable) is a drop, not a
+          // configuration property; permanent failures count separately.
+          r.timed_out = IsTransient(plan.status().code());
           return r;
         }
         r.ok = true;

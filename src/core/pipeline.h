@@ -6,8 +6,10 @@
 #define QSTEER_CORE_PIPELINE_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/retry.h"
@@ -59,6 +61,13 @@ struct PipelineOptions {
   /// config ∩ job span), so recurring jobs and span-equivalent candidates
   /// reuse compiles; results are bit-identical either way.
   int compile_cache_mb = 64;
+  /// Testing-only deterministic compile fault: consulted before every
+  /// compile attempt with the job and the 1-based attempt number; a non-OK
+  /// return is treated as that attempt's result (no compile runs). Lets
+  /// tests exercise the transient-retry path with codes the in-process
+  /// optimizer never returns naturally (e.g. kUnavailable from a remote
+  /// compile tier). Null in production.
+  std::function<Status(const Job& job, int attempt)> compile_fault_for_testing;
   ConfigSearchOptions search;
 };
 
@@ -155,6 +164,21 @@ class SteeringPipeline {
   /// Cache counters (zeroed stats when caching is disabled).
   CompileCacheStats compile_cache_stats() const;
 
+  /// Persists the compile cache (CompileCache::SaveToFile): checksummed,
+  /// version-tagged, stamped with `day`. kFailedPrecondition when caching
+  /// is disabled. The nightly discovery pass uses this to ship warm caches
+  /// to the serving tier.
+  Status SaveCompileCache(const std::string& path, int day, bool sync = false) const;
+
+  /// Pre-warms the compile cache from a file written by SaveCompileCache
+  /// (CompileCache::WarmFromFile). `expected_day` >= 0 rejects a cache
+  /// persisted for a different day; corrupt, torn or version-mismatched
+  /// files are rejected whole. Rejection is always safe: the cache stays
+  /// cold and compiles run fresh — never a wrong plan. kFailedPrecondition
+  /// when caching is disabled.
+  Status WarmCompileCache(const std::string& path, int expected_day,
+                          int64_t* loaded = nullptr) const;
+
   /// Cumulative candidate draws pruned by span projection across all
   /// analyses run through this pipeline.
   int64_t span_duplicates_pruned() const {
@@ -213,6 +237,11 @@ class SteeringPipeline {
   // Failure counters (relaxed atomics: observability only, never part of a
   // result; safe to bump from pool workers).
   mutable std::atomic<int64_t> ctr_compile_timeouts_{0};
+  mutable std::atomic<int64_t> ctr_compile_unavailable_{0};
+  /// Simulated backoff, accounted in milliseconds (atomic<double> has no
+  /// portable fetch_add before C++20 libs caught up; ms granularity is
+  /// plenty for observability).
+  mutable std::atomic<int64_t> ctr_retry_backoff_ms_{0};
   mutable std::atomic<int64_t> ctr_compile_retries_{0};
   mutable std::atomic<int64_t> ctr_compile_failures_{0};
   mutable std::atomic<int64_t> ctr_exec_retries_{0};

@@ -1,7 +1,12 @@
 #include "optimizer/compile_cache.h"
 
+#include <algorithm>
 #include <sstream>
+#include <string_view>
 #include <utility>
+
+#include "common/file_io.h"
+#include "plan/serde.h"
 
 namespace qsteer {
 
@@ -35,7 +40,8 @@ std::string CompileCacheStats::ToString() const {
   std::ostringstream os;
   os << "hits=" << hits << " misses=" << misses << " hit_rate=" << HitRate()
      << " inserts=" << inserts << " evictions=" << evictions << " entries=" << entries
-     << " bytes=" << bytes << " shard_contention=" << shard_contention;
+     << " bytes=" << bytes << " shard_contention=" << shard_contention
+     << " warm_loaded=" << warm_loaded << " warm_rejected=" << warm_rejected;
   return os.str();
 }
 
@@ -133,7 +139,167 @@ CompileCacheStats CompileCache::stats() const {
     stats.bytes += shard.bytes;
   }
   stats.shard_contention = contention_.load(std::memory_order_relaxed);
+  stats.warm_loaded = warm_loaded_.load(std::memory_order_relaxed);
+  stats.warm_rejected = warm_rejected_.load(std::memory_order_relaxed);
   return stats;
+}
+
+namespace {
+
+/// Version-tagged text header ahead of the binary entry records. Bumping the
+/// version (incompatible serde change) makes every older file reject cleanly.
+constexpr char kCacheFileHeader[] = "qsteer-compile-cache v1\n";
+constexpr size_t kCacheFileHeaderLen = sizeof(kCacheFileHeader) - 1;
+constexpr size_t kHexKeyLen = 64;  // BitVector256::ToHexString length
+
+}  // namespace
+
+Status CompileCache::SaveToFile(const std::string& path, int day, bool sync) const {
+  struct Saved {
+    Key key;
+    bool ok = false;
+    CompiledPlan plan;
+    std::string error_message;
+  };
+  std::vector<Saved> saved;
+  for (const std::unique_ptr<Shard>& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    AcquireShard(shard);
+    MutexLock lock(shard.mu, kAdoptLock);
+    for (const auto& [hash, entry] : shard.entries) {
+      (void)hash;
+      saved.push_back(Saved{entry.key, entry.ok, entry.plan, entry.error_message});
+    }
+  }
+  // Deterministic bytes: two caches with equal contents serialize identically
+  // regardless of shard hash order or insertion history.
+  std::sort(saved.begin(), saved.end(), [](const Saved& a, const Saved& b) {
+    if (a.key.fingerprint != b.key.fingerprint) return a.key.fingerprint < b.key.fingerprint;
+    return a.key.projected < b.key.projected;
+  });
+
+  ByteWriter writer;
+  writer.PutU32(static_cast<uint32_t>(day));
+  writer.PutU64(static_cast<uint64_t>(saved.size()));
+  for (const Saved& s : saved) {
+    writer.PutU64(s.key.fingerprint);
+    writer.PutString(s.key.projected.ToHexString());
+    writer.PutU8(s.ok ? 1 : 0);
+    if (s.ok) {
+      SerializePlan(s.plan.root, &writer);
+      writer.PutDouble(s.plan.est_cost);
+      writer.PutString(s.plan.signature.ToHexString());
+      writer.PutDouble(s.plan.est_output_rows);
+      writer.PutI32(s.plan.memo_groups);
+      writer.PutI32(s.plan.memo_exprs);
+    } else {
+      writer.PutString(s.error_message);
+    }
+  }
+  return WriteFileChecksummed(path, kCacheFileHeader + writer.Take(), sync);
+}
+
+Status CompileCache::WarmFromFile(const std::string& path, int expected_day, int64_t* loaded) {
+  if (loaded != nullptr) *loaded = 0;
+  auto reject = [this](Status status) {
+    warm_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+
+  bool had_checksum = false;
+  Result<std::string> read = ReadFileChecksummed(path, &had_checksum);
+  if (!read.ok()) return reject(read.status());
+  const std::string& content = read.value();
+  if (!had_checksum) {
+    return reject(
+        Status::InvalidArgument("compile-cache file has no crc32 footer: " + path));
+  }
+  if (content.size() < kCacheFileHeaderLen ||
+      content.compare(0, kCacheFileHeaderLen, kCacheFileHeader) != 0) {
+    return reject(
+        Status::FailedPrecondition("unknown compile-cache version tag: " + path));
+  }
+
+  ByteReader reader(std::string_view(content).substr(kCacheFileHeaderLen));
+  uint32_t day = 0;
+  Status st = reader.GetU32(&day);
+  if (!st.ok()) return reject(st);
+  if (expected_day >= 0 && static_cast<int>(day) != expected_day) {
+    return reject(Status::FailedPrecondition(
+        "compile-cache day mismatch (statistics change daily): " + path));
+  }
+  uint64_t count = 0;
+  st = reader.GetU64(&count);
+  if (!st.ok()) return reject(st);
+  // Each entry occupies at least fingerprint + key length prefix + ok byte.
+  if (count > reader.remaining()) {
+    return reject(Status::InvalidArgument("compile-cache entry count exceeds file size"));
+  }
+
+  int64_t inserted = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    Key key;
+    st = reader.GetU64(&key.fingerprint);
+    if (!st.ok()) return reject(st);
+    std::string projected_hex;
+    st = reader.GetString(&projected_hex);
+    if (!st.ok()) return reject(st);
+    if (projected_hex.size() != kHexKeyLen) {
+      return reject(Status::InvalidArgument("compile-cache key is not 64 hex digits"));
+    }
+    key.projected = BitVector256::FromHexString(projected_hex);
+    // FromHexString yields all-zero on malformed input — disambiguate from a
+    // legal all-zero projection by re-encoding.
+    if (key.projected.ToHexString() != projected_hex) {
+      return reject(Status::InvalidArgument("compile-cache key has non-hex digits"));
+    }
+    uint8_t ok = 0;
+    st = reader.GetU8(&ok);
+    if (!st.ok()) return reject(st);
+    if (ok > 1) return reject(Status::InvalidArgument("compile-cache entry flag corrupt"));
+
+    if (ok == 1) {
+      CompiledPlan plan;
+      Result<PlanNodePtr> root = DeserializePlan(&reader);
+      if (!root.ok()) return reject(root.status());
+      plan.root = std::move(root.value());
+      if (plan.root == nullptr) {
+        return reject(Status::InvalidArgument("compile-cache entry has a null plan"));
+      }
+      st = reader.GetDouble(&plan.est_cost);
+      if (!st.ok()) return reject(st);
+      std::string signature_hex;
+      st = reader.GetString(&signature_hex);
+      if (!st.ok()) return reject(st);
+      if (signature_hex.size() != kHexKeyLen) {
+        return reject(Status::InvalidArgument("compile-cache signature is not 64 hex digits"));
+      }
+      plan.signature = BitVector256::FromHexString(signature_hex);
+      if (plan.signature.ToHexString() != signature_hex) {
+        return reject(Status::InvalidArgument("compile-cache signature has non-hex digits"));
+      }
+      st = reader.GetDouble(&plan.est_output_rows);
+      if (!st.ok()) return reject(st);
+      st = reader.GetI32(&plan.memo_groups);
+      if (!st.ok()) return reject(st);
+      st = reader.GetI32(&plan.memo_exprs);
+      if (!st.ok()) return reject(st);
+      Insert(key, Result<CompiledPlan>(std::move(plan)));
+    } else {
+      std::string error_message;
+      st = reader.GetString(&error_message);
+      if (!st.ok()) return reject(st);
+      Insert(key, Result<CompiledPlan>(Status::CompilationFailed(error_message)));
+    }
+    ++inserted;
+  }
+  if (!reader.AtEnd()) {
+    return reject(Status::InvalidArgument("compile-cache file has trailing bytes"));
+  }
+
+  warm_loaded_.fetch_add(inserted, std::memory_order_relaxed);
+  if (loaded != nullptr) *loaded = inserted;
+  return Status::OK();
 }
 
 uint64_t JobFingerprint(const Job& job) {

@@ -52,6 +52,12 @@ struct CompileCacheStats {
   /// Lookups/inserts that found their shard's mutex already held (the
   /// sharding-efficiency signal: should stay ~0 under normal fan-out).
   int64_t shard_contention = 0;
+  /// Entries pre-loaded from a persisted cache file (WarmFromFile).
+  int64_t warm_loaded = 0;
+  /// Warm-load attempts rejected whole (missing/corrupt/torn file, version
+  /// or day mismatch). Each rejection degrades to cold compiles — never a
+  /// wrong plan.
+  int64_t warm_rejected = 0;
 
   double HitRate() const {
     int64_t total = hits + misses;
@@ -89,6 +95,24 @@ class CompileCache {
 
   CompileCacheStats stats() const;
 
+  /// Persists every cached entry (plans serialized via plan/serde.h,
+  /// permanent failures as their message) to `path`: a version-tagged,
+  /// day-stamped header, binary entry records in sorted key order (two
+  /// caches with equal contents write identical bytes), an atomic rename
+  /// and a crc32 footer. The nightly discovery pass ships these files to
+  /// pre-warm tomorrow's serving caches.
+  Status SaveToFile(const std::string& path, int day, bool sync = true) const;
+
+  /// Pre-loads entries from a SaveToFile artifact. The whole file is
+  /// rejected (kFailedPrecondition / kInvalidArgument, warm_rejected
+  /// bumped) when the checksum fails, the version tag is unknown, or
+  /// `expected_day` >= 0 disagrees with the recorded day — the cache then
+  /// simply stays cold. Loaded entries still carry their full keys, so the
+  /// existing full-key verification guards collisions exactly as for fresh
+  /// inserts; a stale or foreign entry can cost a miss, never a wrong
+  /// plan. `loaded` (optional) receives the number of entries inserted.
+  Status WarmFromFile(const std::string& path, int expected_day, int64_t* loaded = nullptr);
+
  private:
   struct Entry {
     Key key;
@@ -118,6 +142,8 @@ class CompileCache {
   int64_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::atomic<int64_t> contention_{0};
+  std::atomic<int64_t> warm_loaded_{0};
+  std::atomic<int64_t> warm_rejected_{0};
 };
 
 /// Cache identity of a job: the full structural plan hash (literals and all

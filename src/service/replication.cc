@@ -369,6 +369,24 @@ Status ReplicationFleet::ObserveOutcome(const RuleSignature& signature,
 }
 
 Status ReplicationFleet::Serve(const RuleSignature& signature, ServeResult* out) {
+  Status status = ServeOnce(signature, out);
+  int attempts = 1;
+  while (!status.ok() && IsTransient(status.code()) &&
+         attempts < std::max(1, options_.serve_retry.max_attempts)) {
+    // A transient failure here means no live replica — usually a failover
+    // window. Account the simulated backoff and retry: a Restart() racing
+    // this serve makes the next attempt succeed.
+    unavailable_retries_.fetch_add(1, std::memory_order_relaxed);
+    retry_backoff_ms_.fetch_add(
+        static_cast<int64_t>(options_.serve_retry.BackoffBeforeRetry(attempts) * 1000.0),
+        std::memory_order_relaxed);
+    ++attempts;
+    status = ServeOnce(signature, out);
+  }
+  return status;
+}
+
+Status ReplicationFleet::ServeOnce(const RuleSignature& signature, ServeResult* out) {
   *out = ServeResult{};
   uint64_t key = RouteKey(signature);
   std::vector<uint32_t> preference;
@@ -545,6 +563,9 @@ FleetStatus ReplicationFleet::status() const {
   fleet.transport_frames = transport_.frames_sent();
   fleet.transport_send_failures = transport_.send_failures();
   fleet.transport_checksum_failures = transport_.checksum_failures();
+  fleet.unavailable_retries = unavailable_retries_.load(std::memory_order_relaxed);
+  fleet.retry_backoff_s =
+      static_cast<double>(retry_backoff_ms_.load(std::memory_order_relaxed)) / 1000.0;
   for (const auto& node : replicas_) {
     FleetStatus::Replica replica;
     replica.id = node->id();
@@ -569,7 +590,8 @@ std::string FleetStatus::ToString() const {
   std::ostringstream out;
   out << "fleet: epoch=" << epoch << " leader=" << leader_id << " serves=" << serves
       << " rerouted=" << rerouted << " sheds=" << sheds << " failovers=" << failovers
-      << "\n";
+      << " unavailable_retries=" << unavailable_retries
+      << " retry_backoff_s=" << retry_backoff_s << "\n";
   out << "ships: tail=" << tail_ships << " snapshot=" << snapshot_ships
       << " frames=" << transport_frames << " send_failures=" << transport_send_failures
       << " checksum_failures=" << transport_checksum_failures << "\n";

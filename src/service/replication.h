@@ -58,6 +58,7 @@
 
 #include "common/hash_ring.h"
 #include "common/mutex.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/transport.h"
@@ -172,6 +173,10 @@ struct FleetOptions {
   /// Entries buffered in each replica's in-memory ReplicationLog.
   size_t replication_log_cap = 4096;
   int ring_vnodes = 64;
+  /// Transient serve failures (kUnavailable: no live replica mid-failover)
+  /// retry with simulated backoff under this policy before surfacing to the
+  /// caller — an election in flight usually completes within one backoff.
+  RetryPolicy serve_retry;
   RecommenderOptions recommender;
 };
 
@@ -200,6 +205,10 @@ struct FleetStatus {
   int64_t transport_frames = 0;
   int64_t transport_send_failures = 0;
   int64_t transport_checksum_failures = 0;
+  /// Serve() retries after a transient (kUnavailable) failure, and the
+  /// simulated backoff those retries accumulated.
+  int64_t unavailable_retries = 0;
+  double retry_backoff_s = 0.0;
   std::string ToString() const;
 };
 
@@ -226,8 +235,10 @@ class ReplicationFleet {
     /// A follower over the staleness bound shed this request to the leader.
     bool shed_stale = false;
   };
-  /// Routes by consistent hash of the rule-signature bits; kUnavailable
-  /// only when no live replica exists.
+  /// Routes by consistent hash of the rule-signature bits. Transient
+  /// failures (kUnavailable: every replica dead, typically mid-failover)
+  /// retry under FleetOptions::serve_retry with simulated backoff;
+  /// kUnavailable surfaces only after the policy is exhausted.
   Status Serve(const RuleSignature& signature, ServeResult* out) EXCLUDES(mu_);
 
   // Mutations: applied on the leader, synchronously shipped to every
@@ -274,6 +285,8 @@ class ReplicationFleet {
   static uint64_t RouteKey(const RuleSignature& signature);
 
  private:
+  /// One routing attempt (the pre-retry Serve body).
+  Status ServeOnce(const RuleSignature& signature, ServeResult* out) EXCLUDES(mu_);
   Status MutateOnLeader(const std::function<Status(DurableRecommenderStore&)>& fn)
       EXCLUDES(mu_);
   Status EnsureLeaderLocked() REQUIRES(mu_);
@@ -297,6 +310,9 @@ class ReplicationFleet {
   std::atomic<int64_t> serves_{0};
   std::atomic<int64_t> rerouted_{0};
   std::atomic<int64_t> sheds_{0};
+  std::atomic<int64_t> unavailable_retries_{0};
+  /// Milliseconds: atomic<double>::fetch_add is not portable.
+  std::atomic<int64_t> retry_backoff_ms_{0};
 };
 
 }  // namespace qsteer

@@ -46,7 +46,9 @@ std::string ServiceStatusSnapshot::ToString() const {
       << " abandoned=" << reanalyses_abandoned << '\n'
       << "compile_cache: hits=" << cache_hits << " misses=" << cache_misses
       << " evictions=" << cache_evictions << " entries=" << cache_entries
-      << " bytes=" << cache_bytes << " span_pruned=" << span_duplicates_pruned << '\n'
+      << " bytes=" << cache_bytes << " warm_loaded=" << cache_warm_loaded
+      << " warm_rejected=" << cache_warm_rejected
+      << " span_pruned=" << span_duplicates_pruned << '\n'
       << "recommend_serves: snapshot=" << rec_snapshot_serves
       << " locked=" << rec_locked_serves << '\n';
   return out.str();
@@ -76,6 +78,12 @@ Status SteeringService::Start() {
   }
   Status status = store_.Open();
   if (!status.ok()) return status;
+  if (!options_.warm_cache_file.empty()) {
+    // Never fatal: a rejected warm file (corrupt, torn, wrong version or
+    // day) leaves the cache cold, and cold compiles are always correct.
+    // The rejection is visible as cache_warm_rejected in the snapshot.
+    (void)pipeline_.WarmCompileCache(options_.warm_cache_file, options_.warm_cache_day);
+  }
   running_ = true;
   draining_ = false;
   stopping_ = false;
@@ -363,6 +371,8 @@ ServiceStatusSnapshot SteeringService::status() const {
   snapshot.cache_evictions = cache_stats.evictions;
   snapshot.cache_entries = cache_stats.entries;
   snapshot.cache_bytes = cache_stats.bytes;
+  snapshot.cache_warm_loaded = cache_stats.warm_loaded;
+  snapshot.cache_warm_rejected = cache_stats.warm_rejected;
   snapshot.span_duplicates_pruned = pipeline_.span_duplicates_pruned();
   snapshot.rec_snapshot_serves = store_.fast_recommends();
   snapshot.rec_locked_serves = store_.locked_recommends();

@@ -67,6 +67,13 @@ struct ServiceOptions {
   double ewma_alpha = 0.2;
   /// Enables the background re-analysis worker.
   bool enable_reanalysis = true;
+  /// Pre-warm the compile cache from this SaveCompileCache artifact at
+  /// Start() (empty = cold start). Rejection — corrupt, torn, version- or
+  /// day-mismatched — is never fatal: the service starts cold and compiles
+  /// fresh. The nightly sharded discovery pass ships these files.
+  std::string warm_cache_file;
+  /// Day the warm cache must be stamped with; -1 accepts any day.
+  int warm_cache_day = -1;
   PipelineOptions pipeline;
   DurableStoreOptions store;
 };
@@ -149,6 +156,10 @@ struct ServiceStatusSnapshot {
   int64_t cache_evictions = 0;
   int64_t cache_entries = 0;
   int64_t cache_bytes = 0;
+  /// Warm-start health: entries pre-loaded from the persisted cache file at
+  /// Start(), and rejected warm-load attempts (degraded to cold compiles).
+  int64_t cache_warm_loaded = 0;
+  int64_t cache_warm_rejected = 0;
   int64_t span_duplicates_pruned = 0;
   // Recommendation-table serving split: snapshot (lock-free) vs locked.
   int64_t rec_snapshot_serves = 0;

@@ -6,11 +6,15 @@
 #include "optimizer/compile_cache.h"
 
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/file_io.h"
 
 #include "core/config_search.h"
 #include "core/pipeline.h"
@@ -162,6 +166,159 @@ TEST(CompileCacheUnit, JobFingerprintSeparatesDaysAndSharesRecurrences) {
   EXPECT_EQ(JobFingerprint(day1), JobFingerprint(again));
 }
 
+// ------------------------------------------------- persistence (warm start)
+//
+// SaveToFile/WarmFromFile: the nightly discovery pass persists its compile
+// cache; tomorrow's serving tier pre-warms from the file. The contract
+// under test: an intact file restores plans AND permanent failures
+// bit-identically; any damage — torn bytes, a missing footer, a foreign
+// version tag, a day mismatch — rejects the WHOLE file (cold start), and
+// rejection can cost compiles but never change a single result.
+
+class PersistDir {
+ public:
+  PersistDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qsteer_cc_persist_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~PersistDir() { std::filesystem::remove_all(dir_); }
+  std::string File(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+std::string PersistRawRead(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void PersistRawWrite(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+TEST(CompileCachePersist, SaveWarmRoundtripRestoresPlansAndPermanentFailures) {
+  PersistDir dir;
+  std::string path = dir.File("cache.qcc");
+  CompileCache cache;
+  CompileCache::Key plan_key{/*fingerprint=*/71, RuleConfig::Default().bits()};
+  CompiledPlan plan = MakePlan(5);
+  plan.signature = BitVector256::FromIndices({3, 99, 200});
+  plan.est_output_rows = 12345.5;
+  plan.memo_groups = 17;
+  plan.memo_exprs = 41;
+  cache.Insert(plan_key, Result<CompiledPlan>(std::move(plan)));
+  CompileCache::Key fail_key{/*fingerprint=*/72, BitVector256::FromIndices({8})};
+  cache.Insert(fail_key,
+               Result<CompiledPlan>(Status::CompilationFailed("rule set unsatisfiable")));
+  ASSERT_TRUE(cache.SaveToFile(path, /*day=*/11, /*sync=*/false).ok());
+
+  CompileCache warmed;
+  int64_t loaded = 0;
+  ASSERT_TRUE(warmed.WarmFromFile(path, /*expected_day=*/11, &loaded).ok());
+  EXPECT_EQ(loaded, 2);
+  EXPECT_EQ(warmed.stats().warm_loaded, 2);
+  EXPECT_EQ(warmed.stats().warm_rejected, 0);
+
+  auto hit = warmed.Lookup(plan_key);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->ok());
+  EXPECT_EQ(PlanHash(hit->value().root, /*for_template=*/false),
+            PlanHash(MakePlan(5).root, /*for_template=*/false));
+  EXPECT_EQ(hit->value().signature, BitVector256::FromIndices({3, 99, 200}));
+  EXPECT_EQ(DoubleBits(hit->value().est_cost), DoubleBits(MakePlan(5).est_cost));
+  EXPECT_EQ(DoubleBits(hit->value().est_output_rows), DoubleBits(12345.5));
+  EXPECT_EQ(hit->value().memo_groups, 17);
+  EXPECT_EQ(hit->value().memo_exprs, 41);
+
+  auto failure = warmed.Lookup(fail_key);
+  ASSERT_TRUE(failure.has_value());
+  ASSERT_FALSE(failure->ok());
+  EXPECT_EQ(failure->status().code(), StatusCode::kCompilationFailed);
+  EXPECT_NE(failure->status().ToString().find("rule set unsatisfiable"), std::string::npos);
+}
+
+TEST(CompileCachePersist, SavedBytesAreDeterministicForEqualContents) {
+  // Two caches holding the same entries (inserted in different orders)
+  // must write identical files — save order is sorted key order, not
+  // insertion or LRU order.
+  PersistDir dir;
+  CompileCache first, second;
+  CompileCache::Key a{1, BitVector256::FromIndices({1})};
+  CompileCache::Key b{2, BitVector256::FromIndices({2})};
+  first.Insert(a, Result<CompiledPlan>(MakePlan(1)));
+  first.Insert(b, Result<CompiledPlan>(MakePlan(2)));
+  second.Insert(b, Result<CompiledPlan>(MakePlan(2)));
+  second.Insert(a, Result<CompiledPlan>(MakePlan(1)));
+  ASSERT_TRUE(first.SaveToFile(dir.File("a.qcc"), 1, false).ok());
+  ASSERT_TRUE(second.SaveToFile(dir.File("b.qcc"), 1, false).ok());
+  EXPECT_EQ(PersistRawRead(dir.File("a.qcc")), PersistRawRead(dir.File("b.qcc")));
+}
+
+TEST(CompileCachePersist, WarmRejectsDamageForeignVersionAndWrongDayWholly) {
+  PersistDir dir;
+  std::string path = dir.File("cache.qcc");
+  CompileCache cache;
+  cache.Insert({7, RuleConfig::Default().bits()}, Result<CompiledPlan>(MakePlan(2)));
+  ASSERT_TRUE(cache.SaveToFile(path, /*day=*/5, /*sync=*/false).ok());
+  std::string intact = PersistRawRead(path);
+
+  // Day mismatch: pinned to the wrong day rejects; -1 accepts any day.
+  {
+    CompileCache warmed;
+    int64_t loaded = -1;
+    Status status = warmed.WarmFromFile(path, /*expected_day=*/6, &loaded);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(loaded, 0);
+    EXPECT_EQ(warmed.stats().warm_rejected, 1);
+    EXPECT_EQ(warmed.stats().entries, 0) << "rejection loads nothing";
+    ASSERT_TRUE(warmed.WarmFromFile(path, /*expected_day=*/-1, &loaded).ok());
+    EXPECT_EQ(loaded, 1);
+  }
+  // A flipped payload byte fails the crc32 footer.
+  {
+    std::string corrupt = intact;
+    corrupt[corrupt.size() / 2] ^= 0x10;
+    PersistRawWrite(path, corrupt);
+    CompileCache warmed;
+    EXPECT_FALSE(warmed.WarmFromFile(path, 5, nullptr).ok());
+    EXPECT_EQ(warmed.stats().warm_rejected, 1);
+  }
+  // A torn prefix (crash mid-ship) fails the footer too.
+  {
+    PersistRawWrite(path, intact.substr(0, intact.size() / 3));
+    CompileCache warmed;
+    EXPECT_FALSE(warmed.WarmFromFile(path, 5, nullptr).ok());
+  }
+  // No footer at all: not a SaveToFile artifact, never trusted.
+  {
+    PersistRawWrite(path, "qsteer-compile-cache v1\nbut no checksum footer");
+    CompileCache warmed;
+    EXPECT_FALSE(warmed.WarmFromFile(path, 5, nullptr).ok());
+  }
+  // A checksummed file of some OTHER format: unknown version tag.
+  {
+    ASSERT_TRUE(WriteFileChecksummed(path, "# qsteer-rulediff v1\nnot a cache\n",
+                                     /*sync=*/false)
+                    .ok());
+    CompileCache warmed;
+    Status status = warmed.WarmFromFile(path, 5, nullptr);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  }
+  // Missing file: plain NotFound (the caller's cold-start path).
+  {
+    CompileCache warmed;
+    EXPECT_EQ(warmed.WarmFromFile(dir.File("absent.qcc"), 5, nullptr).code(),
+              StatusCode::kNotFound);
+  }
+}
+
 TEST(SpanProjectionDedup, NoEmittedCandidateMatchesDefaultOrAnotherProjection) {
   BitVector256 span = BitVector256::FromIndices({38, 40, 90, 91, 120, 224, 228});
   ConfigSearchOptions options;
@@ -252,6 +409,45 @@ TEST_F(CompileCachePipelineTest, CachedResultsBitIdenticalToUncachedAcrossWorker
     // ISSUE's 50% floor must hit.
     EXPECT_GE(stats.HitRate(), 0.5) << "threads " << threads;
   }
+}
+
+TEST_F(CompileCachePipelineTest, WarmStartedPipelineHitsAndStaysBitIdentical) {
+  // The cross-process warm start: pipeline A analyzes a day and persists
+  // its cache; a fresh pipeline B warms from the file and must (a) serve
+  // its compiles as hits and (b) produce bit-identical analyses — the
+  // cache can move work between days, never results.
+  PersistDir dir;
+  std::string path = dir.File("pipeline_cache.qcc");
+  std::vector<Job> jobs = Jobs(5, /*day=*/3);
+
+  SteeringPipeline writer(&optimizer_, &simulator_, Options(/*cache_mb=*/64, /*threads=*/0));
+  std::vector<JobAnalysis> baseline = writer.RecompileJobs(jobs);
+  ASSERT_TRUE(writer.SaveCompileCache(path, /*day=*/3, /*sync=*/false).ok());
+
+  SteeringPipeline reader(&optimizer_, &simulator_, Options(/*cache_mb=*/64, /*threads=*/0));
+  int64_t loaded = 0;
+  ASSERT_TRUE(reader.WarmCompileCache(path, /*expected_day=*/3, &loaded).ok());
+  EXPECT_GT(loaded, 0);
+  EXPECT_EQ(reader.compile_cache_stats().warm_loaded, loaded);
+
+  std::vector<JobAnalysis> warm = reader.RecompileJobs(jobs);
+  ASSERT_EQ(warm.size(), baseline.size());
+  for (size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(AnalysisDigest(warm[i]), AnalysisDigest(baseline[i])) << "job " << i;
+  }
+  CompileCacheStats stats = reader.compile_cache_stats();
+  EXPECT_GT(stats.hits, 0) << "warm entries must serve as hits";
+  EXPECT_GE(stats.HitRate(), 0.5) << "the recurring day should mostly hit warm entries";
+}
+
+TEST_F(CompileCachePipelineTest, SaveAndWarmRequireAnEnabledCache) {
+  PersistDir dir;
+  SteeringPipeline disabled(&optimizer_, &simulator_, Options(/*cache_mb=*/0, /*threads=*/0));
+  Status save = disabled.SaveCompileCache(dir.File("never.qcc"), 1, false);
+  ASSERT_FALSE(save.ok());
+  EXPECT_EQ(save.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(std::filesystem::exists(dir.File("never.qcc")));
+  EXPECT_FALSE(disabled.WarmCompileCache(dir.File("never.qcc"), 1).ok());
 }
 
 TEST_F(CompileCachePipelineTest, RecurringInstancesAcrossDaysMissButSameDayHits) {

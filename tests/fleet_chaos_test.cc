@@ -348,6 +348,33 @@ TEST(FleetTest, WholeFleetRestartRecoversFromDisk) {
   EXPECT_TRUE(fleet.CheckConvergence().ok());
 }
 
+TEST(FleetTest, ServeRetriesTransientUnavailableWithBackoff) {
+  // A fully-dead fleet answers Serve with kUnavailable — a transient code
+  // (common/status.h IsTransient) — so the serve wrapper must burn its
+  // retry budget with accounted backoff, surface kUnavailable (never a
+  // wrong answer), and recover as soon as a replica restarts.
+  TempDir dir;
+  FleetOptions options = Options(dir.path());
+  options.serve_retry.max_attempts = 3;
+  ReplicationFleet fleet(options);
+  ASSERT_TRUE(fleet.Start().ok());
+  ASSERT_TRUE(fleet.LearnCandidate(Candidate(1, 0, -10.0)).ok());
+  for (uint32_t r = 0; r < 3; ++r) ASSERT_TRUE(fleet.Kill(r).ok());
+
+  ReplicationFleet::ServeResult result;
+  Status status = fleet.Serve(Sig(1), &result);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  FleetStatus snapshot = fleet.status();
+  EXPECT_EQ(snapshot.unavailable_retries, 2) << "max_attempts - 1 retries";
+  EXPECT_GT(snapshot.retry_backoff_s, 0.0) << "backoff accounted, never slept";
+
+  for (uint32_t r = 0; r < 3; ++r) ASSERT_TRUE(fleet.Restart(r).ok());
+  ASSERT_TRUE(fleet.Serve(Sig(1), &result).ok());
+  EXPECT_EQ(fleet.status().unavailable_retries, 2)
+      << "a healthy serve consumes no retries";
+}
+
 TEST(FleetTest, ConcurrentServesSurviveChurn) {
   // Serving threads hammer the fleet while the main thread kills and
   // restarts replicas — the lock-free read path and the topology mutex

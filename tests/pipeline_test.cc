@@ -157,5 +157,60 @@ TEST_F(PipelineTest, AnalysisIsDeterministic) {
   EXPECT_DOUBLE_EQ(a.BestRuntimeChangePct(), b.BestRuntimeChangePct());
 }
 
+TEST_F(PipelineTest, UnavailableCompileTierIsRetriedTransiently) {
+  // A remote compile tier answering kUnavailable on the first two attempts
+  // of every compile: the transient classification (common/status.h
+  // IsTransient) must retry with backoff until the tier recovers, and the
+  // analysis must come out bit-identical to a fault-free run — transient
+  // infrastructure flaps may cost retries, never results.
+  PipelineOptions options = Options();
+  options.retry.max_attempts = 3;
+  options.compile_fault_for_testing = [](const Job&, int attempt) {
+    return attempt <= 2 ? Status::Unavailable("compile tier over capacity")
+                        : Status::OK();
+  };
+  SteeringPipeline flaky(&optimizer_, &simulator_, options);
+  JobAnalysis faulted = flaky.AnalyzeJob(workload_.MakeJob(2, 3));
+  JobAnalysis clean = pipeline_.AnalyzeJob(workload_.MakeJob(2, 3));
+
+  ASSERT_NE(faulted.default_plan.root, nullptr);
+  EXPECT_EQ(faulted.default_plan.signature, clean.default_plan.signature);
+  EXPECT_DOUBLE_EQ(faulted.default_plan.est_cost, clean.default_plan.est_cost);
+  ASSERT_EQ(faulted.executed.size(), clean.executed.size());
+  for (size_t i = 0; i < faulted.executed.size(); ++i) {
+    EXPECT_EQ(faulted.executed[i].config, clean.executed[i].config);
+    EXPECT_DOUBLE_EQ(faulted.executed[i].metrics.runtime,
+                     clean.executed[i].metrics.runtime);
+  }
+  EXPECT_DOUBLE_EQ(faulted.BestRuntimeChangePct(), clean.BestRuntimeChangePct());
+
+  PipelineFailureStats stats = flaky.failure_stats();
+  EXPECT_EQ(stats.compile_unavailable, 0) << "every compile recovered within budget";
+  EXPECT_GT(stats.compile_retries, 0);
+  EXPECT_GT(stats.retry_backoff_s, 0.0) << "backoff is accounted, not slept";
+}
+
+TEST_F(PipelineTest, UnavailableExhaustionFailsStopNeverWrongPlans) {
+  // The tier never recovers: after the retry budget the compile must
+  // surface as kUnavailable — a missing default plan, counted in
+  // compile_unavailable — rather than being mistaken for a permanent
+  // property of the configuration (compile_failures) or, worse, producing
+  // a plan from nothing.
+  PipelineOptions options = Options();
+  options.retry.max_attempts = 3;
+  options.compile_fault_for_testing = [](const Job&, int) {
+    return Status::Unavailable("compile tier down");
+  };
+  SteeringPipeline down(&optimizer_, &simulator_, options);
+  JobAnalysis analysis = down.AnalyzeJob(workload_.MakeJob(2, 3));
+
+  EXPECT_EQ(analysis.default_plan.root, nullptr);
+  EXPECT_TRUE(analysis.executed.empty());
+  PipelineFailureStats stats = down.failure_stats();
+  EXPECT_EQ(stats.compile_unavailable, 1) << "the default compile, once, post-retries";
+  EXPECT_EQ(stats.compile_retries, 2);
+  EXPECT_EQ(stats.compile_failures, 0) << "kUnavailable is not a permanent failure";
+}
+
 }  // namespace
 }  // namespace qsteer

@@ -319,6 +319,51 @@ struct ServiceFixture {
   ExecutionSimulator simulator;
 };
 
+TEST(SteeringServiceTest, WarmCacheFileWarmsAtStartAndDegradesColdOnDamage) {
+  // ServiceOptions::warm_cache_file: a discovery-shipped cache artifact
+  // pre-warms the serving pipeline at Start(); the health snapshot reports
+  // the warm-load counters; damage is never fatal — the service starts
+  // cold and counts the rejection.
+  ServiceFixture fx;
+  TempDir dir;
+  std::string cache_file = dir.path() + "/warm.qcc";
+  {
+    SteeringPipeline pipeline(&fx.optimizer, &fx.simulator, {});
+    std::vector<Job> jobs = fx.workload.JobsForDay(1);
+    for (size_t i = 0; i < 3 && i < jobs.size(); ++i) pipeline.AnalyzeJob(jobs[i]);
+    ASSERT_TRUE(pipeline.SaveCompileCache(cache_file, /*day=*/1, /*sync=*/false).ok());
+  }
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.warm_cache_file = cache_file;
+  options.warm_cache_day = 1;
+  {
+    SteeringService service(&fx.optimizer, &fx.simulator, options);
+    ASSERT_TRUE(service.Start().ok());
+    ServiceStatusSnapshot status = service.status();
+    EXPECT_GT(status.cache_warm_loaded, 0);
+    EXPECT_EQ(status.cache_warm_rejected, 0);
+    EXPECT_NE(status.ToString().find("warm_loaded"), std::string::npos);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+  {
+    std::ifstream in(cache_file, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] ^= 0x20;
+    std::ofstream out(cache_file, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  {
+    SteeringService service(&fx.optimizer, &fx.simulator, options);
+    ASSERT_TRUE(service.Start().ok()) << "a damaged warm file must not block startup";
+    ServiceStatusSnapshot status = service.status();
+    EXPECT_EQ(status.cache_warm_loaded, 0);
+    EXPECT_EQ(status.cache_warm_rejected, 1);
+    ASSERT_TRUE(service.Shutdown().ok());
+  }
+}
+
 TEST(SteeringServiceTest, ShedsDeadlineDoomedRequestsWithDistinctStatus) {
   ServiceFixture fx;
   ServiceOptions options;

@@ -1,0 +1,261 @@
+// Chaos soak for the sharded discovery orchestrator: kill the run at EVERY
+// crash window of the commit/merge protocol — one kill per scenario, plus
+// hashed multi-kill schedules and torn-write variants — then resume and
+// require the two invariants that make the protocol crash-safe:
+//
+//   1. No lost work: every shard whose manifest was committed before the
+//      kill is reused by the resume, never recomputed.
+//   2. No damaged merge: the final merged store and rule-diff table are
+//      bit-identical to an uninterrupted unsharded run, no matter where
+//      the kill landed or what torn bytes it left behind.
+//
+// The single-kill sweep is exhaustive over window indices (the window
+// count is discovered by a probe run), so a new crash window added to the
+// orchestrator is automatically covered. Runs under TSan in CI.
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "discovery/manifest.h"
+#include "discovery/orchestrator.h"
+#include "workload/generator.h"
+
+namespace qsteer {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("qsteer_shard_chaos_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  std::string path() const { return dir_.string(); }
+  std::string File(const std::string& name) const { return (dir_ / name).string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+WorkloadSpec ChaosSpec() {
+  WorkloadSpec spec;
+  spec.name = "X";
+  spec.seed = 90210;
+  spec.num_templates = 10;
+  spec.num_stream_sets = 8;
+  return spec;
+}
+
+DiscoveryOptions ChaosOptions(const std::string& dir) {
+  DiscoveryOptions options;
+  options.dir = dir;
+  options.num_shards = 3;
+  options.num_workers = 2;
+  options.max_jobs = 12;
+  options.pipeline.max_candidate_configs = 20;
+  options.pipeline.configs_to_execute = 3;
+  return options;
+}
+
+class ShardChaosTest : public ::testing::Test {
+ protected:
+  ShardChaosTest() : workload_(ChaosSpec()) {}
+
+  /// The uninterrupted ground truth (computed once per fixture instance).
+  UnshardedDiscovery Reference() {
+    Result<UnshardedDiscovery> reference =
+        DiscoverUnsharded(&workload_, kDay, ChaosOptions(""));
+    EXPECT_TRUE(reference.ok()) << reference.status().ToString();
+    return reference.value();
+  }
+
+  DiscoveryResult Run(DiscoveryOptions options) {
+    ShardOrchestrator orchestrator(&workload_, kDay, std::move(options));
+    Result<DiscoveryResult> run = orchestrator.Run();
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return run.value();
+  }
+
+  /// Number of crash windows a clean full run visits.
+  int64_t ProbeWindowCount() {
+    TempDir dir;
+    DiscoveryResult probe = Run(ChaosOptions(dir.path()));
+    EXPECT_TRUE(probe.completed);
+    return probe.counters.crash_windows;
+  }
+
+  /// Manifests committed on disk at this moment.
+  int CommittedManifests(const TempDir& dir, int num_shards) {
+    int committed = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      if (std::filesystem::exists(dir.File(ShardManifestName(s)))) ++committed;
+    }
+    return committed;
+  }
+
+  static constexpr int kDay = 2;
+  Workload workload_;
+};
+
+TEST_F(ShardChaosTest, KillAtEveryWindowLosesNoCommittedShardAndMergesIdentically) {
+  UnshardedDiscovery reference = Reference();
+  int64_t windows = ProbeWindowCount();
+  ASSERT_GT(windows, 0);
+
+  for (int64_t kill = 0; kill < windows; ++kill) {
+    TempDir dir;
+    DiscoveryOptions options = ChaosOptions(dir.path());
+    options.crash_hook_for_testing = [kill](const DiscoveryCrashPoint& point) {
+      DiscoveryCrashDecision decision;
+      decision.crash = point.index == kill;
+      return decision;
+    };
+    DiscoveryResult killed = Run(options);
+    if (killed.completed) {
+      // A kill index past the last window (can't happen inside the sweep)
+      // would silently weaken the test.
+      FAIL() << "kill at window " << kill << " did not fire";
+    }
+    int committed = CommittedManifests(dir, options.num_shards);
+
+    options.crash_hook_for_testing = nullptr;
+    options.resume = true;
+    DiscoveryResult resumed = Run(options);
+    ASSERT_TRUE(resumed.completed) << "kill at window " << kill;
+    // Invariant 1: zero lost completed shards — everything committed at
+    // the kill is trusted by the resume (nothing damaged: the kill is a
+    // clean process death between writes, both files of a committed pair
+    // are atomic and intact).
+    EXPECT_EQ(resumed.counters.shards_reused, committed) << "kill at window " << kill;
+    EXPECT_EQ(resumed.counters.shards_quarantined, 0) << "kill at window " << kill;
+    // Invariant 2: the merge is bit-identical to the unsharded truth.
+    EXPECT_EQ(resumed.merged_store, reference.store) << "kill at window " << kill;
+    EXPECT_EQ(resumed.merged_diff_table, reference.diff_table)
+        << "kill at window " << kill;
+  }
+}
+
+TEST_F(ShardChaosTest, HashedMultiKillScheduleConvergesWithMonotoneProgress) {
+  // A soak closer to production reality: the orchestrator dies over and
+  // over, at a window chosen by a hash of the restart ordinal. Progress
+  // must be monotone (committed manifests never go backwards) and the
+  // final merge identical to the truth.
+  UnshardedDiscovery reference = Reference();
+  TempDir dir;
+  DiscoveryOptions options = ChaosOptions(dir.path());
+  int committed_floor = 0;
+  bool completed = false;
+  for (int restart = 0; restart < 64 && !completed; ++restart) {
+    // Window 0..8 of each execution, hashed; every 4th restart runs clean
+    // so the schedule cannot starve completion.
+    const bool run_clean = restart % 4 == 3;
+    const int64_t kill_window =
+        static_cast<int64_t>(Mix64(HashCombine(0xc4a05ull, restart)) % 9);
+    options.crash_hook_for_testing = nullptr;
+    if (!run_clean) {
+      options.crash_hook_for_testing = [kill_window](const DiscoveryCrashPoint& point) {
+        DiscoveryCrashDecision decision;
+        decision.crash = point.index == kill_window;
+        return decision;
+      };
+    }
+    DiscoveryResult result = Run(options);
+    completed = result.completed;
+    int committed = CommittedManifests(dir, options.num_shards);
+    EXPECT_GE(committed, committed_floor) << "restart " << restart;
+    committed_floor = committed;
+    options.resume = true;
+    if (completed) {
+      EXPECT_EQ(result.counters.shards_quarantined, 0);
+      EXPECT_EQ(result.merged_store, reference.store);
+      EXPECT_EQ(result.merged_diff_table, reference.diff_table);
+    }
+  }
+  EXPECT_TRUE(completed) << "soak never converged";
+}
+
+TEST_F(ShardChaosTest, TornArtifactWritesAtEveryCommitWindowAreNeverTrusted) {
+  // The hostile variant: the dying process leaves a TORN artifact at its
+  // final path (modeling a non-atomic filesystem at the pre-artifact
+  // window, and post-commit bit rot at the post-manifest window). Resume
+  // must classify without guessing: no manifest -> plain recompute;
+  // valid manifest + mismatching bytes -> quarantine + recompute. Either
+  // way the merge must come out exact.
+  UnshardedDiscovery reference = Reference();
+  struct Case {
+    const char* window;
+    bool expect_quarantine;
+  };
+  for (const Case& c : {Case{"pre-artifact", false}, Case{"post-manifest", true}}) {
+    TempDir dir;
+    DiscoveryOptions options = ChaosOptions(dir.path());
+    std::string window = c.window;
+    options.crash_hook_for_testing = [window](const DiscoveryCrashPoint& point) {
+      DiscoveryCrashDecision decision;
+      if (point.window == window && point.shard_index >= 0) {
+        decision.crash = true;
+        decision.tear_artifact = true;
+      }
+      return decision;
+    };
+    DiscoveryResult killed = Run(options);
+    ASSERT_FALSE(killed.completed) << c.window;
+    ASSERT_GE(killed.crash_shard, 0);
+    std::string artifact = dir.File(ShardArtifactName(killed.crash_shard));
+    ASSERT_TRUE(std::filesystem::exists(artifact)) << "tear left no file";
+
+    options.crash_hook_for_testing = nullptr;
+    options.resume = true;
+    DiscoveryResult resumed = Run(options);
+    ASSERT_TRUE(resumed.completed) << c.window;
+    if (c.expect_quarantine) {
+      EXPECT_EQ(resumed.counters.shards_quarantined, 1) << c.window;
+      EXPECT_TRUE(std::filesystem::exists(artifact + ".quarantined")) << c.window;
+    } else {
+      EXPECT_EQ(resumed.counters.shards_quarantined, 0) << c.window;
+    }
+    EXPECT_EQ(resumed.merged_store, reference.store) << c.window;
+    EXPECT_EQ(resumed.merged_diff_table, reference.diff_table) << c.window;
+  }
+}
+
+TEST_F(ShardChaosTest, KillDuringMergeNeverDamagesShardArtifacts) {
+  // The merge windows come after every shard is durable: a kill there must
+  // resume straight to a full-reuse merge with zero recomputation.
+  UnshardedDiscovery reference = Reference();
+  for (const char* window : {"pre-merge", "post-merge"}) {
+    TempDir dir;
+    DiscoveryOptions options = ChaosOptions(dir.path());
+    std::string target = window;
+    options.crash_hook_for_testing = [target](const DiscoveryCrashPoint& point) {
+      DiscoveryCrashDecision decision;
+      decision.crash = point.window == target;
+      return decision;
+    };
+    DiscoveryResult killed = Run(options);
+    // post-merge fires after result assembly: the run reports incomplete
+    // (the summary may be missing) but all shards are committed either way.
+    ASSERT_FALSE(killed.completed) << window;
+
+    options.crash_hook_for_testing = nullptr;
+    options.resume = true;
+    DiscoveryResult resumed = Run(options);
+    ASSERT_TRUE(resumed.completed) << window;
+    EXPECT_EQ(resumed.counters.shards_reused, options.num_shards) << window;
+    EXPECT_EQ(resumed.counters.shards_recomputed, 0) << window;
+    EXPECT_EQ(resumed.counters.jobs_analyzed, 0) << window;
+    EXPECT_EQ(resumed.merged_store, reference.store) << window;
+    EXPECT_EQ(resumed.merged_diff_table, reference.diff_table) << window;
+  }
+}
+
+}  // namespace
+}  // namespace qsteer

@@ -41,6 +41,14 @@
 //                                            --compile-cache-mb=<MiB>
 //                                              compile-cache budget
 //                                              (0 disables)
+//                                            --warm-cache=<file> pre-warm
+//                                              the compile cache from a
+//                                              discover-sharded --cache-out
+//                                              file at startup (damage ->
+//                                              cold start, never fatal)
+//                                            --warm-cache-day=<n> day stamp
+//                                              the warm file must carry
+//                                              (-1 = accept any)
 //   serve-fleet <A|B|C> <days> [flags]     replicated serving tier: N
 //                                          replica stores behind a
 //                                          consistent-hash router, leader
@@ -60,6 +68,32 @@
 //                                              next day
 //                                            --vnodes=<n> ring points per
 //                                              replica
+//   discover-sharded <A|B|C|S|K> <day> --dir=<dir> [flags]
+//                                          crash-resumable sharded discovery:
+//                                          partition the day's jobs by
+//                                          rule-signature group onto shards
+//                                          (consistent hashing), dispatch
+//                                          under deadline leases, commit
+//                                          checksummed artifact+manifest
+//                                          pairs, merge bit-identically to
+//                                          an unsharded pass. Flags:
+//                                            --shards=<n> --workers=<n>
+//                                            --max-jobs=<n> cap the day
+//                                            --resume  trust checksum-valid
+//                                              shard artifacts already in
+//                                              --dir (quarantine damage)
+//                                            --kill-every=<k> crash at every
+//                                              k-th protocol window and
+//                                              auto-resume until complete
+//                                            --cache-in=<file> warm the
+//                                              compile cache from a prior
+//                                              --cache-out artifact
+//                                            --cache-out=<file> persist the
+//                                              compile cache after the run
+//                                            --verify-unsharded  also run
+//                                              the single-process reference
+//                                              pass and assert the merged
+//                                              bytes match
 //
 // Hint strings use the §3.2 flag syntax, e.g.
 //   qsteer compile B 4 7 "DISABLE(UnionAllToUnionAll);ENABLE(CorrelatedJoinOnUnionAll2)"
@@ -74,7 +108,9 @@
 #include "catalog/calibration.h"
 #include "catalog/stats_model.h"
 #include "common/argparse.h"
+#include "common/file_io.h"
 #include "common/hash.h"
+#include "discovery/orchestrator.h"
 #include "service/replication.h"
 #include "core/hints.h"
 #include "core/pipeline.h"
@@ -95,17 +131,22 @@ int Usage() {
                "  workload <A|B|C> [day]\n"
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
-               "  analyze <A|B|C> <template> <day> [threads]\n"
+               "  analyze <A|B|C> <template> <day> [threads] [--discovery-dir=DIR]\n"
                "  calibrate <A|B|C|S|K> [day] [--stats-model=scalar|histogram|both] "
                "[--smoke]\n"
                "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
                "[--snapshot-interval=N]\n"
                "        [--queue-capacity=N] [--workers=N] [--deadline=SECONDS]\n"
-               "        [--compile-cache-mb=N]\n"
+               "        [--compile-cache-mb=N] [--warm-cache=FILE] [--warm-cache-day=N]\n"
                "  serve-fleet <A|B|C> <days> [--dir=DIR] [--replicas=N]\n"
                "        [--snapshot-interval=N] [--staleness-bound=N] "
                "[--kill-every=DAYS]\n"
-               "        [--vnodes=N]\n");
+               "        [--vnodes=N]\n"
+               "  discover-sharded <A|B|C|S|K> <day> --dir=DIR [--shards=N] "
+               "[--workers=N]\n"
+               "        [--max-jobs=N] [--resume] [--kill-every=K] "
+               "[--cache-in=FILE]\n"
+               "        [--cache-out=FILE] [--verify-unsharded]\n");
   return 2;
 }
 
@@ -221,11 +262,18 @@ int CmdSpan(int argc, char** argv) {
 int CmdAnalyze(int argc, char** argv) {
   std::vector<const char*> positional;
   std::string wal_dir;
+  std::string discovery_dir;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--wal-dir=", 10) == 0) {
       wal_dir = argv[i] + 10;
       if (wal_dir.empty()) {
         std::fprintf(stderr, "qsteer analyze: --wal-dir requires a value\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--discovery-dir=", 16) == 0) {
+      discovery_dir = argv[i] + 16;
+      if (discovery_dir.empty()) {
+        std::fprintf(stderr, "qsteer analyze: --discovery-dir requires a value\n");
         return 2;
       }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -291,6 +339,29 @@ int CmdAnalyze(int argc, char** argv) {
   std::printf("  estimate-vs-truth cardinality q-error (%s model, %d plan nodes): "
               "p50 %.2f  p95 %.2f  max %.2f\n",
               workload.catalog().stats_model().name(), gap.count, gap.p50, gap.p95, gap.max);
+  if (!discovery_dir.empty()) {
+    // Surface the last sharded-discovery pass over this directory: shard /
+    // lease / quarantine counters plus compile-cache warm stats, written
+    // checksummed by the orchestrator's merge step.
+    std::string summary_path = discovery_dir + "/discovery_summary.txt";
+    bool had_checksum = false;
+    Result<std::string> summary = ReadFileChecksummed(summary_path, &had_checksum);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "qsteer analyze: cannot read %s: %s\n", summary_path.c_str(),
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  discovery summary (%s, checksum %s):\n", summary_path.c_str(),
+                had_checksum ? "valid" : "ABSENT");
+    // Indent the summary file under the analyze report.
+    std::string indented = "    ";
+    for (char c : summary.value()) {
+      indented.push_back(c);
+      if (c == '\n') indented += "    ";
+    }
+    while (!indented.empty() && indented.back() == ' ') indented.pop_back();
+    std::printf("%s", indented.c_str());
+  }
   if (!wal_dir.empty()) {
     // Durable mode: recover the store, report what recovery found (the
     // same RecoveryInfo the service status exposes), learn this analysis
@@ -396,6 +467,8 @@ struct ServeFlags {
   int workers = 2;
   double deadline_s = 0.0;
   int compile_cache_mb = 64;  // 0 disables the compile cache
+  std::string warm_cache_file;
+  int warm_cache_day = -1;  // -1 accepts any day stamp
 };
 
 /// Parses `--flag=value` arguments for `serve`. Returns false (after
@@ -443,6 +516,17 @@ bool ParseServeFlag(const char* arg, ServeFlags* flags) {
                  value, 1 << 20);
     return false;
   }
+  if (name == "--warm-cache") {
+    flags->warm_cache_file = value;
+    return true;
+  }
+  if (name == "--warm-cache-day") {
+    if (ParseIntArg(value, -1, 1000000, &flags->warm_cache_day)) return true;
+    std::fprintf(stderr,
+                 "qsteer serve: bad --warm-cache-day '%s' (day >= 1, or -1 for any)\n",
+                 value);
+    return false;
+  }
   std::fprintf(stderr, "qsteer serve: unknown flag '%s'\n", name.c_str());
   return false;
 }
@@ -462,6 +546,18 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr,
                  "qsteer serve: --snapshot-interval requires --wal-dir "
                  "(without a durable store there is nothing to snapshot)\n");
+    return 2;
+  }
+  if (flags.warm_cache_file.empty() && flags.warm_cache_day >= 0) {
+    std::fprintf(stderr,
+                 "qsteer serve: --warm-cache-day requires --warm-cache "
+                 "(there is no cache file to check the day stamp of)\n");
+    return 2;
+  }
+  if (!flags.warm_cache_file.empty() && flags.compile_cache_mb <= 0) {
+    std::fprintf(stderr,
+                 "qsteer serve: --warm-cache requires --compile-cache-mb > 0 "
+                 "(a disabled cache cannot be warmed)\n");
     return 2;
   }
   int days = 0;
@@ -485,6 +581,8 @@ int CmdServe(int argc, char** argv) {
   service_options.queue_capacity = flags.queue_capacity;
   service_options.default_deadline_s = flags.deadline_s;
   service_options.pipeline.compile_cache_mb = flags.compile_cache_mb;
+  service_options.warm_cache_file = flags.warm_cache_file;
+  service_options.warm_cache_day = flags.warm_cache_day;
   service_options.store.dir = flags.wal_dir;
   if (flags.snapshot_interval > 0) {
     service_options.store.snapshot_interval = flags.snapshot_interval;
@@ -505,6 +603,14 @@ int CmdServe(int argc, char** argv) {
                 static_cast<long long>(recovery.wal_records_skipped),
                 static_cast<long long>(recovery.wal_truncated_bytes),
                 service.store().num_groups());
+  }
+  if (!flags.warm_cache_file.empty()) {
+    ServiceStatusSnapshot warm_snapshot = service.status();
+    std::printf("compile cache warm start %s: %lld entries loaded, %lld rejected%s\n",
+                flags.warm_cache_file.c_str(),
+                static_cast<long long>(warm_snapshot.cache_warm_loaded),
+                static_cast<long long>(warm_snapshot.cache_warm_rejected),
+                warm_snapshot.cache_warm_loaded == 0 ? " (cold start)" : "");
   }
 
   // Day 1 offline: learn candidates (journaled through the durable store)
@@ -789,6 +895,136 @@ int CmdServeFleet(int argc, char** argv) {
   return 0;
 }
 
+int CmdDiscoverSharded(int argc, char** argv) {
+  std::vector<const char*> positional;
+  DiscoveryOptions options;
+  int kill_every = 0;
+  bool verify_unsharded = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) {
+      options.dir = argv[i] + 6;
+      if (options.dir.empty()) {
+        std::fprintf(stderr, "qsteer discover-sharded: --dir requires a value\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      if (!ParseIntArg(argv[i] + 9, 1, 4096, &options.num_shards)) {
+        std::fprintf(stderr, "qsteer discover-sharded: bad --shards '%s'\n", argv[i] + 9);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      if (!ParseIntArg(argv[i] + 10, -1, 1024, &options.num_workers)) {
+        std::fprintf(stderr, "qsteer discover-sharded: bad --workers '%s'\n",
+                     argv[i] + 10);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--max-jobs=", 11) == 0) {
+      if (!ParseIntArg(argv[i] + 11, 0, 1000000, &options.max_jobs)) {
+        std::fprintf(stderr, "qsteer discover-sharded: bad --max-jobs '%s'\n",
+                     argv[i] + 11);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--kill-every=", 13) == 0) {
+      // The k-th crash window of a run is reached only after the windows
+      // before it executed, and a shard is durable from its post-manifest
+      // window (the 4th window a fresh run visits). k >= 4 therefore
+      // guarantees every killed run first committed at least one new shard,
+      // so the kill/resume loop always terminates.
+      if (!ParseIntArg(argv[i] + 13, 4, 1000000, &kill_every)) {
+        std::fprintf(stderr,
+                     "qsteer discover-sharded: bad --kill-every '%s' (minimum 4: "
+                     "smaller values can kill before any shard commits)\n",
+                     argv[i] + 13);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strncmp(argv[i], "--cache-in=", 11) == 0) {
+      options.warm_cache_file = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--cache-out=", 12) == 0) {
+      options.save_cache_file = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--verify-unsharded") == 0) {
+      verify_unsharded = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "qsteer discover-sharded: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) return Usage();
+  if (options.dir.empty()) {
+    std::fprintf(stderr, "qsteer discover-sharded: --dir=DIR is required\n");
+    return 2;
+  }
+  int day = 0;
+  if (!ParsePositional("day", positional[1], 1, 1000000, &day)) return 2;
+  Workload workload(SpecFor(positional[0]));
+
+  if (kill_every > 0) {
+    options.crash_hook_for_testing = [kill_every](const DiscoveryCrashPoint& point) {
+      DiscoveryCrashDecision decision;
+      decision.crash = (point.index + 1) % kill_every == 0;
+      return decision;
+    };
+  }
+
+  DiscoveryResult result;
+  int executions = 0;
+  while (true) {
+    ShardOrchestrator orchestrator(&workload, day, options);
+    Result<DiscoveryResult> run = orchestrator.Run();
+    if (!run.ok()) {
+      std::fprintf(stderr, "qsteer discover-sharded: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(run.value());
+    ++executions;
+    if (result.completed) break;
+    std::printf("execution %d killed at window '%s' (shard %d) after %lld windows; "
+                "resuming\n",
+                executions, result.crash_window.c_str(), result.crash_shard,
+                static_cast<long long>(result.counters.crash_windows));
+    options.resume = true;
+    if (executions >= 100000) {
+      std::fprintf(stderr, "qsteer discover-sharded: no progress after %d executions\n",
+                   executions);
+      return 1;
+    }
+  }
+  std::printf("discovery complete in %d execution(s)\n%s", executions,
+              result.counters.ToString().c_str());
+  std::printf("merged store: %zu bytes; merged rule-diff table: %zu bytes\n"
+              "artifacts in %s (merged_recommendations.qrs, merged_rulediff.txt, "
+              "discovery_summary.txt)\n",
+              result.merged_store.size(), result.merged_diff_table.size(),
+              options.dir.c_str());
+
+  if (verify_unsharded) {
+    Result<UnshardedDiscovery> reference = DiscoverUnsharded(&workload, day, options);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "qsteer discover-sharded: unsharded reference failed: %s\n",
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    bool store_match = reference.value().store == result.merged_store;
+    bool table_match = reference.value().diff_table == result.merged_diff_table;
+    if (!store_match || !table_match) {
+      std::fprintf(stderr,
+                   "qsteer discover-sharded: MERGE DIVERGED from unsharded run "
+                   "(store %s, rule-diff table %s)\n",
+                   store_match ? "match" : "MISMATCH",
+                   table_match ? "match" : "MISMATCH");
+      return 1;
+    }
+    std::printf("verify: merged output bit-identical to the unsharded reference "
+                "(%lld jobs)\n",
+                static_cast<long long>(reference.value().jobs_analyzed));
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace qsteer
 
@@ -806,5 +1042,6 @@ int main(int argc, char** argv) {
   if (command == "calibrate") return CmdCalibrate(rest_argc, rest_argv);
   if (command == "serve") return CmdServe(rest_argc, rest_argv);
   if (command == "serve-fleet") return CmdServeFleet(rest_argc, rest_argv);
+  if (command == "discover-sharded") return CmdDiscoverSharded(rest_argc, rest_argv);
   return Usage();
 }
