@@ -5,10 +5,16 @@
 // BENCH_parallel.json (regenerate with this binary when the pipeline's
 // parallel stages change).
 //
-//   $ ./bench/bench_parallel_pipeline [max_workers]
+// Budgeted mode (--budget=N [--rank]) runs the same sweep with a compile
+// budget (and optionally the candidate ranker) active: the determinism
+// contract extends to budgeted analyses — the selected slice is identical
+// for every worker count.
+//
+//   $ ./bench/bench_parallel_pipeline [max_workers] [--budget=N] [--rank]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -30,6 +36,8 @@ struct AnalysisDigest {
   double best_change = 0.0;
   double default_runtime = 0.0;
   int recompiled_ok = 0;
+  int candidates_compiled = 0;
+  int budget_skipped = 0;
 };
 
 AnalysisDigest DigestOf(const JobAnalysis& analysis) {
@@ -38,12 +46,16 @@ AnalysisDigest DigestOf(const JobAnalysis& analysis) {
   d.best_change = analysis.BestRuntimeChangePct();
   d.default_runtime = analysis.default_metrics.runtime;
   d.recompiled_ok = analysis.recompiled_ok;
+  d.candidates_compiled = analysis.candidates_compiled;
+  d.budget_skipped = analysis.budget_skipped;
   return d;
 }
 
 bool SameDigest(const AnalysisDigest& a, const AnalysisDigest& b) {
   return a.executed == b.executed && a.best_change == b.best_change &&
-         a.default_runtime == b.default_runtime && a.recompiled_ok == b.recompiled_ok;
+         a.default_runtime == b.default_runtime && a.recompiled_ok == b.recompiled_ok &&
+         a.candidates_compiled == b.candidates_compiled &&
+         a.budget_skipped == b.budget_skipped;
 }
 
 }  // namespace
@@ -53,7 +65,18 @@ int main(int argc, char** argv) {
          "the offline discovery loop is embarrassingly parallel across candidates "
          "(§5 ran it as a massively parallel batch job)");
 
-  int max_workers = argc > 1 ? std::atoi(argv[1]) : 0;
+  int max_workers = 0;
+  int compile_budget = 0;
+  bool rank_candidates = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      compile_budget = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--rank") == 0) {
+      rank_candidates = true;
+    } else {
+      max_workers = std::atoi(argv[i]);
+    }
+  }
   if (max_workers <= 0) {
     max_workers = static_cast<int>(std::thread::hardware_concurrency());
     if (max_workers <= 0) max_workers = 4;
@@ -67,6 +90,12 @@ int main(int argc, char** argv) {
   PipelineOptions base;
   base.max_candidate_configs = 200;
   base.configs_to_execute = 10;
+  base.compile_budget = compile_budget;
+  base.rank_candidates = rank_candidates;
+  if (compile_budget > 0 || rank_candidates) {
+    std::printf("budgeted mode: compile_budget=%d rank_candidates=%s\n", compile_budget,
+                rank_candidates ? "on" : "off");
+  }
 
   // Thread counts to measure: serial, then 1/2/4/.../max hardware workers.
   std::vector<int> worker_counts = {0, 1};

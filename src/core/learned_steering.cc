@@ -122,7 +122,9 @@ LearnedEvaluation LearnedSteering::TrainAndEvaluate(const GroupDataset& dataset,
   {
     std::vector<std::vector<double>> raw_train;
     for (int i = 0; i < n_train; ++i) raw_train.push_back(dataset.features[order[i]]);
-    scaler.Fit(raw_train);
+    // Encoded feature rows share one width per group; a ragged dataset means
+    // the group was assembled wrong and no model trained on it is usable.
+    if (!scaler.Fit(raw_train).ok()) return eval;
   }
   for (int i = 0; i < n; ++i) {
     size_t idx = order[static_cast<size_t>(i)];

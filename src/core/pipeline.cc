@@ -38,6 +38,10 @@ SteeringPipeline::SteeringPipeline(const Optimizer* optimizer,
     cache_options.capacity_bytes = static_cast<int64_t>(options_.compile_cache_mb) << 20;
     cache_ = std::make_unique<CompileCache>(cache_options);
   }
+  if (options_.rank_candidates) {
+    MutexLock lock(ranker_mu_);
+    ranker_ = std::make_unique<CandidateRanker>(options_.ranker);
+  }
 }
 
 SteeringPipeline::~SteeringPipeline() = default;
@@ -205,6 +209,58 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   analysis.span_duplicates_pruned = gen_stats.span_duplicates_pruned;
   ctr_span_pruned_.fetch_add(gen_stats.span_duplicates_pruned, std::memory_order_relaxed);
 
+  // Budgeted, optionally ranked selection of the stream. Selection is a
+  // pure *filter*: `selected` stays in stream (generation) order, so an
+  // unlimited budget reproduces the unbudgeted analysis bit for bit whether
+  // ranking is on or off, and a budgeted unranked run compiles exactly the
+  // stream prefix (the random-order baseline).
+  std::vector<size_t> selected(candidates.size());
+  for (size_t i = 0; i < selected.size(); ++i) selected[i] = i;
+  std::vector<RankerExample> examples;  // parallel to `candidates`; rank mode only
+  if (options_.rank_candidates) {
+    std::vector<double> scores(candidates.size(), 0.0);
+    {
+      // Scoring holds the ranker lock but never mutates: between training
+      // points (batch boundaries) the ranker is frozen, which is what makes
+      // scores — and therefore budgeted analyses — independent of worker
+      // count and evaluation order.
+      MutexLock lock(ranker_mu_);
+      RankerJobContext ctx;
+      ctx.span = analysis.span.span;
+      ctx.default_signature = analysis.default_plan.signature;
+      ctx.default_est_cost = analysis.default_plan.est_cost;
+      examples.reserve(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        examples.push_back(ranker_->MakeExample(ctx, candidates[i]));
+        scores[i] = ranker_->Score(examples[i].features);
+      }
+    }
+    gen_stats.candidates_scored = static_cast<int>(candidates.size());
+    if (options_.compile_budget > 0 &&
+        options_.compile_budget < static_cast<int>(candidates.size())) {
+      // Top-budget by (score desc, stream index asc): the index tie-break
+      // keeps a cold ranker (all scores equal) identical to the unranked
+      // prefix. Then back to stream order for compilation and merge.
+      std::sort(selected.begin(), selected.end(), [&](size_t a, size_t b) {
+        if (scores[a] != scores[b]) return scores[a] > scores[b];
+        return a < b;
+      });
+      selected.resize(static_cast<size_t>(options_.compile_budget));
+      std::sort(selected.begin(), selected.end());
+    }
+  } else if (options_.compile_budget > 0 &&
+             options_.compile_budget < static_cast<int>(candidates.size())) {
+    selected.resize(static_cast<size_t>(options_.compile_budget));
+  }
+  gen_stats.candidates_compiled = static_cast<int>(selected.size());
+  gen_stats.budget_skipped = static_cast<int>(candidates.size() - selected.size());
+  analysis.candidates_scored = gen_stats.candidates_scored;
+  analysis.candidates_compiled = gen_stats.candidates_compiled;
+  analysis.budget_skipped = gen_stats.budget_skipped;
+  ctr_candidates_scored_.fetch_add(gen_stats.candidates_scored, std::memory_order_relaxed);
+  ctr_candidates_compiled_.fetch_add(gen_stats.candidates_compiled, std::memory_order_relaxed);
+  ctr_budget_skipped_.fetch_add(gen_stats.budget_skipped, std::memory_order_relaxed);
+
   // Fan the candidate recompilations out over the pool: each candidate is
   // compiled independently (Optimizer::Compile is reentrant), then outcomes
   // are merged below in candidate order, so the analysis is bit-identical
@@ -216,9 +272,9 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
     uint64_t plan_hash = 0;
   };
   std::vector<CandidateResult> compiled = ParallelMap<CandidateResult>(
-      pool_.get(), static_cast<int64_t>(candidates.size()), [&](int64_t i) {
+      pool_.get(), static_cast<int64_t>(selected.size()), [&](int64_t i) {
         CandidateResult r;
-        const RuleConfig& config = candidates[static_cast<size_t>(i)];
+        const RuleConfig& config = candidates[selected[static_cast<size_t>(i)]];
         // Span-projected key: candidates only differ inside the span, so
         // the projection is a complete identity for them (paper §4), and
         // recurring instances of this job hit the same entries.
@@ -239,8 +295,9 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
   uint64_t default_plan_hash = PlanHash(analysis.default_plan.root, /*for_template=*/false);
   std::vector<uint64_t> seen_plans = {default_plan_hash};
 
-  for (size_t i = 0; i < compiled.size(); ++i) {
-    CandidateResult& candidate = compiled[i];
+  for (size_t si = 0; si < compiled.size(); ++si) {
+    const size_t i = selected[si];
+    CandidateResult& candidate = compiled[si];
     if (!candidate.ok) {
       if (candidate.timed_out) {
         ++analysis.compile_timeouts;
@@ -253,6 +310,19 @@ JobAnalysis SteeringPipeline::Recompile(const Job& job) const {
     analysis.candidate_costs.push_back(candidate.plan.est_cost);
     if (candidate.plan.est_cost < analysis.default_plan.est_cost) {
       ++analysis.cheaper_than_default;
+    }
+    if (options_.rank_candidates) {
+      // Every successful compile becomes a training example. The initial
+      // label is the estimated-cost improvement fraction; AnalyzeJob
+      // replaces it with the measured runtime improvement for the
+      // alternatives it actually executes.
+      RankerExample example = std::move(examples[i]);
+      example.label = analysis.default_plan.est_cost > 0.0
+                          ? std::clamp(1.0 - candidate.plan.est_cost /
+                                                 analysis.default_plan.est_cost,
+                                       0.0, 1.0)
+                          : 0.0;
+      analysis.ranker_examples.push_back(std::move(example));
     }
     // Keep only configurations that produce genuinely different plans: the
     // rest cannot change any metric.
@@ -302,19 +372,99 @@ JobAnalysis SteeringPipeline::AnalyzeJob(const Job& job) const {
     if (!outcome.executed) {
       ++analysis.exec_failures;
       ctr_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (outcome.metrics.runtime < analysis.default_metrics.runtime) {
+      ctr_improvements_found_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (options_.rank_candidates && analysis.default_metrics.runtime > 0.0) {
+    // Measured truth beats the estimate: executed alternatives overwrite
+    // their example's estimated-cost label with the observed runtime
+    // improvement (0 when the alternative regressed).
+    for (const ConfigOutcome& outcome : analysis.executed) {
+      if (!outcome.executed) continue;
+      double gain = (analysis.default_metrics.runtime - outcome.metrics.runtime) /
+                    analysis.default_metrics.runtime;
+      for (RankerExample& example : analysis.ranker_examples) {
+        if (example.config_hash == outcome.config.Hash()) {
+          example.label = std::clamp(gain, 0.0, 1.0);
+          break;
+        }
+      }
     }
   }
   return analysis;
 }
 
 std::vector<JobAnalysis> SteeringPipeline::RecompileJobs(const std::vector<Job>& jobs) const {
-  return ParallelMap<JobAnalysis>(pool_.get(), static_cast<int64_t>(jobs.size()),
-                                  [&](int64_t i) { return Recompile(jobs[static_cast<size_t>(i)]); });
+  std::vector<JobAnalysis> analyses = ParallelMap<JobAnalysis>(
+      pool_.get(), static_cast<int64_t>(jobs.size()),
+      [&](int64_t i) { return Recompile(jobs[static_cast<size_t>(i)]); });
+  // Batch boundary: train on this batch's outcomes in job order (the merge
+  // above restored it), so the ranker's bytes are worker-count-independent.
+  TrainRanker(analyses);
+  return analyses;
 }
 
 std::vector<JobAnalysis> SteeringPipeline::AnalyzeJobs(const std::vector<Job>& jobs) const {
-  return ParallelMap<JobAnalysis>(pool_.get(), static_cast<int64_t>(jobs.size()),
-                                  [&](int64_t i) { return AnalyzeJob(jobs[static_cast<size_t>(i)]); });
+  std::vector<JobAnalysis> analyses = ParallelMap<JobAnalysis>(
+      pool_.get(), static_cast<int64_t>(jobs.size()),
+      [&](int64_t i) { return AnalyzeJob(jobs[static_cast<size_t>(i)]); });
+  TrainRanker(analyses);
+  return analyses;
+}
+
+int64_t SteeringPipeline::TrainRanker(const std::vector<JobAnalysis>& analyses) const {
+  if (!options_.rank_candidates) return 0;
+  std::vector<RankerExample> examples;
+  for (const JobAnalysis& analysis : analyses) {
+    examples.insert(examples.end(), analysis.ranker_examples.begin(),
+                    analysis.ranker_examples.end());
+  }
+  return TrainRankerExamples(examples);
+}
+
+int64_t SteeringPipeline::TrainRankerExamples(const std::vector<RankerExample>& examples) const {
+  if (!options_.rank_candidates || examples.empty()) return 0;
+  MutexLock lock(ranker_mu_);
+  int64_t before = ranker_->examples_trained();
+  ranker_->Train(examples);
+  int64_t consumed = ranker_->examples_trained() - before;
+  ctr_ranker_examples_.fetch_add(consumed, std::memory_order_relaxed);
+  return consumed;
+}
+
+std::string SteeringPipeline::SerializeRanker() const {
+  if (!options_.rank_candidates) return "";
+  MutexLock lock(ranker_mu_);
+  return ranker_->Serialize();
+}
+
+Status SteeringPipeline::SaveRanker(const std::string& path, bool sync) const {
+  if (!options_.rank_candidates) {
+    return Status::FailedPrecondition("ranker disabled (rank_candidates = false)");
+  }
+  MutexLock lock(ranker_mu_);
+  return ranker_->SaveToFile(path, sync);
+}
+
+Status SteeringPipeline::WarmRanker(const std::string& path) const {
+  if (!options_.rank_candidates) {
+    return Status::FailedPrecondition("ranker disabled (rank_candidates = false)");
+  }
+  MutexLock lock(ranker_mu_);
+  return ranker_->WarmFromFile(path);
+}
+
+SteeringPipeline::BudgetStats SteeringPipeline::budget_stats() const {
+  BudgetStats stats;
+  stats.candidates_scored = ctr_candidates_scored_.load(std::memory_order_relaxed);
+  stats.candidates_compiled = ctr_candidates_compiled_.load(std::memory_order_relaxed);
+  stats.budget_skipped = ctr_budget_skipped_.load(std::memory_order_relaxed);
+  stats.improvements_found = ctr_improvements_found_.load(std::memory_order_relaxed);
+  stats.ranker_examples_trained = ctr_ranker_examples_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 std::vector<int> SteeringPipeline::SelectJobsInWindow(

@@ -12,12 +12,14 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/config_search.h"
 #include "core/rule_diff.h"
 #include "core/span.h"
 #include "exec/simulator.h"
+#include "ml/ranker.h"
 #include "optimizer/compile_cache.h"
 
 namespace qsteer {
@@ -69,6 +71,21 @@ struct PipelineOptions {
   /// compile tier). Null in production.
   std::function<Status(const Job& job, int attempt)> compile_fault_for_testing;
   ConfigSearchOptions search;
+  /// Budgeted discovery: cap on candidate compiles per job (<= 0 =
+  /// unlimited). The full candidate stream is still generated and deduped;
+  /// with ranking off the first `compile_budget` candidates of the stream
+  /// are compiled (the unranked baseline), with ranking on the budget is
+  /// spent on the top-scored slice instead.
+  int compile_budget = 0;
+  /// Score the candidate stream with the online CandidateRanker and spend
+  /// `compile_budget` on the highest-ranked candidates. Selection is a
+  /// *filter*, never a reorder: compilation and merging keep stream order,
+  /// so with an unlimited budget the analysis is bit-identical to
+  /// rank_candidates = false. When off (the default), the ranker does not
+  /// exist and the pipeline behaves exactly as before this knob.
+  bool rank_candidates = false;
+  /// Ranker hyperparameters (used only when rank_candidates is set).
+  RankerOptions ranker;
 };
 
 /// One recompiled (and possibly executed) alternative configuration.
@@ -103,6 +120,19 @@ struct JobAnalysis {
   /// (degraded: they are excluded from BestBy and the default is kept).
   int exec_failures = 0;
   int cheaper_than_default = 0;
+  /// Budgeted-mode accounting (see CandidateGenerationStats): candidates
+  /// scored by the ranker, compiled within the compile budget, and skipped
+  /// because the budget ran out. With budgeting off, candidates_compiled =
+  /// candidates_generated and the others are 0.
+  int candidates_scored = 0;
+  int candidates_compiled = 0;
+  int budget_skipped = 0;
+  /// Ranker training examples, one per compiled candidate: the feature row
+  /// scored for it and the improvement observed (estimated-cost improvement,
+  /// replaced by measured runtime improvement for A/B-executed outcomes).
+  /// Filled only when rank_candidates is on; consumed in deterministic job
+  /// order by SteeringPipeline::TrainRanker.
+  std::vector<RankerExample> ranker_examples;
   /// Estimated costs of all successfully recompiled candidates (Fig. 4).
   std::vector<double> candidate_costs;
   /// The executed alternatives (the N cheapest distinct plans).
@@ -185,6 +215,48 @@ class SteeringPipeline {
     return ctr_span_pruned_.load(std::memory_order_relaxed);
   }
 
+  /// True when this pipeline owns a CandidateRanker (rank_candidates).
+  bool ranker_enabled() const { return options_.rank_candidates; }
+
+  /// Trains the ranker on the examples of `analyses`, strictly in the given
+  /// order (callers pass analyses in job order, so the trained bytes are
+  /// independent of worker count). The batch entry points call this
+  /// themselves after the merge; per-job callers (the shard orchestrator)
+  /// call it once per deterministic batch. Returns examples consumed; 0
+  /// when the ranker is disabled. Never call concurrently with analyses:
+  /// scoring assumes a frozen ranker between training points.
+  int64_t TrainRanker(const std::vector<JobAnalysis>& analyses) const;
+  int64_t TrainRankerExamples(const std::vector<RankerExample>& examples) const;
+
+  /// The ranker's full serialized state (empty when disabled). Equal bytes
+  /// <=> equal state: the determinism tests compare these across worker
+  /// counts and across sharded vs. unsharded discovery.
+  std::string SerializeRanker() const;
+
+  /// Persists / pre-warms the ranker (CandidateRanker::SaveToFile /
+  /// WarmFromFile): checksummed and version-tagged, whole-file rejection on
+  /// damage — a rejected warm leaves the ranker cold, never wrong.
+  /// kFailedPrecondition when the ranker is disabled.
+  Status SaveRanker(const std::string& path, bool sync = false) const;
+  Status WarmRanker(const std::string& path) const;
+
+  /// Cumulative budgeted-discovery counters across all analyses run through
+  /// this pipeline (thread-safe snapshot; observability only).
+  struct BudgetStats {
+    int64_t candidates_scored = 0;
+    int64_t candidates_compiled = 0;
+    int64_t budget_skipped = 0;
+    /// Executed alternatives that beat the default plan's measured runtime.
+    int64_t improvements_found = 0;
+    int64_t ranker_examples_trained = 0;
+    double ImprovementsPerCompile() const {
+      return candidates_compiled > 0
+                 ? static_cast<double>(improvements_found) / candidates_compiled
+                 : 0.0;
+    }
+  };
+  BudgetStats budget_stats() const;
+
   /// Cumulative per-stage failure counters (compile timeouts/retries,
   /// execution retries/failures, fallbacks) across all analyses run through
   /// this pipeline. Thread-safe snapshot; counters never influence results.
@@ -248,6 +320,19 @@ class SteeringPipeline {
   mutable std::atomic<int64_t> ctr_exec_failures_{0};
   mutable std::atomic<int64_t> ctr_fallbacks_{0};
   mutable std::atomic<int64_t> ctr_span_pruned_{0};
+
+  // Budgeted-discovery counters (same relaxed-atomic observability contract).
+  mutable std::atomic<int64_t> ctr_candidates_scored_{0};
+  mutable std::atomic<int64_t> ctr_candidates_compiled_{0};
+  mutable std::atomic<int64_t> ctr_budget_skipped_{0};
+  mutable std::atomic<int64_t> ctr_improvements_found_{0};
+  mutable std::atomic<int64_t> ctr_ranker_examples_{0};
+
+  /// The candidate ranker (null unless options.rank_candidates). Scoring
+  /// and training both hold ranker_mu_; determinism additionally relies on
+  /// the train-at-batch-boundaries contract (see TrainRanker).
+  mutable Mutex ranker_mu_;
+  mutable std::unique_ptr<CandidateRanker> ranker_ GUARDED_BY(ranker_mu_);
 };
 
 }  // namespace qsteer

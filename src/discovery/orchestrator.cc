@@ -29,6 +29,20 @@ std::vector<Job> SelectJobs(const Workload& workload, int day, int max_jobs) {
   return jobs;
 }
 
+/// Folds the fleet-wide compile budget into per-job pipeline options: both
+/// the sharded and the unsharded pass divide the same fleet budget by the
+/// same job selection, so their per-job budgets — and therefore their
+/// analyses — agree exactly.
+PipelineOptions ApplyFleetBudget(const PipelineOptions& pipeline,
+                                 const DiscoveryOptions& options, int64_t jobs_selected) {
+  PipelineOptions out = pipeline;
+  if (options.fleet_compile_budget > 0) {
+    out.compile_budget = static_cast<int>(std::max<int64_t>(
+        1, options.fleet_compile_budget / std::max<int64_t>(1, jobs_selected)));
+  }
+  return out;
+}
+
 /// The per-job reduction both passes share: the recommender learn event
 /// (if the analysis yields one) and the group diff-row candidate (if the
 /// best executed alternative improved on the default). Pure per job.
@@ -37,6 +51,10 @@ struct JobOutput {
   ShardObservation obs;
   bool has_row = false;
   ShardDiffRow row;
+  /// Ranker training examples of this job's analysis (rank mode only);
+  /// replayed into the pipeline's ranker in day order after the compute
+  /// phase, so training is independent of shard placement and worker count.
+  std::vector<RankerExample> ranker_examples;
 };
 
 JobOutput ReduceAnalysis(const JobAnalysis& analysis, const RecommenderOptions& options) {
@@ -121,14 +139,21 @@ std::string DiscoveryCounters::ToString() const {
   out << "crash_windows=" << crash_windows << "\n";
   out << "cache: warm_loaded=" << cache_warm_loaded
       << " warm_rejected=" << cache_warm_rejected << "\n";
+  out << "budget: scored=" << candidates_scored << " compiled=" << candidates_compiled
+      << " skipped=" << budget_skipped << " improvements=" << improvements_found << "\n";
+  out << "ranker: examples_trained=" << ranker_examples_trained
+      << " warm_loaded=" << ranker_warm_loaded << " warm_rejected=" << ranker_warm_rejected
+      << "\n";
   return out.str();
 }
 
 struct ShardOrchestrator::Impl {
-  Impl(const Workload* workload, const DiscoveryOptions& options)
+  Impl(const Workload* workload, int day, const DiscoveryOptions& options)
       : optimizer(&workload->catalog()),
         simulator(&workload->catalog()) {
-    PipelineOptions pipeline_options = options.pipeline;
+    PipelineOptions pipeline_options = ApplyFleetBudget(
+        options.pipeline, options,
+        static_cast<int64_t>(SelectJobs(*workload, day, options.max_jobs).size()));
     // The orchestrator fans out across jobs; one job's analysis runs
     // serially on its claiming worker (same layering as AnalyzeJobs).
     pipeline_options.num_threads = 0;
@@ -150,7 +175,7 @@ ShardOrchestrator::ShardOrchestrator(const Workload* workload, int day,
                                      DiscoveryOptions options)
     : workload_(workload), day_(day), options_(std::move(options)) {
   if (options_.num_shards < 1) options_.num_shards = 1;
-  impl_ = std::make_unique<Impl>(workload_, options_);
+  impl_ = std::make_unique<Impl>(workload_, day_, options_);
 }
 
 ShardOrchestrator::~ShardOrchestrator() = default;
@@ -286,6 +311,16 @@ Result<DiscoveryResult> ShardOrchestrator::Run() {
     counters.cache_warm_rejected = cache_stats.warm_rejected;
   }
 
+  // ---- Ranker pre-warm (same contract: rejection = cold start) ----
+  if (!options_.ranker_in.empty() && impl_->pipeline->ranker_enabled()) {
+    Status warm = impl_->pipeline->WarmRanker(options_.ranker_in);
+    if (warm.ok()) {
+      counters.ranker_warm_loaded = 1;
+    } else {
+      counters.ranker_warm_rejected = 1;
+    }
+  }
+
   // ---- Phase 1: deterministic partition by default-plan signature ----
   std::vector<Job> jobs = SelectJobs(*workload_, day_, options_.max_jobs);
   counters.jobs_total = static_cast<int64_t>(jobs.size());
@@ -411,9 +446,37 @@ Result<DiscoveryResult> ShardOrchestrator::Run() {
   std::vector<JobOutput> outputs = ParallelMap<JobOutput>(
       impl_->pool.get(), static_cast<int64_t>(flat.size()), [&](int64_t i) -> JobOutput {
         const Job& job = jobs[static_cast<size_t>(flat[static_cast<size_t>(i)].second)];
-        return ReduceAnalysis(impl_->pipeline->AnalyzeJob(job), options_.recommender);
+        JobAnalysis analysis = impl_->pipeline->AnalyzeJob(job);
+        JobOutput output = ReduceAnalysis(analysis, options_.recommender);
+        output.ranker_examples = std::move(analysis.ranker_examples);
+        return output;
       });
   counters.jobs_analyzed = static_cast<int64_t>(flat.size());
+
+  // Batch boundary for the ranker: replay this run's training examples in
+  // *day order* (job index), not shard-flat order, so a full compute trains
+  // the exact example stream of the unsharded pass — bit-identical ranker
+  // bytes regardless of shard count, worker count, or lease schedule.
+  if (impl_->pipeline->ranker_enabled()) {
+    std::vector<size_t> day_order(flat.size());
+    for (size_t i = 0; i < day_order.size(); ++i) day_order[i] = i;
+    std::sort(day_order.begin(), day_order.end(), [&flat](size_t a, size_t b) {
+      return flat[a].second < flat[b].second;
+    });
+    std::vector<RankerExample> examples;
+    for (size_t i : day_order) {
+      examples.insert(examples.end(), outputs[i].ranker_examples.begin(),
+                      outputs[i].ranker_examples.end());
+    }
+    impl_->pipeline->TrainRankerExamples(examples);
+    result.ranker_bytes = impl_->pipeline->SerializeRanker();
+  }
+  SteeringPipeline::BudgetStats budget_stats = impl_->pipeline->budget_stats();
+  counters.candidates_scored = budget_stats.candidates_scored;
+  counters.candidates_compiled = budget_stats.candidates_compiled;
+  counters.budget_skipped = budget_stats.budget_skipped;
+  counters.improvements_found = budget_stats.improvements_found;
+  counters.ranker_examples_trained = budget_stats.ranker_examples_trained;
 
   std::map<int, std::vector<int>> shard_output_index;  // shard -> indices into outputs
   for (size_t i = 0; i < flat.size(); ++i) {
@@ -507,6 +570,12 @@ Result<DiscoveryResult> ShardOrchestrator::Run() {
                                                options_.sync);
     if (!status.ok()) return status;
   }
+  if (!options_.ranker_out.empty()) {
+    // SaveRanker returns kFailedPrecondition when ranking is off: asking to
+    // persist a ranker that never existed is a configuration error.
+    status = impl_->pipeline->SaveRanker(options_.ranker_out, options_.sync);
+    if (!status.ok()) return status;
+  }
 
   if (crash_at("post-merge", -1, nullptr)) return result;
 
@@ -528,18 +597,25 @@ Result<UnshardedDiscovery> DiscoverUnsharded(const Workload* workload, int day,
                                              const DiscoveryOptions& options) {
   Optimizer optimizer(&workload->catalog());
   ExecutionSimulator simulator(&workload->catalog());
-  PipelineOptions pipeline_options = options.pipeline;
+  std::vector<Job> jobs = SelectJobs(*workload, day, options.max_jobs);
+  PipelineOptions pipeline_options =
+      ApplyFleetBudget(options.pipeline, options, static_cast<int64_t>(jobs.size()));
   pipeline_options.num_threads = options.num_workers;
   SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
   if (!options.warm_cache_file.empty()) {
     (void)pipeline.WarmCompileCache(options.warm_cache_file, day);
   }
+  if (!options.ranker_in.empty() && pipeline.ranker_enabled()) {
+    (void)pipeline.WarmRanker(options.ranker_in);
+  }
 
-  std::vector<Job> jobs = SelectJobs(*workload, day, options.max_jobs);
+  // AnalyzeJobs trains the ranker at the batch boundary in job (= day)
+  // order — the reference example stream the sharded pass must reproduce.
   std::vector<JobAnalysis> analyses = pipeline.AnalyzeJobs(jobs);
 
   UnshardedDiscovery out;
   out.jobs_analyzed = static_cast<int64_t>(analyses.size());
+  out.ranker_bytes = pipeline.SerializeRanker();
   SteeringRecommender store(options.recommender);
   std::map<std::string, ShardDiffRow> rows;
   for (const JobAnalysis& analysis : analyses) {

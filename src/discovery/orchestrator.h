@@ -107,6 +107,21 @@ struct DiscoveryOptions {
   /// Persist the compile cache here after computing (empty = don't).
   std::string save_cache_file;
 
+  /// Fleet-wide candidate-compile budget for the day (0 = unlimited):
+  /// divided evenly over the day's selected jobs into a per-job
+  /// pipeline.compile_budget (floor, minimum 1), so sharded discovery
+  /// spends the same fleet budget regardless of how jobs landed on shards.
+  /// Ranking (pipeline.rank_candidates) decides whether each job's slice
+  /// goes to the top-ranked candidates or the stream prefix.
+  int64_t fleet_compile_budget = 0;
+  /// Pre-warm the candidate ranker from a CandidateRanker::SaveToFile
+  /// artifact (empty = cold). Rejection is non-fatal: ranking starts cold.
+  /// Requires pipeline.rank_candidates.
+  std::string ranker_in;
+  /// Persist the trained ranker here after a completed run (empty = don't).
+  /// Requires pipeline.rank_candidates.
+  std::string ranker_out;
+
   /// Per-job analysis options. num_threads is forced to 0: the orchestrator
   /// parallelizes across jobs, not within one.
   PipelineOptions pipeline;
@@ -139,6 +154,16 @@ struct DiscoveryCounters {
   int64_t cache_warm_loaded = 0;
   int64_t cache_warm_rejected = 0;
 
+  /// Ranked / budgeted discovery (from SteeringPipeline::budget_stats()).
+  int64_t candidates_scored = 0;
+  int64_t candidates_compiled = 0;
+  int64_t budget_skipped = 0;
+  int64_t improvements_found = 0;
+  int64_t ranker_examples_trained = 0;
+  /// Ranker warm start: 1 when ranker_in loaded, 1 rejection otherwise.
+  int64_t ranker_warm_loaded = 0;
+  int64_t ranker_warm_rejected = 0;
+
   std::string ToString() const;
 };
 
@@ -153,6 +178,10 @@ struct DiscoveryResult {
   /// merged rule-diff table — both bit-identical to an unsharded run.
   std::string merged_store;
   std::string merged_diff_table;
+  /// Serialized ranker after batch training (empty when ranking is off).
+  /// Trained in day order, so a full (non-resumed) sharded run's bytes
+  /// equal the unsharded pass's — asserted by the determinism tests.
+  std::string ranker_bytes;
 };
 
 /// Output of the unsharded reference pass (the orchestrator's merge must
@@ -161,6 +190,8 @@ struct UnshardedDiscovery {
   std::string store;
   std::string diff_table;
   int64_t jobs_analyzed = 0;
+  /// Serialized ranker after batch training (empty when ranking is off).
+  std::string ranker_bytes;
 };
 
 class ShardOrchestrator {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
 
 namespace qsteer {
 
@@ -12,6 +15,48 @@ constexpr double kAdamBeta2 = 0.999;
 constexpr double kAdamEps = 1e-8;
 
 double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+/// Serialization helpers: one `<tag> <count> <v0> <v1> ...` line per vector,
+/// values as %.17g so a text round trip is bit-exact for every finite double.
+void AppendVectorLine(const char* tag, const std::vector<double>& values, std::string* out) {
+  char buf[64];
+  out->append(tag);
+  std::snprintf(buf, sizeof(buf), " %zu", values.size());
+  out->append(buf);
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), " %.17g", v);
+    out->append(buf);
+  }
+  out->push_back('\n');
+}
+
+Status ParseVectorLine(std::istream& in, const char* tag, std::vector<double>* out) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(std::string("mlp: missing '") + tag + "' line");
+  }
+  std::istringstream tokens(line);
+  std::string got_tag;
+  size_t count = 0;
+  if (!(tokens >> got_tag >> count) || got_tag != tag) {
+    return Status::InvalidArgument(std::string("mlp: malformed '") + tag + "' line");
+  }
+  // An absurd count means a corrupt length field; bail before allocating.
+  if (count > (1u << 24)) {
+    return Status::InvalidArgument(std::string("mlp: '") + tag + "' count out of range");
+  }
+  out->assign(count, 0.0);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(tokens >> (*out)[i])) {
+      return Status::InvalidArgument(std::string("mlp: short '") + tag + "' line");
+    }
+  }
+  std::string extra;
+  if (tokens >> extra) {
+    return Status::InvalidArgument(std::string("mlp: trailing data on '") + tag + "' line");
+  }
+  return Status::OK();
+}
 
 void AdamUpdate(std::vector<double>* params, const std::vector<double>& grads,
                 std::vector<double>* m, std::vector<double>* v, double lr, int64_t step) {
@@ -171,16 +216,114 @@ Mlp Mlp::Train(const std::vector<std::vector<double>>& train_x,
   return (options.patience > 0 && !val_x.empty()) ? best : model;
 }
 
-void MinMaxScaler::Fit(const std::vector<std::vector<double>>& rows) {
-  if (rows.empty()) return;
+std::string Mlp::Serialize() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "mlp %d %d %d %lld\n", inputs_, hidden_, outputs_,
+                static_cast<long long>(step_));
+  out.append(buf);
+  AppendVectorLine("w1", w1_.data(), &out);
+  AppendVectorLine("b1", b1_, &out);
+  AppendVectorLine("w2", w2_.data(), &out);
+  AppendVectorLine("b2", b2_, &out);
+  // Adam moments are part of the model's identity: resuming training from a
+  // deserialized model must follow the exact trajectory of the original.
+  AppendVectorLine("adam_w1_m", adam_w1_.m, &out);
+  AppendVectorLine("adam_w1_v", adam_w1_.v, &out);
+  AppendVectorLine("adam_b1_m", adam_b1_.m, &out);
+  AppendVectorLine("adam_b1_v", adam_b1_.v, &out);
+  AppendVectorLine("adam_w2_m", adam_w2_.m, &out);
+  AppendVectorLine("adam_w2_v", adam_w2_.v, &out);
+  AppendVectorLine("adam_b2_m", adam_b2_.m, &out);
+  AppendVectorLine("adam_b2_v", adam_b2_.v, &out);
+  return out;
+}
+
+Result<Mlp> Mlp::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header)) return Status::InvalidArgument("mlp: empty input");
+  Mlp model;
+  long long step = 0;
+  {
+    std::istringstream tokens(header);
+    std::string tag;
+    if (!(tokens >> tag >> model.inputs_ >> model.hidden_ >> model.outputs_ >> step) ||
+        tag != "mlp" || model.inputs_ < 0 || model.hidden_ < 0 || model.outputs_ < 0 ||
+        step < 0) {
+      return Status::InvalidArgument("mlp: malformed header line");
+    }
+  }
+  model.step_ = step;
+  model.w1_ = Matrix(model.hidden_, model.inputs_);
+  model.w2_ = Matrix(model.outputs_, model.hidden_);
+
+  struct Field {
+    const char* tag;
+    std::vector<double>* target;
+    size_t expected;  // 0 allows empty (lazily-sized Adam moments)
+  };
+  const size_t w1_size = static_cast<size_t>(model.hidden_) * model.inputs_;
+  const size_t w2_size = static_cast<size_t>(model.outputs_) * model.hidden_;
+  const Field fields[] = {
+      {"w1", &model.w1_.data(), w1_size},
+      {"b1", &model.b1_, static_cast<size_t>(model.hidden_)},
+      {"w2", &model.w2_.data(), w2_size},
+      {"b2", &model.b2_, static_cast<size_t>(model.outputs_)},
+      {"adam_w1_m", &model.adam_w1_.m, w1_size},
+      {"adam_w1_v", &model.adam_w1_.v, w1_size},
+      {"adam_b1_m", &model.adam_b1_.m, static_cast<size_t>(model.hidden_)},
+      {"adam_b1_v", &model.adam_b1_.v, static_cast<size_t>(model.hidden_)},
+      {"adam_w2_m", &model.adam_w2_.m, w2_size},
+      {"adam_w2_v", &model.adam_w2_.v, w2_size},
+      {"adam_b2_m", &model.adam_b2_.m, static_cast<size_t>(model.outputs_)},
+      {"adam_b2_v", &model.adam_b2_.v, static_cast<size_t>(model.outputs_)},
+  };
+  for (const Field& field : fields) {
+    Status st = ParseVectorLine(in, field.tag, field.target);
+    if (!st.ok()) return st;
+    bool adam = std::string_view(field.tag).substr(0, 4) == "adam";
+    if (field.target->size() != field.expected && !(adam && field.target->empty())) {
+      return Status::InvalidArgument(std::string("mlp: '") + field.tag +
+                                     "' length disagrees with header dimensions");
+    }
+  }
+  return model;
+}
+
+Status MinMaxScaler::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Status::OK();
+  for (const auto& row : rows) {
+    if (row.size() != rows[0].size()) {
+      return Status::InvalidArgument(
+          "min-max scaler: ragged feature rows (every row must have the width of the first)");
+    }
+  }
   min_ = rows[0];
   max_ = rows[0];
   for (const auto& row : rows) {
-    for (size_t i = 0; i < row.size() && i < min_.size(); ++i) {
+    for (size_t i = 0; i < row.size(); ++i) {
       min_[i] = std::min(min_[i], row[i]);
       max_[i] = std::max(max_[i], row[i]);
     }
   }
+  return Status::OK();
+}
+
+Status MinMaxScaler::Update(const std::vector<double>& row) {
+  if (min_.empty()) {
+    min_ = row;
+    max_ = row;
+    return Status::OK();
+  }
+  if (row.size() != min_.size()) {
+    return Status::InvalidArgument("min-max scaler: row width disagrees with fitted width");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    min_[i] = std::min(min_[i], row[i]);
+    max_[i] = std::max(max_[i], row[i]);
+  }
+  return Status::OK();
 }
 
 std::vector<double> MinMaxScaler::Transform(const std::vector<double>& row) const {
@@ -192,9 +335,31 @@ std::vector<double> MinMaxScaler::Transform(const std::vector<double>& row) cons
   return out;
 }
 
-void MinMaxScaler::FitTransformInPlace(std::vector<std::vector<double>>* rows) {
-  Fit(*rows);
+Status MinMaxScaler::FitTransformInPlace(std::vector<std::vector<double>>* rows) {
+  Status st = Fit(*rows);
+  if (!st.ok()) return st;
   for (auto& row : *rows) row = Transform(row);
+  return Status::OK();
+}
+
+std::string MinMaxScaler::Serialize() const {
+  std::string out;
+  AppendVectorLine("scaler_min", min_, &out);
+  AppendVectorLine("scaler_max", max_, &out);
+  return out;
+}
+
+Result<MinMaxScaler> MinMaxScaler::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  MinMaxScaler scaler;
+  Status st = ParseVectorLine(in, "scaler_min", &scaler.min_);
+  if (!st.ok()) return st;
+  st = ParseVectorLine(in, "scaler_max", &scaler.max_);
+  if (!st.ok()) return st;
+  if (scaler.min_.size() != scaler.max_.size()) {
+    return Status::InvalidArgument("min-max scaler: min/max width mismatch");
+  }
+  return scaler;
 }
 
 std::vector<double> NormalizeRuntimes(const std::vector<double>& runtimes) {

@@ -8,9 +8,11 @@
 #define QSTEER_ML_MLP_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 
 namespace qsteer {
 
@@ -46,6 +48,9 @@ struct MlpOptions {
 /// One-hidden-layer MLP: x -> ReLU(W1 x + b1) -> sigmoid(W2 h + b2).
 class Mlp {
  public:
+  /// Empty model (0-dimensional); a deserialization target only.
+  Mlp() = default;
+
   Mlp(int inputs, int hidden, int outputs, uint64_t seed);
 
   std::vector<double> Forward(const std::vector<double>& x) const;
@@ -67,15 +72,22 @@ class Mlp {
                    const std::vector<std::vector<double>>& val_y, int outputs,
                    const MlpOptions& options);
 
+  /// Every parameter — weights, biases, Adam moments, step counter — as
+  /// %.17g text, so Deserialize(Serialize()) reproduces the model (and its
+  /// future training trajectory) bit for bit. Two models with equal state
+  /// serialize to equal bytes.
+  std::string Serialize() const;
+  static Result<Mlp> Deserialize(const std::string& text);
+
  private:
   struct AdamState {
     std::vector<double> m;
     std::vector<double> v;
   };
 
-  int inputs_;
-  int hidden_;
-  int outputs_;
+  int inputs_ = 0;
+  int hidden_ = 0;
+  int outputs_ = 0;
   Matrix w1_, w2_;
   std::vector<double> b1_, b2_;
   AdamState adam_w1_, adam_w2_, adam_b1_, adam_b2_;
@@ -86,9 +98,24 @@ class Mlp {
 /// continuous features to [0, 1]).
 class MinMaxScaler {
  public:
-  void Fit(const std::vector<std::vector<double>>& rows);
+  /// Replaces the fitted bounds with the column ranges of `rows`.
+  /// kInvalidArgument when the rows are ragged (inconsistent widths): a
+  /// narrow row would otherwise silently truncate every later column.
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  /// Widens the fitted bounds to cover `row` (online fitting); the first
+  /// call adopts the row's width. kInvalidArgument on a width mismatch.
+  Status Update(const std::vector<double>& row);
+
   std::vector<double> Transform(const std::vector<double>& row) const;
-  void FitTransformInPlace(std::vector<std::vector<double>>* rows);
+  Status FitTransformInPlace(std::vector<std::vector<double>>* rows);
+
+  bool fitted() const { return !min_.empty(); }
+  int width() const { return static_cast<int>(min_.size()); }
+
+  /// %.17g text, bit-exact round trip; equal state => equal bytes.
+  std::string Serialize() const;
+  static Result<MinMaxScaler> Deserialize(const std::string& text);
 
  private:
   std::vector<double> min_, max_;

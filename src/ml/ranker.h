@@ -1,0 +1,133 @@
+// Learning-to-rank for candidate rule configurations (ROADMAP:
+// "Learning-to-rank candidate generation"; cf. "Efficient Query Rewrite Rule
+// Discovery via Standardized Enumeration and Learning-to-Rank", PAPERS.md).
+//
+// Discovery pays a full recompile per candidate draw; a compile budget caps
+// that spend, and this ranker decides where the budget goes. It scores a
+// candidate from cheap, fully deterministic signals — which span rules the
+// candidate toggles, how many of those contributed to the default plan
+// (rule-signature provenance), the default plan's estimated cost, and the
+// historical improvement rate of each toggled rule — and is trained online
+// from the outcomes of candidates the pipeline already compiled (label =
+// observed improvement). Training order is caller-controlled and strictly
+// sequential, so two rankers fed the same example stream are bit-identical,
+// regardless of how many workers produced the examples.
+#ifndef QSTEER_ML_RANKER_H_
+#define QSTEER_ML_RANKER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "ml/mlp.h"
+#include "optimizer/rule_config.h"
+
+namespace qsteer {
+
+struct RankerOptions {
+  /// Hidden width of the scoring MLP; the feature space is tiny, so a small
+  /// net converges in a handful of batches.
+  int hidden = 16;
+  double learning_rate = 5e-3;
+  /// Sequential passes over each training batch.
+  int epochs_per_batch = 2;
+  uint64_t seed = 1;
+  /// Blend between the per-rule historical prior and the MLP score once the
+  /// model has seen enough examples (1.0 = prior only, 0.0 = model only).
+  double prior_weight = 0.6;
+  /// Until this many examples are trained, Score returns the prior alone: a
+  /// freshly initialized MLP is noise and would scatter the budget.
+  int64_t min_examples_for_model = 48;
+};
+
+/// Per-job inputs shared by every candidate's feature row.
+struct RankerJobContext {
+  BitVector256 span;
+  RuleSignature default_signature;
+  double default_est_cost = 0.0;
+};
+
+/// One training example: the feature row of a compiled candidate and the
+/// improvement observed for it. `label` starts as the estimated-cost
+/// improvement fraction and is replaced by the measured runtime improvement
+/// when the candidate was A/B-executed (truth beats estimate).
+struct RankerExample {
+  std::vector<double> features;
+  /// RuleConfig::Hash() of the candidate, to match executed outcomes back to
+  /// their examples.
+  uint64_t config_hash = 0;
+  /// Span rules on which the candidate disagrees with the default config.
+  std::vector<int> toggled_rules;
+  /// Improvement in [0, 1]; 0 = no improvement.
+  double label = 0.0;
+};
+
+/// Scores candidate RuleConfigs so a compile budget is spent where it pays.
+///
+/// Thread-safety: none — callers (SteeringPipeline) serialize access. The
+/// pipeline's contract is that scoring happens only against a *frozen*
+/// ranker (Train is called at batch boundaries, never concurrently with
+/// Score), which is what makes budgeted analyses bit-identical across
+/// worker counts.
+class CandidateRanker {
+ public:
+  static constexpr int kNumFeatures = 15;
+
+  explicit CandidateRanker(RankerOptions options = {});
+
+  const RankerOptions& options() const { return options_; }
+
+  /// Builds a candidate's example row: features + toggled rules + config
+  /// hash, under the ranker's current historical state. `label` is left 0.
+  RankerExample MakeExample(const RankerJobContext& ctx, const RuleConfig& config) const;
+
+  /// Score from an already-extracted feature row; higher = spend a compile
+  /// here first. Deterministic function of (ranker state, features).
+  double Score(const std::vector<double>& features) const;
+
+  /// Trains on the batch strictly in order: first the per-rule historical
+  /// stats and scaler bounds, then `epochs_per_batch` sequential MLP passes.
+  /// Two rankers fed equal example streams end up byte-identical.
+  void Train(const std::vector<RankerExample>& examples);
+
+  int64_t examples_trained() const { return examples_trained_; }
+
+  /// Version-tagged text serialization of the full state (options echo,
+  /// per-rule stats, scaler, MLP incl. Adam moments). Equal state => equal
+  /// bytes; Parse(Serialize()) resumes the exact training trajectory.
+  std::string Serialize() const;
+
+  /// Serialize() + crc32 footer via WriteFileChecksummed (atomic rename).
+  Status SaveToFile(const std::string& path, bool sync = false) const;
+
+  /// Loads a SaveToFile artifact. Same contract as
+  /// CompileCache::WarmFromFile: a missing checksum, version mismatch,
+  /// dimension mismatch or any parse damage rejects the *whole* file and
+  /// leaves this ranker untouched — discovery runs cold, never wrong.
+  Status WarmFromFile(const std::string& path);
+
+ private:
+  struct RuleStats {
+    int64_t count = 0;
+    double label_sum = 0.0;
+  };
+
+  /// Mean historical improvement over `rules` (only rules with history
+  /// contribute); the cold-start prior and a model feature.
+  double HistoricalPrior(const std::vector<int>& toggled_rules) const;
+
+  static Status ParseInto(const std::string& content, CandidateRanker* out);
+
+  RankerOptions options_;
+  Mlp model_;
+  MinMaxScaler scaler_;
+  std::array<RuleStats, kNumRules> rule_stats_{};
+  int64_t examples_trained_ = 0;
+};
+
+}  // namespace qsteer
+
+#endif  // QSTEER_ML_RANKER_H_

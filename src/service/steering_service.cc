@@ -49,6 +49,13 @@ std::string ServiceStatusSnapshot::ToString() const {
       << " bytes=" << cache_bytes << " warm_loaded=" << cache_warm_loaded
       << " warm_rejected=" << cache_warm_rejected
       << " span_pruned=" << span_duplicates_pruned << '\n'
+      << "budget: scored=" << candidates_scored << " compiled=" << candidates_compiled
+      << " skipped=" << budget_skipped << " improvements=" << improvements_found
+      << " improvements_per_compile="
+      << (candidates_compiled > 0
+              ? static_cast<double>(improvements_found) / static_cast<double>(candidates_compiled)
+              : 0.0)
+      << " ranker_examples=" << ranker_examples_trained << '\n'
       << "recommend_serves: snapshot=" << rec_snapshot_serves
       << " locked=" << rec_locked_serves << '\n';
   return out.str();
@@ -374,6 +381,12 @@ ServiceStatusSnapshot SteeringService::status() const {
   snapshot.cache_warm_loaded = cache_stats.warm_loaded;
   snapshot.cache_warm_rejected = cache_stats.warm_rejected;
   snapshot.span_duplicates_pruned = pipeline_.span_duplicates_pruned();
+  SteeringPipeline::BudgetStats budget = pipeline_.budget_stats();
+  snapshot.candidates_scored = budget.candidates_scored;
+  snapshot.candidates_compiled = budget.candidates_compiled;
+  snapshot.budget_skipped = budget.budget_skipped;
+  snapshot.improvements_found = budget.improvements_found;
+  snapshot.ranker_examples_trained = budget.ranker_examples_trained;
   snapshot.rec_snapshot_serves = store_.fast_recommends();
   snapshot.rec_locked_serves = store_.locked_recommends();
   {

@@ -161,6 +161,14 @@ struct ServiceStatusSnapshot {
   int64_t cache_warm_loaded = 0;
   int64_t cache_warm_rejected = 0;
   int64_t span_duplicates_pruned = 0;
+  // Budgeted candidate generation (SteeringPipeline::budget_stats()):
+  // candidates scored by the ranker, actually compiled, skipped for
+  // budget, improvements observed, and ranker training volume.
+  int64_t candidates_scored = 0;
+  int64_t candidates_compiled = 0;
+  int64_t budget_skipped = 0;
+  int64_t improvements_found = 0;
+  int64_t ranker_examples_trained = 0;
   // Recommendation-table serving split: snapshot (lock-free) vs locked.
   int64_t rec_snapshot_serves = 0;
   int64_t rec_locked_serves = 0;

@@ -94,7 +94,7 @@ TEST(Mlp, EarlyStoppingReturnsBestValidationModel) {
 TEST(MinMaxScaler, ScalesToUnitRange) {
   MinMaxScaler scaler;
   std::vector<std::vector<double>> rows = {{0.0, 10.0, 5.0}, {10.0, 20.0, 5.0}};
-  scaler.Fit(rows);
+  ASSERT_TRUE(scaler.Fit(rows).ok());
   std::vector<double> mid = scaler.Transform({5.0, 15.0, 5.0});
   EXPECT_DOUBLE_EQ(mid[0], 0.5);
   EXPECT_DOUBLE_EQ(mid[1], 0.5);

@@ -132,6 +132,7 @@ int Usage() {
                "  compile <A|B|C> <template> <day> [hint-string]\n"
                "  span <A|B|C> <template> <day>\n"
                "  analyze <A|B|C> <template> <day> [threads] [--discovery-dir=DIR]\n"
+               "        [--compile-budget=N] [--rank-candidates] [--ranker-in=FILE]\n"
                "  calibrate <A|B|C|S|K> [day] [--stats-model=scalar|histogram|both] "
                "[--smoke]\n"
                "  serve <A|B|C> <days> [fault_level] [--wal-dir=DIR] "
@@ -146,7 +147,10 @@ int Usage() {
                "[--workers=N]\n"
                "        [--max-jobs=N] [--resume] [--kill-every=K] "
                "[--cache-in=FILE]\n"
-               "        [--cache-out=FILE] [--verify-unsharded]\n");
+               "        [--cache-out=FILE] [--verify-unsharded] "
+               "[--compile-budget=N]\n"
+               "        [--rank-candidates] [--ranker-in=FILE] "
+               "[--ranker-out=FILE]\n");
   return 2;
 }
 
@@ -263,6 +267,9 @@ int CmdAnalyze(int argc, char** argv) {
   std::vector<const char*> positional;
   std::string wal_dir;
   std::string discovery_dir;
+  std::string ranker_in;
+  int compile_budget = 0;
+  bool rank_candidates = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--wal-dir=", 10) == 0) {
       wal_dir = argv[i] + 10;
@@ -276,6 +283,15 @@ int CmdAnalyze(int argc, char** argv) {
         std::fprintf(stderr, "qsteer analyze: --discovery-dir requires a value\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--compile-budget=", 17) == 0) {
+      if (!ParseIntArg(argv[i] + 17, 0, 1 << 30, &compile_budget)) {
+        std::fprintf(stderr, "qsteer analyze: bad --compile-budget '%s'\n", argv[i] + 17);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--rank-candidates") == 0) {
+      rank_candidates = true;
+    } else if (std::strncmp(argv[i], "--ranker-in=", 12) == 0) {
+      ranker_in = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "qsteer analyze: unknown flag '%s'\n", argv[i]);
       return 2;
@@ -284,11 +300,17 @@ int CmdAnalyze(int argc, char** argv) {
     }
   }
   if (positional.size() < 3) return Usage();
+  if (!ranker_in.empty() && !rank_candidates) {
+    std::fprintf(stderr, "qsteer analyze: --ranker-in requires --rank-candidates\n");
+    return 2;
+  }
   Workload workload(SpecFor(positional[0]));
   Optimizer optimizer(&workload.catalog());
   ExecutionSimulator simulator(&workload.catalog());
   PipelineOptions options;
   options.max_candidate_configs = 200;
+  options.compile_budget = compile_budget;
+  options.rank_candidates = rank_candidates;
   int template_id = 0, day = 0;
   if (!ParsePositional("template", positional[1], 0, 1000000, &template_id) ||
       !ParsePositional("day", positional[2], 1, 1000000, &day)) {
@@ -299,6 +321,14 @@ int CmdAnalyze(int argc, char** argv) {
     return 2;
   }
   SteeringPipeline pipeline(&optimizer, &simulator, options);
+  if (!ranker_in.empty()) {
+    // Rejection (corrupt, version mismatch) is non-fatal: rank cold.
+    Status warm = pipeline.WarmRanker(ranker_in);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "qsteer analyze: ranker warm-start rejected (%s); ranking cold\n",
+                   warm.ToString().c_str());
+    }
+  }
   Job job = workload.MakeJob(template_id, day);
   JobAnalysis analysis = pipeline.AnalyzeJob(job);
   if (analysis.default_plan.root == nullptr) {
@@ -331,6 +361,16 @@ int CmdAnalyze(int argc, char** argv) {
   std::printf("  compile cache: %s\n  span-equivalent candidates pruned: %d\n",
               pipeline.compile_cache_stats().ToString().c_str(),
               analysis.span_duplicates_pruned);
+  if (rank_candidates || compile_budget > 0) {
+    SteeringPipeline::BudgetStats budget = pipeline.budget_stats();
+    std::printf("  budget: scored=%lld compiled=%lld skipped=%lld improvements=%lld "
+                "improvements/compile=%.4f\n",
+                static_cast<long long>(budget.candidates_scored),
+                static_cast<long long>(budget.candidates_compiled),
+                static_cast<long long>(budget.budget_skipped),
+                static_cast<long long>(budget.improvements_found),
+                budget.ImprovementsPerCompile());
+  }
   // How wrong the optimizer's beliefs were for this job: per-node
   // estimate-vs-truth cardinality q-error over the default plan, under the
   // catalog's active stats model.
@@ -943,6 +983,20 @@ int CmdDiscoverSharded(int argc, char** argv) {
       options.warm_cache_file = argv[i] + 11;
     } else if (std::strncmp(argv[i], "--cache-out=", 12) == 0) {
       options.save_cache_file = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--compile-budget=", 17) == 0) {
+      int budget = 0;
+      if (!ParseIntArg(argv[i] + 17, 0, 1 << 30, &budget)) {
+        std::fprintf(stderr, "qsteer discover-sharded: bad --compile-budget '%s'\n",
+                     argv[i] + 17);
+        return 2;
+      }
+      options.fleet_compile_budget = budget;
+    } else if (std::strcmp(argv[i], "--rank-candidates") == 0) {
+      options.pipeline.rank_candidates = true;
+    } else if (std::strncmp(argv[i], "--ranker-in=", 12) == 0) {
+      options.ranker_in = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--ranker-out=", 13) == 0) {
+      options.ranker_out = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--verify-unsharded") == 0) {
       verify_unsharded = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
@@ -955,6 +1009,13 @@ int CmdDiscoverSharded(int argc, char** argv) {
   if (positional.size() < 2) return Usage();
   if (options.dir.empty()) {
     std::fprintf(stderr, "qsteer discover-sharded: --dir=DIR is required\n");
+    return 2;
+  }
+  if ((!options.ranker_in.empty() || !options.ranker_out.empty()) &&
+      !options.pipeline.rank_candidates) {
+    std::fprintf(stderr,
+                 "qsteer discover-sharded: --ranker-in/--ranker-out require "
+                 "--rank-candidates\n");
     return 2;
   }
   int day = 0;
@@ -1010,12 +1071,18 @@ int CmdDiscoverSharded(int argc, char** argv) {
     }
     bool store_match = reference.value().store == result.merged_store;
     bool table_match = reference.value().diff_table == result.merged_diff_table;
-    if (!store_match || !table_match) {
+    // A resumed run replays some shards from artifacts without their ranker
+    // examples, so only a single-execution run is expected to reproduce the
+    // unsharded ranker bytes.
+    bool ranker_match = executions > 1 || result.ranker_bytes.empty() ||
+                        reference.value().ranker_bytes == result.ranker_bytes;
+    if (!store_match || !table_match || !ranker_match) {
       std::fprintf(stderr,
                    "qsteer discover-sharded: MERGE DIVERGED from unsharded run "
-                   "(store %s, rule-diff table %s)\n",
+                   "(store %s, rule-diff table %s, ranker %s)\n",
                    store_match ? "match" : "MISMATCH",
-                   table_match ? "match" : "MISMATCH");
+                   table_match ? "match" : "MISMATCH",
+                   ranker_match ? "match" : "MISMATCH");
       return 1;
     }
     std::printf("verify: merged output bit-identical to the unsharded reference "
