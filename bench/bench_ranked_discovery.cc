@@ -214,6 +214,7 @@ int main(int argc, char** argv) {
 
   // ---- 3a. determinism: a second warmed pipeline replays the eval day ----
   SteeringPipeline replay(&optimizer, &simulator, ranked_options);
+  // qsteer-lint: allow(unchecked-status) the file was written by this process two lines up
   (void)replay.WarmRanker(ranker_file);
   bool ranker_bytes_equal = replay.SerializeRanker() == ranked.SerializeRanker();
   EvalRun replay_run = Evaluate(replay, eval_jobs);
@@ -225,6 +226,7 @@ int main(int argc, char** argv) {
   PipelineOptions full_ranked_options = base;
   full_ranked_options.rank_candidates = true;
   SteeringPipeline full_ranked(&optimizer, &simulator, full_ranked_options);
+  // qsteer-lint: allow(unchecked-status) the file was written by this process earlier in the run
   (void)full_ranked.WarmRanker(ranker_file);
   SteeringPipeline full_unranked(&optimizer, &simulator, base);
   bool filter_ok = true;

@@ -298,6 +298,7 @@ SoakResult RunSoak(const std::string& dir, int days, int replicas, int jobs_per_
   // Golden replay: every acked mutation, replayed in ack order into a
   // fresh single-node store, must reproduce each replica bit-for-bit.
   DurableRecommenderStore golden_store;
+  // qsteer-lint: allow(unchecked-status) pathless store opens in-memory and cannot fail
   (void)golden_store.Open();
   for (const AckedOp& op : acked) {
     switch (op.type) {

@@ -18,8 +18,24 @@ if ! command -v clang-tidy >/dev/null; then
 fi
 
 # Library + tool sources only: tests and benches inherit the same headers
-# through HeaderFilterRegex without tripling the runtime.
-mapfile -t sources < <(find src tools -name '*.cc' | sort)
+# through HeaderFilterRegex without tripling the runtime. Roots are spelled
+# out (rather than a bare `find src`) so a subsystem rename is a visible
+# one-line diff here instead of a silent coverage loss.
+roots=(
+  src/baselines src/catalog src/common src/core src/discovery src/exec
+  src/ml src/optimizer src/plan src/service src/workload tools
+)
+for root in "${roots[@]}"; do
+  if [[ ! -d "${root}" ]]; then
+    echo "error: clang-tidy root '${root}' does not exist; update ci/run_clang_tidy.sh" >&2
+    exit 2
+  fi
+done
+mapfile -t sources < <(find "${roots[@]}" -name '*.cc' | sort)
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "error: no sources found under ${roots[*]} — wrong working directory?" >&2
+  exit 2
+fi
 echo "clang-tidy over ${#sources[@]} files (config: .clang-tidy)"
 printf '%s\n' "${sources[@]}" | xargs -P "$(nproc)" -n 4 \
   clang-tidy -p "${build_dir}" --quiet

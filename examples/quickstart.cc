@@ -27,7 +27,8 @@ int main() {
   events.daily_growth = 0.02;
   int events_set = catalog.AddStreamSet(events);
   for (int d = 0; d < 3; ++d) {
-    catalog.AddStream(events_set, "clicks_d" + std::to_string(d), 80'000'000, 64);
+    // qsteer-lint: allow(unchecked-status) the demo schema is valid by construction
+    (void)catalog.AddStream(events_set, "clicks_d" + std::to_string(d), 80'000'000, 64);
   }
 
   StreamSet users;
@@ -37,7 +38,8 @@ int main() {
       {.name = "country", .type = ColumnType::kInt64, .distinct_count = 60},
   };
   int users_set = catalog.AddStreamSet(users);
-  catalog.AddStream(users_set, "users_snapshot", 200000, 8);
+  // qsteer-lint: allow(unchecked-status) the demo schema is valid by construction
+  (void)catalog.AddStream(users_set, "users_snapshot", 200000, 8);
 
   // -------------------------------------------------------------------
   // 2. Job: UNION the daily click shards, filter, join users, aggregate.

@@ -284,15 +284,18 @@ std::string CalibrationReport::Serialize() const {
   out << buf;
   // `probes` is an ordered vector; emission order is probe-generation order.
   for (const ProbeRecord& p : probes) {
+    // qsteer-lint: allow(serialization-contract) human-readable report, never parsed back
     std::snprintf(buf, sizeof(buf), "probe %s est=%.6g true=%.6g q=%.6g\n", p.name.c_str(),
                   p.estimated_rows, p.true_rows, p.selectivity_q_error);
     out << buf;
   }
+  // qsteer-lint: allow(serialization-contract) human-readable report, never parsed back
   std::snprintf(buf, sizeof(buf), "selectivity_q count=%d p50=%.6g p95=%.6g max=%.6g\n",
                 selectivity_q_error.count, selectivity_q_error.p50, selectivity_q_error.p95,
                 selectivity_q_error.max);
   out << buf;
   std::snprintf(buf, sizeof(buf),
+                // qsteer-lint: allow(serialization-contract) human-readable report, never parsed back
                 "fit cpu=%.6g io=%.6g startup=%.6g err_before=%.6g err_after=%.6g\n",
                 fit.cpu_scale, fit.io_scale, fit.startup_scale, fit.mean_rel_error_before,
                 fit.mean_rel_error_after);

@@ -35,6 +35,7 @@ Status SyncDir(const std::string& dir) {
 
 }  // namespace
 
+// qsteer-lint: allow(crc-before-trust) this IS the raw-read primitive; verifying wrappers (ReadFileChecksummed) layer on top
 Result<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::NotFound("cannot open: " + path);

@@ -26,7 +26,15 @@ enum class StatusCode {
 };
 
 /// Lightweight status object; OK is the zero-cost common case.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how torn writes, failed
+/// recoveries, and half-applied mutations go unnoticed until much later.
+/// Every caller must consume the result — branch on it, return it, or
+/// discard it explicitly with `(void)` plus a
+/// `// qsteer-lint: allow(unchecked-status) <why>` justification (QL007
+/// enforces the same contract repo-wide, including through type-erased
+/// call paths the compiler attribute cannot see).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -73,7 +81,7 @@ inline bool IsTransient(StatusCode code) {
 
 /// Result<T>: either a value or a Status explaining why there is none.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)), status_(Status::OK()) {}  // NOLINT
   Result(Status status) : status_(std::move(status)) {}                 // NOLINT

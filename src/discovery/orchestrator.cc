@@ -305,6 +305,7 @@ Result<DiscoveryResult> ShardOrchestrator::Run() {
 
   // ---- Compile-cache pre-warm (never fatal: rejection = cold start) ----
   if (!options_.warm_cache_file.empty()) {
+    // qsteer-lint: allow(unchecked-status) rejection means a cold start, which is always correct
     (void)impl_->pipeline->WarmCompileCache(options_.warm_cache_file, day_);
     CompileCacheStats cache_stats = impl_->pipeline->compile_cache_stats();
     counters.cache_warm_loaded = cache_stats.warm_loaded;
@@ -603,9 +604,11 @@ Result<UnshardedDiscovery> DiscoverUnsharded(const Workload* workload, int day,
   pipeline_options.num_threads = options.num_workers;
   SteeringPipeline pipeline(&optimizer, &simulator, pipeline_options);
   if (!options.warm_cache_file.empty()) {
+    // qsteer-lint: allow(unchecked-status) rejection means a cold start, which is always correct
     (void)pipeline.WarmCompileCache(options.warm_cache_file, day);
   }
   if (!options.ranker_in.empty() && pipeline.ranker_enabled()) {
+    // qsteer-lint: allow(unchecked-status) a rejected ranker file leaves the fresh ranker, which is valid
     (void)pipeline.WarmRanker(options.ranker_in);
   }
 

@@ -249,7 +249,8 @@ bool DurableRecommenderStore::LearnCandidate(
   if (!JournalAndMark(payload).ok()) return false;
   bool changed = recommender_.LearnCandidate(observation);
   if (changed) PublishViewLocked();
-  MaybeSnapshotLocked();  // best-effort; failures leave the WAL authoritative
+  // qsteer-lint: allow(unchecked-status) snapshot is opportunistic; the WAL stays authoritative
+  (void)MaybeSnapshotLocked();
   return changed;
 }
 
@@ -261,7 +262,8 @@ void DurableRecommenderStore::ObserveValidation(const RuleSignature& signature,
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveValidation(signature, runtime_change_pct);
   PublishViewLocked();
-  MaybeSnapshotLocked();
+  // qsteer-lint: allow(unchecked-status) snapshot is opportunistic; the WAL stays authoritative
+  (void)MaybeSnapshotLocked();
 }
 
 void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
@@ -272,7 +274,8 @@ void DurableRecommenderStore::ObserveOutcome(const RuleSignature& signature,
   if (!JournalAndMark(payload).ok()) return;
   recommender_.ObserveOutcome(signature, runtime_change_pct);
   PublishViewLocked();
-  MaybeSnapshotLocked();
+  // qsteer-lint: allow(unchecked-status) snapshot is opportunistic; the WAL stays authoritative
+  (void)MaybeSnapshotLocked();
 }
 
 SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
@@ -290,7 +293,8 @@ SteeringRecommender::Recommendation DurableRecommenderStore::Recommend(
     }
     SteeringRecommender::Recommendation rec = recommender_.Recommend(signature);
     PublishViewLocked();
-    MaybeSnapshotLocked();
+    // qsteer-lint: allow(unchecked-status) snapshot is opportunistic; the WAL stays authoritative
+  (void)MaybeSnapshotLocked();
     return rec;
   }
   return recommender_.Recommend(signature);
@@ -338,7 +342,8 @@ Status DurableRecommenderStore::ApplyReplicated(uint64_t seq, const std::string&
   if (!status.ok()) return status;
   ++replicated_applied_;
   PublishViewLocked();
-  MaybeSnapshotLocked();
+  // qsteer-lint: allow(unchecked-status) snapshot is opportunistic; the WAL stays authoritative
+  (void)MaybeSnapshotLocked();
   return Status::OK();
 }
 

@@ -261,7 +261,8 @@ Status ReplicationFleet::ElectLocked() {
   // rest); bring them level before serving resumes.
   for (const auto& node : replicas_) {
     if (!node->alive() || node->id() == leader_id_) continue;
-    CatchUpLocked(node->id());  // best-effort; partitioned nodes heal later
+    // qsteer-lint: allow(unchecked-status) best-effort; partitioned nodes heal on a later heartbeat
+    (void)CatchUpLocked(node->id());
   }
   return Status::OK();
 }
@@ -279,7 +280,8 @@ Status ReplicationFleet::ShipTailLocked(uint64_t from_seq) {
     if (status.code() == StatusCode::kUnavailable) continue;  // partitioned: heals later
     // Checksum reject or follower-side gap: re-derive what this follower
     // actually needs (fresh tail from its watermark, or an install).
-    CatchUpLocked(node->id());
+    // qsteer-lint: allow(unchecked-status) best-effort; the next heartbeat retries the catch-up
+    (void)CatchUpLocked(node->id());
   }
   return Status::OK();
 }

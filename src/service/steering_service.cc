@@ -73,7 +73,8 @@ SteeringService::SteeringService(const Optimizer* optimizer,
 SteeringService::~SteeringService() {
   // Unconditional: Shutdown() itself checks running_ under the lock (the
   // old `if (running_)` here read the flag without it).
-  Shutdown();
+  // qsteer-lint: allow(unchecked-status) destructors cannot propagate; Shutdown is idempotent
+  (void)Shutdown();
 }
 
 Status SteeringService::Start() {
@@ -89,6 +90,7 @@ Status SteeringService::Start() {
     // Never fatal: a rejected warm file (corrupt, torn, wrong version or
     // day) leaves the cache cold, and cold compiles are always correct.
     // The rejection is visible as cache_warm_rejected in the snapshot.
+    // qsteer-lint: allow(unchecked-status) rejected warm files leave the cache cold, which is always correct
     (void)pipeline_.WarmCompileCache(options_.warm_cache_file, options_.warm_cache_day);
   }
   running_ = true;

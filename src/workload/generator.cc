@@ -147,7 +147,8 @@ Workload::Workload(WorkloadSpec spec) : spec_(std::move(spec)) {
     for (int v = 0; v < num_streams; ++v) {
       double rows =
           is_log ? std::pow(10.0, rng.UniformDouble(6.5, 9.3)) * spec_.data_scale : dim_rows;
-      catalog_->AddStream(set_id,
+      // qsteer-lint: allow(unchecked-status) the generated stream is valid by construction (fresh set id)
+      (void)catalog_->AddStream(set_id,
                           catalog_->stream_set(set_id).name + "_d" + std::to_string(v),
                           static_cast<int64_t>(rows),
                           static_cast<int>(rng.UniformInt(8, 200)));

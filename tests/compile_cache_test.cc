@@ -191,6 +191,7 @@ class PersistDir {
   std::filesystem::path dir_;
 };
 
+// qsteer-lint: allow(crc-before-trust) test helper reads bytes to corrupt or inspect them; verification is the code under test
 std::string PersistRawRead(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
@@ -534,8 +535,9 @@ TEST_F(CompileCachePipelineTest, ConcurrentMixedAccessIsSafe) {
   threads.emplace_back([&] { pipeline.RecompileJobs(jobs); });
   threads.emplace_back([&] {
     for (int i = 0; i < 40; ++i) {
-      pipeline.CompileCached(jobs[static_cast<size_t>(i) % jobs.size()],
-                             RuleConfig::Default());
+      // qsteer-lint: allow(unchecked-status) stress thread; only the cache traffic matters
+      (void)pipeline.CompileCached(jobs[static_cast<size_t>(i) % jobs.size()],
+                                   RuleConfig::Default());
     }
   });
   threads.emplace_back([&] {

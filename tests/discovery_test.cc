@@ -39,6 +39,7 @@ class TempDir {
   std::filesystem::path dir_;
 };
 
+// qsteer-lint: allow(crc-before-trust) test helper reads bytes to corrupt or inspect them; verification is the code under test
 std::string RawRead(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());

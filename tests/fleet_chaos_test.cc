@@ -403,10 +403,18 @@ TEST(FleetTest, ConcurrentServesSurviveChurn) {
   for (int round = 0; round < 6; ++round) {
     uint32_t victim = static_cast<uint32_t>(Mix64(round) % 3);
     if (fleet.Kill(victim).ok()) {
+      // qsteer-lint: allow(unchecked-status) chaos window; a dead leader drops the outcome by design
       (void)fleet.ObserveOutcome(Sig(0), -5.0);
       ASSERT_TRUE(fleet.Restart(victim).ok());
     }
+    // qsteer-lint: allow(unchecked-status) chaos window; a dead leader drops the outcome by design
     (void)fleet.ObserveOutcome(Sig(1), -4.0);
+  }
+  // On a loaded single-core machine the churn loop can finish before any
+  // reader thread is ever scheduled; keep serving until at least one read
+  // lands so the assertion probes fleet behaviour, not OS scheduling.
+  for (int spin = 0; spin < 100000 && served.load() == 0; ++spin) {
+    std::this_thread::yield();
   }
   stop.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();

@@ -158,7 +158,7 @@ class HistogramModelTest : public ::testing::Test {
         {.name = "key", .distinct_count = 10000, .zipf_skew = 0.8, .domain_growth = 0.2},
     };
     int id = catalog_.AddStreamSet(std::move(set));
-    catalog_.AddStream(id, "g_d0", 100000, 8);
+    EXPECT_TRUE(catalog_.AddStream(id, "g_d0", 100000, 8).ok());
   }
 
   Catalog catalog_;

@@ -1,0 +1,18 @@
+// QL007 negative: every Status/Result is consumed (or the drop is both
+// explicit and justified), so the file lints clean.
+struct Status {
+  bool ok() const { return true; }
+};
+struct Store {
+  Status Flush();
+  int Size();
+};
+Status Propagate(Store& store) {
+  Status status = store.Flush();
+  if (!status.ok()) return status;
+  if (!store.Flush().ok()) return status;
+  store.Size();
+  // qsteer-lint: allow(unchecked-status) final flush is best-effort on shutdown
+  (void)store.Flush();
+  return store.Flush();
+}

@@ -1,0 +1,21 @@
+// QL007 positive: Status/Result-returning calls whose value is dropped.
+// Self-contained declarations: the model is built from this file alone.
+struct Status {
+  bool ok() const { return true; }
+};
+struct Store {
+  Status Flush();
+  Status Close();
+};
+Status Reload();
+void Drive(Store& store) {
+  store.Flush();
+  Reload();
+  (void)store.Close();
+  // qsteer-lint: allow(unchecked-status) justified best-effort close
+  (void)store.Close();
+  store.Flush();  // qsteer-lint: allow(unchecked-status) a directive cannot silence a bare drop
+}
+void DriveUnbraced(Store& store) {
+  if (store.Flush().ok()) store.Flush();
+}

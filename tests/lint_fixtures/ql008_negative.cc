@@ -1,0 +1,22 @@
+// QL008 negative: every nesting acquires in the same order (a_ before
+// b_), so the extracted graph is acyclic and the file lints clean.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct Engine {
+  void AB() {
+    MutexLock lock_a(a_);
+    MutexLock lock_b(b_);
+  }
+  void AlsoAB() {
+    a_.Lock();
+    MutexLock lock_b(b_);
+    a_.Unlock();
+  }
+  Mutex a_;
+  Mutex b_;
+};

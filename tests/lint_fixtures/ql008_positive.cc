@@ -1,0 +1,21 @@
+// QL008 positive: a seeded lock-order inversion. AB() nests a_ -> b_,
+// BA() nests b_ -> a_; the extracted graph has a cycle.
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct Engine {
+  void AB() {
+    MutexLock lock_a(a_);
+    MutexLock lock_b(b_);
+  }
+  void BA() {
+    MutexLock lock_b(b_);
+    MutexLock lock_a(a_);
+  }
+  Mutex a_;
+  Mutex b_;
+};

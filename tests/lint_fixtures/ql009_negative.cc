@@ -1,0 +1,20 @@
+// QL009 negative: the blessed %.17g everywhere, integer to_string, %d/%s
+// conversions, and scan-side %lg (parsing back what %.17g wrote is
+// lossless) — all fine in a serializing file.
+struct Blob {
+  double weight;
+  int count;
+};
+int snprintf_shim(char* buf, int n, const char* fmt, double v);
+int sscanf_shim(const char* s, const char* fmt, double* v);
+std::string SerializeBlob(const Blob& blob) {
+  char buf[64];
+  snprintf_shim(buf, 64, "w=%.17g\n", blob.weight);
+  snprintf_shim(buf, 64, "n=%d tag=%s 100%%\n", blob.weight);
+  std::string out = buf;
+  out += std::to_string(blob.count);
+  return out;
+}
+bool DeserializeBlob(const char* text, Blob* blob) {
+  return sscanf_shim(text, "w=%lg\n", &blob->weight) == 1;
+}

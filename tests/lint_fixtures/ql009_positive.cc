@@ -1,0 +1,15 @@
+// QL009 positive: a serializing file (defines a *Serialize* function)
+// formatting floating point with anything but %.17g.
+struct Blob {
+  double weight;
+};
+int snprintf_shim(char* buf, int n, const char* fmt, double v);
+std::string SerializeBlob(const Blob& blob) {
+  char buf[64];
+  snprintf_shim(buf, 64, "w=%.6f\n", blob.weight);
+  snprintf_shim(buf, 64, "s=%g e=%12.5e\n", blob.weight);
+  double w = blob.weight;
+  std::string out = buf;
+  out += std::to_string(w);
+  return out;
+}

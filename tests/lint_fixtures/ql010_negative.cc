@@ -1,0 +1,22 @@
+// QL010 negative: recovery paths that verify a crc32 directly, verify
+// through a helper, carry a justified suppression, or are not recovery
+// paths at all.
+unsigned Crc32(const char* data, int n);
+bool VerifyFrame(const char* data) { return Crc32(data, 4) == 0; }
+bool LoadVerified(const char* path) {
+  std::ifstream in(path);
+  return Crc32(path, 2) != 0;
+}
+bool RecoverWal(const char* path) {
+  std::ifstream in(path);
+  return VerifyFrame(path);
+}
+// qsteer-lint: allow(crc-before-trust) fixture helper; bytes are inspected, not trusted
+bool LoadRawForInspection(const char* path) {
+  std::ifstream in(path);
+  return in.good();
+}
+bool Slurp(const char* path) {
+  std::ifstream in(path);
+  return in.good();
+}

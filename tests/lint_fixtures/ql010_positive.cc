@@ -1,0 +1,14 @@
+// QL010 positive: recovery-path functions (Load/Parse/... in the name)
+// that read raw bytes and never verify a checksum.
+struct Result {
+  bool ok() const;
+};
+Result ReadFileToString(const char* path);
+bool LoadManifest(const char* path) {
+  std::ifstream in(path);
+  return in.good();
+}
+bool ParseSnapshot(const char* path) {
+  Result bytes = ReadFileToString(path);
+  return bytes.ok();
+}

@@ -6,6 +6,10 @@
 // so a determinism regression fails ctest, not just CI.
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -123,6 +127,100 @@ TEST(LintTest, CompanionHeaderDeclarationsAreVisibleFromCc) {
   EXPECT_EQ(with[0].line, 3);
 }
 
+TEST(LintTest, UncheckedStatusPositive) {
+  // 12/13: bare drops; 14: (void) without a justification; 17: a directive
+  // alone cannot silence a bare drop — the discard must be written out;
+  // 20: a drop in an unbraced `if (...) Call();` body is still a drop.
+  EXPECT_EQ(LintFixture("ql007_positive.cc"),
+            (Anchors{{"QL007", 12}, {"QL007", 13}, {"QL007", 14}, {"QL007", 17},
+                     {"QL007", 20}}));
+}
+
+TEST(LintTest, UncheckedStatusNegative) {
+  EXPECT_EQ(LintFixture("ql007_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, LockOrderCyclePositive) {
+  // The seeded inversion: AB() nests a_ -> b_, BA() nests b_ -> a_. The
+  // finding anchors on the acquisition that closes the cycle (line 17).
+  EXPECT_EQ(LintFixture("ql008_positive.cc"), (Anchors{{"QL008", 17}}));
+}
+
+TEST(LintTest, LockOrderConsistentNegative) {
+  EXPECT_EQ(LintFixture("ql008_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, LockHierarchyGoldenMismatchFires) {
+  // The consistent fixture extracts exactly a_ -> b_. A golden listing a
+  // different edge yields two QL008s: the extracted edge is "not in the
+  // golden" (anchored at the witness site) and the golden's edge is stale
+  // (anchored at its own line in the golden file).
+  std::vector<Finding> findings;
+  std::string error;
+  LintOptions options;
+  options.lock_hierarchy_golden = "# comment\nEngine::b_ -> Engine::c_\n";
+  options.lock_hierarchy_golden_path = "tools/lock_hierarchy.txt";
+  ASSERT_TRUE(
+      LintPaths({FixturePath("ql008_negative.cc")}, options, &findings, &error))
+      << error;
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule_id, "QL008");
+  EXPECT_EQ(findings[0].path, FixturePath("ql008_negative.cc"));
+  EXPECT_NE(findings[0].message.find("Engine::a_ -> Engine::b_"), std::string::npos);
+  EXPECT_EQ(findings[1].rule_id, "QL008");
+  EXPECT_EQ(findings[1].path, "tools/lock_hierarchy.txt");
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_NE(findings[1].message.find("stale"), std::string::npos);
+}
+
+TEST(LintTest, LockHierarchyExtractionAndFormat) {
+  std::vector<Finding> findings;
+  std::string error;
+  std::vector<LockEdge> edges;
+  ASSERT_TRUE(LintPaths({FixturePath("ql008_negative.cc")}, LintOptions{}, &findings,
+                        &error, &edges))
+      << error;
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, "Engine::a_");
+  EXPECT_EQ(edges[0].to, "Engine::b_");
+  std::string golden = FormatLockHierarchy(edges);
+  EXPECT_NE(golden.find("Engine::a_ -> Engine::b_\n"), std::string::npos);
+  // The emitted bytes are themselves a valid golden: round-trip is clean.
+  LintOptions options;
+  options.lock_hierarchy_golden = golden;
+  findings.clear();
+  ASSERT_TRUE(LintPaths({FixturePath("ql008_negative.cc")}, options, &findings, &error));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintTest, SerializationContractPositive) {
+  EXPECT_EQ(LintFixture("ql009_positive.cc"),
+            (Anchors{{"QL009", 9}, {"QL009", 10}, {"QL009", 10}, {"QL009", 13}}));
+}
+
+TEST(LintTest, SerializationContractNegative) {
+  EXPECT_EQ(LintFixture("ql009_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, CrcBeforeTrustPositive) {
+  EXPECT_EQ(LintFixture("ql010_positive.cc"), (Anchors{{"QL010", 7}, {"QL010", 11}}));
+}
+
+TEST(LintTest, CrcBeforeTrustNegative) {
+  EXPECT_EQ(LintFixture("ql010_negative.cc"), Anchors{});
+}
+
+TEST(LintTest, CuratedTestAllowlistMechanism) {
+  // The curated allow-list entry for tests/.lint_allow_example.cc + QL002
+  // suppresses with default options and fires with allowlists disabled —
+  // the mechanism chaos tests would use for intentional nondeterminism.
+  const std::string source = "double Now() { return steady_clock::now(); }\n";
+  EXPECT_TRUE(LintContent("tests/.lint_allow_example.cc", source).empty());
+  LintOptions strict;
+  strict.builtin_allowlists = false;
+  EXPECT_EQ(LintContent("tests/.lint_allow_example.cc", source, strict).size(), 1u);
+}
+
 TEST(LintTest, SelfExemption) {
   std::vector<Finding> findings =
       LintContent("tools/qsteer_lint_lib.cc", "auto t = std::chrono::steady_clock::now();\n");
@@ -161,6 +259,197 @@ TEST(LintCliTest, JsonFormatIsMachineReadable) {
   EXPECT_NE(output.find("\"line\": 7"), std::string::npos);
 }
 
+// ---- JSON round trip ----
+//
+// A strict parser for the linter's own output shape (an array of flat
+// objects with string/number values). Any invalid escape, stray byte, or
+// structural slip fails the parse — so the test proves the emitted JSON is
+// machine-readable, not merely grep-able.
+
+struct ParsedFinding {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, int> numbers;
+};
+
+bool JsonUnescape(const std::string& in, size_t* i, std::string* out) {
+  // *i points at the opening quote.
+  if (in[*i] != '"') return false;
+  for (++*i; *i < in.size(); ++*i) {
+    char c = in[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c != '\\') {
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control byte
+      out->push_back(c);
+      continue;
+    }
+    if (++*i >= in.size()) return false;
+    switch (in[*i]) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (*i + 4 >= in.size()) return false;
+        int code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = in[*i + 1 + static_cast<size_t>(k)];
+          int digit = (h >= '0' && h <= '9')   ? h - '0'
+                      : (h >= 'a' && h <= 'f') ? h - 'a' + 10
+                      : (h >= 'A' && h <= 'F') ? h - 'A' + 10
+                                               : -1;
+          if (digit < 0) return false;
+          code = code * 16 + digit;
+        }
+        if (code > 0x7f) return false;  // the linter only \u-escapes controls
+        out->push_back(static_cast<char>(code));
+        *i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated string
+}
+
+bool ParseFindingsJson(const std::string& text, std::vector<ParsedFinding>* out) {
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' ||
+                               text[i] == '\r')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') return false;
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == ']') {
+    ++i;
+    skip_ws();
+    return i == text.size();
+  }
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '{') return false;
+    ++i;
+    ParsedFinding finding;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!JsonUnescape(text, &i, &key)) return false;
+      skip_ws();
+      if (i >= text.size() || text[i] != ':') return false;
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        std::string value;
+        if (!JsonUnescape(text, &i, &value)) return false;
+        finding.strings[key] = value;
+      } else {
+        size_t start = i;
+        while (i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                                   text[i] == '-')) {
+          ++i;
+        }
+        if (i == start) return false;
+        finding.numbers[key] = std::stoi(text.substr(start, i - start));
+      }
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= text.size() || text[i] != '}') return false;
+    ++i;
+    out->push_back(std::move(finding));
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= text.size() || text[i] != ']') return false;
+  ++i;
+  skip_ws();
+  return i == text.size();
+}
+
+TEST(LintCliTest, JsonRoundTripsEveryField) {
+  std::string path = FixturePath("ql007_positive.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({"--json", path.c_str()}, &output), 1);
+  std::vector<ParsedFinding> parsed;
+  ASSERT_TRUE(ParseFindingsJson(output, &parsed)) << output;
+
+  std::vector<Finding> direct;
+  std::string error;
+  ASSERT_TRUE(LintPaths({path}, LintOptions{}, &direct, &error)) << error;
+  ASSERT_EQ(parsed.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(parsed[i].strings["path"], direct[i].path);
+    EXPECT_EQ(parsed[i].numbers["line"], direct[i].line);
+    EXPECT_EQ(parsed[i].strings["rule"], direct[i].rule_id);
+    EXPECT_EQ(parsed[i].strings["name"], direct[i].rule_name);
+    EXPECT_EQ(parsed[i].strings["message"], direct[i].message);
+    // Every QL007 message carries backticks and single quotes — bytes a
+    // naive emitter mangles; exact equality above is the real check.
+    EXPECT_NE(parsed[i].strings["message"].find('`'), std::string::npos);
+  }
+}
+
+TEST(LintCliTest, JsonEscapesQuotesAndBackslashes) {
+  // A finding whose path contains a quote and a backslash must still parse.
+  std::string dir = ::testing::TempDir() + "/qsteer_lint_json";
+  std::filesystem::create_directories(dir);
+  std::string tricky = dir + "/we\\ird\"name.cc";
+  {
+    std::ofstream out(tricky, std::ios::trunc);
+    out << "int Seed() { return rand(); }\n";
+  }
+  std::string output;
+  EXPECT_EQ(RunCli({"--json", tricky.c_str()}, &output), 1);
+  std::vector<ParsedFinding> parsed;
+  ASSERT_TRUE(ParseFindingsJson(output, &parsed)) << output;
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].strings["path"], tricky);
+  EXPECT_EQ(parsed[0].strings["rule"], "QL001");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LintCliTest, JsonEmptyArrayForCleanInput) {
+  std::string path = FixturePath("ql001_negative.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({"--json", path.c_str()}, &output), 0);
+  std::vector<ParsedFinding> parsed;
+  ASSERT_TRUE(ParseFindingsJson(output, &parsed)) << output;
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(LintCliTest, EmitLockHierarchyPrintsGoldenBytes) {
+  std::string path = FixturePath("ql008_negative.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({"--emit-lock-hierarchy", path.c_str()}, &output), 0);
+  EXPECT_NE(output.find("Engine::a_ -> Engine::b_\n"), std::string::npos);
+}
+
+TEST(LintCliTest, MissingLockHierarchyGoldenExitsTwo) {
+  std::string path = FixturePath("ql008_negative.cc");
+  std::string output;
+  EXPECT_EQ(RunCli({"--lock-hierarchy=/nonexistent/hierarchy.txt", path.c_str()}, &output),
+            2);
+  EXPECT_NE(output.find("cannot open"), std::string::npos);
+}
+
 TEST(LintCliTest, UsageAndIoErrorsExitTwo) {
   EXPECT_EQ(RunCli({}), 2);                                   // no paths
   EXPECT_EQ(RunCli({"--bogus-flag"}), 2);                     // unknown flag
@@ -171,7 +460,8 @@ TEST(LintCliTest, UsageAndIoErrorsExitTwo) {
 TEST(LintCliTest, ListRulesExitsZero) {
   std::string output;
   EXPECT_EQ(RunCli({"--list-rules"}, &output), 0);
-  for (const char* id : {"QL001", "QL002", "QL003", "QL004", "QL005", "QL006"}) {
+  for (const char* id : {"QL001", "QL002", "QL003", "QL004", "QL005", "QL006", "QL007",
+                         "QL008", "QL009", "QL010"}) {
     EXPECT_NE(output.find(id), std::string::npos) << id;
   }
 }
@@ -179,13 +469,27 @@ TEST(LintCliTest, ListRulesExitsZero) {
 // ---- The repo itself must lint clean ----
 
 TEST(LintRepoTest, SourceTreeIsClean) {
+  // tests/ included: chaos-test nondeterminism goes through the curated
+  // allowlist or a justified directive, never unreviewed. The lock graph is
+  // checked against the committed golden, so a new nesting (or a stale
+  // golden line) fails here, not just in CI.
   std::vector<std::string> roots;
-  for (const char* dir : {"src", "tools", "bench", "examples"}) {
+  for (const char* dir : {"src", "tools", "bench", "examples", "tests"}) {
     roots.push_back(std::string(QSTEER_SOURCE_DIR) + "/" + dir);
+  }
+  LintOptions options;
+  options.lock_hierarchy_golden_path =
+      std::string(QSTEER_SOURCE_DIR) + "/tools/lock_hierarchy.txt";
+  {
+    std::ifstream golden(options.lock_hierarchy_golden_path);
+    ASSERT_TRUE(golden.good()) << "missing " << options.lock_hierarchy_golden_path;
+    std::ostringstream buffer;
+    buffer << golden.rdbuf();
+    options.lock_hierarchy_golden = buffer.str();
   }
   std::vector<Finding> findings;
   std::string error;
-  ASSERT_TRUE(LintPaths(roots, LintOptions{}, &findings, &error)) << error;
+  ASSERT_TRUE(LintPaths(roots, options, &findings, &error)) << error;
   for (const Finding& finding : findings) {
     ADD_FAILURE() << finding.path << ":" << finding.line << ": " << finding.rule_id << " "
                   << finding.message;

@@ -20,7 +20,7 @@ class OptimizerInternalsTest : public ::testing::Test {
     };
     int logs_id = catalog_.AddStreamSet(std::move(logs));
     for (int d = 0; d < 3; ++d) {
-      catalog_.AddStream(logs_id, "logs_d" + std::to_string(d), 50'000'000, 32);
+      EXPECT_TRUE(catalog_.AddStream(logs_id, "logs_d" + std::to_string(d), 50'000'000, 32).ok());
     }
     StreamSet dim;
     dim.name = "dim";
@@ -29,7 +29,7 @@ class OptimizerInternalsTest : public ::testing::Test {
         {.name = "dv", .distinct_count = 40},
     };
     int dim_id = catalog_.AddStreamSet(std::move(dim));
-    catalog_.AddStream(dim_id, "dim_d0", 100000, 8);
+    EXPECT_TRUE(catalog_.AddStream(dim_id, "dim_d0", 100000, 8).ok());
 
     universe_ = std::make_shared<ColumnUniverse>();
     k_ = universe_->GetOrAddBaseColumn(0, 0, "k");

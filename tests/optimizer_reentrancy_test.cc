@@ -132,7 +132,8 @@ TEST(OptimizerReentrancy, RepeatedCompileIsIdempotent) {
 
   PlanFingerprint first = Fingerprint(optimizer.Compile(job, RuleConfig::Default()));
   for (int t = 0; t < 8; ++t) {
-    optimizer.Compile(workload.MakeJob(t, /*day=*/2), RuleConfig::Default());
+    // qsteer-lint: allow(unchecked-status) interleaved compiles only exercise reentrancy
+    (void)optimizer.Compile(workload.MakeJob(t, /*day=*/2), RuleConfig::Default());
   }
   PlanFingerprint again = Fingerprint(optimizer.Compile(job, RuleConfig::Default()));
   ExpectSame(first, again);

@@ -23,7 +23,7 @@ class RefExecTest : public ::testing::Test {
         {.name = "v", .distinct_count = 50, .null_fraction = 0.2},
     };
     int left_id = catalog_.AddStreamSet(std::move(left));
-    catalog_.AddStream(left_id, "left_d0", 400, 4);
+    EXPECT_TRUE(catalog_.AddStream(left_id, "left_d0", 400, 4).ok());
 
     StreamSet right;
     right.name = "right";
@@ -32,7 +32,7 @@ class RefExecTest : public ::testing::Test {
         {.name = "rv", .distinct_count = 30},
     };
     int right_id = catalog_.AddStreamSet(std::move(right));
-    catalog_.AddStream(right_id, "right_d0", 300, 4);
+    EXPECT_TRUE(catalog_.AddStream(right_id, "right_d0", 300, 4).ok());
 
     universe_ = std::make_shared<ColumnUniverse>();
     k_ = universe_->GetOrAddBaseColumn(0, 0, "k");

@@ -74,7 +74,7 @@ class StatsViewTest : public ::testing::Test {
     };
     set.correlations = {{.column_a = 1, .column_b = 2, .strength = 0.9}};
     int id = catalog_.AddStreamSet(std::move(set));
-    catalog_.AddStream(id, "s_d0", 50000, 8);
+    EXPECT_TRUE(catalog_.AddStream(id, "s_d0", 50000, 8).ok());
 
     job_.name = "test";
     job_.day = 0;

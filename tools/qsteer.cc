@@ -876,7 +876,8 @@ int CmdServeFleet(int argc, char** argv) {
          leader->PendingValidations()) {
       // The candidate already beat the default in analysis; revalidate with
       // its recorded improvement (the simulator is deterministic here).
-      fleet.ObserveValidation(request.signature, -5.0);
+      // qsteer-lint: allow(unchecked-status) demo driver; a down leader just skips the validation
+      (void)fleet.ObserveValidation(request.signature, -5.0);
     }
     leader = fleet.replica_store(fleet.leader_id());
   }
@@ -889,13 +890,15 @@ int CmdServeFleet(int argc, char** argv) {
   for (int day = 2; day <= days; ++day) {
     if (flags.kill_every > 0 && fleet.num_replicas() > 1) {
       if (killed != ConsistentHashRing::kNoReplica) {
-        fleet.Restart(killed);
+        // qsteer-lint: allow(unchecked-status) chaos driver; restarting an already-live replica is a no-op
+        (void)fleet.Restart(killed);
         killed = ConsistentHashRing::kNoReplica;
       }
       if (day % flags.kill_every == 0) {
         killed = static_cast<uint32_t>(Mix64(0x9e3779b97f4a7c15ull ^ day) %
                                        fleet.num_replicas());
-        fleet.Kill(killed);
+        // qsteer-lint: allow(unchecked-status) chaos driver; killing an already-dead replica is a no-op
+        (void)fleet.Kill(killed);
       }
     }
     int served = 0, steered = 0, ticks = 0, rerouted = 0;
@@ -915,7 +918,10 @@ int CmdServeFleet(int argc, char** argv) {
                 steered, ticks, rerouted,
                 killed != ConsistentHashRing::kNoReplica ? " [one replica down]" : "");
   }
-  if (killed != ConsistentHashRing::kNoReplica) fleet.Restart(killed);
+  if (killed != ConsistentHashRing::kNoReplica) {
+    // qsteer-lint: allow(unchecked-status) chaos driver; restarting an already-live replica is a no-op
+    (void)fleet.Restart(killed);
+  }
 
   status = fleet.CatchUpAll();
   if (!status.ok()) {
